@@ -1,0 +1,28 @@
+# Convenience targets for the safety-level reproduction.
+
+PY ?= python3
+
+.PHONY: install test bench experiments artifacts scorecard examples clean
+
+install:
+	$(PY) -m pip install -e . --no-build-isolation || $(PY) setup.py develop
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every table/figure at full scale into ./artifacts
+artifacts:
+	$(PY) -m repro.cli all --save artifacts
+
+scorecard:
+	$(PY) -m repro.cli scorecard
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PY) $$f > /dev/null || exit 1; done; echo "all examples OK"
+
+clean:
+	rm -rf artifacts benchmarks/results .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

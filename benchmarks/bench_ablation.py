@@ -1,0 +1,58 @@
+"""E12 — ablations: tie-break policy and GS update policy."""
+
+from repro.analysis import gs_policy_table, tie_break_table
+from repro.instances import fig1_instance
+from repro.safety import run_gs
+
+
+def test_e12a_tie_breaks(benchmark, write_artifact):
+    table = benchmark.pedantic(
+        tie_break_table,
+        kwargs={"n": 7, "num_faults": 6, "trials": 40,
+                "pairs_per_trial": 8, "seed": 5},
+        iterations=1,
+        rounds=1,
+    )
+    # Guarantee columns must be identical across policies.
+    for col in (2, 3, 4):
+        assert len({row[col] for row in table.rows}) == 1
+    write_artifact("e12a_tie_breaks", table.render())
+
+
+def test_e12b_gs_policy(benchmark, write_artifact):
+    table = benchmark.pedantic(
+        gs_policy_table,
+        kwargs={"n": 6, "fault_counts": (0, 1, 3, 6, 12), "trials": 15,
+                "seed": 29},
+        iterations=1,
+        rounds=1,
+    )
+    for row in table.rows:
+        if row[0] > 0:  # with any faults, periodic costs strictly more
+            assert row[2] > row[1]
+    write_artifact("e12b_gs_policy", table.render())
+
+
+def test_gs_on_change_kernel(benchmark):
+    topo, faults = fig1_instance()
+    run = benchmark(run_gs, topo, faults, "on-change")
+    assert run.stabilization_round == 2
+
+
+def test_async_gs_kernel(benchmark):
+    """Fully asynchronous GS under randomized link delays (Theorem 1 at
+    the protocol level)."""
+    import numpy as np
+
+    from repro.core import Hypercube, uniform_node_faults
+    from repro.safety import compute_safety_levels, run_gs_async
+
+    topo = Hypercube(6)
+    faults = uniform_node_faults(topo, 8, np.random.default_rng(5))
+    expected = compute_safety_levels(topo, faults)
+
+    def run():
+        return run_gs_async(topo, faults, rng=5, max_jitter=4)
+
+    result = benchmark(run)
+    assert np.array_equal(result.levels, expected)

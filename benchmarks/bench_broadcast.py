@@ -1,0 +1,54 @@
+"""E11 — broadcast extension: coverage vs message cost."""
+
+import numpy as np
+
+from repro.analysis import broadcast_table
+from repro.broadcast import (
+    broadcast_binomial,
+    broadcast_flooding,
+    broadcast_safety_binomial,
+)
+from repro.core import Hypercube, uniform_node_faults
+from repro.safety import SafetyLevels
+
+
+def _instance():
+    topo = Hypercube(8)
+    faults = uniform_node_faults(topo, 10, np.random.default_rng(41))
+    sl = SafetyLevels.compute(topo, faults)
+    source = next(v for v in faults.nonfaulty_nodes(topo)
+                  if sl.is_safe(v))
+    return topo, faults, sl, source
+
+
+def test_flooding_kernel(benchmark):
+    topo, faults, _sl, source = _instance()
+    res = benchmark(broadcast_flooding, topo, faults, source)
+    assert res.coverage_fraction(topo, faults) == 1.0
+
+
+def test_binomial_kernel(benchmark):
+    topo, faults, _sl, source = _instance()
+    benchmark(broadcast_binomial, topo, faults, source)
+
+
+def test_safety_binomial_kernel(benchmark):
+    topo, faults, sl, source = _instance()
+    res = benchmark(broadcast_safety_binomial, sl, source)
+    assert res.messages <= topo.num_nodes - 1
+
+
+def test_e11_table(benchmark, write_artifact):
+    table = benchmark.pedantic(
+        broadcast_table,
+        kwargs={"n": 7, "fault_counts": (0, 2, 4, 6, 10, 16),
+                "trials": 50, "seed": 41},
+        iterations=1,
+        rounds=1,
+    )
+    for row in table.rows:
+        flood_cov, flood_msgs = row[1], row[2]
+        sb_cov, sb_msgs = row[5], row[6]
+        assert flood_cov > 99.999            # flooding covers the component
+        assert sb_msgs < flood_msgs          # the tree is always cheaper
+    write_artifact("e11_broadcast", table.render())

@@ -1,0 +1,22 @@
+"""E10 — disconnected hypercubes at scale: Theorem 4 and clean aborts."""
+
+from repro.analysis import disconnected_sweep, disconnected_table
+
+
+def test_e10_disconnected(benchmark, write_artifact):
+    stats = benchmark.pedantic(
+        disconnected_sweep,
+        args=(6, 80, 10),
+        kwargs={"seed": 17},
+        iterations=1,
+        rounds=1,
+    )
+    assert stats.truly_disconnected == stats.instances
+    assert stats.lh_empty == stats.truly_disconnected
+    assert stats.wf_empty == stats.truly_disconnected
+    assert stats.cross_aborted == stats.cross_attempts
+    assert stats.violations == 0
+
+    table = disconnected_table(dims=(4, 5, 6, 7), trials=100,
+                               pairs_per_trial=10, seed=17)
+    write_artifact("e10_disconnected", table.render())

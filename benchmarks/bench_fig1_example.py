@@ -1,0 +1,30 @@
+"""E1 / Fig. 1 — safety levels of the paper's four-cube, plus its unicasts.
+
+Times the safety-level fixed point on the Fig. 1 instance and regenerates
+the figure's content (levels, stabilization round, both walk-throughs).
+"""
+
+from repro.analysis import fig1_report
+from repro.instances import FIG1_EXPECTED_LEVELS, fig1_instance
+from repro.safety import SafetyLevels, compute_safety_levels, run_gs
+
+
+def test_fig1_levels_kernel(benchmark, write_artifact):
+    topo, faults = fig1_instance()
+    levels = benchmark(compute_safety_levels, topo, faults)
+
+    # Regenerate and check the figure.
+    sl = SafetyLevels(topo=topo, faults=faults, levels=levels)
+    for addr, expected in FIG1_EXPECTED_LEVELS.items():
+        assert sl.level(topo.parse_node(addr)) == expected
+    report = fig1_report()
+    assert "levels match the paper figure: yes" in report
+    write_artifact("fig1_example", report)
+
+
+def test_fig1_distributed_gs(benchmark):
+    """The full distributed protocol on the simulator (the expensive path
+    the vectorized kernel replaces in sweeps)."""
+    topo, faults = fig1_instance()
+    result = benchmark(run_gs, topo, faults)
+    assert result.stabilization_round == 2

@@ -1,0 +1,49 @@
+"""E2 / Fig. 2 — average GS rounds vs number of faults (7-cubes).
+
+Times one stabilization-round measurement on a damaged Q7 and regenerates
+the full Fig. 2 series, asserting the paper's two qualitative claims:
+the average stays far below the worst case (n - 1 = 6), and below 2 while
+there are fewer faults than dimensions.
+"""
+
+import numpy as np
+
+from repro.analysis import fig2_series, rounds_vs_faults
+from repro.core import Hypercube, uniform_node_faults
+from repro.safety import stabilization_rounds_fast
+
+TRIALS = 400  # full experiment scale; ~seconds thanks to the numpy kernel
+
+
+def test_fig2_rounds_kernel(benchmark, write_artifact):
+    topo = Hypercube(7)
+    faults = uniform_node_faults(topo, 10, np.random.default_rng(0))
+    rounds = benchmark(stabilization_rounds_fast, topo, faults)
+    assert 0 <= rounds <= 6
+
+    series = fig2_series(n=7, fault_counts=list(range(1, 41)),
+                         trials=TRIALS, seed=20250705)
+    # Paper claims, checked on the regenerated series.
+    points = {x: y for x, y, *_ in series.points}
+    assert all(points[f] < 2.0 for f in range(1, 7)), \
+        "avg rounds must stay below 2 while faults < dimension"
+    assert max(points.values()) < 6, \
+        "average must stay below the worst-case bound n-1"
+    write_artifact("fig2_rounds", series.render(extra_labels=["max_rounds"]))
+
+
+def test_fig2_scaling_with_dimension(benchmark, write_artifact):
+    """Sanity extension: the same curve for Q8 stays under its bound too."""
+    points = benchmark.pedantic(
+        rounds_vs_faults,
+        args=(8, [1, 4, 8, 16, 32], 60),
+        kwargs={"seed": 1},
+        iterations=1,
+        rounds=1,
+    )
+    lines = ["Fig. 2 extension — Q8, 60 trials/point",
+             "faults  avg  max  (worst case 7)"]
+    for p in points:
+        assert p.gs.maximum <= 7
+        lines.append(f"{p.num_faults:>6}  {p.gs.mean:.3f}  {int(p.gs.maximum)}")
+    write_artifact("fig2_rounds_q8", "\n".join(lines))

@@ -1,0 +1,33 @@
+"""E4 / Fig. 3 — the disconnected four-cube walk-through.
+
+Times the feasibility check (the source-side decision procedure) and
+regenerates the figure: both intra-component optimal routes, the clean
+cross-partition abort, and the Theorem-4 emptiness of the rival safe sets.
+"""
+
+from repro.analysis import fig3_report
+from repro.instances import fig3_instance
+from repro.routing import RouteStatus, check_feasibility, route_unicast
+from repro.safety import SafetyLevels, lee_hayes_safe, wu_fernandez_safe
+
+
+def test_fig3_feasibility_kernel(benchmark, write_artifact):
+    topo, faults = fig3_instance()
+    sl = SafetyLevels.compute(topo, faults)
+    s, d = topo.parse_node("0111"), topo.parse_node("1110")
+    feas = benchmark(check_feasibility, sl, s, d)
+    assert not feas.feasible  # the cross-partition attempt is rejected
+
+    report = fig3_report()
+    assert "detected infeasible at the source: yes" in report
+    write_artifact("fig3_disconnected", report)
+
+
+def test_fig3_routes_and_theorem4(benchmark):
+    topo, faults = fig3_instance()
+    sl = SafetyLevels.compute(topo, faults)
+    s, d = topo.parse_node("0101"), topo.parse_node("0000")
+    result = benchmark(route_unicast, sl, s, d)
+    assert result.optimal
+    assert lee_hayes_safe(topo, faults).num_safe == 0
+    assert wu_fernandez_safe(topo, faults).num_safe == 0

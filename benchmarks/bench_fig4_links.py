@@ -1,0 +1,29 @@
+"""E5 / Fig. 4 — node + link faults: EGS and the suboptimal delivery.
+
+Times the two-view EGS computation and regenerates the figure (both views,
+the N2 levels the paper states, and the exact suboptimal route).
+"""
+
+from repro.analysis import fig4_report
+from repro.instances import fig4_instance
+from repro.routing import route_unicast_with_links
+from repro.safety import compute_extended_levels
+
+
+def test_fig4_egs_kernel(benchmark, write_artifact):
+    topo, faults = fig4_instance()
+    ext = benchmark(compute_extended_levels, topo, faults)
+    assert ext.own_level(topo.parse_node("1000")) == 1
+    assert ext.own_level(topo.parse_node("1001")) == 2
+
+    report = fig4_report()
+    assert "reproduced: yes" in report
+    write_artifact("fig4_links", report)
+
+
+def test_fig4_route_kernel(benchmark):
+    topo, faults = fig4_instance()
+    ext = compute_extended_levels(topo, faults)
+    s, d = topo.parse_node("1101"), topo.parse_node("1000")
+    result = benchmark(route_unicast_with_links, ext, s, d)
+    assert result.suboptimal

@@ -1,0 +1,38 @@
+"""E6 / Fig. 5 — the 2 x 3 x 2 generalized hypercube walk-through.
+
+Times Definition-4 level computation and GH routing on the paper's
+instance, and regenerates the figure report (safe set of four, the
+ineligibility facts, the printed route).
+"""
+
+from repro.analysis import fig5_report
+from repro.core import FaultSet, GeneralizedHypercube, uniform_node_faults
+from repro.instances import fig5_instance
+from repro.routing import route_gh_unicast
+from repro.safety import GhSafetyLevels, compute_gh_safety_levels
+
+
+def test_fig5_levels_kernel(benchmark, write_artifact):
+    gh, faults = fig5_instance()
+    levels = benchmark(compute_gh_safety_levels, gh, faults)
+    assert int(levels[gh.parse_node("110")]) == 1
+
+    report = fig5_report()
+    assert "reproduced: yes" in report
+    write_artifact("fig5_gh", report)
+
+
+def test_fig5_route_kernel(benchmark):
+    gh, faults = fig5_instance()
+    sl = GhSafetyLevels.compute(gh, faults)
+    s, d = gh.parse_node("010"), gh.parse_node("101")
+    result = benchmark(route_gh_unicast, sl, s, d)
+    assert result.optimal
+
+
+def test_gh_levels_scale(benchmark):
+    """Larger mixed-radix machine: GH(4x4x3x2), 96 nodes."""
+    gh = GeneralizedHypercube((2, 3, 4, 4))
+    faults = uniform_node_faults(gh, 6, 42)
+    levels = benchmark(compute_gh_safety_levels, gh, faults)
+    assert levels.shape == (96,)

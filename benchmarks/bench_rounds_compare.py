@@ -1,0 +1,24 @@
+"""E8 — stabilization rounds: GS (bound n-1) vs the O(n^2) safe-node
+definitions, over random instances across cube sizes."""
+
+from repro.analysis import rounds_comparison_table, rounds_vs_faults
+
+
+def test_e8_rounds_comparison(benchmark, write_artifact):
+    points = benchmark.pedantic(
+        rounds_vs_faults,
+        args=(7, [7], 150),
+        kwargs={"seed": 7, "include_rivals": True},
+        iterations=1,
+        rounds=1,
+    )
+    (p,) = points
+    assert p.gs.maximum <= 6  # GS honors its n-1 bound
+    # GS's worst observed round count never exceeds the rivals' by more
+    # than the paper's bound gap allows (it is usually far lower).
+    table = rounds_comparison_table(dims=(4, 5, 6, 7, 8), trials=200,
+                                    seed=7)
+    for row in table.rows:
+        n = row[0]
+        assert row[3] <= n - 1  # GS max within bound for every dimension
+    write_artifact("e8_rounds_compare", table.render())

@@ -1,0 +1,49 @@
+"""E7 — unicast guarantee sweep (Theorem 3 / Property 2 at scale).
+
+Times a single unicast on a large (Q10) machine and regenerates the E7
+table, asserting zero guarantee violations and zero aborts below n faults.
+"""
+
+import numpy as np
+
+from repro.analysis import routability_sweep, routability_table
+from repro.core import Hypercube, uniform_node_faults
+from repro.routing import route_unicast
+from repro.safety import SafetyLevels
+
+
+def test_unicast_kernel_q10(benchmark):
+    topo = Hypercube(10)
+    faults = uniform_node_faults(topo, 40, np.random.default_rng(5))
+    sl = SafetyLevels.compute(topo, faults)
+    alive = faults.nonfaulty_nodes(topo)
+    result = benchmark(route_unicast, sl, alive[0], alive[-1])
+    assert result.delivered or result.status.name == "ABORTED_AT_SOURCE"
+
+
+def test_safety_levels_kernel_q10(benchmark):
+    """Preprocessing cost at scale: the (n-1)-round fixed point on 1024
+    nodes."""
+    topo = Hypercube(10)
+    faults = uniform_node_faults(topo, 40, np.random.default_rng(6))
+    levels = benchmark(SafetyLevels.compute, topo, faults)
+    assert levels.levels.shape == (1024,)
+
+
+def test_e7_table(benchmark, write_artifact):
+    rows = benchmark.pedantic(
+        routability_sweep,
+        args=(7, [1, 3, 6, 7, 14, 28], 120, 8),
+        kwargs={"seed": 11},
+        iterations=1,
+        rounds=1,
+    )
+    for row in rows:
+        assert row.guarantee_violations == 0
+        if row.num_faults < 7:
+            assert row.aborted == 0  # Property 2: never fails below n
+    write_artifact(
+        "e7_routability",
+        routability_table(n=7, fault_counts=[1, 3, 6, 7, 14, 28],
+                          trials=120, pairs_per_trial=8, seed=11).render(),
+    )

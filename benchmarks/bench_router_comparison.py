@@ -1,0 +1,115 @@
+"""E9 — router shoot-out: delivery, optimality, detour, hops.
+
+Times one route per router on identical instances (the per-message cost a
+switch designer would care about), then regenerates the comparison tables
+at two damage levels and asserts the paper's positioning claims.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compare_routers, comparison_table
+from repro.core import Hypercube, uniform_node_faults
+from repro.routing import (
+    route_dfs,
+    route_oracle,
+    route_progressive,
+    route_sidetrack,
+    route_unicast,
+)
+from repro.safety import SafetyLevels
+
+
+def _instance():
+    topo = Hypercube(8)
+    faults = uniform_node_faults(topo, 12, np.random.default_rng(9))
+    alive = faults.nonfaulty_nodes(topo)
+    return topo, faults, alive[3], alive[-3]
+
+
+def test_safety_level_route(benchmark):
+    topo, faults, s, d = _instance()
+    sl = SafetyLevels.compute(topo, faults)
+    res = benchmark(route_unicast, sl, s, d)
+    assert res.delivered
+
+
+def test_oracle_route(benchmark):
+    topo, faults, s, d = _instance()
+    res = benchmark(route_oracle, topo, faults, s, d)
+    assert res.delivered
+
+
+def test_dfs_route(benchmark):
+    topo, faults, s, d = _instance()
+    res = benchmark(route_dfs, topo, faults, s, d)
+    assert res.delivered
+
+
+def test_sidetrack_route(benchmark):
+    topo, faults, s, d = _instance()
+    benchmark(route_sidetrack, topo, faults, s, d, 1)
+
+
+def test_progressive_route(benchmark):
+    topo, faults, s, d = _instance()
+    benchmark(route_progressive, topo, faults, s, d, 1)
+
+
+def test_e9_tables(benchmark, write_artifact):
+    scores_light = benchmark.pedantic(
+        compare_routers,
+        args=(7, 6, 40, 8),
+        kwargs={"seed": 23},
+        iterations=1,
+        rounds=1,
+    )
+    sl = scores_light["safety-level"]
+    oracle = scores_light["oracle"]
+    # Below n faults: the paper's scheme matches the oracle on delivery.
+    assert sl.delivery_rate == oracle.delivery_rate == 1.0
+    assert sl.silent_failures == 0 and sl.invalid_paths == 0
+    assert sl.mean_detour <= 2.0
+
+    tables = comparison_table(n=7, fault_counts=[6, 14, 28], trials=40,
+                              pairs_per_trial=8, seed=23)
+    write_artifact("e9_router_comparison",
+                   "\n\n".join(t.render() for t in tables))
+
+
+def test_e9b_significance(benchmark, write_artifact):
+    """Paired statistical backing for the E9 rates."""
+    from repro.analysis import significance_table
+
+    table = benchmark.pedantic(
+        significance_table,
+        kwargs={"n": 7, "num_faults": 14, "trials": 40,
+                "pairs_per_trial": 8, "seed": 131},
+        iterations=1,
+        rounds=1,
+    )
+    rows = {row[0]: row for row in table.rows}
+    # Lee-Hayes loses deliveries the safety-level scheme makes, at
+    # overwhelming significance.
+    assert rows["lee-hayes"][1] > rows["lee-hayes"][2]
+    assert rows["lee-hayes"][3] < 1e-6
+    write_artifact("e9b_significance", table.render())
+
+
+def test_e9c_message_volume(benchmark, write_artifact):
+    """E9c: the history tax ('a history of visited nodes has to be kept
+    as part of the message') quantified."""
+    from repro.analysis import volume_table
+
+    table = benchmark.pedantic(
+        volume_table,
+        kwargs={"n": 7, "fault_counts": (0, 6, 14, 28), "trials": 40,
+                "pairs_per_trial": 8, "seed": 171},
+        iterations=1,
+        rounds=1,
+    )
+    by = {(row[0], row[1]): row for row in table.rows}
+    for f in (0, 6, 14, 28):
+        assert by[(f, "dfs-backtrack")][5] > 3.0
+        assert by[(f, "safety-level")][5] == 1.0
+    write_artifact("e9c_message_volume", table.render())

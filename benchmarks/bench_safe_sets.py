@@ -1,0 +1,45 @@
+"""E3 / Section 2.3 — the three safe-node definitions side by side.
+
+Times each definition's fixed-point kernel on a damaged Q7 and regenerates
+both E3 artifacts: the paper's fixed example and the random-instance sweep
+(with the containment chain asserted).
+"""
+
+import numpy as np
+
+from repro.analysis import safe_set_sweep_table, section23_table
+from repro.core import Hypercube, uniform_node_faults
+from repro.safety import (
+    compute_safety_levels,
+    lee_hayes_safe,
+    wu_fernandez_safe,
+)
+
+
+def _instance():
+    topo = Hypercube(7)
+    return topo, uniform_node_faults(topo, 10, np.random.default_rng(3))
+
+
+def test_safety_level_kernel(benchmark, write_artifact):
+    topo, faults = _instance()
+    benchmark(compute_safety_levels, topo, faults)
+
+    fixed = section23_table().render()
+    assert "Lee-Hayes" in fixed
+    sweep = safe_set_sweep_table(n=7, trials=150, seed=3)
+    for row in sweep.rows:
+        assert row[-1] is True  # containment chain on every instance
+    write_artifact("section23_safe_sets", fixed + "\n\n" + sweep.render())
+
+
+def test_lee_hayes_kernel(benchmark):
+    topo, faults = _instance()
+    res = benchmark(lee_hayes_safe, topo, faults)
+    assert res.rounds >= 0
+
+
+def test_wu_fernandez_kernel(benchmark):
+    topo, faults = _instance()
+    res = benchmark(wu_fernandez_safe, topo, faults)
+    assert res.rounds >= 0

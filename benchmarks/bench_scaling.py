@@ -1,0 +1,53 @@
+"""Scalability of the vectorized kernels on large cubes.
+
+The experiments run on Q4–Q10; these benches certify the kernels keep
+working well past that (the HPC argument for the numpy formulation):
+safety levels on 16k nodes, oracle BFS on 4k nodes, and a full
+feasibility+route cycle at Q12.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Hypercube, bfs_distances, uniform_node_faults
+from repro.routing import route_unicast
+from repro.safety import SafetyLevels, compute_levels_with_rounds
+
+
+@pytest.mark.parametrize("n", [10, 12, 14])
+def test_safety_levels_scaling(benchmark, n):
+    topo = Hypercube(n)
+    faults = uniform_node_faults(topo, 4 * n, np.random.default_rng(n))
+    levels, rounds = benchmark(compute_levels_with_rounds, topo, faults)
+    assert levels.shape == (2 ** n,)
+    assert rounds <= n - 1  # Property 1 corollary holds at scale too
+
+
+def test_bfs_scaling_q12(benchmark):
+    topo = Hypercube(12)
+    faults = uniform_node_faults(topo, 64, np.random.default_rng(1))
+    alive = faults.nonfaulty_nodes(topo)
+    dist = benchmark(bfs_distances, topo, faults, alive[0])
+    assert dist.shape == (4096,)
+
+
+def test_route_cycle_q12(benchmark):
+    """Feasibility check + route on a 4096-node machine."""
+    topo = Hypercube(12)
+    faults = uniform_node_faults(topo, 48, np.random.default_rng(2))
+    sl = SafetyLevels.compute(topo, faults)
+    alive = faults.nonfaulty_nodes(topo)
+
+    def cycle():
+        return route_unicast(sl, alive[17], alive[-17])
+
+    result = benchmark(cycle)
+    assert result.delivered or result.status.name == "ABORTED_AT_SOURCE"
+
+
+def test_neighbor_table_construction_q14(benchmark):
+    """Cold-build of the (16384, 14) gather table (normally cached)."""
+    from repro.core import bits
+
+    table = benchmark(bits.neighbor_table, 14)
+    assert table.shape == (16384, 14)

@@ -1,0 +1,84 @@
+"""E16–E18 — contention, fault-distribution sensitivity, multicast."""
+
+import numpy as np
+
+from repro.analysis import (
+    contention_table,
+    make_safety_policy,
+    multicast_table,
+    sensitivity_table,
+)
+from repro.core import Hypercube, uniform_node_faults
+from repro.routing import multicast_greedy_tree
+from repro.safety import SafetyLevels
+from repro.simcore import simulate_traffic
+
+
+def test_e16_contention(benchmark, write_artifact):
+    table = benchmark.pedantic(
+        contention_table,
+        kwargs={"n": 6, "num_faults": 4, "loads": (16, 64, 256),
+                "trials": 5, "seed": 83},
+        iterations=1,
+        rounds=1,
+    )
+    for row in table.rows:
+        assert row[3] == 0  # feasible-filtered pairs never drop
+    write_artifact("e16_contention", table.render())
+
+
+def test_e17_sensitivity(benchmark, write_artifact):
+    table = benchmark.pedantic(
+        sensitivity_table,
+        kwargs={"n": 7, "count": 8, "trials": 40, "pairs_per_trial": 8,
+                "seed": 97},
+        iterations=1,
+        rounds=1,
+    )
+    rows = {row[0]: row for row in table.rows}
+    assert rows["subcube"][1] == 7.0  # dead subcube: everyone stays safe
+    write_artifact("e17_sensitivity", table.render())
+
+
+def test_e18_multicast(benchmark, write_artifact):
+    table = benchmark.pedantic(
+        multicast_table,
+        kwargs={"n": 7, "num_faults": 5, "group_sizes": (2, 4, 8, 16, 32),
+                "trials": 25, "seed": 89},
+        iterations=1,
+        rounds=1,
+    )
+    ratios = [row[3] for row in table.rows]
+    assert ratios == sorted(ratios, reverse=True) or min(ratios) < 0.9
+    write_artifact("e18_multicast", table.render())
+
+
+def test_traffic_sim_kernel(benchmark):
+    """Raw simulator throughput: 256 packets on a damaged Q7."""
+    topo = Hypercube(7)
+    rng = np.random.default_rng(3)
+    faults = uniform_node_faults(topo, 5, rng)
+    sl = SafetyLevels.compute(topo, faults)
+    policy = make_safety_policy(sl)
+    alive = faults.nonfaulty_nodes(topo)
+    pairs = []
+    from repro.routing import check_feasibility
+    while len(pairs) < 256:
+        i, j = rng.choice(len(alive), size=2, replace=False)
+        if check_feasibility(sl, alive[int(i)], alive[int(j)]).feasible:
+            pairs.append((alive[int(i)], alive[int(j)]))
+    result = benchmark(simulate_traffic, topo, faults, pairs, policy)
+    assert result.dropped == 0
+
+
+def test_multicast_tree_kernel(benchmark):
+    topo = Hypercube(8)
+    rng = np.random.default_rng(4)
+    faults = uniform_node_faults(topo, 6, rng)
+    sl = SafetyLevels.compute(topo, faults)
+    alive = faults.nonfaulty_nodes(topo)
+    picks = rng.choice(len(alive), size=17, replace=False)
+    source = alive[int(picks[0])]
+    dests = [alive[int(i)] for i in picks[1:]]
+    res = benchmark(multicast_greedy_tree, sl, source, dests)
+    assert len(res.covered) >= 12

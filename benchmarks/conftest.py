@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_*`` module does two jobs in one pytest-benchmark test:
+
+1. **time** the hot kernel behind its table/figure (the ``benchmark``
+   fixture), and
+2. **regenerate** the table/figure itself at experiment scale, assert the
+   paper's qualitative claims about it, and write the rendered artifact to
+   ``benchmarks/results/<name>.txt``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+and inspect ``benchmarks/results/`` afterwards.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def write_artifact(artifact_dir):
+    """Write a regenerated table/figure to benchmarks/results/."""
+
+    def _write(name: str, text: str) -> Path:
+        path = artifact_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _write

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Scenario: firmware push to every healthy node (broadcast extension).
+
+The safety-level idea originated in reliable *broadcasting* (the paper's
+ref [9]).  This demo pushes an update through a faulty Q6 three ways and
+prints the coverage/message trade-off:
+
+* flooding          — reaches everything reachable, ~N*n messages;
+* plain binomial    — N-1 messages, but one faulty internal node silently
+                      loses its whole subtree;
+* safety binomial   — same N-1 message budget, but each node hands the
+                      *largest* subtree to its *highest-level* neighbor,
+                      shrinking the damage a weak subtree root can do.
+
+Run:  python examples/broadcast_demo.py
+"""
+
+import numpy as np
+
+from repro.broadcast import (
+    broadcast_binomial,
+    broadcast_flooding,
+    broadcast_safety_binomial,
+)
+from repro.core import Hypercube, uniform_node_faults
+from repro.safety import SafetyLevels
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    q6 = Hypercube(6)
+    faults = uniform_node_faults(q6, 5, rng)
+    levels = SafetyLevels.compute(q6, faults)
+    alive = faults.nonfaulty_nodes(q6)
+    # Broadcast from a safe node (with < n faults one always exists near
+    # any unsafe node, Property 2).
+    source = next(v for v in alive if levels.is_safe(v))
+
+    print(f"machine: Q6, {faults.describe(q6)}")
+    print(f"source:  {q6.format_node(source)} "
+          f"(safety level {levels.level(source)})")
+    print()
+    print(f"{'strategy':<18} {'covered':>8} {'missed':>7} "
+          f"{'messages':>9} {'depth':>6}")
+    for result in (
+        broadcast_flooding(q6, faults, source),
+        broadcast_binomial(q6, faults, source),
+        broadcast_safety_binomial(levels, source),
+    ):
+        missed = result.missed(q6, faults)
+        print(f"{result.strategy:<18} {len(result.covered):>8} "
+              f"{len(missed):>7} {result.messages:>9} {result.depth:>6}")
+    print()
+    print("Flooding is the coverage ceiling; the safety-ordered binomial "
+          "tree keeps the N-1 message budget while recovering most of the "
+          "coverage plain binomial loses to faults.")
+
+
+if __name__ == "__main__":
+    main()

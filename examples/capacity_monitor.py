@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Scenario: a health dashboard for a degrading hypercube machine.
+
+An operator wants a one-glance answer to "how much routing capability is
+left?" as faults accumulate.  The safety layer already computes the right
+indicator for free: this script degrades a Q7 machine step by step and
+tracks
+
+* the safety-level histogram (the machine's 'health bar'),
+* the guaranteed-routable fraction: pairs admitted by C1/C2/C3,
+* the conservatism gap to the oracle (reach radius vs level), and
+* when the first partition appears (the point of no return).
+
+Run:  python examples/capacity_monitor.py
+"""
+
+import numpy as np
+
+from repro.analysis import reach_radii
+from repro.core import Hypercube, FaultSet, components
+from repro.routing import check_feasibility
+from repro.safety import SafetyLevels
+
+
+def main() -> None:
+    rng = np.random.default_rng(2027)
+    q7 = Hypercube(7)
+    order = list(rng.permutation(q7.num_nodes))
+    faulty: set = set()
+
+    print(f"{'faults':>6} {'mean S':>7} {'safe%':>6} {'routable%':>9} "
+          f"{'S=r exact%':>10} {'parts':>5}")
+    checkpoints = [0, 3, 6, 10, 16, 24, 36, 48]
+    for count in checkpoints:
+        while len(faulty) < count:
+            faulty.add(int(order[len(faulty)]))
+        faults = FaultSet(nodes=faulty)
+        sl = SafetyLevels.compute(q7, faults)
+        alive = faults.nonfaulty_nodes(q7)
+        levels = np.array([sl.level(v) for v in alive])
+
+        sample = rng.choice(len(alive), size=(150, 2))
+        admitted = sum(
+            1 for i, j in sample if i != j and check_feasibility(
+                sl, alive[int(i)], alive[int(j)]).feasible
+        )
+        pairs = sum(1 for i, j in sample if i != j)
+
+        radii = reach_radii(q7, faults)
+        exact = np.mean([sl.level(v) == radii[v] for v in alive])
+
+        parts = len(components(q7, faults))
+        print(f"{count:>6} {levels.mean():>7.2f} "
+              f"{100 * np.mean(levels == 7):>5.1f}% "
+              f"{100 * admitted / max(1, pairs):>8.1f}% "
+              f"{100 * exact:>9.1f}% {parts:>5}")
+
+    print()
+    print("Reading guide: 'routable%' is what the machine can still "
+          "*guarantee* (optimal or +2) from local checks alone; the "
+          "'S=r exact%' column shows how much of the true capability the "
+          "cheap (n-1)-round safety metric captures. Once 'parts' exceeds "
+          "1 the machine is partitioned — cross-part traffic is refused "
+          "at the source instead of being lost.")
+
+
+if __name__ == "__main__":
+    main()

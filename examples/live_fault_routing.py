@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Scenario: keeping traffic flowing while nodes fail and recover.
+
+A Q5 machine runs through a failure/recovery timeline.  Two things happen
+concurrently (Section 2.2 of the paper):
+
+1. the safety layer keeps its levels current — we compare the
+   state-change-driven policy against periodic refresh cadences and print
+   the message bill vs the staleness each policy accepts;
+2. unicasts in flight adapt: when a message holder discovers its chosen
+   next hop just died, it *re-routes from the current node* after levels
+   re-stabilize — exactly the behaviour the paper prescribes for the
+   demand-driven mode.
+
+Run:  python examples/live_fault_routing.py
+"""
+
+import numpy as np
+
+from repro.analysis import dynamic_policy_table
+from repro.core import FaultSet, Hypercube
+from repro.core.fault_models import FaultEvent, FaultSchedule
+from repro.routing import route_unicast_adaptive
+
+
+def main() -> None:
+    q5 = Hypercube(5)
+
+    # --- 1. maintenance policy trade-off ---------------------------------
+    print(dynamic_policy_table(n=5, horizon=25, trials=5,
+                               periods=(1, 5, 10), seed=61).render())
+    print()
+    print("state-change pays messages only when something changed and is "
+          "never stale; periodic/10 is cheap but routes on stale levels "
+          "for most ticks — the 'lost-in-net%' column is the price.")
+    print()
+
+    # --- 2. one unicast surviving a mid-flight failure ---------------------
+    print("--- adaptive re-routing walk-through ---------------------------")
+    # 00000 -> 11111; node 00011 (on the default route) dies at t=1.
+    sched = FaultSchedule(base=FaultSet(), events=[
+        FaultEvent(time=1, node=0b00011, fails=True),
+        FaultEvent(time=3, node=0b01111, fails=True),
+    ])
+    out = route_unicast_adaptive(q5, sched, 0b00000, 0b11111)
+    print(out.result.describe(q5.format_node))
+    if out.reroutes:
+        print(f"re-routed at tick(s) {out.reroutes} after discovering the "
+              "chosen next hop had just failed")
+    print(f"end-to-end time: {out.end_time} ticks "
+          f"(Hamming distance {out.result.hamming})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: safety levels and unicasting in a faulty 4-cube.
+
+Reproduces the paper's running example (Fig. 1) end to end:
+
+1. build the hypercube and mark the faulty nodes,
+2. compute safety levels two ways — the vectorized fixed point and the
+   *distributed* GS protocol on the message-passing simulator,
+3. check the source-side feasibility conditions,
+4. route the paper's two unicasts and print the walks.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import FaultSet, Hypercube
+from repro.routing import check_feasibility, route_unicast
+from repro.safety import SafetyLevels, run_gs
+
+
+def main() -> None:
+    # -- 1. the machine -----------------------------------------------------
+    q4 = Hypercube(4)
+    faults = FaultSet.from_addresses(q4, ["0011", "0100", "0110", "1001"])
+    print(f"topology: {q4!r}, {faults.describe(q4)}")
+    print()
+
+    # -- 2. safety levels, both ways ----------------------------------------
+    levels = SafetyLevels.compute(q4, faults)       # vectorized fixed point
+    gs = run_gs(q4, faults)                         # distributed protocol
+    assert np.array_equal(gs.levels, levels.levels)
+    print(levels.render())
+    print()
+    print(f"distributed GS stabilized in round {gs.stabilization_round} "
+          f"with {gs.messages_sent} single-hop messages")
+    print()
+
+    # -- 3. feasibility at a source -----------------------------------------
+    s, d = q4.parse_node("0001"), q4.parse_node("1100")
+    feas = check_feasibility(levels, s, d)
+    print(f"unicast {q4.format_node(s)} -> {q4.format_node(d)}: "
+          f"H = {q4.distance(s, d)}, S(source) = {levels.level(s)}, "
+          f"admitted by condition {feas.condition.value}")
+
+    # -- 4. route the paper's unicasts ---------------------------------------
+    for src, dst in (("1110", "0001"), ("0001", "1100")):
+        result = route_unicast(levels, q4.parse_node(src), q4.parse_node(dst))
+        print(result.describe(q4.format_node))
+
+    print()
+    print("Every delivered path above has length exactly H(s, d): the "
+          "safety-level conditions guarantee optimality (Theorem 3).")
+
+
+if __name__ == "__main__":
+    main()

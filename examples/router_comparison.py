@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Scenario: choosing a fault-tolerant routing scheme for a Q7 machine.
+
+Runs the E9 shoot-out at two damage levels and prints the comparison the
+paper argues qualitatively in its introduction:
+
+* the *oracle* (global information) delivers everything optimally — at the
+  price of maintaining a global fault map;
+* *sidetracking* and *progressive* (local information) deliver, but with
+  unpredictable detours;
+* *DFS* always delivers but pays in traversed hops and carries its whole
+  visited history inside the message;
+* *Lee–Hayes* / *Chiu–Wu* (safe nodes) lose applicability as faults grow;
+* *safety-level* routing stays optimal-or-+2 and detects the rest at the
+  source, with only an (n-1)-round preprocessing exchange.
+
+Run:  python examples/router_comparison.py        (~20 s)
+"""
+
+from repro.analysis import comparison_table
+
+
+def main() -> None:
+    for table in comparison_table(
+        n=7,
+        fault_counts=[6, 20],
+        trials=25,
+        pairs_per_trial=8,
+        seed=99,
+    ):
+        print(table.render())
+        print()
+    print("Reading guide: 'silent-fail%' is traffic injected and then lost "
+          "mid-network; 'abort%' is refusal detected at the source before "
+          "injection. The paper's scheme never fails silently — every "
+          "non-delivery is a clean, source-side abort.")
+
+
+if __name__ == "__main__":
+    main()

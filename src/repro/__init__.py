@@ -1,0 +1,66 @@
+"""repro — Reliable Unicasting in Faulty Hypercubes Using Safety Levels.
+
+A full reproduction of Jie Wu's safety-level unicasting system
+(ICPP 1995 / IEEE Transactions on Computers, Feb 1997):
+
+* :mod:`repro.core` — hypercube & generalized-hypercube topologies, fault
+  models, oracle connectivity;
+* :mod:`repro.simcore` — the message-passing multicomputer simulator the
+  protocols run on;
+* :mod:`repro.safety` — safety levels (Definition 1), the distributed GS
+  algorithm, the competing Lee–Hayes / Wu–Fernandez safe-node definitions,
+  EGS for link faults, generalized-hypercube levels;
+* :mod:`repro.routing` — the safety-level unicast (optimal / suboptimal /
+  detected-failure) and every baseline router;
+* :mod:`repro.broadcast` — the safety-level broadcast extension;
+* :mod:`repro.analysis` — experiment harness regenerating each paper
+  table/figure;
+* :mod:`repro.instances` — the exact instances drawn in the paper's
+  figures.
+
+Quickstart::
+
+    from repro.core import Hypercube, FaultSet
+    from repro.safety import SafetyLevels
+    from repro.routing import route_unicast
+
+    q = Hypercube(4)
+    faults = FaultSet.from_addresses(q, ["0011", "0100", "0110", "1001"])
+    levels = SafetyLevels.compute(q, faults)
+    result = route_unicast(levels, q.parse_node("1110"), q.parse_node("0001"))
+    print(result.describe(q.format_node))
+"""
+
+from . import analysis, broadcast, core, instances, routing, safety, simcore, viz
+from .core import FaultSet, GeneralizedHypercube, Hypercube
+from .routing import (
+    RouteResult,
+    RouteStatus,
+    SourceCondition,
+    check_feasibility,
+    route_unicast,
+)
+from .safety import SafetyLevels
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "broadcast",
+    "core",
+    "instances",
+    "routing",
+    "safety",
+    "simcore",
+    "viz",
+    "FaultSet",
+    "GeneralizedHypercube",
+    "Hypercube",
+    "RouteResult",
+    "RouteStatus",
+    "SourceCondition",
+    "check_feasibility",
+    "route_unicast",
+    "SafetyLevels",
+    "__version__",
+]

@@ -1,0 +1,207 @@
+"""Experiment E9: router shoot-out on identical instances.
+
+Every router sees the same fault sets and the same (source, destination)
+pairs; the oracle provides ground truth (reachable or not, true shortest
+length).  Reported per router:
+
+* delivery rate over *reachable* pairs (unreachable pairs are excluded
+  from the denominator — no router can deliver those),
+* optimality rate among delivered,
+* mean detour over the Hamming distance among delivered,
+* mean traversed hops (DFS pays for backtracking here),
+* rate of undetected failures (stuck/hop-limit) vs clean aborts.
+
+This quantifies the paper's positioning claims: local heuristics lose
+optimality or deliverability, the safe-node schemes lose applicability as
+faults grow (and entirely in disconnected cubes), safety-level routing
+tracks the oracle while using only limited global information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from ..core.faults import FaultSet
+from ..core.fault_models import uniform_node_faults
+from ..core.hypercube import Hypercube
+from ..core import partition
+from ..routing.baselines import (
+    route_dfs,
+    route_oracle,
+    route_progressive,
+    route_chiu_wu_style,
+    route_lee_hayes,
+    route_sidetrack,
+)
+from ..routing.result import RouteResult, RouteStatus
+from ..routing.safety_unicast import route_unicast
+from ..safety.levels import SafetyLevels
+from ..safety.safe_nodes import lee_hayes_safe, wu_fernandez_safe
+from .montecarlo import trial_rngs
+from .tables import Table
+
+__all__ = ["RouterScore", "compare_routers", "comparison_table",
+           "make_router", "DEFAULT_ROUTERS"]
+
+#: Router registry: name -> factory(topo, faults) -> route(source, dest, rng).
+#: The factory does per-instance precomputation (safety levels, safe sets)
+#: once, mirroring how each scheme amortizes its information gathering.
+DEFAULT_ROUTERS = (
+    "safety-level",
+    "oracle",
+    "sidetrack",
+    "dfs-backtrack",
+    "progressive",
+    "lee-hayes",
+    "chiu-wu-style",
+)
+
+
+def make_router(name: str, topo: Hypercube, faults: FaultSet):
+    """Instantiate a registered router for one faulty instance.
+
+    Returns ``route(source, dest, rng) -> RouteResult``.  Per-instance
+    precomputation (safety levels, safe sets) happens here, once,
+    mirroring how each scheme amortizes its information gathering.
+    """
+    if name == "safety-level":
+        sl = SafetyLevels.compute(topo, faults)
+        return lambda s, d, rng: route_unicast(sl, s, d)
+    if name == "oracle":
+        return lambda s, d, rng: route_oracle(topo, faults, s, d)
+    if name == "sidetrack":
+        return lambda s, d, rng: route_sidetrack(topo, faults, s, d, rng)
+    if name == "dfs-backtrack":
+        return lambda s, d, rng: route_dfs(topo, faults, s, d)
+    if name == "progressive":
+        return lambda s, d, rng: route_progressive(topo, faults, s, d, rng)
+    if name == "lee-hayes":
+        pre = lee_hayes_safe(topo, faults)
+        return lambda s, d, rng: route_lee_hayes(topo, faults, s, d,
+                                                 precomputed=pre)
+    if name == "chiu-wu-style":
+        pre = wu_fernandez_safe(topo, faults)
+        return lambda s, d, rng: route_chiu_wu_style(topo, faults, s, d,
+                                                     precomputed=pre)
+    raise ValueError(f"unknown router {name!r}")
+
+
+@dataclass
+class RouterScore:
+    """Aggregated outcomes of one router across a sweep."""
+
+    router: str
+    reachable_pairs: int = 0
+    delivered: int = 0
+    optimal: int = 0
+    total_detour: int = 0
+    total_hops: int = 0
+    aborts: int = 0
+    silent_failures: int = 0   # stuck / hop-limit (not detected at source)
+    invalid_paths: int = 0     # audited against the fault map
+
+    @property
+    def delivery_rate(self) -> float:
+        return self.delivered / self.reachable_pairs if self.reachable_pairs else 0.0
+
+    @property
+    def optimal_rate(self) -> float:
+        return self.optimal / self.delivered if self.delivered else 0.0
+
+    @property
+    def mean_detour(self) -> float:
+        return self.total_detour / self.delivered if self.delivered else 0.0
+
+    @property
+    def mean_hops(self) -> float:
+        return self.total_hops / self.delivered if self.delivered else 0.0
+
+
+def compare_routers(
+    n: int,
+    num_faults: int,
+    trials: int,
+    pairs_per_trial: int,
+    routers: Sequence[str] = DEFAULT_ROUTERS,
+    seed: int = 0,
+) -> Dict[str, RouterScore]:
+    """Run the paired comparison; all routers see identical workloads."""
+    topo = Hypercube(n)
+    scores = {name: RouterScore(router=name) for name in routers}
+    for rng in trial_rngs(seed * 7919 + num_faults, trials):
+        faults = uniform_node_faults(topo, num_faults, rng)
+        instances = {name: _make_router(name, topo, faults)
+                     for name in routers}
+        alive = faults.nonfaulty_nodes(topo)
+        if len(alive) < 2:
+            continue
+        for _ in range(pairs_per_trial):
+            i, j = rng.choice(len(alive), size=2, replace=False)
+            source, dest = alive[int(i)], alive[int(j)]
+            reachable = partition.same_component(topo, faults, source, dest)
+            if not reachable:
+                continue  # excluded from every router's denominator
+            for name in routers:
+                result: RouteResult = instances[name](source, dest, rng)
+                score = scores[name]
+                score.reachable_pairs += 1
+                if result.status is RouteStatus.DELIVERED:
+                    score.delivered += 1
+                    score.total_hops += result.hops
+                    detour = result.detour
+                    assert detour is not None
+                    score.total_detour += detour
+                    if result.optimal:
+                        score.optimal += 1
+                    if not partition.path_is_fault_free(topo, faults,
+                                                        result.path):
+                        score.invalid_paths += 1
+                elif result.status is RouteStatus.ABORTED_AT_SOURCE:
+                    score.aborts += 1
+                else:
+                    score.silent_failures += 1
+    return scores
+
+
+def comparison_table(
+    n: int = 7,
+    fault_counts: Sequence[int] | None = None,
+    trials: int = 60,
+    pairs_per_trial: int = 8,
+    routers: Sequence[str] = DEFAULT_ROUTERS,
+    seed: int = 23,
+) -> List[Table]:
+    """One table per fault count, routers as rows."""
+    if fault_counts is None:
+        fault_counts = [n - 1, 2 * n, 4 * n]
+    tables: List[Table] = []
+    for f in fault_counts:
+        scores = compare_routers(n, f, trials, pairs_per_trial, routers, seed)
+        table = Table(
+            caption=f"E9 — router comparison, Q{n}, {f} faults, "
+                    f"{trials} fault sets x {pairs_per_trial} reachable pairs",
+            headers=["router", "pairs", "delivered%", "optimal%",
+                     "mean detour", "mean hops", "abort%", "silent-fail%",
+                     "bad paths"],
+        )
+        for name in routers:
+            s = scores[name]
+            table.add_row(
+                name,
+                s.reachable_pairs,
+                100 * s.delivery_rate,
+                100 * s.optimal_rate,
+                s.mean_detour,
+                s.mean_hops,
+                100 * (s.aborts / s.reachable_pairs if s.reachable_pairs else 0),
+                100 * (s.silent_failures / s.reachable_pairs
+                       if s.reachable_pairs else 0),
+                s.invalid_paths,
+            )
+        tables.append(table)
+    return tables
+
+
+#: Backwards-compatible private alias (used by analysis.significance).
+_make_router = make_router

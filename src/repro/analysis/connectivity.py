@@ -1,0 +1,94 @@
+"""Experiment E20: when do faulty hypercubes actually disconnect?
+
+Background for Property 2 and Section 3.3: the n-cube is n-connected, so
+**fewer than n node faults can never disconnect it** — which is exactly
+why the paper's "< n faults ⇒ unicasting never fails" guarantee needs no
+connectivity caveat.  At f = n the minimal cuts are the neighbor sets of
+single nodes, and beyond that disconnection probability rises with f.
+
+This module measures the disconnection probability curve and the expected
+number/size of parts, and provides the exact threshold as a checkable
+property (:func:`connectivity_threshold_holds`).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core import partition
+from ..core.fault_models import uniform_node_faults
+from ..core.faults import FaultSet
+from ..core.hypercube import Hypercube
+from .montecarlo import trial_rngs
+from .tables import Table
+
+__all__ = [
+    "connectivity_threshold_holds",
+    "disconnection_probability_table",
+]
+
+
+def connectivity_threshold_holds(n: int, exhaustive_up_to: int = 3) -> bool:
+    """Certify (for small counts, exhaustively) that ``f < n`` never
+    disconnects ``Q_n``.
+
+    Exhausts every placement of up to ``min(exhaustive_up_to, n-1)``
+    faults; the full claim is classic (Q_n is n-connected), so the
+    exhaustive slice is a sanity anchor rather than a proof.
+    """
+    topo = Hypercube(n)
+    limit = min(exhaustive_up_to, n - 1)
+    for k in range(limit + 1):
+        for nodes in combinations(range(topo.num_nodes), k):
+            if not partition.is_connected(topo, FaultSet(nodes=nodes)):
+                return False
+    return True
+
+
+def disconnection_probability_table(
+    n: int = 7,
+    fault_counts: Sequence[int] | None = None,
+    trials: int = 300,
+    seed: int = 151,
+) -> Table:
+    """E20: P(disconnected), mean parts, mean marooned nodes vs f."""
+    if fault_counts is None:
+        fault_counts = [n - 1, n, n + 2, 2 * n, 3 * n, 5 * n, 8 * n]
+    topo = Hypercube(n)
+    table = Table(
+        caption=f"E20 — disconnection of Q{n} under uniform node faults "
+                f"({trials} trials/row; below n = {n} faults the cube can "
+                "never disconnect)",
+        headers=["faults", "P(disconnected)%", "mean parts",
+                 "mean marooned", "largest part %alive"],
+    )
+    for f in fault_counts:
+        disconnected = 0
+        parts: List[int] = []
+        marooned: List[int] = []
+        largest_frac: List[float] = []
+        for rng in trial_rngs(seed + f, trials):
+            faults = uniform_node_faults(topo, f, rng)
+            comps = partition.components(topo, faults)
+            alive = topo.num_nodes - f
+            if len(comps) > 1:
+                disconnected += 1
+            parts.append(max(1, len(comps)))
+            if comps:
+                big = max(len(c) for c in comps)
+                largest_frac.append(big / max(1, alive))
+                marooned.append(alive - big)
+            else:
+                largest_frac.append(0.0)
+                marooned.append(0)
+        table.add_row(
+            f,
+            100 * disconnected / trials,
+            float(np.mean(parts)),
+            float(np.mean(marooned)),
+            100 * float(np.mean(largest_frac)),
+        )
+    return table

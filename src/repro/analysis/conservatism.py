@@ -1,0 +1,101 @@
+"""Experiment E14: how conservative is the safety level?
+
+The paper calls the safety level "an *approximated* measure of the number
+and distribution of faulty nodes".  Theorem 2 gives the sound direction:
+``S(a) = k`` guarantees optimal reach within ``k``.  This experiment
+measures the gap to the exact quantity — the **optimal-reach radius**
+
+    r(a) = max { k : every nonfaulty node within distance k of a
+                     is reachable from a by a Hamming-length path }
+
+computed with the oracle.  ``S(a) <= r(a)`` always (soundness, asserted);
+the mean gap and the fraction of nodes where the level is exact quantify
+how much optimality headroom the cheap (n-1)-round metric leaves behind.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core import partition
+from ..core.bits import hamming_array
+from ..core.fault_models import uniform_node_faults
+from ..core.hypercube import Hypercube
+from ..safety.levels import SafetyLevels
+from .montecarlo import trial_rngs
+from .tables import Table
+
+__all__ = ["reach_radius", "reach_radii", "conservatism_table"]
+
+
+def reach_radius(topo: Hypercube, faults, node: int) -> int:
+    """The exact optimal-reach radius of one node (oracle computation)."""
+    if faults.is_node_faulty(node):
+        return 0
+    true_dist = partition.bfs_distances(topo, faults, node)
+    addrs = np.arange(topo.num_nodes, dtype=np.int64)
+    ham = hamming_array(addrs, node)
+    faulty = faults.node_mask(topo.num_nodes)
+    radius = topo.dimension
+    # A nonfaulty node at Hamming distance h blocks radius >= h iff its
+    # true distance exceeds h (no optimal path).
+    blocked = (~faulty) & (true_dist != ham)
+    if blocked.any():
+        radius = int(ham[blocked].min()) - 1
+    return radius
+
+
+def reach_radii(topo: Hypercube, faults) -> np.ndarray:
+    """Exact radii for all nodes (0 for faulty ones)."""
+    out = np.zeros(topo.num_nodes, dtype=np.int64)
+    for v in topo.iter_nodes():
+        out[v] = reach_radius(topo, faults, v)
+    return out
+
+
+def conservatism_table(
+    n: int = 6,
+    fault_counts: Sequence[int] | None = None,
+    trials: int = 40,
+    seed: int = 53,
+) -> Table:
+    """E14: safety level vs exact reach radius, per fault count."""
+    if fault_counts is None:
+        fault_counts = [1, 2, n - 1, n + 2, 2 * n, 4 * n]
+    topo = Hypercube(n)
+    table = Table(
+        caption=f"E14 — conservatism of the safety level, Q{n}, "
+                f"{trials} trials/row: S(a) vs exact optimal-reach radius "
+                "r(a) over nonfaulty nodes",
+        headers=["faults", "mean S", "mean r", "mean gap", "exact%",
+                 "soundness violations"],
+    )
+    for f in fault_counts:
+        levels_all: List[int] = []
+        radii_all: List[int] = []
+        violations = 0
+        for rng in trial_rngs(seed * 17 + f, trials):
+            faults = uniform_node_faults(topo, f, rng)
+            sl = SafetyLevels.compute(topo, faults)
+            radii = reach_radii(topo, faults)
+            for v in topo.iter_nodes():
+                if faults.is_node_faulty(v):
+                    continue
+                s, r = sl.level(v), int(radii[v])
+                if s > r:
+                    violations += 1  # would contradict Theorem 2
+                levels_all.append(s)
+                radii_all.append(r)
+        levels_arr = np.array(levels_all)
+        radii_arr = np.array(radii_all)
+        table.add_row(
+            f,
+            float(levels_arr.mean()),
+            float(radii_arr.mean()),
+            float((radii_arr - levels_arr).mean()),
+            100 * float((levels_arr == radii_arr).mean()),
+            violations,
+        )
+    return table

@@ -1,0 +1,130 @@
+"""Experiment E10: unicasting in disconnected hypercubes (Section 3.3).
+
+Workload: random *isolating* fault patterns (kill all neighbors of a
+victim, plus optional extra faults), which guarantee a disconnected cube.
+Measured:
+
+* Theorem 4 — Lee–Hayes and Wu–Fernandez safe sets are empty on every
+  disconnected instance (so those schemes cannot even start);
+* cross-component attempts are always aborted *at the source* by the
+  safety-level feasibility tests (never injected and lost);
+* same-component attempts still succeed at the paper's rates, with the
+  usual optimal/suboptimal guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core import partition
+from ..core.fault_models import isolating_faults
+from ..core.hypercube import Hypercube
+from ..routing.result import RouteStatus
+from ..routing.safety_unicast import route_unicast
+from ..safety.levels import SafetyLevels
+from ..safety.safe_nodes import lee_hayes_safe, wu_fernandez_safe
+from .montecarlo import trial_rngs
+from .tables import Table
+
+__all__ = ["DisconnectedStats", "disconnected_sweep", "disconnected_table"]
+
+
+@dataclass
+class DisconnectedStats:
+    """Aggregates over disconnected instances."""
+
+    instances: int = 0
+    truly_disconnected: int = 0
+    lh_empty: int = 0
+    wf_empty: int = 0
+    cross_attempts: int = 0
+    cross_aborted: int = 0
+    same_attempts: int = 0
+    same_delivered: int = 0
+    same_aborted: int = 0
+    violations: int = 0
+
+
+def disconnected_sweep(
+    n: int,
+    trials: int,
+    pairs_per_trial: int,
+    spare_faults: int = 0,
+    seed: int = 0,
+) -> DisconnectedStats:
+    """Run the E10 measurement."""
+    topo = Hypercube(n)
+    stats = DisconnectedStats()
+    for rng in trial_rngs(seed * 101 + n, trials):
+        faults = isolating_faults(topo, rng=rng, spare_faults=spare_faults)
+        stats.instances += 1
+        if partition.is_connected(topo, faults):
+            continue  # extremely unlikely; isolation guarantees a cut
+        stats.truly_disconnected += 1
+        if lee_hayes_safe(topo, faults).num_safe == 0:
+            stats.lh_empty += 1
+        if wu_fernandez_safe(topo, faults).num_safe == 0:
+            stats.wf_empty += 1
+        sl = SafetyLevels.compute(topo, faults)
+        alive = faults.nonfaulty_nodes(topo)
+        for _ in range(pairs_per_trial):
+            i, j = rng.choice(len(alive), size=2, replace=False)
+            source, dest = alive[int(i)], alive[int(j)]
+            same = partition.same_component(topo, faults, source, dest)
+            result = route_unicast(sl, source, dest)
+            if same:
+                stats.same_attempts += 1
+                if result.status is RouteStatus.DELIVERED:
+                    stats.same_delivered += 1
+                    if not (result.optimal or result.suboptimal):
+                        stats.violations += 1
+                elif result.status is RouteStatus.ABORTED_AT_SOURCE:
+                    stats.same_aborted += 1
+                else:
+                    stats.violations += 1
+            else:
+                stats.cross_attempts += 1
+                if result.status is RouteStatus.ABORTED_AT_SOURCE:
+                    stats.cross_aborted += 1
+                else:
+                    # Delivering across a cut is impossible; anything but a
+                    # clean abort is a correctness violation.
+                    stats.violations += 1
+    return stats
+
+
+def disconnected_table(
+    dims: Sequence[int] = (4, 5, 6, 7),
+    trials: int = 150,
+    pairs_per_trial: int = 10,
+    spare_faults: int = 0,
+    seed: int = 17,
+) -> Table:
+    """Render E10 across cube dimensions."""
+    table = Table(
+        caption="E10 — disconnected hypercubes: Theorem 4 and "
+                "abort-at-source behaviour "
+                f"({trials} isolating instances/row, +{spare_faults} extra "
+                "faults)",
+        headers=["n", "disconnected", "LH empty%", "WF empty%",
+                 "cross aborts%", "same delivered%", "same aborted%",
+                 "violations"],
+    )
+    for n in dims:
+        s = disconnected_sweep(n, trials, pairs_per_trial, spare_faults, seed)
+        dd = max(1, s.truly_disconnected)
+        table.add_row(
+            n,
+            s.truly_disconnected,
+            100 * s.lh_empty / dd,
+            100 * s.wf_empty / dd,
+            100 * (s.cross_aborted / s.cross_attempts
+                   if s.cross_attempts else 1.0),
+            100 * (s.same_delivered / s.same_attempts
+                   if s.same_attempts else 0.0),
+            100 * (s.same_aborted / s.same_attempts
+                   if s.same_attempts else 0.0),
+            s.violations,
+        )
+    return table

@@ -1,0 +1,189 @@
+"""Experiment E13: safety-level maintenance under a live fault process.
+
+Replays seeded failure/recovery timelines (Section 2.2's setting) under the
+state-change-driven policy and periodic policies of several cadences, and
+reports the trade-off the paper describes qualitatively:
+
+* GS traffic per tick (periodic wastes refreshes on quiet ticks, but a
+  longer period amortizes; state-change pays exactly per event),
+* staleness (ticks routed on an out-of-date assignment), and
+* the *consequence* of staleness: unicasts routed with stale levels over
+  the true fault map — delivered, misrouted into a fault (lost), or
+  spuriously aborted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.fault_models import random_fault_schedule
+from ..core.faults import FaultSet
+from ..core.hypercube import Hypercube
+from ..routing import navigation as nav
+from ..routing.result import RouteStatus
+from ..safety.dynamic import DynamicLevelTracker, recompute_incremental
+from .montecarlo import trial_rngs
+from .tables import Table
+
+__all__ = ["route_with_stale_levels", "dynamic_policy_table",
+           "StalenessOutcome"]
+
+
+@dataclass(frozen=True)
+class StalenessOutcome:
+    """Tally of unicast outcomes under a (possibly stale) assignment."""
+
+    delivered: int = 0
+    lost_in_network: int = 0
+    aborted: int = 0
+
+    @property
+    def attempts(self) -> int:
+        return self.delivered + self.lost_in_network + self.aborted
+
+
+def route_with_stale_levels(
+    topo: Hypercube,
+    stale_levels: np.ndarray,
+    actual_faults: FaultSet,
+    source: int,
+    dest: int,
+) -> RouteStatus:
+    """One unicast decided by ``stale_levels`` but executed on the real
+    fault map.
+
+    This is what physically happens between a fault event and GS
+    re-stabilization: the feasibility check and every forwarding choice
+    consult the stale assignment; a hop into an actually-faulty node loses
+    the message (fail-stop drop).  Returns only the terminal status — the
+    E13 table needs tallies, not paths.
+    """
+    n = topo.dimension
+    h = topo.distance(source, dest)
+    if h == 0:
+        return RouteStatus.DELIVERED
+    vector = nav.initial_vector(source, dest)
+    preferred = [(d, int(stale_levels[topo.neighbor_along(source, d)]))
+                 for d in nav.preferred_dims(vector, n)]
+    best_pref = max(preferred, key=lambda c: (c[1], -c[0]))
+    first_dim = None
+    if int(stale_levels[source]) >= h or best_pref[1] >= h - 1:
+        first_dim = best_pref[0]
+    else:
+        spare = [(d, int(stale_levels[topo.neighbor_along(source, d)]))
+                 for d in nav.spare_dims(vector, n)]
+        if spare:
+            best_spare = max(spare, key=lambda c: (c[1], -c[0]))
+            if best_spare[1] >= h + 1:
+                first_dim = best_spare[0]
+    if first_dim is None:
+        return RouteStatus.ABORTED_AT_SOURCE
+
+    vector = nav.cross(vector, first_dim)
+    current = topo.neighbor_along(source, first_dim)
+    if actual_faults.is_node_faulty(current):
+        return RouteStatus.STUCK  # forwarded into a freshly failed node
+    hops = 1
+    while not nav.is_complete(vector):
+        if hops > 2 * n + 4:  # stale levels could in principle loop a C3 hop
+            return RouteStatus.HOP_LIMIT
+        candidates = [(d, int(stale_levels[topo.neighbor_along(current, d)]))
+                      for d in nav.preferred_dims(vector, n)]
+        dim, _level = max(candidates, key=lambda c: (c[1], -c[0]))
+        nxt = topo.neighbor_along(current, dim)
+        if actual_faults.is_node_faulty(nxt):
+            return RouteStatus.STUCK
+        vector = nav.cross(vector, dim)
+        current = nxt
+        hops += 1
+    return RouteStatus.DELIVERED
+
+
+def _sample_outcomes(
+    topo: Hypercube,
+    levels: np.ndarray,
+    faults: FaultSet,
+    rng: np.random.Generator,
+    samples: int,
+) -> Tuple[int, int, int]:
+    delivered = lost = aborted = 0
+    alive = faults.nonfaulty_nodes(topo)
+    if len(alive) < 2:
+        return 0, 0, 0
+    for _ in range(samples):
+        i, j = rng.choice(len(alive), size=2, replace=False)
+        status = route_with_stale_levels(topo, levels, faults,
+                                         alive[int(i)], alive[int(j)])
+        if status is RouteStatus.DELIVERED:
+            delivered += 1
+        elif status is RouteStatus.ABORTED_AT_SOURCE:
+            aborted += 1
+        else:
+            lost += 1
+    return delivered, lost, aborted
+
+
+def dynamic_policy_table(
+    n: int = 6,
+    horizon: int = 40,
+    failure_rate: float = 0.004,
+    recovery_rate: float = 0.02,
+    periods: Sequence[int] = (1, 5, 10),
+    trials: int = 10,
+    unicasts_per_tick: int = 4,
+    seed: int = 61,
+) -> Table:
+    """E13: policy comparison over seeded fault timelines."""
+    topo = Hypercube(n)
+    policies: List[Tuple[str, str, int]] = [("state-change", "state-change", 1)]
+    policies += [(f"periodic/{p}", "periodic", p) for p in periods]
+    table = Table(
+        caption=f"E13 — dynamic maintenance, Q{n}, horizon {horizon}, "
+                f"{trials} seeded timelines: GS traffic vs staleness vs "
+                "unicast outcomes under stale levels",
+        headers=["policy", "GS msgs/tick", "recomputes", "stale ticks%",
+                 "delivered%", "lost-in-net%", "aborted%"],
+    )
+    for label, policy, period in policies:
+        msgs: List[float] = []
+        recomputes = 0
+        stale = 0
+        total_ticks = 0
+        delivered = lost = aborted = 0
+        for rng in trial_rngs(seed, trials):
+            schedule = random_fault_schedule(
+                topo, horizon, failure_rate, recovery_rate, rng)
+            tracker = DynamicLevelTracker(topo, schedule, policy=policy,
+                                          period=period)
+            run = tracker.run()
+            msgs.append(run.total_messages / max(1, len(run.ticks)))
+            recomputes += run.recomputations
+            stale += run.stale_ticks
+            total_ticks += len(run.ticks)
+            # Sample unicasts at each tick with the tracker's knowledge.
+            known, _r, _m = recompute_incremental(
+                topo, schedule.at(0), None, False)
+            for tick in run.ticks[1:]:
+                faults_now = schedule.at(tick.time)
+                if tick.recomputed:
+                    known, _r, _m = recompute_incremental(
+                        topo, faults_now, None, False)
+                d, l, a = _sample_outcomes(topo, known, faults_now, rng,
+                                           unicasts_per_tick)
+                delivered += d
+                lost += l
+                aborted += a
+        attempts = max(1, delivered + lost + aborted)
+        table.add_row(
+            label,
+            float(np.mean(msgs)),
+            recomputes,
+            100 * stale / max(1, total_ticks),
+            100 * delivered / attempts,
+            100 * lost / attempts,
+            100 * aborted / attempts,
+        )
+    return table

@@ -1,0 +1,63 @@
+"""Seeded Monte-Carlo sweep machinery.
+
+Every experiment draws its randomness from a single master seed through
+``numpy``'s ``SeedSequence`` spawning, so
+
+* any table/figure regenerates bit-identically from its seed, and
+* per-trial streams are independent regardless of trial count or order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+from typing import Callable, Iterator, List, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = ["trial_rngs", "Summary", "summarize"]
+
+T = TypeVar("T")
+
+
+def trial_rngs(master_seed: int, count: int) -> List[np.random.Generator]:
+    """``count`` independent generators derived from one master seed."""
+    if count < 0:
+        raise ValueError("count must be nonnegative")
+    seq = np.random.SeedSequence(master_seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Basic statistics of one measured quantity across trials."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        return self.std / sqrt(self.count) if self.count > 1 else 0.0
+
+    def ci95(self) -> tuple[float, float]:
+        """Normal-approximation 95% confidence interval for the mean."""
+        half = 1.96 * self.sem
+        return (self.mean - half, self.mean + half)
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics of a nonempty sample."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )

@@ -1,0 +1,78 @@
+"""Experiment E18: multicast built on safety-level unicast.
+
+Compares, for growing destination-group sizes on a damaged cube,
+
+* **separate unicasts** (the trivial construction),
+* the **greedy delivery tree** (common prefixes paid once), and
+* **flooding** (full-component broadcast) as the many-destination limit,
+
+on message cost (distinct payload-carrying links) and coverage.  The tree
+construction should interpolate: near-unicast cost for small groups, well
+under separate-unicast cost for large ones, never above flooding.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..broadcast import broadcast_flooding
+from ..core.fault_models import uniform_node_faults
+from ..core.hypercube import Hypercube
+from ..routing.multicast import multicast_greedy_tree, multicast_separate
+from ..safety.levels import SafetyLevels
+from .montecarlo import trial_rngs
+from .tables import Table
+
+__all__ = ["multicast_table"]
+
+
+def multicast_table(
+    n: int = 7,
+    num_faults: int = 5,
+    group_sizes: Sequence[int] = (2, 4, 8, 16, 32),
+    trials: int = 30,
+    seed: int = 89,
+) -> Table:
+    """E18: message cost vs destination-group size."""
+    topo = Hypercube(n)
+    table = Table(
+        caption=f"E18 — multicast strategies, Q{n}, {num_faults} faults, "
+                f"{trials} trials/row: payload-carrying links",
+        headers=["group", "separate links", "tree links", "tree/separate",
+                 "flooding msgs", "separate covered%", "tree covered%"],
+    )
+    for size in group_sizes:
+        sep_links: List[int] = []
+        tree_links: List[int] = []
+        flood_msgs: List[int] = []
+        sep_cov: List[float] = []
+        tree_cov: List[float] = []
+        for rng in trial_rngs(seed + size, trials):
+            faults = uniform_node_faults(topo, num_faults, rng)
+            sl = SafetyLevels.compute(topo, faults)
+            alive = faults.nonfaulty_nodes(topo)
+            picks = rng.choice(len(alive), size=size + 1, replace=False)
+            source = alive[int(picks[0])]
+            dests = [alive[int(i)] for i in picks[1:]]
+            sep = multicast_separate(sl, source, dests)
+            tree = multicast_greedy_tree(sl, source, dests)
+            sep_links.append(sep.messages)
+            tree_links.append(tree.messages)
+            flood_msgs.append(
+                broadcast_flooding(topo, faults, source).messages)
+            sep_cov.append(len(sep.covered) / size)
+            tree_cov.append(len(tree.covered) / size)
+        mean_sep = float(np.mean(sep_links))
+        mean_tree = float(np.mean(tree_links))
+        table.add_row(
+            size,
+            mean_sep,
+            mean_tree,
+            mean_tree / mean_sep if mean_sep else 0.0,
+            float(np.mean(flood_msgs)),
+            100 * float(np.mean(sep_cov)),
+            100 * float(np.mean(tree_cov)),
+        )
+    return table

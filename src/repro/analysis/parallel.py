@@ -1,0 +1,89 @@
+"""Optional multiprocessing for the Monte-Carlo sweeps.
+
+The vectorized kernels make single-trial work tiny, but full-scale sweeps
+(Fig. 2 at 40 points x 1000 trials, the E7/E9 grids) are embarrassingly
+parallel across *points*.  :func:`parallel_points` maps a top-level worker
+over point descriptors with a process pool, preserving order and
+determinism: each point carries its own seed, so the partitioning across
+workers cannot change any result (the same guarantee the seeded
+``trial_rngs`` gives within a point).
+
+Workers must be module-level callables (pickling); this module provides
+the one used by the Fig. 2 sweep.  ``processes=None`` or ``1`` runs
+serially — the default everywhere, so tests and laptops never fork unless
+asked.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+__all__ = ["parallel_points", "fig2_point_worker", "fig2_series_parallel"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def parallel_points(
+    worker: Callable[[T], R],
+    points: Sequence[T],
+    processes: Optional[int] = None,
+) -> List[R]:
+    """Map ``worker`` over ``points``, optionally with a process pool.
+
+    Results come back in input order regardless of worker scheduling.
+    ``processes`` <= 1 (or a single point) short-circuits to a plain loop.
+    """
+    if processes is not None and processes < 1:
+        raise ValueError("processes must be >= 1")
+    if processes in (None, 1) or len(points) <= 1:
+        return [worker(p) for p in points]
+    # 'spawn' keeps behaviour identical across platforms and avoids
+    # inheriting random state; workers re-import the package.
+    ctx = mp.get_context("spawn")
+    with ctx.Pool(processes=min(processes, len(points))) as pool:
+        return pool.map(worker, points)
+
+
+def fig2_point_worker(args: Tuple[int, int, int, int]) -> Tuple[int, float, float]:
+    """One Fig. 2 point: ``(n, num_faults, trials, seed)`` ->
+    ``(num_faults, mean_rounds, max_rounds)``.
+
+    Top-level so it pickles into pool workers; computation identical to
+    :func:`repro.analysis.rounds.rounds_vs_faults` for a single point.
+    """
+    from .rounds import rounds_vs_faults
+
+    n, num_faults, trials, seed = args
+    (point,) = rounds_vs_faults(n, [num_faults], trials, seed)
+    return num_faults, point.gs.mean, point.gs.maximum
+
+
+def fig2_series_parallel(
+    n: int = 7,
+    fault_counts: Optional[Sequence[int]] = None,
+    trials: int = 1000,
+    seed: int = 20250705,
+    processes: Optional[int] = None,
+):
+    """Fig. 2 with the per-point work spread over a process pool.
+
+    Bit-identical to :func:`repro.analysis.rounds.fig2_series` (the per
+    point seeding is shared), just faster on multicore machines.
+    """
+    from .tables import Series
+
+    if fault_counts is None:
+        fault_counts = list(range(1, 41))
+    jobs = [(n, f, trials, seed) for f in fault_counts]
+    results = parallel_points(fig2_point_worker, jobs, processes=processes)
+    series = Series(
+        caption=f"Fig. 2 — average GS rounds of information exchange, "
+                f"{n}-cubes, {trials} trials/point (worst case {n - 1})",
+        x_label="faults",
+        y_label="avg_rounds",
+    )
+    for num_faults, mean, maximum in results:
+        series.add_point(num_faults, mean, maximum)
+    return series

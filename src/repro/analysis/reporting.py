@@ -1,0 +1,70 @@
+"""Persisting experiment artifacts: text + machine-readable JSON.
+
+The benchmarks write rendered text; downstream tooling (plotting, CI
+regression checks) prefers structure.  ``to_payload`` converts a
+:class:`~repro.analysis.tables.Table` or
+:class:`~repro.analysis.tables.Series` into plain JSON-serializable data,
+and :func:`save_artifact` writes both representations side by side.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from .tables import Series, Table
+
+__all__ = ["to_payload", "save_artifact", "load_payload"]
+
+Artifact = Union[Table, Series]
+
+
+def to_payload(artifact: Artifact) -> Dict[str, Any]:
+    """JSON-serializable form of a table or series."""
+    if isinstance(artifact, Table):
+        return {
+            "kind": "table",
+            "caption": artifact.caption,
+            "headers": list(artifact.headers),
+            "rows": [list(row) for row in artifact.rows],
+        }
+    if isinstance(artifact, Series):
+        return {
+            "kind": "series",
+            "caption": artifact.caption,
+            "x_label": artifact.x_label,
+            "y_label": artifact.y_label,
+            "points": [list(p) for p in artifact.points],
+        }
+    raise TypeError(f"cannot serialize {type(artifact).__name__}")
+
+
+def save_artifact(artifact: Artifact, directory: Union[str, Path],
+                  name: str) -> Dict[str, Path]:
+    """Write ``<name>.txt`` and ``<name>.json`` under ``directory``.
+
+    Returns the written paths keyed by format.  Existing files are
+    overwritten (artifacts are regenerable by construction).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    txt = directory / f"{name}.txt"
+    js = directory / f"{name}.json"
+    txt.write_text(artifact.render() + "\n")
+    js.write_text(json.dumps(to_payload(artifact), indent=2,
+                             default=_json_default) + "\n")
+    return {"txt": txt, "json": js}
+
+
+def load_payload(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read back a saved JSON artifact."""
+    return json.loads(Path(path).read_text())
+
+
+def _json_default(value: Any) -> Any:
+    """Coerce numpy scalars and similar to plain Python."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"not JSON serializable: {type(value).__name__}")

@@ -1,0 +1,126 @@
+"""Experiment E2 (Fig. 2) and E8: rounds of information exchange.
+
+Fig. 2 plots, for seven-cubes, the average number of GS rounds against the
+number of (uniformly placed) faulty nodes.  The paper's observations, which
+the reproduction must confirm in *shape*:
+
+* the average is far below the worst-case bound ``n - 1``;
+* with fewer faults than the dimension, the average stays below 2.
+
+E8 extends the measurement to the competing safe-node definitions, whose
+worst case is ``O(n^2)`` rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.fault_models import uniform_node_faults
+from ..core.hypercube import Hypercube
+from ..safety.gs import stabilization_rounds_fast
+from ..safety.safe_nodes import lee_hayes_safe, wu_fernandez_safe
+from .montecarlo import Summary, summarize, trial_rngs
+from .tables import Series, Table
+
+__all__ = [
+    "RoundsPoint",
+    "rounds_vs_faults",
+    "fig2_series",
+    "rounds_comparison_table",
+]
+
+
+@dataclass(frozen=True)
+class RoundsPoint:
+    """Aggregated stabilization rounds for one fault count."""
+
+    num_faults: int
+    gs: Summary
+    lee_hayes: Summary | None = None
+    wu_fernandez: Summary | None = None
+
+
+def rounds_vs_faults(
+    n: int,
+    fault_counts: Sequence[int],
+    trials: int,
+    seed: int = 0,
+    include_rivals: bool = False,
+) -> List[RoundsPoint]:
+    """Measure stabilization rounds over random fault placements.
+
+    One fresh uniform fault set per trial per point; the same instances are
+    reused across definitions when ``include_rivals`` is set, so the E8
+    comparison is paired.
+    """
+    topo = Hypercube(n)
+    points: List[RoundsPoint] = []
+    for f in fault_counts:
+        rngs = trial_rngs(seed + f, trials)
+        gs_rounds, lh_rounds, wf_rounds = [], [], []
+        for rng in rngs:
+            faults = uniform_node_faults(topo, f, rng)
+            gs_rounds.append(stabilization_rounds_fast(topo, faults))
+            if include_rivals:
+                lh_rounds.append(lee_hayes_safe(topo, faults).rounds)
+                wf_rounds.append(wu_fernandez_safe(topo, faults).rounds)
+        points.append(RoundsPoint(
+            num_faults=f,
+            gs=summarize(gs_rounds),
+            lee_hayes=summarize(lh_rounds) if include_rivals else None,
+            wu_fernandez=summarize(wf_rounds) if include_rivals else None,
+        ))
+    return points
+
+
+def fig2_series(
+    n: int = 7,
+    fault_counts: Sequence[int] | None = None,
+    trials: int = 1000,
+    seed: int = 20250705,
+) -> Series:
+    """The Fig. 2 curve: average GS rounds vs number of faults (7-cubes)."""
+    if fault_counts is None:
+        fault_counts = list(range(1, 41))
+    series = Series(
+        caption=f"Fig. 2 — average GS rounds of information exchange, "
+                f"{n}-cubes, {trials} trials/point (worst case {n - 1})",
+        x_label="faults",
+        y_label="avg_rounds",
+    )
+    for point in rounds_vs_faults(n, fault_counts, trials, seed):
+        series.add_point(point.num_faults, point.gs.mean, point.gs.maximum)
+    return series
+
+
+def rounds_comparison_table(
+    dims: Sequence[int] = (4, 5, 6, 7, 8),
+    faults_per_dim: float = 1.0,
+    trials: int = 300,
+    seed: int = 7,
+) -> Table:
+    """E8: GS vs Lee–Hayes vs Wu–Fernandez stabilization rounds.
+
+    ``faults_per_dim`` scales the fault count with the dimension
+    (``f = round(faults_per_dim * n)``) so the comparison tracks the
+    paper's sparse-fault regime across cube sizes.
+    """
+    table = Table(
+        caption="E8 — stabilization rounds: GS (bound n-1) vs safe-node "
+                f"definitions (bound O(n^2)); {trials} trials/row",
+        headers=["n", "faults", "GS avg", "GS max", "LH avg", "LH max",
+                 "WF avg", "WF max"],
+    )
+    for n in dims:
+        f = max(1, round(faults_per_dim * n))
+        (point,) = rounds_vs_faults(n, [f], trials, seed,
+                                    include_rivals=True)
+        assert point.lee_hayes is not None and point.wu_fernandez is not None
+        table.add_row(
+            n, f,
+            point.gs.mean, int(point.gs.maximum),
+            point.lee_hayes.mean, int(point.lee_hayes.maximum),
+            point.wu_fernandez.mean, int(point.wu_fernandez.maximum),
+        )
+    return table

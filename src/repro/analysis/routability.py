@@ -1,0 +1,142 @@
+"""Experiment E7: what the unicasting algorithm guarantees, measured.
+
+For random fault placements and random (source, destination) pairs we
+classify each unicast attempt by the source condition that admitted it and
+audit the delivered path against Theorem 3:
+
+* C1/C2 routes must be delivered with length exactly ``H``;
+* C3 routes with length exactly ``H + 2``;
+* aborted attempts are checked against the oracle — how often was the
+  abort "real" (destination truly unreachable) vs conservative?
+
+The paper's Property 2 corollary — *fewer than n faults implies the
+algorithm never fails* — appears as an abort rate of exactly zero for
+``f < n`` rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..core import partition
+from ..core.fault_models import uniform_node_faults
+from ..core.hypercube import Hypercube
+from ..routing.result import RouteStatus, SourceCondition
+from ..routing.safety_unicast import route_unicast
+from ..safety.levels import SafetyLevels
+from .montecarlo import trial_rngs
+from .tables import Table
+
+__all__ = ["RoutabilityRow", "routability_sweep", "routability_table"]
+
+
+@dataclass
+class RoutabilityRow:
+    """Aggregated outcomes for one (n, fault count) cell."""
+
+    n: int
+    num_faults: int
+    attempts: int = 0
+    delivered_optimal: int = 0
+    delivered_suboptimal: int = 0
+    aborted: int = 0
+    aborted_reachable: int = 0       # conservative aborts (oracle disagrees)
+    guarantee_violations: int = 0    # Theorem 3 length/delivery breaches
+    by_condition: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def delivered(self) -> int:
+        return self.delivered_optimal + self.delivered_suboptimal
+
+    def rate(self, value: int) -> float:
+        return value / self.attempts if self.attempts else 0.0
+
+
+def routability_sweep(
+    n: int,
+    fault_counts: Sequence[int],
+    trials: int,
+    pairs_per_trial: int,
+    seed: int = 0,
+) -> List[RoutabilityRow]:
+    """Run the E7 sweep for one cube dimension."""
+    topo = Hypercube(n)
+    rows: List[RoutabilityRow] = []
+    for f in fault_counts:
+        row = RoutabilityRow(n=n, num_faults=f)
+        for rng in trial_rngs(seed * 1000 + f, trials):
+            faults = uniform_node_faults(topo, f, rng)
+            sl = SafetyLevels.compute(topo, faults)
+            alive = faults.nonfaulty_nodes(topo)
+            if len(alive) < 2:
+                continue
+            for _ in range(pairs_per_trial):
+                s, d = rng.choice(len(alive), size=2, replace=False)
+                source, dest = alive[int(s)], alive[int(d)]
+                result = route_unicast(sl, source, dest)
+                row.attempts += 1
+                row.by_condition[result.condition.value] = (
+                    row.by_condition.get(result.condition.value, 0) + 1
+                )
+                if result.status is RouteStatus.DELIVERED:
+                    if result.optimal:
+                        row.delivered_optimal += 1
+                    elif result.suboptimal:
+                        row.delivered_suboptimal += 1
+                    else:
+                        row.guarantee_violations += 1
+                    # Path sanity: never cross a fault.
+                    if not partition.path_is_fault_free(topo, faults,
+                                                        result.path):
+                        row.guarantee_violations += 1
+                    # C1/C2 must be optimal, C3 must be exactly +2.
+                    if (result.condition in (SourceCondition.C1,
+                                             SourceCondition.C2)
+                            and not result.optimal):
+                        row.guarantee_violations += 1
+                    if (result.condition is SourceCondition.C3
+                            and not result.suboptimal):
+                        row.guarantee_violations += 1
+                elif result.status is RouteStatus.ABORTED_AT_SOURCE:
+                    row.aborted += 1
+                    if partition.same_component(topo, faults, source, dest):
+                        row.aborted_reachable += 1
+                else:
+                    # STUCK should be impossible: a condition admitted it.
+                    row.guarantee_violations += 1
+        rows.append(row)
+    return rows
+
+
+def routability_table(
+    n: int = 7,
+    fault_counts: Sequence[int] | None = None,
+    trials: int = 200,
+    pairs_per_trial: int = 10,
+    seed: int = 11,
+) -> Table:
+    """Render the E7 sweep as the published-style table."""
+    if fault_counts is None:
+        fault_counts = [1, 2, 4, n - 1, n, 2 * n, 4 * n]
+    rows = routability_sweep(n, fault_counts, trials, pairs_per_trial, seed)
+    table = Table(
+        caption=f"E7 — safety-level unicast outcomes, Q{n}, "
+                f"{trials} fault sets x {pairs_per_trial} pairs",
+        headers=["faults", "attempts", "optimal%", "subopt%", "abort%",
+                 "conservative-abort%", "violations", "C1%", "C2%", "C3%"],
+    )
+    for row in rows:
+        table.add_row(
+            row.num_faults,
+            row.attempts,
+            100 * row.rate(row.delivered_optimal),
+            100 * row.rate(row.delivered_suboptimal),
+            100 * row.rate(row.aborted),
+            100 * row.rate(row.aborted_reachable),
+            row.guarantee_violations,
+            100 * row.rate(row.by_condition.get("C1", 0)),
+            100 * row.rate(row.by_condition.get("C2", 0)),
+            100 * row.rate(row.by_condition.get("C3", 0)),
+        )
+    return table

@@ -1,0 +1,95 @@
+"""Experiment E3: the three safe-node definitions, side by side.
+
+Reproduces the Section 2.3 comparison on its exact instance, then extends
+it statistically: safe-set sizes and stabilization rounds over random fault
+placements, confirming the containment ``safe(SL) ⊇ safe(WF) ⊇ safe(LH)``
+on every instance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.fault_models import uniform_node_faults
+from ..core.hypercube import Hypercube
+from ..instances import (
+    SECTION23_SL_SAFE_SET,
+    SECTION23_WF_SAFE_SET,
+    section23_instance,
+)
+from ..safety.properties import safe_set_chain
+from .montecarlo import summarize, trial_rngs
+from .tables import Table
+
+__all__ = ["section23_table", "safe_set_sweep_table"]
+
+
+def section23_table() -> Table:
+    """The paper's fixed example: Q4 with faults {0000, 0110, 1111}."""
+    topo, faults = section23_instance()
+    cmp = safe_set_chain(topo, faults)
+    fmt = lambda nodes: "{" + ", ".join(
+        sorted(topo.format_node(v) for v in nodes)) + "}"
+    table = Table(
+        caption="E3 — Section 2.3 example: safe sets under the three "
+                "definitions (Q4, faults {0000, 0110, 1111})",
+        headers=["definition", "safe nodes", "size", "rounds"],
+    )
+    table.add_row("safety level (Def 1, =n-safe)",
+                  fmt(cmp.safety_level_set), len(cmp.safety_level_set),
+                  cmp.gs_rounds)
+    table.add_row("Wu-Fernandez (Def 3)",
+                  fmt(cmp.wu_fernandez_set), len(cmp.wu_fernandez_set),
+                  cmp.wf_rounds)
+    table.add_row("Lee-Hayes (Def 2)",
+                  fmt(cmp.lee_hayes_set), len(cmp.lee_hayes_set),
+                  cmp.lh_rounds)
+    table.add_row("paper's printed SL set", "{" + ", ".join(
+        sorted(SECTION23_SL_SAFE_SET)) + "}", len(SECTION23_SL_SAFE_SET), None)
+    table.add_row("paper's printed WF set (see EXPERIMENTS.md note)",
+                  "{" + ", ".join(sorted(SECTION23_WF_SAFE_SET)) + "}",
+                  len(SECTION23_WF_SAFE_SET), None)
+    return table
+
+
+def safe_set_sweep_table(
+    n: int = 7,
+    fault_counts: Sequence[int] | None = None,
+    trials: int = 200,
+    seed: int = 3,
+) -> Table:
+    """Random-instance extension: sizes and containment of the three sets."""
+    if fault_counts is None:
+        fault_counts = [1, 2, 4, n - 1, n + 3, 2 * n, 3 * n]
+    topo = Hypercube(n)
+    table = Table(
+        caption=f"E3 — safe-set sizes over random fault placements, Q{n}, "
+                f"{trials} trials/row (containment SL >= WF >= LH checked "
+                "per instance)",
+        headers=["faults", "SL mean", "WF mean", "LH mean",
+                 "LH empty%", "WF empty%", "SL empty%", "chain ok"],
+    )
+    for f in fault_counts:
+        sl_sizes: List[int] = []
+        wf_sizes: List[int] = []
+        lh_sizes: List[int] = []
+        chain_ok = True
+        for rng in trial_rngs(seed * 31 + f, trials):
+            faults = uniform_node_faults(topo, f, rng)
+            cmp = safe_set_chain(topo, faults)
+            chain_ok &= cmp.chain_holds
+            a, b, c = cmp.sizes()
+            sl_sizes.append(a)
+            wf_sizes.append(b)
+            lh_sizes.append(c)
+        table.add_row(
+            f,
+            summarize(sl_sizes).mean,
+            summarize(wf_sizes).mean,
+            summarize(lh_sizes).mean,
+            100 * sum(1 for v in lh_sizes if v == 0) / trials,
+            100 * sum(1 for v in wf_sizes if v == 0) / trials,
+            100 * sum(1 for v in sl_sizes if v == 0) / trials,
+            chain_ok,
+        )
+    return table

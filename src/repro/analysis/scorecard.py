@@ -1,0 +1,178 @@
+"""The reproduction scorecard: every headline claim, checked in one pass.
+
+``scorecard()`` runs a compact version of each claim check — the exact
+figure instances, the theorem properties on seeded random instances, and
+the qualitative Fig. 2 shape — and prints PASS/FAIL per line.  It is the
+one-command answer to "does this repository actually reproduce the
+paper?", used by ``python -m repro.cli scorecard`` and the final test
+gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from ..core import Hypercube, is_connected, uniform_node_faults
+from ..instances import (
+    FIG1_EXPECTED_LEVELS,
+    SECTION23_SL_SAFE_SET,
+    fig1_instance,
+    fig3_instance,
+    fig4_instance,
+    fig5_instance,
+    section23_instance,
+)
+from ..routing import (
+    RouteStatus,
+    route_gh_unicast,
+    route_unicast,
+    route_unicast_with_links,
+)
+from ..safety import (
+    GhSafetyLevels,
+    SafetyLevels,
+    compute_extended_levels,
+    lee_hayes_safe,
+    property2_violations,
+    run_gs,
+    safe_set_chain,
+    theorem2_violations,
+    wu_fernandez_safe,
+)
+from .rounds import rounds_vs_faults
+from .worstcase import isolation_cascade_instance
+
+__all__ = ["ScoreLine", "scorecard", "render_scorecard"]
+
+
+@dataclass(frozen=True)
+class ScoreLine:
+    claim: str
+    passed: bool
+    detail: str = ""
+
+
+def _check(claims: List[ScoreLine], claim: str,
+           fn: Callable[[], Tuple[bool, str]]) -> None:
+    try:
+        ok, detail = fn()
+    except Exception as exc:  # a crash is a failure, not a test error
+        ok, detail = False, f"raised {type(exc).__name__}: {exc}"
+    claims.append(ScoreLine(claim=claim, passed=ok, detail=detail))
+
+
+def scorecard(seed: int = 20260705) -> List[ScoreLine]:
+    """Run every headline check; returns one ScoreLine per claim."""
+    lines: List[ScoreLine] = []
+
+    def fig1() -> Tuple[bool, str]:
+        topo, faults = fig1_instance()
+        sl = SafetyLevels.compute(topo, faults)
+        ok = all(sl.level(topo.parse_node(a)) == v
+                 for a, v in FIG1_EXPECTED_LEVELS.items())
+        gs = run_gs(topo, faults)
+        ok &= gs.stabilization_round == 2
+        r = route_unicast(sl, topo.parse_node("1110"),
+                          topo.parse_node("0001"))
+        ok &= [topo.format_node(v) for v in r.path] == \
+            ["1110", "1111", "1101", "0101", "0001"]
+        return ok, "levels, 2-round stabilization, exact route"
+
+    _check(lines, "Fig. 1: levels + routes exact", fig1)
+
+    def fig2() -> Tuple[bool, str]:
+        points = rounds_vs_faults(7, [1, 3, 6, 20], trials=150, seed=seed)
+        by_f = {p.num_faults: p for p in points}
+        ok = all(by_f[f].gs.mean < 2.0 for f in (1, 3, 6))
+        ok &= max(p.gs.maximum for p in points) <= 6
+        return ok, "avg < 2 below n faults; worst case bound holds"
+
+    _check(lines, "Fig. 2: rounds-vs-faults shape", fig2)
+
+    def sec23() -> Tuple[bool, str]:
+        topo, faults = section23_instance()
+        cmp = safe_set_chain(topo, faults)
+        got = sorted(topo.format_node(v) for v in cmp.safety_level_set)
+        ok = got == sorted(SECTION23_SL_SAFE_SET)
+        ok &= len(cmp.lee_hayes_set) == 0
+        ok &= cmp.chain_holds
+        return ok, "SL set exact, LH empty, containment chain"
+
+    _check(lines, "Sec 2.3: safe-set comparison", sec23)
+
+    def fig3() -> Tuple[bool, str]:
+        topo, faults = fig3_instance()
+        ok = not is_connected(topo, faults)
+        sl = SafetyLevels.compute(topo, faults)
+        ok &= route_unicast(sl, topo.parse_node("0111"),
+                            topo.parse_node("1110")).status \
+            is RouteStatus.ABORTED_AT_SOURCE
+        ok &= lee_hayes_safe(topo, faults).num_safe == 0
+        ok &= wu_fernandez_safe(topo, faults).num_safe == 0
+        return ok, "clean cross-partition abort; Theorem 4"
+
+    _check(lines, "Fig. 3: disconnected cube", fig3)
+
+    def fig4() -> Tuple[bool, str]:
+        topo, faults = fig4_instance()
+        ext = compute_extended_levels(topo, faults)
+        ok = ext.own_level(topo.parse_node("1000")) == 1
+        ok &= ext.own_level(topo.parse_node("1001")) == 2
+        r = route_unicast_with_links(ext, topo.parse_node("1101"),
+                                     topo.parse_node("1000"))
+        ok &= r.suboptimal
+        return ok, "EGS two views; H+2 route"
+
+    _check(lines, "Fig. 4: faulty links (EGS)", fig4)
+
+    def fig5() -> Tuple[bool, str]:
+        gh, faults = fig5_instance()
+        sl = GhSafetyLevels.compute(gh, faults)
+        ok = len(sl.safe_set()) == 4
+        r = route_gh_unicast(sl, gh.parse_node("010"), gh.parse_node("101"))
+        ok &= [gh.format_node(v) for v in r.path] == \
+            ["010", "000", "001", "101"]
+        return ok, "four safe nodes; exact route"
+
+    _check(lines, "Fig. 5: generalized hypercube", fig5)
+
+    def theorems() -> Tuple[bool, str]:
+        gen = np.random.default_rng(seed)
+        topo = Hypercube(5)
+        for _ in range(10):
+            faults = uniform_node_faults(topo, int(gen.integers(0, 10)),
+                                         gen)
+            sl = SafetyLevels.compute(topo, faults)
+            if theorem2_violations(sl):
+                return False, "Theorem 2 violated"
+            if faults.num_node_faults < 5 and property2_violations(sl):
+                return False, "Property 2 violated"
+        return True, "Theorem 2 + Property 2 on seeded random instances"
+
+    _check(lines, "Theorems 2 & Property 2", theorems)
+
+    def bound() -> Tuple[bool, str]:
+        topo, faults = isolation_cascade_instance(7)
+        from ..safety import stabilization_rounds_fast
+        return stabilization_rounds_fast(topo, faults) == 6, \
+            "isolation cascade stabilizes in exactly n-1 rounds"
+
+    _check(lines, "Property 1 bound tight (E19)", bound)
+
+    return lines
+
+
+def render_scorecard(lines: List[ScoreLine]) -> str:
+    width = max(len(line.claim) for line in lines)
+    out = ["Reproduction scorecard",
+           "======================"]
+    for line in lines:
+        mark = "PASS" if line.passed else "FAIL"
+        out.append(f"[{mark}] {line.claim.ljust(width)}  {line.detail}")
+    failed = sum(1 for line in lines if not line.passed)
+    out.append("")
+    out.append(f"{len(lines) - failed}/{len(lines)} claims reproduced")
+    return "\n".join(out)

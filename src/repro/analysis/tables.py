@@ -1,0 +1,94 @@
+"""ASCII rendering of experiment tables and figure series.
+
+Every benchmark prints through these helpers so the regenerated artifacts
+look uniform: a caption, an aligned header row, aligned cells.  ``Series``
+renders an (x, y) figure as the table of points the paper's curve plots —
+we reproduce figures as their underlying data series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Union
+
+__all__ = ["Table", "Series", "format_cell"]
+
+Cell = Union[str, int, float, None]
+
+
+def format_cell(value: Cell, float_digits: int = 3) -> str:
+    """Uniform cell formatting: floats to fixed digits, None as '-'. """
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A captioned, column-aligned text table."""
+
+    caption: str
+    headers: Sequence[str]
+    rows: List[List[Cell]] = field(default_factory=list)
+    float_digits: int = 3
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        cells = [
+            [format_cell(c, self.float_digits) for c in row]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+            for i, h in enumerate(self.headers)
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        head = " | ".join(str(h).ljust(w) for h, w in zip(self.headers, widths))
+        body = [
+            " | ".join(c.rjust(w) for c, w in zip(row, widths))
+            for row in cells
+        ]
+        return "\n".join([self.caption, "=" * len(self.caption), head, sep, *body])
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass
+class Series:
+    """A named (x, y) data series — the reproduction of a plotted curve."""
+
+    caption: str
+    x_label: str
+    y_label: str
+    points: List[tuple] = field(default_factory=list)
+    float_digits: int = 3
+
+    def add_point(self, x: Cell, y: Cell, *extra: Cell) -> None:
+        self.points.append((x, y, *extra))
+
+    def render(self, extra_labels: Iterable[str] = ()) -> str:
+        headers = [self.x_label, self.y_label, *extra_labels]
+        # Auto-name any extra point fields not covered by extra_labels so
+        # callers can attach annotations without re-declaring columns.
+        width = max((len(p) for p in self.points), default=2)
+        headers += [f"extra{i}" for i in range(1, width - len(headers) + 1)]
+        table = Table(caption=self.caption, headers=headers,
+                      float_digits=self.float_digits)
+        for point in self.points:
+            table.add_row(*point)
+        return table.render()
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,130 @@
+"""Experiment E15: link-load behaviour of the routing schemes.
+
+The paper's introduction argues that with purely local heuristics "global
+optimization, such as time and traffic in routing, is impossible".  This
+experiment makes the traffic half measurable: route a batch of random
+unicasts with each scheme on the same faulty cube and compare how the load
+spreads over links —
+
+* mean and maximum per-link load (hot spots),
+* a concentration index (coefficient of variation across used links),
+* total link traversals (the DFS history tax shows up here).
+
+It also exposes the E12 tie-break knob's practical upside: the ``random``
+policy spreads ties across parallel optimal paths, flattening hot spots at
+zero cost to the optimality guarantees.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.fault_models import uniform_node_faults
+from ..core.faults import FaultSet, normalize_link
+from ..core.hypercube import Hypercube
+from ..routing.baselines import route_dfs, route_sidetrack
+from ..routing.result import RouteResult
+from ..routing.safety_unicast import route_unicast
+from ..safety.levels import SafetyLevels
+from .montecarlo import trial_rngs
+from .tables import Table
+
+__all__ = ["LoadStats", "measure_link_load", "traffic_table"]
+
+
+@dataclass(frozen=True)
+class LoadStats:
+    """Per-link load distribution of one routed batch."""
+
+    scheme: str
+    delivered: int
+    total_traversals: int
+    max_link_load: int
+    mean_link_load: float
+    #: Coefficient of variation over links that carried any traffic.
+    concentration: float
+
+
+def measure_link_load(
+    scheme: str,
+    route_batch: Callable[[int, int], RouteResult],
+    pairs: Sequence[Tuple[int, int]],
+) -> LoadStats:
+    """Route every pair and aggregate per-link usage."""
+    load: Counter = Counter()
+    delivered = 0
+    for s, d in pairs:
+        res = route_batch(s, d)
+        if not res.delivered:
+            continue
+        delivered += 1
+        for u, v in zip(res.path, res.path[1:]):
+            load[normalize_link(u, v)] += 1
+    if load:
+        values = np.array(list(load.values()), dtype=np.float64)
+        concentration = float(values.std() / values.mean()) \
+            if values.mean() else 0.0
+        return LoadStats(
+            scheme=scheme,
+            delivered=delivered,
+            total_traversals=int(values.sum()),
+            max_link_load=int(values.max()),
+            mean_link_load=float(values.mean()),
+            concentration=concentration,
+        )
+    return LoadStats(scheme=scheme, delivered=delivered, total_traversals=0,
+                     max_link_load=0, mean_link_load=0.0, concentration=0.0)
+
+
+def traffic_table(
+    n: int = 7,
+    num_faults: int = 6,
+    batches: int = 10,
+    pairs_per_batch: int = 200,
+    seed: int = 71,
+) -> Table:
+    """E15: load comparison across schemes and tie-break policies."""
+    topo = Hypercube(n)
+    table = Table(
+        caption=f"E15 — link-load distribution, Q{n}, {num_faults} faults, "
+                f"{batches} batches x {pairs_per_batch} unicasts",
+        headers=["scheme", "delivered", "traversals", "max link load",
+                 "mean link load", "concentration (cv)"],
+    )
+    totals: Dict[str, List[LoadStats]] = {}
+    for rng in trial_rngs(seed, batches):
+        faults = uniform_node_faults(topo, num_faults, rng)
+        sl = SafetyLevels.compute(topo, faults)
+        alive = faults.nonfaulty_nodes(topo)
+        pairs = []
+        while len(pairs) < pairs_per_batch:
+            i, j = rng.choice(len(alive), size=2, replace=False)
+            pairs.append((alive[int(i)], alive[int(j)]))
+        schemes: List[Tuple[str, Callable[[int, int], RouteResult]]] = [
+            ("safety-level (lowest-dim)",
+             lambda s, d: route_unicast(sl, s, d, tie_break="lowest-dim")),
+            ("safety-level (random tie)",
+             lambda s, d: route_unicast(sl, s, d, tie_break="random",
+                                        rng=rng)),
+            ("sidetrack",
+             lambda s, d: route_sidetrack(topo, faults, s, d, rng)),
+            ("dfs-backtrack",
+             lambda s, d: route_dfs(topo, faults, s, d)),
+        ]
+        for name, router in schemes:
+            totals.setdefault(name, []).append(
+                measure_link_load(name, router, pairs))
+    for name, stats in totals.items():
+        table.add_row(
+            name,
+            sum(s.delivered for s in stats),
+            sum(s.total_traversals for s in stats),
+            max(s.max_link_load for s in stats),
+            float(np.mean([s.mean_link_load for s in stats])),
+            float(np.mean([s.concentration for s in stats])),
+        )
+    return table

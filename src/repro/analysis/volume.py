@@ -1,0 +1,102 @@
+"""Experiment E9c: message *volume* — the history tax, quantified.
+
+The paper's critique of Chen–Shin DFS [3] is not its delivery rate but its
+payload: "a history of visited nodes has to be kept as part of the
+message".  The progressive variant [2] carries the visited set too (for
+cycle avoidance).  Safety-level routing carries only the navigation
+vector — one word, regardless of cube size or damage.
+
+Per scheme we report, over delivered routes on identical workloads:
+
+* mean hops (transmissions),
+* mean carried words per route (hops x payload size; history-bearing
+  schemes accumulate their growing set sizes),
+* the volume ratio vs safety-level routing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core import partition
+from ..core.fault_models import uniform_node_faults
+from ..core.hypercube import Hypercube
+from ..routing.baselines import route_dfs, route_progressive, route_sidetrack
+from ..routing.result import RouteResult
+from ..routing.safety_unicast import route_unicast
+from ..safety.levels import SafetyLevels
+from .montecarlo import trial_rngs
+from .tables import Table
+
+__all__ = ["route_volume_words", "volume_table"]
+
+
+def route_volume_words(result: RouteResult) -> float:
+    """Carried payload words of one delivered route.
+
+    History-bearing routers report their exact accumulation in
+    ``result.metrics['volume_words']``; constant-payload schemes (the
+    navigation vector, or sidetracking's destination address) pay one word
+    per transmission.
+    """
+    if "volume_words" in result.metrics:
+        return float(result.metrics["volume_words"])
+    return float(result.hops)
+
+
+def volume_table(
+    n: int = 7,
+    fault_counts: Sequence[int] = (0, 6, 14, 28),
+    trials: int = 40,
+    pairs_per_trial: int = 8,
+    seed: int = 171,
+) -> Table:
+    """E9c: per-scheme message volume on identical workloads."""
+    topo = Hypercube(n)
+    table = Table(
+        caption=f"E9c — message volume (carried words per delivered "
+                f"route), Q{n}, {trials} fault sets x {pairs_per_trial} "
+                "pairs: the history tax of DFS/progressive vs the "
+                "constant-size navigation vector",
+        headers=["faults", "scheme", "delivered", "mean hops",
+                 "mean words", "x safety-level"],
+    )
+    for f in fault_counts:
+        sums: Dict[str, List[float]] = {}
+        hops: Dict[str, List[int]] = {}
+        for rng in trial_rngs(seed + f, trials):
+            faults = uniform_node_faults(topo, f, rng)
+            sl = SafetyLevels.compute(topo, faults)
+            alive = faults.nonfaulty_nodes(topo)
+            for _ in range(pairs_per_trial):
+                i, j = rng.choice(len(alive), size=2, replace=False)
+                s, d = alive[int(i)], alive[int(j)]
+                if not partition.same_component(topo, faults, s, d):
+                    continue
+                for name, res in (
+                    ("safety-level", route_unicast(sl, s, d)),
+                    ("sidetrack", route_sidetrack(topo, faults, s, d, rng)),
+                    ("progressive",
+                     route_progressive(topo, faults, s, d, rng)),
+                    ("dfs-backtrack", route_dfs(topo, faults, s, d)),
+                ):
+                    if res.delivered:
+                        sums.setdefault(name, []).append(
+                            route_volume_words(res))
+                        hops.setdefault(name, []).append(res.hops)
+        base = float(np.mean(sums.get("safety-level", [1.0])))
+        for name in ("safety-level", "sidetrack", "progressive",
+                     "dfs-backtrack"):
+            vols = sums.get(name, [])
+            if not vols:
+                continue
+            mean_words = float(np.mean(vols))
+            table.add_row(
+                f, name, len(vols),
+                float(np.mean(hops[name])),
+                mean_words,
+                mean_words / base if base else 0.0,
+            )
+    return table

@@ -1,0 +1,26 @@
+"""Broadcast extension (experiment E11): safety-level-guided broadcasting.
+
+Computational strategies in :mod:`repro.broadcast.broadcast`, their
+message-passing twins in :mod:`repro.broadcast.distributed`.
+"""
+
+from .broadcast import (
+    BroadcastResult,
+    broadcast_binomial,
+    broadcast_flooding,
+    broadcast_safety_binomial,
+    broadcast_safety_binomial_patched,
+    broadcast_unicast_tree,
+)
+from .distributed import run_flooding_protocol, run_tree_protocol
+
+__all__ = [
+    "BroadcastResult",
+    "broadcast_binomial",
+    "broadcast_flooding",
+    "broadcast_safety_binomial",
+    "broadcast_safety_binomial_patched",
+    "broadcast_unicast_tree",
+    "run_flooding_protocol",
+    "run_tree_protocol",
+]

@@ -1,0 +1,274 @@
+"""Broadcast extension: safety-level-guided broadcasting.
+
+The safety-level concept originated in reliable *broadcasting* (paper
+ref [9], Wu, IEEE TC May 1995); this module carries the idea over as the
+repository's extension feature (experiment E11).  Three strategies:
+
+* :func:`broadcast_flooding` — every node forwards to every neighbor once.
+  Reaches the whole connected component; costs about ``N * n`` messages.
+* :func:`broadcast_binomial` — the classic fault-*intolerant* binomial-tree
+  broadcast (``N - 1`` messages): each node forwards responsibility for
+  disjoint subcubes in fixed dimension order.  A single faulty internal
+  node silently loses its whole subtree.
+* :func:`broadcast_safety_binomial` — binomial broadcast with the [9]
+  idea: at every node the *largest* remaining subcube is entrusted to the
+  neighbor with the *highest safety level*, so subtree roots are the nodes
+  most likely to cover their subcube.  Same ``N - 1`` message budget as
+  plain binomial; coverage under faults is measured, not guaranteed (the
+  guarantee in [9] needs additional patch-up machinery out of scope here —
+  see DESIGN.md).
+
+All three return a :class:`BroadcastResult` with coverage and message
+accounting so the E11 benchmark can print the trade-off table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from ..core import partition
+from ..core.faults import FaultSet
+from ..core.hypercube import Hypercube
+from ..safety.levels import SafetyLevels
+
+__all__ = [
+    "BroadcastResult",
+    "broadcast_flooding",
+    "broadcast_binomial",
+    "broadcast_safety_binomial",
+    "broadcast_safety_binomial_patched",
+    "broadcast_unicast_tree",
+]
+
+
+@dataclass(frozen=True)
+class BroadcastResult:
+    """Outcome of one broadcast."""
+
+    strategy: str
+    source: int
+    #: Nonfaulty nodes that received the message (source included).
+    covered: FrozenSet[int]
+    messages: int
+    #: Longest hop count from source to any covered node.
+    depth: int
+
+    def coverage_fraction(self, topo: Hypercube, faults: FaultSet) -> float:
+        """Covered share of all *reachable* nonfaulty nodes."""
+        reachable = partition.reachable_set(topo, faults, self.source)
+        if not reachable:
+            return 0.0
+        return len(self.covered & reachable) / len(reachable)
+
+    def missed(self, topo: Hypercube, faults: FaultSet) -> FrozenSet[int]:
+        """Reachable nonfaulty nodes the strategy failed to inform."""
+        reachable = partition.reachable_set(topo, faults, self.source)
+        return frozenset(reachable - set(self.covered))
+
+
+def _check_source(topo: Hypercube, faults: FaultSet, source: int) -> None:
+    topo.validate_node(source)
+    if faults.is_node_faulty(source):
+        raise ValueError(f"source {topo.format_node(source)} is faulty")
+
+
+def broadcast_flooding(
+    topo: Hypercube, faults: FaultSet, source: int
+) -> BroadcastResult:
+    """Flood the component: reliable reference, ~``N*n`` messages.
+
+    Each node forwards to all neighbors the first time it hears the
+    message; messages to faulty nodes are sent (and lost) because senders
+    only know their own neighbors' health *after* paying for detection —
+    we charge only messages actually emitted toward nonfaulty first-time
+    receivers plus one per faulty neighbor probe avoided (senders do know
+    adjacent faults, paper assumption 2, so those sends are skipped).
+    """
+    _check_source(topo, faults, source)
+    covered = {source}
+    frontier = [source]
+    messages = 0
+    depth = 0
+    while frontier:
+        nxt: List[int] = []
+        for u in frontier:
+            for v in topo.neighbors(u):
+                if faults.is_node_faulty(v) or faults.is_link_faulty(u, v):
+                    continue
+                messages += 1  # every healthy neighbor gets a copy
+                if v not in covered:
+                    covered.add(v)
+                    nxt.append(v)
+        if nxt:
+            depth += 1
+        frontier = nxt
+    return BroadcastResult(strategy="flooding", source=source,
+                           covered=frozenset(covered), messages=messages,
+                           depth=depth)
+
+
+def _binomial(
+    topo: Hypercube,
+    faults: FaultSet,
+    source: int,
+    order_dims,
+    strategy: str,
+) -> BroadcastResult:
+    """Shared binomial-tree engine.
+
+    ``order_dims(node, dims)`` returns the dimension list in the order
+    responsibility is handed out: the first dimension's neighbor receives
+    the largest subtree (all later dimensions).
+    """
+    _check_source(topo, faults, source)
+    covered: Set[int] = {source}
+    messages = 0
+    depth = 0
+    # Work list of (node, dims_it_must_cover, hop_depth).
+    work: List[Tuple[int, Tuple[int, ...], int]] = [
+        (source, tuple(range(topo.dimension)), 0)
+    ]
+    while work:
+        node, dims, d = work.pop()
+        ordered = order_dims(node, list(dims))
+        # Neighbor along ordered[i] inherits ordered[i+1:].
+        for i, dim in enumerate(ordered):
+            child = topo.neighbor_along(node, dim)
+            if faults.is_node_faulty(child) or faults.is_link_faulty(node, child):
+                # Subtree lost: plain binomial has no recourse.
+                continue
+            messages += 1
+            covered.add(child)
+            depth = max(depth, d + 1)
+            rest = tuple(ordered[i + 1:])
+            if rest:
+                work.append((child, rest, d + 1))
+    return BroadcastResult(strategy=strategy, source=source,
+                           covered=frozenset(covered), messages=messages,
+                           depth=depth)
+
+
+def broadcast_binomial(
+    topo: Hypercube, faults: FaultSet, source: int
+) -> BroadcastResult:
+    """Fixed descending-dimension binomial tree (fault-intolerant)."""
+    return _binomial(
+        topo, faults, source,
+        order_dims=lambda _node, dims: sorted(dims, reverse=True),
+        strategy="binomial",
+    )
+
+
+def broadcast_safety_binomial(
+    sl: SafetyLevels, source: int
+) -> BroadcastResult:
+    """Binomial tree with safety-level-guided subtree assignment.
+
+    At each node the dimensions still to cover are handed out in
+    descending neighbor-level order: the highest-level neighbor receives
+    the largest subtree, the lowest-level (possibly faulty) neighbor the
+    smallest — so a weak neighbor can lose at most a leaf, not a subtree.
+    Equal levels break ties toward higher dimensions to match the classic
+    tree shape.
+    """
+    topo, faults = sl.topo, sl.faults
+
+    def order(node: int, dims: List[int]) -> List[int]:
+        # First handed-out dimension gets the biggest subtree, so sort by
+        # neighbor level descending.
+        return sorted(
+            dims,
+            key=lambda dim: (-sl.level(topo.neighbor_along(node, dim)), -dim),
+        )
+
+    return _binomial(topo, faults, source, order_dims=order,
+                     strategy="safety-binomial")
+
+
+def broadcast_safety_binomial_patched(
+    sl: SafetyLevels,
+    source: int,
+    patch_rounds: int = 1,
+) -> BroadcastResult:
+    """Safety-ordered binomial tree plus idealized patch-up rounds.
+
+    Quantifies the *minimum* price of turning the tree's best-effort
+    coverage into guaranteed component coverage: each patch round delivers
+    exactly one copy to every uninformed node adjacent to the informed set
+    — the one-message-per-new-node floor that *any* patch protocol must
+    pay, assuming perfect suppression of redundant offers.  Real local
+    protocols (without an oracle of who is missing) pay strictly more; the
+    E11 benchmark therefore brackets them between this lower bound and
+    flooding's cost.  With enough rounds coverage equals the whole
+    component.
+    """
+    if patch_rounds < 0:
+        raise ValueError("patch_rounds must be nonnegative")
+    topo, faults = sl.topo, sl.faults
+    base = broadcast_safety_binomial(sl, source)
+    covered: Set[int] = set(base.covered)
+    messages = base.messages
+    depth = base.depth
+    for _round in range(patch_rounds):
+        frontier = set()
+        for u in covered:
+            for v in topo.neighbors(u):
+                if v in covered or faults.is_node_faulty(v):
+                    continue
+                if faults.is_link_faulty(u, v):
+                    continue
+                frontier.add(v)
+        if not frontier:
+            break
+        # Ideal model: exactly one delivery per newly informed node.
+        messages += len(frontier)
+        covered |= frontier
+        depth += 1
+    return BroadcastResult(
+        strategy=f"safety-binomial+patch{patch_rounds}",
+        source=source, covered=frozenset(covered), messages=messages,
+        depth=depth,
+    )
+
+
+def broadcast_unicast_tree(sl: SafetyLevels, source: int) -> BroadcastResult:
+    """Guaranteed-coverage broadcast: the union of safety-level unicasts.
+
+    Builds the greedy multicast delivery tree toward *every* nonfaulty
+    node (see :func:`repro.routing.multicast.multicast_greedy_tree`).
+    Theorem 2 supplies the guarantee the plain trees lack: if the source
+    is ``n``-safe — and with fewer than ``n`` faults a safe node always
+    exists (Property 2) — an optimal path exists to every node, so every
+    branch is admitted and coverage is complete.  Costs more messages than
+    the binomial trees (branches re-pay shared prefixes only once, but the
+    tree is not perfectly balanced); the E11 benchmark shows where it
+    lands between the tree and flooding.
+    """
+    from ..routing.multicast import multicast_greedy_tree  # avoid cycle
+
+    topo, faults = sl.topo, sl.faults
+    _check_source(topo, faults, source)
+    dests = [v for v in faults.nonfaulty_nodes(topo) if v != source]
+    res = multicast_greedy_tree(sl, source, dests)
+    # Depth: longest branch measured on the link set via BFS from source.
+    depth = 0
+    if res.tree_links:
+        adj: Dict[int, List[int]] = {}
+        for a, b in res.tree_links:
+            adj.setdefault(a, []).append(b)
+            adj.setdefault(b, []).append(a)
+        seen = {source}
+        frontier = [source]
+        while frontier:
+            nxt = [w for u in frontier for w in adj.get(u, [])
+                   if w not in seen]
+            seen.update(nxt)
+            if nxt:
+                depth += 1
+            frontier = nxt
+    return BroadcastResult(
+        strategy="unicast-tree", source=source,
+        covered=frozenset(res.covered | {source}),
+        messages=res.messages, depth=depth,
+    )

@@ -1,0 +1,171 @@
+"""Broadcast strategies as real message-passing protocols.
+
+Fidelity twins of the computational functions in
+:mod:`repro.broadcast.broadcast`, run on the simulator: the flooding
+protocol and the (safety-ordered) binomial-tree protocol.  The tests
+assert that covered sets and message counts match the computational
+versions exactly, so the cheap versions can be trusted in sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
+
+from ..core.faults import FaultSet
+from ..core.hypercube import Hypercube
+from ..safety.levels import SafetyLevels
+from ..simcore.message import Message
+from ..simcore.network import Network
+from ..simcore.node import NodeProcess
+from .broadcast import BroadcastResult
+
+__all__ = ["run_flooding_protocol", "run_tree_protocol"]
+
+KIND_FLOOD = "bcast-flood"
+KIND_TREE = "bcast-tree"
+
+
+class FloodProcess(NodeProcess):
+    """Forward the payload to every healthy neighbor on first receipt."""
+
+    __slots__ = ("healthy_neighbors", "received_at")
+
+    def __init__(self, healthy_neighbors: Sequence[int]) -> None:
+        super().__init__()
+        self.healthy_neighbors = list(healthy_neighbors)
+        self.received_at: Optional[int] = None
+
+    def start_broadcast(self) -> None:
+        self.received_at = 0
+        self._forward()
+
+    def _forward(self) -> None:
+        for v in self.healthy_neighbors:
+            self.send(v, KIND_FLOOD, None, payload_units=1)
+
+    def on_message(self, msg: Message) -> None:
+        if self.received_at is None:
+            self.received_at = self.now
+            self._forward()
+
+
+class TreeProcess(NodeProcess):
+    """Binomial-tree forwarding with a pluggable dimension order.
+
+    ``level_of_neighbor`` drives the safety ordering; pass None for the
+    classic fixed descending order.
+    """
+
+    __slots__ = ("n", "level_of_neighbor", "dead_neighbors", "received_at")
+
+    def __init__(self, n: int,
+                 level_of_neighbor: Optional[Dict[int, int]],
+                 dead_neighbors: Sequence[int]) -> None:
+        super().__init__()
+        self.n = n
+        self.level_of_neighbor = level_of_neighbor
+        self.dead_neighbors = frozenset(dead_neighbors)
+        self.received_at: Optional[int] = None
+
+    def _order(self, dims: Tuple[int, ...]) -> list:
+        if self.level_of_neighbor is None:
+            return sorted(dims, reverse=True)
+        return sorted(
+            dims,
+            key=lambda d: (-self.level_of_neighbor[self.node_id ^ (1 << d)],
+                           -d),
+        )
+
+    def _spread(self, dims: Tuple[int, ...]) -> None:
+        ordered = self._order(dims)
+        for i, dim in enumerate(ordered):
+            child = self.node_id ^ (1 << dim)
+            if child in self.dead_neighbors:
+                # Known-adjacent fault (paper assumption 2): the subtree
+                # is lost, exactly as in the computational version.
+                continue
+            self.send(child, KIND_TREE, tuple(ordered[i + 1:]),
+                      payload_units=1)
+
+    def start_broadcast(self) -> None:
+        self.received_at = 0
+        self._spread(tuple(range(self.n)))
+
+    def on_message(self, msg: Message) -> None:
+        if self.received_at is None:
+            self.received_at = self.now
+        self._spread(msg.payload)
+
+
+def _collect(net: Network, source: int, strategy: str) -> BroadcastResult:
+    covered = set()
+    depth = 0
+    for node, proc in net.processes.items():
+        at = getattr(proc, "received_at")
+        if at is not None:
+            covered.add(node)
+            depth = max(depth, at)
+    return BroadcastResult(strategy=strategy, source=source,
+                           covered=frozenset(covered),
+                           messages=net.stats.sent, depth=depth)
+
+
+def run_flooding_protocol(
+    topo: Hypercube, faults: FaultSet, source: int
+) -> Tuple[BroadcastResult, Network]:
+    """Flooding as a protocol; returns the result plus the network."""
+    topo.validate_node(source)
+    if faults.is_node_faulty(source):
+        raise ValueError(f"source {topo.format_node(source)} is faulty")
+
+    def factory(node: int) -> FloodProcess:
+        healthy = [v for v in topo.neighbors(node)
+                   if not faults.is_node_faulty(v)
+                   and not faults.is_link_faulty(node, v)]
+        return FloodProcess(healthy)
+
+    net = Network(topo, faults, factory)
+    net.start()
+    proc = net.process(source)
+    assert isinstance(proc, FloodProcess)
+    proc.start_broadcast()
+    net.run()
+    return _collect(net, source, "flooding-protocol"), net
+
+
+def run_tree_protocol(
+    topo: Hypercube,
+    faults: FaultSet,
+    source: int,
+    safety: Optional[SafetyLevels] = None,
+) -> Tuple[BroadcastResult, Network]:
+    """Binomial-tree broadcast as a protocol.
+
+    With ``safety`` given, subtree assignment is safety-ordered (the [9]
+    idea); otherwise classic fixed order.  Senders skip known-faulty
+    children (paper assumption 2), so covered set and message count match
+    the computational version exactly — asserted in the tests.
+    """
+    topo.validate_node(source)
+    if faults.is_node_faulty(source):
+        raise ValueError(f"source {topo.format_node(source)} is faulty")
+
+    def factory(node: int) -> TreeProcess:
+        levels = None
+        if safety is not None:
+            levels = {v: safety.level(v) for v in topo.neighbors(node)}
+        dead = [v for v in topo.neighbors(node)
+                if faults.is_node_faulty(v)
+                or faults.is_link_faulty(node, v)]
+        return TreeProcess(topo.dimension, levels, dead)
+
+    net = Network(topo, faults, factory)
+    net.start()
+    proc = net.process(source)
+    assert isinstance(proc, TreeProcess)
+    proc.start_broadcast()
+    net.run()
+    strategy = "safety-tree-protocol" if safety is not None \
+        else "tree-protocol"
+    return _collect(net, source, strategy), net

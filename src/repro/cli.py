@@ -1,0 +1,225 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli fig1
+    python -m repro.cli fig2 --trials 500
+    python -m repro.cli all --quick
+
+Every experiment is seeded; rerunning a command reproduces its output
+bit-for-bit.  ``--quick`` shrinks trial counts for smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from . import analysis
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _fig2(quick: bool, trials: int | None) -> str:
+    t = trials if trials else (100 if quick else 1000)
+    counts = list(range(1, 15 if quick else 41))
+    return analysis.fig2_series(trials=t, fault_counts=counts).render(
+        extra_labels=["max_rounds"]
+    )
+
+
+def _safesets(quick: bool, trials: int | None) -> str:
+    t = trials if trials else (50 if quick else 200)
+    return "\n\n".join([
+        analysis.section23_table().render(),
+        analysis.safe_set_sweep_table(trials=t).render(),
+    ])
+
+
+def _routability(quick: bool, trials: int | None) -> str:
+    t = trials if trials else (40 if quick else 200)
+    return analysis.routability_table(trials=t).render()
+
+
+def _rounds_compare(quick: bool, trials: int | None) -> str:
+    t = trials if trials else (60 if quick else 300)
+    dims = (4, 5, 6) if quick else (4, 5, 6, 7, 8)
+    return analysis.rounds_comparison_table(dims=dims, trials=t).render()
+
+
+def _compare(quick: bool, trials: int | None) -> str:
+    t = trials if trials else (15 if quick else 60)
+    tables = analysis.comparison_table(trials=t)
+    return "\n\n".join(tbl.render() for tbl in tables)
+
+
+def _disconnected(quick: bool, trials: int | None) -> str:
+    t = trials if trials else (40 if quick else 150)
+    dims = (4, 5) if quick else (4, 5, 6, 7)
+    return analysis.disconnected_table(dims=dims, trials=t).render()
+
+
+def _broadcast(quick: bool, trials: int | None) -> str:
+    t = trials if trials else (20 if quick else 60)
+    return analysis.broadcast_table(trials=t).render()
+
+
+def _ablation(quick: bool, trials: int | None) -> str:
+    t = trials if trials else (20 if quick else 60)
+    gs_trials = max(5, t // 3)
+    return "\n\n".join([
+        analysis.tie_break_table(trials=t).render(),
+        analysis.gs_policy_table(trials=gs_trials).render(),
+    ])
+
+
+def _dynamic(quick: bool, trials: int | None) -> str:
+    t = trials if trials else (4 if quick else 10)
+    horizon = 15 if quick else 40
+    return analysis.dynamic_policy_table(trials=t, horizon=horizon).render()
+
+
+def _conservatism(quick: bool, trials: int | None) -> str:
+    t = trials if trials else (10 if quick else 40)
+    return analysis.conservatism_table(trials=t).render()
+
+
+def _traffic(quick: bool, trials: int | None) -> str:
+    t = trials if trials else (3 if quick else 10)
+    return analysis.traffic_table(batches=t).render()
+
+
+def _contention(quick: bool, trials: int | None) -> str:
+    t = trials if trials else (3 if quick else 6)
+    loads = (16, 64) if quick else (16, 64, 256)
+    return analysis.contention_table(trials=t, loads=loads).render()
+
+
+def _sensitivity(quick: bool, trials: int | None) -> str:
+    t = trials if trials else (20 if quick else 60)
+    return analysis.sensitivity_table(trials=t).render()
+
+
+def _multicast(quick: bool, trials: int | None) -> str:
+    t = trials if trials else (10 if quick else 30)
+    return analysis.multicast_table(trials=t).render()
+
+
+def _significance(quick: bool, trials: int | None) -> str:
+    t = trials if trials else (15 if quick else 40)
+    return analysis.significance_table(trials=t).render()
+
+
+def _worstcase(quick: bool, trials: int | None) -> str:
+    from .analysis import Table, find_slow_instance, isolation_cascade_instance
+    from .safety import stabilization_rounds_fast
+
+    table = Table(
+        caption="E19 — Property 1's n-1 bound is tight: the isolation "
+                "cascade meets it exactly; hill-climbing search approaches "
+                "it from random starts",
+        headers=["n", "bound n-1", "cascade rounds", "search rounds"],
+    )
+    dims = (4, 5, 6) if quick else (4, 5, 6, 7, 8)
+    restarts = 2 if quick else 4
+    for n in dims:
+        topo, faults = isolation_cascade_instance(n)
+        cascade = stabilization_rounds_fast(topo, faults)
+        _f, searched = find_slow_instance(n, n, rng=n, restarts=restarts,
+                                          steps_per_restart=120)
+        table.add_row(n, n - 1, cascade, searched)
+    return table.render()
+
+
+#: name -> (description, runner(quick, trials) -> printable text)
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig1": ("Fig. 1 safety levels + Section 3.2 unicasts (E1)",
+             lambda quick, trials: analysis.fig1_report()),
+    "fig2": ("Fig. 2 average GS rounds vs faults, 7-cubes (E2)", _fig2),
+    "fig3": ("Fig. 3 disconnected cube + Theorem 4 (E4)",
+             lambda quick, trials: analysis.fig3_report()),
+    "fig4": ("Fig. 4 node+link faults, EGS routing (E5)",
+             lambda quick, trials: analysis.fig4_report()),
+    "fig5": ("Fig. 5 generalized hypercube routing (E6)",
+             lambda quick, trials: analysis.fig5_report()),
+    "safesets": ("Section 2.3 safe-set comparison (E3)", _safesets),
+    "routability": ("unicast guarantee sweep (E7)", _routability),
+    "rounds-compare": ("GS vs LH vs WF rounds (E8)", _rounds_compare),
+    "compare": ("router shoot-out (E9)", _compare),
+    "disconnected": ("disconnected-cube sweep (E10)", _disconnected),
+    "broadcast": ("broadcast extension (E11)", _broadcast),
+    "ablation": ("tie-break + GS policy ablations (E12)", _ablation),
+    "dynamic": ("dynamic fault maintenance policies (E13)", _dynamic),
+    "conservatism": ("safety level vs exact reach radius (E14)",
+                     _conservatism),
+    "traffic": ("link-load distribution across schemes (E15)", _traffic),
+    "contention": ("latency under link contention (E16)", _contention),
+    "sensitivity": ("fault-distribution sensitivity (E17)", _sensitivity),
+    "multicast": ("multicast tree vs separate unicasts (E18)", _multicast),
+    "worstcase": ("tightness of the n-1 round bound (E19)", _worstcase),
+    "significance": ("paired significance tests for E9 (E9b)",
+                     _significance),
+    "volume": ("message volume: the history tax (E9c)",
+               lambda quick, trials: analysis.volume_table(
+                   trials=trials or (15 if quick else 40)).render()),
+    "connectivity": ("disconnection probability vs fault count (E20)",
+                     lambda quick, trials: analysis.
+                     disconnection_probability_table(
+                         trials=trials or (60 if quick else 300)).render()),
+    "scorecard": ("one-pass PASS/FAIL check of every headline claim",
+                  lambda quick, trials: analysis.render_scorecard(
+                      analysis.scorecard())),
+}
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        help="experiment id (see DESIGN.md), 'all', or 'list'",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced trial counts for a fast smoke run")
+    parser.add_argument("--trials", type=int, default=None,
+                        help="override the per-experiment trial count")
+    parser.add_argument("--save", metavar="DIR", default=None,
+                        help="also write each experiment's output to "
+                             "DIR/<name>.txt")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        try:
+            for name in sorted(EXPERIMENTS):
+                print(f"{name:<16} {EXPERIMENTS[name][0]}")
+        except BrokenPipeError:  # piped into head/less that quit early
+            pass
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        desc, runner = EXPERIMENTS[name]
+        start = time.perf_counter()
+        output = runner(args.quick, args.trials)
+        elapsed = time.perf_counter() - start
+        print(f"### {name} — {desc}")
+        print(output)
+        print(f"[{name} regenerated in {elapsed:.1f}s]")
+        print()
+        if args.save:
+            from pathlib import Path
+
+            out_dir = Path(args.save)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            (out_dir / f"{name}.txt").write_text(output + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

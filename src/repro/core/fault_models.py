@@ -1,0 +1,300 @@
+"""Seeded fault-pattern generators for Monte-Carlo experiments.
+
+The paper evaluates over "various numbers of faults" placed at random
+(Fig. 2) and over hand-crafted disconnecting patterns (Fig. 3).  This module
+provides the corresponding generators plus a few stress models:
+
+* :func:`uniform_node_faults` — f faulty nodes uniform without replacement
+  (the Fig. 2 workload).
+* :func:`uniform_link_faults` / :func:`mixed_faults` — Section 4.1 workloads.
+* :func:`clustered_node_faults` — faults grown around a seed node; high
+  spatial correlation is the hard case for neighborhood-counting schemes.
+* :func:`isolating_faults` — surround a victim node to disconnect it: the
+  minimal disconnected-hypercube instance (Section 3.3).
+* :func:`subcube_faults` — kill an entire subcube.
+* :func:`FaultSchedule` — a timeline of fault arrivals/recoveries for the
+  dynamic-update policies of Section 2.2.
+
+All generators take a ``numpy.random.Generator`` (or an int seed) and are
+deterministic given it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .faults import FaultSet, normalize_link
+from .topology import Topology
+
+__all__ = [
+    "as_rng",
+    "uniform_node_faults",
+    "uniform_link_faults",
+    "mixed_faults",
+    "clustered_node_faults",
+    "isolating_faults",
+    "subcube_faults",
+    "FaultEvent",
+    "FaultSchedule",
+    "random_fault_schedule",
+]
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def as_rng(rng: RngLike) -> np.random.Generator:
+    """Normalize an int seed / Generator / None into a Generator."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def _check_count(requested: int, available: int, what: str) -> None:
+    if requested < 0:
+        raise ValueError(f"cannot draw a negative number of {what}")
+    if requested > available:
+        raise ValueError(
+            f"requested {requested} {what} but only {available} exist"
+        )
+
+
+def uniform_node_faults(
+    topo: Topology,
+    count: int,
+    rng: RngLike = None,
+    exclude: Iterable[int] = (),
+) -> FaultSet:
+    """``count`` faulty nodes, uniform without replacement.
+
+    ``exclude`` protects given nodes (e.g. a fixed source/destination pair)
+    from being selected.
+    """
+    gen = as_rng(rng)
+    excluded = set(exclude)
+    pool = np.array(
+        [v for v in topo.iter_nodes() if v not in excluded], dtype=np.int64
+    )
+    _check_count(count, pool.size, "node faults")
+    chosen = gen.choice(pool, size=count, replace=False) if count else []
+    return FaultSet(nodes=[int(v) for v in chosen])
+
+
+def uniform_link_faults(
+    topo: Topology,
+    count: int,
+    rng: RngLike = None,
+) -> FaultSet:
+    """``count`` faulty links, uniform without replacement over all links."""
+    gen = as_rng(rng)
+    links = list(topo.edges())
+    _check_count(count, len(links), "link faults")
+    idx = gen.choice(len(links), size=count, replace=False) if count else []
+    return FaultSet(links=[links[int(i)] for i in idx])
+
+
+def mixed_faults(
+    topo: Topology,
+    node_count: int,
+    link_count: int,
+    rng: RngLike = None,
+) -> FaultSet:
+    """Independent uniform node faults plus link faults.
+
+    Only links between surviving nodes are candidates, so every declared
+    link fault is *effective* in the Section 4.1 sense.
+    """
+    gen = as_rng(rng)
+    nodes = uniform_node_faults(topo, node_count, gen).nodes
+    links = [
+        (a, b)
+        for a, b in topo.edges()
+        if a not in nodes and b not in nodes
+    ]
+    _check_count(link_count, len(links), "link faults")
+    idx = gen.choice(len(links), size=link_count, replace=False) if link_count else []
+    return FaultSet(nodes=nodes, links=[links[int(i)] for i in idx])
+
+
+def clustered_node_faults(
+    topo: Topology,
+    count: int,
+    rng: RngLike = None,
+    seed_node: Optional[int] = None,
+) -> FaultSet:
+    """``count`` faults grown as a connected-ish cluster around a seed.
+
+    Growth repeatedly picks a random neighbor of the current cluster; this
+    concentrates damage in one neighborhood, which depresses safety levels
+    locally far more than uniform placement does — the adversarial regime
+    for Definitions 2 and 3.
+    """
+    gen = as_rng(rng)
+    _check_count(count, topo.num_nodes, "node faults")
+    if count == 0:
+        return FaultSet()
+    if seed_node is None:
+        seed_node = int(gen.integers(topo.num_nodes))
+    topo.validate_node(seed_node)
+    cluster = {seed_node}
+    frontier = set(topo.neighbors(seed_node))
+    while len(cluster) < count:
+        if not frontier:
+            # Cluster swallowed its whole component; restart elsewhere.
+            rest = [v for v in topo.iter_nodes() if v not in cluster]
+            seed2 = int(rest[int(gen.integers(len(rest)))])
+            frontier = {seed2}
+        pick = sorted(frontier)[int(gen.integers(len(frontier)))]
+        frontier.discard(pick)
+        cluster.add(pick)
+        frontier.update(v for v in topo.neighbors(pick) if v not in cluster)
+    return FaultSet(nodes=cluster)
+
+
+def isolating_faults(
+    topo: Topology,
+    victim: Optional[int] = None,
+    rng: RngLike = None,
+    spare_faults: int = 0,
+) -> FaultSet:
+    """Kill every neighbor of ``victim``, disconnecting it from the cube.
+
+    This is the canonical minimal *disconnected hypercube*: ``n`` faults in
+    an n-cube leave ``victim`` alive but unreachable.  ``spare_faults``
+    additional uniform faults can be layered on top (never on the victim).
+    """
+    gen = as_rng(rng)
+    if victim is None:
+        victim = int(gen.integers(topo.num_nodes))
+    topo.validate_node(victim)
+    nodes = set(topo.neighbors(victim))
+    if spare_faults:
+        pool = [
+            v
+            for v in topo.iter_nodes()
+            if v != victim and v not in nodes
+        ]
+        _check_count(spare_faults, len(pool), "spare faults")
+        extra = gen.choice(np.array(pool, dtype=np.int64), size=spare_faults,
+                           replace=False)
+        nodes.update(int(v) for v in extra)
+    return FaultSet(nodes=nodes)
+
+
+def subcube_faults(
+    topo: Topology,
+    pinned_dims: Sequence[Tuple[int, int]],
+) -> FaultSet:
+    """Fail an entire subcube of a binary hypercube.
+
+    ``pinned_dims`` is a list of ``(dimension, bit)`` pairs defining the
+    subcube.  Requires a binary-cube topology (uses bit semantics).
+    """
+    from . import bits  # local import to keep module load light
+
+    n = topo.dimension
+    members = list(bits.iter_subcube(pinned_dims, n))
+    for v in members:
+        topo.validate_node(v)
+    return FaultSet(nodes=members)
+
+
+# ---------------------------------------------------------------------------
+# Dynamic fault timelines (Section 2.2 update policies)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One change of a node's health at an integer time step."""
+
+    time: int
+    node: int
+    #: True for a new failure, False for a recovery.
+    fails: bool
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("event time must be nonnegative")
+
+
+@dataclass
+class FaultSchedule:
+    """A timeline of node failures/recoveries applied to a base fault set.
+
+    Used by the dynamic-update experiments: the safety-level layer re-runs
+    GS after each event (state-change-driven policy) or on a fixed cadence
+    (periodic policy), and the experiment compares message costs.
+    """
+
+    base: FaultSet
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.events = sorted(self.events, key=lambda e: (e.time, e.node))
+
+    @property
+    def horizon(self) -> int:
+        """Last event time (0 for an empty schedule)."""
+        return self.events[-1].time if self.events else 0
+
+    def at(self, time: int) -> FaultSet:
+        """Fault set in effect after all events with ``event.time <= time``."""
+        nodes = set(self.base.nodes)
+        for ev in self.events:
+            if ev.time > time:
+                break
+            if ev.fails:
+                nodes.add(ev.node)
+            else:
+                nodes.discard(ev.node)
+        return FaultSet(nodes=nodes, links=self.base.links)
+
+    def change_times(self) -> List[int]:
+        """Distinct event times, ascending."""
+        return sorted({ev.time for ev in self.events})
+
+
+def random_fault_schedule(
+    topo: Topology,
+    horizon: int,
+    failure_rate: float,
+    recovery_rate: float = 0.0,
+    rng: RngLike = None,
+) -> FaultSchedule:
+    """Poisson-ish random failure/recovery timeline.
+
+    At each integer step every healthy node fails with ``failure_rate`` and
+    every failed node recovers with ``recovery_rate`` (independent
+    Bernoulli draws).  Rates must be small for the result to resemble the
+    paper's sparse-fault regime.
+    """
+    if horizon < 0:
+        raise ValueError("horizon must be nonnegative")
+    for name, rate in (("failure_rate", failure_rate),
+                       ("recovery_rate", recovery_rate)):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"{name} must be a probability, got {rate}")
+    gen = as_rng(rng)
+    healthy = set(topo.iter_nodes())
+    failed: set = set()
+    events: List[FaultEvent] = []
+    for t in range(1, horizon + 1):
+        for v in sorted(healthy):
+            if gen.random() < failure_rate:
+                events.append(FaultEvent(time=t, node=v, fails=True))
+        for v in sorted(failed):
+            if recovery_rate and gen.random() < recovery_rate:
+                events.append(FaultEvent(time=t, node=v, fails=False))
+        for ev in events:
+            if ev.time != t:
+                continue
+            if ev.fails:
+                healthy.discard(ev.node)
+                failed.add(ev.node)
+            else:
+                failed.discard(ev.node)
+                healthy.add(ev.node)
+    return FaultSchedule(base=FaultSet(), events=events)

@@ -1,0 +1,212 @@
+"""Fault sets: which nodes and links of a topology have failed.
+
+The paper's fault model (Section 1 assumptions): node faults are
+*fail-stop*, fault detection exists, and every node knows the exact status
+of its neighbors.  Section 4.1 adds *link* faults, which a node can
+distinguish from a faulty neighbor.
+
+A :class:`FaultSet` is immutable so that one instance can be shared by the
+oracle analyses, the vectorized kernels, and the simulator without defensive
+copies.  Links are stored as normalized ``(lo, hi)`` node pairs.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, FrozenSet, Iterable, List, Tuple
+
+import numpy as np
+
+from .topology import Topology
+
+__all__ = ["FaultSet", "normalize_link"]
+
+Link = Tuple[int, int]
+
+
+def normalize_link(a: int, b: int) -> Link:
+    """Canonical undirected-link key: endpoints sorted ascending."""
+    if a == b:
+        raise ValueError(f"a link needs two distinct endpoints, got ({a}, {b})")
+    return (a, b) if a < b else (b, a)
+
+
+class FaultSet:
+    """An immutable set of faulty nodes and faulty links.
+
+    Parameters
+    ----------
+    nodes:
+        Iterable of faulty node ids.
+    links:
+        Iterable of faulty links, each an ``(a, b)`` endpoint pair in either
+        order.  A link whose endpoint is itself faulty is redundant (a
+        fail-stop node takes all its links down) but is accepted and
+        normalized away by :meth:`effective_links`.
+    """
+
+    __slots__ = ("_nodes", "_links")
+
+    def __init__(
+        self,
+        nodes: Iterable[int] = (),
+        links: Iterable[Tuple[int, int]] = (),
+    ) -> None:
+        self._nodes: FrozenSet[int] = frozenset(int(v) for v in nodes)
+        self._links: FrozenSet[Link] = frozenset(
+            normalize_link(int(a), int(b)) for a, b in links
+        )
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "FaultSet":
+        """The fault-free configuration."""
+        return cls()
+
+    @classmethod
+    def from_addresses(cls, topo: Topology, addresses: Iterable[str]) -> "FaultSet":
+        """Build a node-fault set from address strings (``'0110'`` style)."""
+        parse = getattr(topo, "parse_node")
+        return cls(nodes=[parse(a) for a in addresses])
+
+    def with_nodes(self, extra: Iterable[int]) -> "FaultSet":
+        """A new fault set with additional faulty nodes."""
+        return FaultSet(self._nodes | set(extra), self._links)
+
+    def with_links(self, extra: Iterable[Tuple[int, int]]) -> "FaultSet":
+        """A new fault set with additional faulty links."""
+        return FaultSet(self._nodes, set(self._links) | {
+            normalize_link(a, b) for a, b in extra
+        })
+
+    # -- membership -----------------------------------------------------------
+
+    @property
+    def nodes(self) -> FrozenSet[int]:
+        """Faulty node ids."""
+        return self._nodes
+
+    @property
+    def links(self) -> FrozenSet[Link]:
+        """Faulty links as normalized endpoint pairs (as declared)."""
+        return self._links
+
+    def is_node_faulty(self, node: int) -> bool:
+        return node in self._nodes
+
+    def is_link_faulty(self, a: int, b: int) -> bool:
+        """True if the ``a``–``b`` link cannot carry traffic.
+
+        A link is unusable if it was declared faulty *or* either endpoint
+        node is faulty (fail-stop nodes take their links with them).
+        """
+        return (
+            a in self._nodes
+            or b in self._nodes
+            or normalize_link(a, b) in self._links
+        )
+
+    def is_link_declared_faulty(self, a: int, b: int) -> bool:
+        """True only for links explicitly in the fault set (Section 4.1
+        distinguishes these from links lost to a faulty endpoint)."""
+        return normalize_link(a, b) in self._links
+
+    @property
+    def num_node_faults(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_link_faults(self) -> int:
+        return len(self._links)
+
+    @property
+    def has_link_faults(self) -> bool:
+        return bool(self._links)
+
+    def __bool__(self) -> bool:
+        return bool(self._nodes or self._links)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FaultSet)
+            and other._nodes == self._nodes
+            and other._links == self._links
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._nodes, self._links))
+
+    # -- derived views ----------------------------------------------------------
+
+    def validate(self, topo: Topology) -> None:
+        """Check every fault refers to a real node/link of ``topo``."""
+        for v in self._nodes:
+            topo.validate_node(v)
+        for a, b in self._links:
+            topo.validate_node(a)
+            topo.validate_node(b)
+            if b not in topo.neighbors(a):
+                raise ValueError(
+                    f"({topo.format_node(a)}, {topo.format_node(b)}) "
+                    "is not a link of the topology"
+                )
+
+    def effective_links(self) -> FrozenSet[Link]:
+        """Declared faulty links between two *nonfaulty* endpoints.
+
+        These are the links that matter for Section 4.1: a declared-faulty
+        link with a faulty endpoint behaves identically to the node fault
+        alone.
+        """
+        return frozenset(
+            (a, b)
+            for a, b in self._links
+            if a not in self._nodes and b not in self._nodes
+        )
+
+    def nonfaulty_nodes(self, topo: Topology) -> List[int]:
+        """All node ids of ``topo`` not in the fault set, ascending."""
+        return [v for v in topo.iter_nodes() if v not in self._nodes]
+
+    def node_mask(self, num_nodes: int) -> np.ndarray:
+        """Boolean vector, ``True`` at faulty node ids."""
+        mask = np.zeros(num_nodes, dtype=bool)
+        if self._nodes:
+            idx = np.fromiter(self._nodes, dtype=np.int64, count=len(self._nodes))
+            if idx.min() < 0 or idx.max() >= num_nodes:
+                raise ValueError("faulty node id out of range")
+            mask[idx] = True
+        return mask
+
+    def nodes_with_faulty_links(self, topo: Topology) -> FrozenSet[int]:
+        """Nonfaulty nodes adjacent to at least one declared-faulty link.
+
+        This is the paper's set ``N2`` (Section 4.1); ``N1`` is every other
+        nonfaulty node.
+        """
+        out = set()
+        for a, b in self.effective_links():
+            out.add(a)
+            out.add(b)
+        return frozenset(out)
+
+    def describe(self, topo: Topology) -> str:
+        """Readable one-line summary using topology address formatting."""
+        nodes = ", ".join(sorted(topo.format_node(v) for v in self._nodes))
+        links = ", ".join(
+            sorted(
+                f"{topo.format_node(a)}-{topo.format_node(b)}"
+                for a, b in self._links
+            )
+        )
+        parts = []
+        parts.append(f"faulty nodes: {{{nodes}}}" if nodes else "no faulty nodes")
+        if links:
+            parts.append(f"faulty links: {{{links}}}")
+        return "; ".join(parts)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultSet(nodes={sorted(self._nodes)!r}, "
+            f"links={sorted(self._links)!r})"
+        )

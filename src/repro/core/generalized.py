@@ -1,0 +1,205 @@
+"""The generalized hypercube ``GH(m_{n-1} x ... x m_1 x m_0)``.
+
+Bhuyan–Agrawal generalized hypercubes (paper ref [1], used in Section 4.2):
+nodes are mixed-radix vectors ``(a_{n-1}, ..., a_0)`` with
+``0 <= a_i < m_i``; two nodes are adjacent iff they differ in exactly one
+coordinate.  Each *dimension* is therefore a complete graph on ``m_i``
+nodes — every node reaches any coordinate value of a dimension in one hop,
+which is why routing in GH "is exactly the same as in a regular hypercube".
+
+Node ids are the mixed-radix value ``sum(a_i * stride_i)`` with dimension 0
+least significant, matching the binary cube's bit layout.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .topology import Topology
+
+__all__ = ["GeneralizedHypercube"]
+
+
+class GeneralizedHypercube(Topology):
+    """A generalized n-dimensional hypercube.
+
+    Parameters
+    ----------
+    radices:
+        Per-dimension sizes ``(m_0, m_1, ..., m_{n-1})``, least-significant
+        dimension first.  Every ``m_i`` must be at least 2.  The paper's
+        ``2 x 3 x 2`` example (written most-significant first) is
+        ``GeneralizedHypercube((2, 3, 2))``.
+
+    Examples
+    --------
+    >>> gh = GeneralizedHypercube((2, 3, 2))
+    >>> gh.num_nodes
+    12
+    >>> gh.format_node(gh.node_from_coords((0, 1, 0)))
+    '010'
+    """
+
+    __slots__ = ("_radices", "_strides", "_num_nodes")
+
+    def __init__(self, radices: Sequence[int]) -> None:
+        rads = tuple(int(m) for m in radices)
+        if not rads:
+            raise ValueError("generalized hypercube needs at least one dimension")
+        if any(m < 2 for m in rads):
+            raise ValueError(f"every radix must be >= 2, got {rads}")
+        strides = []
+        acc = 1
+        for m in rads:
+            strides.append(acc)
+            acc *= m
+        if acc > (1 << 26):
+            raise ValueError(f"topology too large: {acc} nodes")
+        self._radices: Tuple[int, ...] = rads
+        self._strides: Tuple[int, ...] = tuple(strides)
+        self._num_nodes = acc
+
+    # -- size ---------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def dimension(self) -> int:
+        return len(self._radices)
+
+    @property
+    def radices(self) -> Tuple[int, ...]:
+        """Per-dimension sizes, dimension 0 first."""
+        return self._radices
+
+    # -- coordinates ----------------------------------------------------------
+
+    def coords(self, node: int) -> Tuple[int, ...]:
+        """Mixed-radix coordinates ``(a_0, ..., a_{n-1})`` of ``node``."""
+        self.validate_node(node)
+        out = []
+        for m in self._radices:
+            out.append(node % m)
+            node //= m
+        return tuple(out)
+
+    def node_from_coords(self, coords: Sequence[int]) -> int:
+        """Inverse of :meth:`coords`."""
+        if len(coords) != len(self._radices):
+            raise ValueError(
+                f"expected {len(self._radices)} coordinates, got {len(coords)}"
+            )
+        node = 0
+        for c, m, stride in zip(coords, self._radices, self._strides):
+            if not 0 <= c < m:
+                raise ValueError(f"coordinate {c} out of range for radix {m}")
+            node += c * stride
+        return node
+
+    def coordinate(self, node: int, dim: int) -> int:
+        """Coordinate of ``node`` in dimension ``dim``."""
+        self.validate_node(node)
+        self._validate_dim(dim)
+        return (node // self._strides[dim]) % self._radices[dim]
+
+    def with_coordinate(self, node: int, dim: int, value: int) -> int:
+        """``node`` with its dimension-``dim`` coordinate replaced."""
+        self.validate_node(node)
+        self._validate_dim(dim)
+        m = self._radices[dim]
+        if not 0 <= value < m:
+            raise ValueError(f"coordinate {value} out of range for radix {m}")
+        stride = self._strides[dim]
+        old = (node // stride) % m
+        return node + (value - old) * stride
+
+    # -- adjacency ----------------------------------------------------------
+
+    def neighbors(self, node: int) -> List[int]:
+        self.validate_node(node)
+        out: List[int] = []
+        for dim in range(len(self._radices)):
+            out.extend(self.neighbors_along(node, dim))
+        return out
+
+    def neighbors_along(self, node: int, dim: int) -> List[int]:
+        self.validate_node(node)
+        self._validate_dim(dim)
+        m = self._radices[dim]
+        stride = self._strides[dim]
+        own = (node // stride) % m
+        return [
+            node + (v - own) * stride for v in range(m) if v != own
+        ]
+
+    def degree(self, node: int) -> int:
+        self.validate_node(node)
+        return sum(m - 1 for m in self._radices)
+
+    # -- metric -------------------------------------------------------------
+
+    def distance(self, a: int, b: int) -> int:
+        return len(self.differing_dimensions(a, b))
+
+    def differing_dimensions(self, a: int, b: int) -> List[int]:
+        self.validate_node(a)
+        self.validate_node(b)
+        dims = []
+        for dim, m in enumerate(self._radices):
+            if (a // self._strides[dim]) % m != (b // self._strides[dim]) % m:
+                dims.append(dim)
+        return dims
+
+    def agreeing_dimensions(self, a: int, b: int) -> List[int]:
+        """Dimensions where ``a`` and ``b`` share a coordinate (spares)."""
+        differing = set(self.differing_dimensions(a, b))
+        return [d for d in range(self.dimension) if d not in differing]
+
+    def step_toward(self, node: int, dest: int, dim: int) -> int:
+        return self.with_coordinate(node, dim, self.coordinate(dest, dim))
+
+    # -- naming ---------------------------------------------------------------
+
+    def format_node(self, node: int) -> str:
+        """Render most-significant dimension first, the paper's style.
+
+        Single digits are concatenated (``'010'``); radices above 10 fall
+        back to a dotted tuple form.
+        """
+        cs = self.coords(node)
+        if all(m <= 10 for m in self._radices):
+            return "".join(str(c) for c in reversed(cs))
+        return "(" + ",".join(str(c) for c in reversed(cs)) + ")"
+
+    def parse_node(self, text: str) -> int:
+        """Parse the concatenated-digit form produced by ``format_node``."""
+        stripped = text.strip()
+        if len(stripped) != len(self._radices):
+            raise ValueError(
+                f"expected {len(self._radices)} digits, got {text!r}"
+            )
+        cs = [int(c) for c in reversed(stripped)]
+        return self.node_from_coords(cs)
+
+    # -- dunder ---------------------------------------------------------------
+
+    def _validate_dim(self, dim: int) -> None:
+        if not 0 <= dim < len(self._radices):
+            raise ValueError(
+                f"dimension {dim} out of range for GH{len(self._radices)}"
+            )
+
+    def __repr__(self) -> str:
+        shape = " x ".join(str(m) for m in reversed(self._radices))
+        return f"GeneralizedHypercube({shape})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, GeneralizedHypercube)
+            and other._radices == self._radices
+        )
+
+    def __hash__(self) -> int:
+        return hash(("GeneralizedHypercube", self._radices))

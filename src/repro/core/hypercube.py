@@ -1,0 +1,149 @@
+"""The binary n-cube ``Q_n``.
+
+``Hypercube(n)`` is the topology the paper's core results are stated for:
+``2**n`` nodes, two nodes adjacent iff their addresses differ in exactly one
+bit.  The class is immutable and cheap to share; the per-instance
+``neighbor_table()`` is cached because the vectorized safety-level kernel
+gathers through it every round.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List
+
+import numpy as np
+
+from . import bits
+from .topology import Topology
+
+__all__ = ["Hypercube"]
+
+
+@lru_cache(maxsize=None)
+def _cached_neighbor_table(n: int) -> np.ndarray:
+    table = bits.neighbor_table(n)
+    table.setflags(write=False)
+    return table
+
+
+class Hypercube(Topology):
+    """The ``n``-dimensional binary hypercube.
+
+    Parameters
+    ----------
+    n:
+        Cube dimension; must satisfy ``1 <= n <= bits.MAX_DIMENSION``.
+
+    Examples
+    --------
+    >>> q3 = Hypercube(3)
+    >>> q3.neighbors(0b101)
+    [4, 7, 1]
+    >>> q3.distance(0b000, 0b110)
+    2
+    """
+
+    __slots__ = ("_n",)
+
+    def __init__(self, n: int) -> None:
+        if not 1 <= n <= bits.MAX_DIMENSION:
+            raise ValueError(
+                f"hypercube dimension must be in [1, {bits.MAX_DIMENSION}], got {n}"
+            )
+        self._n = n
+
+    # -- size ---------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return 1 << self._n
+
+    @property
+    def dimension(self) -> int:
+        return self._n
+
+    # -- adjacency ----------------------------------------------------------
+
+    def neighbors(self, node: int) -> List[int]:
+        self.validate_node(node)
+        return bits.neighbors_of(node, self._n)
+
+    def neighbors_along(self, node: int, dim: int) -> List[int]:
+        self.validate_node(node)
+        self._validate_dim(dim)
+        return [node ^ (1 << dim)]
+
+    def neighbor_along(self, node: int, dim: int) -> int:
+        """The single neighbor along ``dim`` (binary-cube convenience)."""
+        self.validate_node(node)
+        self._validate_dim(dim)
+        return node ^ (1 << dim)
+
+    def degree(self, node: int) -> int:
+        self.validate_node(node)
+        return self._n
+
+    # -- metric -------------------------------------------------------------
+
+    def distance(self, a: int, b: int) -> int:
+        self.validate_node(a)
+        self.validate_node(b)
+        return bits.hamming(a, b)
+
+    def differing_dimensions(self, a: int, b: int) -> List[int]:
+        self.validate_node(a)
+        self.validate_node(b)
+        return bits.preferred_dimensions(a, b, self._n)
+
+    def spare_dimensions(self, a: int, b: int) -> List[int]:
+        """Dimensions in which ``a`` and ``b`` agree (see the C3 rule)."""
+        self.validate_node(a)
+        self.validate_node(b)
+        return bits.spare_dimensions(a, b, self._n)
+
+    def step_toward(self, node: int, dest: int, dim: int) -> int:
+        self.validate_node(node)
+        self.validate_node(dest)
+        self._validate_dim(dim)
+        return (node & ~(1 << dim)) | (dest & (1 << dim))
+
+    # -- vectorized views -----------------------------------------------------
+
+    def neighbor_table(self) -> np.ndarray:
+        """Read-only ``(2**n, n)`` matrix of neighbor addresses.
+
+        ``table[a, i] == a ^ (1 << i)``; shared across instances of the
+        same dimension.
+        """
+        return _cached_neighbor_table(self._n)
+
+    def all_nodes(self) -> np.ndarray:
+        """All addresses as an int64 vector (for vectorized sweeps)."""
+        return bits.all_addresses(self._n)
+
+    # -- naming ---------------------------------------------------------------
+
+    def format_node(self, node: int) -> str:
+        return bits.format_address(node, self._n)
+
+    def parse_node(self, text: str) -> int:
+        """Parse an address string like ``'0110'`` and range-check it."""
+        node = bits.parse_address(text)
+        self.validate_node(node)
+        return node
+
+    # -- dunder ---------------------------------------------------------------
+
+    def _validate_dim(self, dim: int) -> None:
+        if not 0 <= dim < self._n:
+            raise ValueError(f"dimension {dim} out of range for Q{self._n}")
+
+    def __repr__(self) -> str:
+        return f"Hypercube(n={self._n})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Hypercube) and other._n == self._n
+
+    def __hash__(self) -> int:
+        return hash(("Hypercube", self._n))

@@ -1,0 +1,107 @@
+"""Abstract topology protocol shared by the binary and generalized cubes.
+
+The routing and safety-level machinery is written against this small
+interface so the same code paths serve ``Hypercube`` and
+``GeneralizedHypercube``.  A *topology* is a static, fault-free graph; fault
+information lives separately in :class:`repro.core.faults.FaultSet` so one
+topology object can be shared across thousands of Monte-Carlo trials.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Sequence
+
+__all__ = ["Topology"]
+
+
+class Topology(abc.ABC):
+    """A node-symmetric, dimension-structured interconnect.
+
+    Nodes are integers in ``[0, num_nodes)``.  Every topology organizes its
+    links into ``dimension`` *dimensions*; two nodes are adjacent iff their
+    addresses differ in exactly one dimension (in the generalized cube, a
+    dimension is a complete graph over the radix of that coordinate).
+    """
+
+    # -- size ---------------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def num_nodes(self) -> int:
+        """Total number of nodes."""
+
+    @property
+    @abc.abstractmethod
+    def dimension(self) -> int:
+        """Number of dimensions ``n``."""
+
+    # -- adjacency ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def neighbors(self, node: int) -> List[int]:
+        """All neighbors of ``node`` (all dimensions, dimension-major order)."""
+
+    @abc.abstractmethod
+    def neighbors_along(self, node: int, dim: int) -> List[int]:
+        """Neighbors of ``node`` along dimension ``dim``.
+
+        Exactly one node for the binary cube; ``m_dim - 1`` nodes for the
+        generalized cube.
+        """
+
+    @abc.abstractmethod
+    def degree(self, node: int) -> int:
+        """Number of incident links of ``node``."""
+
+    # -- metric -------------------------------------------------------------
+
+    @abc.abstractmethod
+    def distance(self, a: int, b: int) -> int:
+        """Graph distance (number of differing dimensions/coordinates)."""
+
+    @abc.abstractmethod
+    def differing_dimensions(self, a: int, b: int) -> List[int]:
+        """Dimensions in which ``a`` and ``b`` differ — the preferred
+        dimensions of a unicast from ``a`` to ``b``."""
+
+    @abc.abstractmethod
+    def step_toward(self, node: int, dest: int, dim: int) -> int:
+        """The neighbor of ``node`` along ``dim`` that matches ``dest``'s
+        coordinate in that dimension.
+
+        For a binary cube this is just the single neighbor along ``dim``;
+        for the generalized cube the dimension group is a complete graph so
+        the destination coordinate is reached in one hop.
+        """
+
+    # -- housekeeping ---------------------------------------------------------
+
+    def validate_node(self, node: int) -> None:
+        """Raise ``ValueError`` if ``node`` is not a valid address."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(
+                f"node {node} out of range for topology with "
+                f"{self.num_nodes} nodes"
+            )
+
+    def iter_nodes(self) -> Iterable[int]:
+        """Iterate all node ids."""
+        return range(self.num_nodes)
+
+    def edges(self) -> Iterable[tuple[int, int]]:
+        """Iterate each undirected link once, as ``(lo, hi)`` pairs."""
+        for u in self.iter_nodes():
+            for v in self.neighbors(u):
+                if u < v:
+                    yield (u, v)
+
+    # -- naming, used by traces and error messages ---------------------------
+
+    @abc.abstractmethod
+    def format_node(self, node: int) -> str:
+        """Human-readable address string (e.g. ``'0110'`` or ``'(1,2,0)'``)."""
+
+    def format_path(self, path: Sequence[int]) -> str:
+        """Render a node path the way the paper prints routes."""
+        return " -> ".join(self.format_node(p) for p in path)

@@ -1,0 +1,176 @@
+"""Unicasting while faults occur mid-flight (Section 2.2, demand-driven).
+
+The paper's dynamic story: "in case of occurrence of a new faulty node
+that affects a unicast, this unicast might either be aborted or be
+re-routed from the current node after all the safety levels are
+stabilized."  This module makes that behaviour executable:
+
+:func:`route_unicast_adaptive` walks a unicast over a
+:class:`~repro.core.fault_models.FaultSchedule`.  Each hop advances the
+clock by one tick; the fault set in force is re-read every tick.  The
+current message holder
+
+* routes by the *stabilized* safety levels of the instantaneous fault set
+  (state-change-driven GS is assumed to finish between hops — its
+  stabilization is bounded by n−1 fast rounds),
+* and on discovering that its chosen next hop just died, **re-routes from
+  itself**: it re-runs the full source rule (C1/C2/C3) with itself as the
+  origin, exactly as the paper prescribes.
+
+Outcomes therefore include mid-route aborts (re-route found no admissible
+continuation) in addition to the static algorithm's vocabulary.  A hop
+into a node that fails *while the message is on the wire* is still lost —
+no information could have prevented it; the tests inject exactly this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.fault_models import FaultSchedule
+from ..core.hypercube import Hypercube
+from ..safety.levels import SafetyLevels, compute_safety_levels
+from . import navigation as nav
+from .result import RouteResult, RouteStatus, SourceCondition
+from .safety_unicast import check_feasibility
+
+__all__ = ["AdaptiveRouteOutcome", "route_unicast_adaptive"]
+
+
+@dataclass(frozen=True)
+class AdaptiveRouteOutcome:
+    """A :class:`RouteResult` plus the dynamic-routing event log."""
+
+    result: RouteResult
+    #: Ticks at which the message holder had to re-route (chosen hop died).
+    reroutes: List[int] = field(default_factory=list)
+    #: Tick at which the walk ended.
+    end_time: int = 0
+
+
+def _levels_at(topo: Hypercube, schedule: FaultSchedule,
+               time: int) -> SafetyLevels:
+    faults = schedule.at(time)
+    levels = compute_safety_levels(topo, faults)
+    levels.setflags(write=False)
+    return SafetyLevels(topo=topo, faults=faults, levels=levels)
+
+
+def route_unicast_adaptive(
+    topo: Hypercube,
+    schedule: FaultSchedule,
+    source: int,
+    dest: int,
+    start_time: int = 0,
+    max_reroutes: Optional[int] = None,
+) -> AdaptiveRouteOutcome:
+    """Walk one unicast across a changing fault landscape."""
+    topo.validate_node(source)
+    topo.validate_node(dest)
+    if schedule.at(start_time).is_node_faulty(source):
+        raise ValueError(f"source {topo.format_node(source)} is faulty at "
+                         f"t={start_time}")
+    n = topo.dimension
+    h0 = topo.distance(source, dest)
+    limit = 3 * n + 8 if max_reroutes is None else max_reroutes
+    reroutes: List[int] = []
+
+    time = start_time
+    sl = _levels_at(topo, schedule, time)
+    feas = check_feasibility(sl, source, dest)
+    if not feas.feasible:
+        return AdaptiveRouteOutcome(
+            result=RouteResult(
+                router="safety-level-adaptive", source=source, dest=dest,
+                hamming=h0, status=RouteStatus.ABORTED_AT_SOURCE,
+                detail="infeasible at injection time",
+            ),
+            end_time=time,
+        )
+
+    current = source
+    path = [source]
+    vector = nav.initial_vector(source, dest)
+    condition = feas.condition
+    # The first hop follows the source rule; afterwards the intermediate
+    # rule, re-entering the source rule only on re-route.
+    pending_dim: Optional[int] = feas.first_dim
+
+    while True:
+        if nav.is_complete(vector):
+            return AdaptiveRouteOutcome(
+                result=RouteResult(
+                    router="safety-level-adaptive", source=source,
+                    dest=dest, hamming=h0, status=RouteStatus.DELIVERED,
+                    path=path, condition=condition,
+                ),
+                reroutes=reroutes, end_time=time,
+            )
+        if len(reroutes) > limit:
+            return AdaptiveRouteOutcome(
+                result=RouteResult(
+                    router="safety-level-adaptive", source=source,
+                    dest=dest, hamming=h0, status=RouteStatus.HOP_LIMIT,
+                    path=path, condition=condition,
+                    detail="re-route budget exhausted",
+                ),
+                reroutes=reroutes, end_time=time,
+            )
+
+        faults_now = schedule.at(time)
+        sl = _levels_at(topo, schedule, time)
+        if pending_dim is None:
+            candidates = [
+                (dim, sl.level(topo.neighbor_along(current, dim)))
+                for dim in nav.preferred_dims(vector, n)
+            ]
+            choice = nav.pick_extreme(candidates)
+            assert choice is not None
+            dim = choice[0]
+        else:
+            dim = pending_dim
+            pending_dim = None
+        nxt = topo.neighbor_along(current, dim)
+
+        if faults_now.is_node_faulty(nxt):
+            # Adjacent failure discovered before transmission: re-route
+            # from here (the paper's "re-routed from the current node").
+            reroutes.append(time)
+            feas = check_feasibility(sl, current, dest)
+            if not feas.feasible:
+                return AdaptiveRouteOutcome(
+                    result=RouteResult(
+                        router="safety-level-adaptive", source=source,
+                        dest=dest, hamming=h0, status=RouteStatus.STUCK,
+                        path=path, condition=condition,
+                        detail=f"re-route from "
+                               f"{topo.format_node(current)} infeasible",
+                    ),
+                    reroutes=reroutes, end_time=time,
+                )
+            condition = feas.condition
+            vector = nav.initial_vector(current, dest)
+            pending_dim = feas.first_dim
+            # Re-routing consumes a tick of local work.
+            time += 1
+            continue
+
+        # Transmit: one tick on the wire; the neighbor may die meanwhile.
+        time += 1
+        if schedule.at(time).is_node_faulty(nxt):
+            return AdaptiveRouteOutcome(
+                result=RouteResult(
+                    router="safety-level-adaptive", source=source,
+                    dest=dest, hamming=h0, status=RouteStatus.STUCK,
+                    path=path, condition=condition,
+                    detail=f"{topo.format_node(nxt)} failed while the "
+                           "message was in flight",
+                ),
+                reroutes=reroutes, end_time=time,
+            )
+        vector = nav.cross(vector, dim)
+        current = nxt
+        path.append(current)

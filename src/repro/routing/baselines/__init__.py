@@ -1,0 +1,35 @@
+"""Baseline routers the paper positions itself against.
+
+* :func:`~repro.routing.baselines.oracle.route_oracle` — global-information
+  BFS shortest path: the unbeatable reference every scheme is measured
+  against.
+* :func:`~repro.routing.baselines.sidetrack.route_sidetrack` — Gordon–Stout
+  [5]: purely local, reroutes to a random fault-free neighbor when blocked.
+* :func:`~repro.routing.baselines.dfs_backtrack.route_dfs` — Chen–Shin [3]:
+  depth-first search carrying the visited history in the message,
+  backtracking when blocked.
+* :func:`~repro.routing.baselines.progressive.route_progressive` —
+  Chen–Shin [2]: the simplified progressive variant without backtracking.
+* :func:`~repro.routing.baselines.safe_node.route_lee_hayes` — Lee–Hayes
+  [7]-style routing over Definition-2 safe nodes.
+* :func:`~repro.routing.baselines.safe_node.route_chiu_wu_style` —
+  Chiu–Wu [4]-style routing over Definition-3 (Wu–Fernandez) safe nodes.
+
+All share the :class:`~repro.routing.result.RouteResult` contract, so the
+comparison experiments treat them uniformly.
+"""
+
+from .dfs_backtrack import route_dfs
+from .oracle import route_oracle
+from .progressive import route_progressive
+from .safe_node import route_chiu_wu_style, route_lee_hayes
+from .sidetrack import route_sidetrack
+
+__all__ = [
+    "route_dfs",
+    "route_oracle",
+    "route_progressive",
+    "route_chiu_wu_style",
+    "route_lee_hayes",
+    "route_sidetrack",
+]

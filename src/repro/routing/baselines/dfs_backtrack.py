@@ -1,0 +1,100 @@
+"""Chen–Shin depth-first-search router with backtracking (paper ref [3]).
+
+The message carries the full history of visited nodes (the cost the paper
+criticizes: "a history of visited nodes has to be kept as part of the
+message").  At each node it tries unvisited fault-free preferred neighbors
+first, then unvisited spare neighbors, and backtracks along the tree edge
+when everything forward is blocked.
+
+Because DFS explores the whole connected component in the worst case, this
+router *always* delivers when source and destination are connected — its
+weakness is path length and message size, which the experiments measure.
+The traversed ``path`` includes backtrack hops: every link walked costs a
+message transmission.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...core.fault_models import RngLike
+from ...core.faults import FaultSet
+from ...core.hypercube import Hypercube
+from ..result import RouteResult, RouteStatus
+
+__all__ = ["route_dfs"]
+
+ROUTER_NAME = "dfs-backtrack"
+
+
+def route_dfs(
+    topo: Hypercube,
+    faults: FaultSet,
+    source: int,
+    dest: int,
+    rng: RngLike = None,  # accepted for interface uniformity; DFS is deterministic
+    hop_limit: Optional[int] = None,
+) -> RouteResult:
+    """Depth-first routing with backtracking.
+
+    Preferred dimensions are tried in ascending order, then spare
+    dimensions ascending — a fixed order keeps runs reproducible.
+    ``hop_limit`` defaults to unlimited (DFS terminates on its own).
+    """
+    topo.validate_node(source)
+    topo.validate_node(dest)
+    if faults.is_node_faulty(source):
+        raise ValueError(f"source {topo.format_node(source)} is faulty")
+    if faults.is_node_faulty(dest):
+        raise ValueError(f"destination {topo.format_node(dest)} is faulty")
+    h = topo.distance(source, dest)
+
+    visited = {source}
+    stack = [source]       # current DFS chain (tree path from source)
+    walk = [source]        # every link traversal, including backtracks
+    max_size = 1           # peak carried-history length, for message-size stats
+    volume = 0             # total node-ids carried across all transmissions
+
+    while stack:
+        current = stack[-1]
+        if current == dest:
+            return RouteResult(
+                router=ROUTER_NAME, source=source, dest=dest, hamming=h,
+                status=RouteStatus.DELIVERED, path=walk,
+                detail=f"history peak {max_size} nodes",
+                metrics={"volume_words": float(volume),
+                         "history_peak": float(max_size)},
+            )
+        if hop_limit is not None and len(walk) - 1 >= hop_limit:
+            return RouteResult(
+                router=ROUTER_NAME, source=source, dest=dest, hamming=h,
+                status=RouteStatus.HOP_LIMIT, path=walk,
+                detail=f"hop budget {hop_limit} exhausted",
+            )
+        # Preferred (distance-reducing) dimensions first, then spares.
+        preferred = topo.differing_dimensions(current, dest)
+        spares = [d for d in range(topo.dimension) if d not in preferred]
+        nxt = None
+        for dim in preferred + spares:
+            cand = topo.neighbor_along(current, dim)
+            if cand in visited or faults.is_node_faulty(cand):
+                continue
+            nxt = cand
+            break
+        if nxt is None:
+            stack.pop()          # dead end: backtrack one tree edge
+            if stack:
+                walk.append(stack[-1])
+                volume += len(visited)  # the history rides every hop
+            continue
+        visited.add(nxt)
+        stack.append(nxt)
+        walk.append(nxt)
+        volume += len(visited)
+        max_size = max(max_size, len(stack))
+
+    return RouteResult(
+        router=ROUTER_NAME, source=source, dest=dest, hamming=h,
+        status=RouteStatus.STUCK, path=walk,
+        detail="component exhausted: destination unreachable",
+    )

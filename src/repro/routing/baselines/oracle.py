@@ -1,0 +1,43 @@
+"""Global-information router: true shortest paths via BFS.
+
+This is the paper's "global-information-based model" idealized: the source
+knows the status of every node, so it routes along a genuine shortest path
+in the surviving subgraph (or correctly refuses when the destination is
+unreachable).  It bounds what any scheme can achieve — the comparison
+experiments normalize against it.
+"""
+
+from __future__ import annotations
+
+from ...core import partition
+from ...core.faults import FaultSet
+from ...core.topology import Topology
+from ..result import RouteResult, RouteStatus
+
+__all__ = ["route_oracle"]
+
+ROUTER_NAME = "oracle"
+
+
+def route_oracle(
+    topo: Topology, faults: FaultSet, source: int, dest: int
+) -> RouteResult:
+    """Route along a true shortest path, or abort if none exists."""
+    topo.validate_node(source)
+    topo.validate_node(dest)
+    if faults.is_node_faulty(source):
+        raise ValueError(f"source {topo.format_node(source)} is faulty")
+    if faults.is_node_faulty(dest):
+        raise ValueError(f"destination {topo.format_node(dest)} is faulty")
+    h = topo.distance(source, dest)
+    path = partition.shortest_path(topo, faults, source, dest)
+    if path is None:
+        return RouteResult(
+            router=ROUTER_NAME, source=source, dest=dest, hamming=h,
+            status=RouteStatus.ABORTED_AT_SOURCE,
+            detail="destination unreachable (disconnected)",
+        )
+    return RouteResult(
+        router=ROUTER_NAME, source=source, dest=dest, hamming=h,
+        status=RouteStatus.DELIVERED, path=path,
+    )

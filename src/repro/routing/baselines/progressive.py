@@ -1,0 +1,96 @@
+"""Chen–Shin progressive router — no backtracking (paper ref [2]).
+
+The simplified variant of the DFS scheme: routing is *progressive*
+(never retreats along the tree), tolerates fewer faults, and produces
+non-optimal paths in general.  Our rendition keeps the defining traits:
+
+* local information only (a node sees just its neighbors' health),
+* the message carries the set of already-visited nodes purely to avoid
+  cycles (no backtrack pointer),
+* blocked forward progress falls through to an unvisited spare neighbor;
+  if none exists the route fails — it cannot recover.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...core.fault_models import RngLike, as_rng
+from ...core.faults import FaultSet
+from ...core.hypercube import Hypercube
+from ..result import RouteResult, RouteStatus
+
+__all__ = ["route_progressive"]
+
+ROUTER_NAME = "progressive"
+
+
+def route_progressive(
+    topo: Hypercube,
+    faults: FaultSet,
+    source: int,
+    dest: int,
+    rng: RngLike = None,
+    hop_limit: Optional[int] = None,
+) -> RouteResult:
+    """Progressive (no-backtrack) routing with cycle avoidance.
+
+    Preferred neighbors are tried in random order (the scheme is adaptive,
+    not dimension-ordered); spares likewise.  ``hop_limit`` defaults to
+    ``2**n`` — the visited-set makes genuine livelock impossible, so this
+    is purely a guard.
+    """
+    topo.validate_node(source)
+    topo.validate_node(dest)
+    if faults.is_node_faulty(source):
+        raise ValueError(f"source {topo.format_node(source)} is faulty")
+    if faults.is_node_faulty(dest):
+        raise ValueError(f"destination {topo.format_node(dest)} is faulty")
+    gen = as_rng(rng)
+    h = topo.distance(source, dest)
+    limit = topo.num_nodes if hop_limit is None else hop_limit
+
+    visited = {source}
+    current = source
+    path = [source]
+    volume = 0  # visited set rides every hop (cycle avoidance needs it)
+    while current != dest:
+        if len(path) - 1 >= limit:
+            return RouteResult(
+                router=ROUTER_NAME, source=source, dest=dest, hamming=h,
+                status=RouteStatus.HOP_LIMIT, path=path,
+                detail=f"hop budget {limit} exhausted",
+            )
+        preferred = [
+            topo.neighbor_along(current, dim)
+            for dim in topo.differing_dimensions(current, dest)
+        ]
+        spares = [
+            v for v in topo.neighbors(current) if v not in preferred
+        ]
+        nxt = None
+        for group in (preferred, spares):
+            alive = [
+                v for v in group
+                if v not in visited and not faults.is_node_faulty(v)
+            ]
+            if alive:
+                nxt = alive[int(gen.integers(len(alive)))]
+                break
+        if nxt is None:
+            return RouteResult(
+                router=ROUTER_NAME, source=source, dest=dest, hamming=h,
+                status=RouteStatus.STUCK, path=path,
+                detail=f"{topo.format_node(current)}: no unvisited "
+                       "fault-free neighbor (cannot backtrack)",
+            )
+        visited.add(nxt)
+        volume += len(visited)
+        current = nxt
+        path.append(current)
+
+    return RouteResult(
+        router=ROUTER_NAME, source=source, dest=dest, hamming=h,
+        status=RouteStatus.DELIVERED, path=path,
+        metrics={"volume_words": float(volume)},
+    )

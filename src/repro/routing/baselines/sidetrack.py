@@ -1,0 +1,93 @@
+"""Gordon–Stout sidetracking router (paper ref [5]).
+
+Purely local information: each node knows only which of its own neighbors
+are faulty.  At every step the message moves to a fault-free *preferred*
+neighbor if one exists; otherwise it is *sidetracked* to a randomly chosen
+fault-free neighbor (a spare hop that must be undone later).  The paper
+cites this as the archetype of heuristic local routing: paths are
+unpredictable and livelock is possible, hence the hop budget.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...core.fault_models import RngLike, as_rng
+from ...core.faults import FaultSet
+from ...core.hypercube import Hypercube
+from .. import navigation as nav
+from ..result import RouteResult, RouteStatus
+
+__all__ = ["route_sidetrack", "default_hop_limit"]
+
+ROUTER_NAME = "sidetrack"
+
+
+def default_hop_limit(topo: Hypercube) -> int:
+    """Generous budget: 4 cube-diameters plus slack.
+
+    Sidetracking has no termination proof; experiments need a cutoff that
+    is clearly not the binding constraint for routes that do succeed.
+    """
+    return 4 * topo.dimension + 16
+
+
+def route_sidetrack(
+    topo: Hypercube,
+    faults: FaultSet,
+    source: int,
+    dest: int,
+    rng: RngLike = None,
+    hop_limit: Optional[int] = None,
+) -> RouteResult:
+    """Route with random sidetracking.  Seeded by ``rng``."""
+    topo.validate_node(source)
+    topo.validate_node(dest)
+    if faults.is_node_faulty(source):
+        raise ValueError(f"source {topo.format_node(source)} is faulty")
+    if faults.is_node_faulty(dest):
+        raise ValueError(f"destination {topo.format_node(dest)} is faulty")
+    gen = as_rng(rng)
+    n = topo.dimension
+    h = topo.distance(source, dest)
+    limit = default_hop_limit(topo) if hop_limit is None else hop_limit
+
+    current = source
+    vector = nav.initial_vector(source, dest)
+    path = [source]
+    while not nav.is_complete(vector):
+        if len(path) - 1 >= limit:
+            return RouteResult(
+                router=ROUTER_NAME, source=source, dest=dest, hamming=h,
+                status=RouteStatus.HOP_LIMIT, path=path,
+                detail=f"hop budget {limit} exhausted",
+            )
+        alive_pref = [
+            dim for dim in nav.preferred_dims(vector, n)
+            if not faults.is_node_faulty(topo.neighbor_along(current, dim))
+        ]
+        if alive_pref:
+            # Random choice among optimal-progress neighbors (the scheme
+            # has no information to prefer one over another).
+            dim = alive_pref[int(gen.integers(len(alive_pref)))]
+        else:
+            alive_spare = [
+                d for d in nav.spare_dims(vector, n)
+                if not faults.is_node_faulty(topo.neighbor_along(current, d))
+            ]
+            if not alive_spare:
+                return RouteResult(
+                    router=ROUTER_NAME, source=source, dest=dest, hamming=h,
+                    status=RouteStatus.STUCK, path=path,
+                    detail=f"{topo.format_node(current)} has no fault-free "
+                           "neighbor",
+                )
+            dim = alive_spare[int(gen.integers(len(alive_spare)))]
+        vector = nav.cross(vector, dim)
+        current = topo.neighbor_along(current, dim)
+        path.append(current)
+
+    return RouteResult(
+        router=ROUTER_NAME, source=source, dest=dest, hamming=h,
+        status=RouteStatus.DELIVERED, path=path,
+    )

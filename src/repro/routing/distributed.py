@@ -1,0 +1,162 @@
+"""The unicast protocol run as real message-passing on the simulator.
+
+This is the fidelity check for :mod:`repro.routing.safety_unicast`: the
+same source/intermediate rules executed by node processes that each hold
+only their own level and their neighbors' levels (the state GS leaves
+behind), with the navigation vector as the only routing state carried by
+the message.  The test suite asserts the walk and the protocol produce the
+same path for the same instance and tie-break policy.
+
+The carried ``path`` tuple in the payload is *measurement instrumentation*
+(like a trace), never consulted for forwarding decisions — the paper's
+point is precisely that no history is needed, unlike Chen–Shin DFS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.fault_models import RngLike, as_rng
+from ..safety.levels import SafetyLevels
+from ..simcore.message import Message
+from ..simcore.network import Network
+from ..simcore.node import NodeProcess
+from . import navigation as nav
+from .result import RouteResult, RouteStatus, SourceCondition
+from .safety_unicast import check_feasibility
+
+__all__ = ["UnicastProcess", "route_unicast_distributed", "KIND_UNICAST"]
+
+KIND_UNICAST = "unicast"
+
+ROUTER_NAME = "safety-level-distributed"
+
+
+class UnicastProcess(NodeProcess):
+    """Holds post-GS safety state and forwards unicast messages."""
+
+    __slots__ = ("n", "own_level", "level_of_neighbor", "tie_break", "_rng",
+                 "received")
+
+    def __init__(self, n: int, own_level: int,
+                 level_of_neighbor: Dict[int, int],
+                 tie_break: nav.TieBreak, rng) -> None:
+        super().__init__()
+        self.n = n
+        self.own_level = own_level
+        self.level_of_neighbor = level_of_neighbor
+        self.tie_break = tie_break
+        self._rng = rng
+        #: Payload paths of unicasts that terminated here.
+        self.received: List[Tuple[int, ...]] = []
+
+    # -- forwarding ---------------------------------------------------------
+
+    def _neighbor_along(self, dim: int) -> int:
+        return self.node_id ^ (1 << dim)
+
+    def forward(self, vector: int, path: Tuple[int, ...]) -> None:
+        """Apply the intermediate rule to a message currently held here."""
+        if nav.is_complete(vector):
+            self.received.append(path)
+            self.trace("unicast-arrived", path)
+            return
+        candidates = [
+            (dim, self.level_of_neighbor[self._neighbor_along(dim)])
+            for dim in nav.preferred_dims(vector, self.n)
+        ]
+        choice = nav.pick_extreme(candidates, self.tie_break, self._rng)
+        assert choice is not None
+        dim, _level = choice
+        nxt = self._neighbor_along(dim)
+        self.send(nxt, KIND_UNICAST,
+                  (nav.cross(vector, dim), path + (nxt,)),
+                  payload_units=1)
+
+    def on_message(self, msg: Message) -> None:
+        vector, path = msg.payload
+        self.forward(vector, path)
+
+
+def route_unicast_distributed(
+    sl: SafetyLevels,
+    source: int,
+    dest: int,
+    tie_break: nav.TieBreak = "lowest-dim",
+    rng: RngLike = None,
+    trace: bool = False,
+) -> Tuple[RouteResult, Network]:
+    """Run one unicast end-to-end on the simulator.
+
+    Returns the :class:`RouteResult` plus the network (for message/trace
+    inspection).  Faulty source/destination raise, as in the walk version.
+    """
+    topo, faults = sl.topo, sl.faults
+    topo.validate_node(source)
+    topo.validate_node(dest)
+    if faults.is_node_faulty(source):
+        raise ValueError(f"source {topo.format_node(source)} is faulty")
+    if faults.is_node_faulty(dest):
+        raise ValueError(f"destination {topo.format_node(dest)} is faulty")
+    gen = as_rng(rng) if tie_break == "random" else None
+    h = topo.distance(source, dest)
+
+    def factory(node: int) -> UnicastProcess:
+        return UnicastProcess(
+            n=topo.dimension,
+            own_level=sl.level(node),
+            level_of_neighbor={
+                v: sl.level(v) for v in topo.neighbors(node)
+            },
+            tie_break=tie_break,
+            rng=gen,
+        )
+
+    net = Network(topo, faults, factory, trace=trace)
+    net.start()
+
+    feas = check_feasibility(sl, source, dest, tie_break, gen)
+    if not feas.feasible:
+        result = RouteResult(
+            router=ROUTER_NAME, source=source, dest=dest, hamming=h,
+            status=RouteStatus.ABORTED_AT_SOURCE,
+            detail="C1, C2 and C3 all fail at the source",
+        )
+        return result, net
+
+    src_proc = net.process(source)
+    assert isinstance(src_proc, UnicastProcess)
+    if source == dest:
+        src_proc.received.append((source,))
+    else:
+        assert feas.first_dim is not None
+        vector = nav.cross(nav.initial_vector(source, dest), feas.first_dim)
+        first_hop = source ^ (1 << feas.first_dim)
+        src_proc.send(first_hop, KIND_UNICAST,
+                      (vector, (source, first_hop)), payload_units=1)
+    net.run()
+
+    dst_proc = net.process(dest)
+    assert isinstance(dst_proc, UnicastProcess)
+    if dst_proc.received:
+        path = list(dst_proc.received[-1])
+        result = RouteResult(
+            router=ROUTER_NAME, source=source, dest=dest, hamming=h,
+            status=RouteStatus.DELIVERED, path=path,
+            condition=feas.condition,
+        )
+    else:
+        # The message was dropped at a fault: recover the partial path from
+        # the drop record for diagnosis.
+        partial: Optional[Tuple[int, ...]] = None
+        for dropped in net.dropped:
+            if dropped.message.kind == KIND_UNICAST:
+                partial = dropped.message.payload[1]
+        result = RouteResult(
+            router=ROUTER_NAME, source=source, dest=dest, hamming=h,
+            status=RouteStatus.STUCK,
+            path=list(partial[:-1]) if partial else [source],
+            condition=feas.condition,
+            detail="message dropped at a fault",
+        )
+    return result, net

@@ -1,0 +1,138 @@
+"""Unicasting in generalized hypercubes (Section 4.2).
+
+"Routing in GH_n is exactly the same as in a regular hypercube, because all
+the nodes are directly connected along the same dimension": a preferred hop
+jumps straight to the destination's coordinate of some differing dimension.
+Feasibility mirrors C1/C2/C3 with distances counted in differing
+coordinates, and eligibility of a hop is judged by the *target* neighbor's
+own level (which dominates Definition 4's per-dimension minimum, so the
+Theorem 2' guarantee carries over).
+
+The paper's Fig. 5 walk-through also sketches *lateral* moves — stepping to
+a third coordinate value inside a preferred dimension ("ring routing along
+this dimension"), which keeps the coordinate distance unchanged.  The
+primary algorithm never needs them; ``allow_lateral=True`` enables them as
+a best-effort fallback when no target neighbor is eligible, reproducing the
+paper's alternative route shape.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.fault_models import RngLike, as_rng
+from ..safety.generalized import GhSafetyLevels
+from .result import RouteResult, RouteStatus, SourceCondition
+
+__all__ = ["route_gh_unicast"]
+
+ROUTER_NAME = "safety-level-gh"
+
+
+def _best(cands: List[Tuple[int, int]]) -> Optional[Tuple[int, int]]:
+    """Max-level (node, level) pair, smallest node id on ties."""
+    if not cands:
+        return None
+    best_level = max(level for _node, level in cands)
+    return min((node, level) for node, level in cands if level == best_level)
+
+
+def route_gh_unicast(
+    ghsl: GhSafetyLevels,
+    source: int,
+    dest: int,
+    allow_lateral: bool = False,
+    rng: RngLike = None,
+    hop_limit: Optional[int] = None,
+) -> RouteResult:
+    """Safety-level unicast in a generalized hypercube."""
+    gh, faults = ghsl.gh, ghsl.faults
+    gh.validate_node(source)
+    gh.validate_node(dest)
+    if faults.is_node_faulty(source):
+        raise ValueError(f"source {gh.format_node(source)} is faulty")
+    if faults.is_node_faulty(dest):
+        raise ValueError(f"destination {gh.format_node(dest)} is faulty")
+    h = gh.distance(source, dest)
+    limit = 4 * gh.dimension + 16 if hop_limit is None else hop_limit
+
+    if source == dest:
+        return RouteResult(router=ROUTER_NAME, source=source, dest=dest,
+                           hamming=0, status=RouteStatus.DELIVERED,
+                           path=[source], condition=SourceCondition.C1)
+
+    # -- source feasibility ---------------------------------------------------
+    def preferred_targets(node: int) -> List[Tuple[int, int]]:
+        return [
+            (gh.step_toward(node, dest, dim), ghsl.level(gh.step_toward(node, dest, dim)))
+            for dim in gh.differing_dimensions(node, dest)
+        ]
+
+    pref = preferred_targets(source)
+    best_pref = _best(pref)
+    assert best_pref is not None
+
+    condition = SourceCondition.NONE
+    first_hop = None
+    if ghsl.level(source) >= h:
+        condition, first_hop = SourceCondition.C1, best_pref[0]
+    elif best_pref[1] >= h - 1:
+        condition, first_hop = SourceCondition.C2, best_pref[0]
+    else:
+        spare_cands = []
+        for dim in gh.agreeing_dimensions(source, dest):
+            for v in gh.neighbors_along(source, dim):
+                spare_cands.append((v, ghsl.level(v)))
+        best_spare = _best(spare_cands)
+        if best_spare is not None and best_spare[1] >= h + 1:
+            condition, first_hop = SourceCondition.C3, best_spare[0]
+
+    if condition is SourceCondition.NONE:
+        return RouteResult(
+            router=ROUTER_NAME, source=source, dest=dest, hamming=h,
+            status=RouteStatus.ABORTED_AT_SOURCE,
+            detail="C1, C2 and C3 all fail at the source",
+        )
+
+    assert first_hop is not None
+    current = first_hop
+    path = [source, current]
+
+    # -- intermediate rule ------------------------------------------------------
+    while current != dest:
+        if len(path) - 1 >= limit:
+            return RouteResult(
+                router=ROUTER_NAME, source=source, dest=dest, hamming=h,
+                status=RouteStatus.HOP_LIMIT, path=path, condition=condition,
+                detail=f"hop budget {limit} exhausted",
+            )
+        cands = preferred_targets(current)
+        choice = _best(cands)
+        assert choice is not None
+        nxt, level = choice
+        if level == 0 and nxt != dest:
+            if allow_lateral:
+                lateral = []
+                for dim in gh.differing_dimensions(current, dest):
+                    target = gh.step_toward(current, dest, dim)
+                    for v in gh.neighbors_along(current, dim):
+                        if v != target and not faults.is_node_faulty(v):
+                            lateral.append((v, ghsl.level(v)))
+                pick = _best(lateral)
+                if pick is not None and pick[1] > 0:
+                    current = pick[0]
+                    path.append(current)
+                    continue
+            return RouteResult(
+                router=ROUTER_NAME, source=source, dest=dest, hamming=h,
+                status=RouteStatus.STUCK, path=path, condition=condition,
+                detail=f"all preferred targets of "
+                       f"{gh.format_node(current)} are faulty",
+            )
+        current = nxt
+        path.append(current)
+
+    return RouteResult(
+        router=ROUTER_NAME, source=source, dest=dest, hamming=h,
+        status=RouteStatus.DELIVERED, path=path, condition=condition,
+    )

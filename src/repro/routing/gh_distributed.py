@@ -1,0 +1,121 @@
+"""The generalized-hypercube unicast as a distributed protocol.
+
+Fidelity twin of :func:`repro.routing.generalized.route_gh_unicast` for the
+primary (no-lateral) algorithm: node processes carry the Definition-4
+levels of their neighbors and forward the message by jumping, within some
+still-differing dimension, straight to the destination's coordinate —
+picking the dimension whose target neighbor has the highest level.
+
+Unlike the binary protocol, the navigation state is the destination id
+itself (a GH "navigation vector" would need one mixed-radix digit per
+dimension anyway, the same information).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..safety.generalized import GhSafetyLevels
+from ..simcore.message import Message
+from ..simcore.network import Network
+from ..simcore.node import NodeProcess
+from .generalized import route_gh_unicast
+from .result import RouteResult, RouteStatus
+
+__all__ = ["route_gh_unicast_distributed"]
+
+KIND = "unicast-gh"
+
+ROUTER_NAME = "safety-level-gh-distributed"
+
+
+class _GhUnicastProcess(NodeProcess):
+    """Forwards GH unicast messages by highest-level target neighbor."""
+
+    __slots__ = ("gh", "level_of_neighbor", "received")
+
+    def __init__(self, gh, level_of_neighbor: Dict[int, int]) -> None:
+        super().__init__()
+        self.gh = gh
+        self.level_of_neighbor = level_of_neighbor
+        self.received: List[Tuple[int, ...]] = []
+
+    def forward(self, dest: int, path: Tuple[int, ...]) -> None:
+        if self.node_id == dest:
+            self.received.append(path)
+            return
+        candidates = [
+            (self.gh.step_toward(self.node_id, dest, dim))
+            for dim in self.gh.differing_dimensions(self.node_id, dest)
+        ]
+        scored = sorted(
+            ((self.level_of_neighbor[v], -v) for v in candidates),
+            reverse=True,
+        )
+        level, neg_node = scored[0]
+        nxt = -neg_node
+        remaining = self.gh.distance(self.node_id, dest)
+        if level == 0 and remaining > 1:
+            self.trace("unicast-stuck", path)
+            return
+        self.send(nxt, KIND, (dest, path + (nxt,)), payload_units=1)
+
+    def on_message(self, msg: Message) -> None:
+        dest, path = msg.payload
+        self.forward(dest, path)
+
+
+def route_gh_unicast_distributed(
+    ghsl: GhSafetyLevels,
+    source: int,
+    dest: int,
+) -> Tuple[RouteResult, Network]:
+    """Run one GH unicast end-to-end on the simulator.
+
+    The source-side C1/C2/C3 decision is taken from the walk (it uses only
+    source-local information); the transport then runs distributedly.
+    """
+    gh, faults = ghsl.gh, ghsl.faults
+    walk = route_gh_unicast(ghsl, source, dest)
+
+    def factory(node: int) -> _GhUnicastProcess:
+        return _GhUnicastProcess(
+            gh, {v: ghsl.level(v) for v in gh.neighbors(node)})
+
+    net = Network(gh, faults, factory)
+    net.start()
+    if walk.status is RouteStatus.ABORTED_AT_SOURCE:
+        return RouteResult(
+            router=ROUTER_NAME, source=source, dest=dest,
+            hamming=walk.hamming, status=walk.status, detail=walk.detail,
+        ), net
+    if source == dest:
+        return RouteResult(
+            router=ROUTER_NAME, source=source, dest=dest, hamming=0,
+            status=RouteStatus.DELIVERED, path=[source],
+            condition=walk.condition,
+        ), net
+
+    first_hop = walk.path[1]
+    src_proc = net.process(source)
+    assert isinstance(src_proc, _GhUnicastProcess)
+    src_proc.send(first_hop, KIND, (dest, (source, first_hop)),
+                  payload_units=1)
+    net.run()
+
+    dst_proc = net.process(dest)
+    assert isinstance(dst_proc, _GhUnicastProcess)
+    if dst_proc.received:
+        result = RouteResult(
+            router=ROUTER_NAME, source=source, dest=dest,
+            hamming=walk.hamming, status=RouteStatus.DELIVERED,
+            path=list(dst_proc.received[-1]), condition=walk.condition,
+        )
+    else:
+        result = RouteResult(
+            router=ROUTER_NAME, source=source, dest=dest,
+            hamming=walk.hamming, status=RouteStatus.STUCK,
+            path=[source], condition=walk.condition,
+            detail="message lost or held mid-network",
+        )
+    return result, net

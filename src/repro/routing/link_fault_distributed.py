@@ -1,0 +1,131 @@
+"""The Section 4.1 unicast as a distributed protocol (EGS levels).
+
+Fidelity twin of :func:`repro.routing.link_fault_routing.
+route_unicast_with_links`: node processes hold their EGS state (own
+private level plus neighbors' *public* levels) and forward on navigation
+vectors; the network drops traffic at faulty links exactly as the model
+prescribes.  Tests assert the walk and the protocol agree path-for-path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.fault_models import RngLike, as_rng
+from ..safety.link_faults import ExtendedSafetyLevels
+from ..simcore.message import Message
+from ..simcore.network import Network
+from ..simcore.node import NodeProcess
+from . import navigation as nav
+from .link_fault_routing import route_unicast_with_links
+from .result import RouteResult, RouteStatus
+
+__all__ = ["route_unicast_with_links_distributed"]
+
+KIND = "unicast-egs"
+
+ROUTER_NAME = "safety-level-egs-distributed"
+
+
+class _EgsUnicastProcess(NodeProcess):
+    """Forwards unicast messages using public EGS levels."""
+
+    __slots__ = ("n", "public_of_neighbor", "received")
+
+    def __init__(self, n: int, public_of_neighbor: Dict[int, int]) -> None:
+        super().__init__()
+        self.n = n
+        self.public_of_neighbor = public_of_neighbor
+        self.received: list = []
+
+    def forward(self, vector: int, path: Tuple[int, ...]) -> None:
+        if nav.is_complete(vector):
+            self.received.append(path)
+            return
+        candidates = [
+            (dim, self.public_of_neighbor[self.node_id ^ (1 << dim)])
+            for dim in nav.preferred_dims(vector, self.n)
+        ]
+        choice = nav.pick_extreme(candidates)
+        assert choice is not None
+        dim, level = choice
+        nxt = self.node_id ^ (1 << dim)
+        remaining = bin(vector).count("1")
+        if level == 0 and remaining > 1:
+            # All preferred neighbors look faulty: hold the message (the
+            # walk reports STUCK here; the protocol simply stops sending).
+            self.trace("unicast-stuck", path)
+            return
+        self.send(nxt, KIND, (nav.cross(vector, dim), path + (nxt,)),
+                  payload_units=1)
+
+    def on_message(self, msg: Message) -> None:
+        vector, path = msg.payload
+        self.forward(vector, path)
+
+
+def route_unicast_with_links_distributed(
+    ext: ExtendedSafetyLevels,
+    source: int,
+    dest: int,
+    rng: RngLike = None,
+) -> Tuple[RouteResult, Network]:
+    """Run the Section 4.1 unicast on the simulator.
+
+    The source decision (C1 on its private level, C2/C3 on public levels,
+    the adjacent-destination special case) is taken from the walk
+    implementation, which uses only source-local information; the network
+    then carries the message for real, dropping it at any faulty link.
+    """
+    topo, faults = ext.topo, ext.faults
+    # Delegate the source-side decision (and full expected outcome) to the
+    # walk, then replay the transport distributedly.
+    walk = route_unicast_with_links(ext, source, dest, rng=rng)
+
+    def factory(node: int) -> _EgsUnicastProcess:
+        return _EgsUnicastProcess(
+            topo.dimension,
+            {v: ext.level_seen_by_neighbor(v)
+             for v in topo.neighbors(node)},
+        )
+
+    net = Network(topo, faults, factory)
+    net.start()
+    if walk.status is RouteStatus.ABORTED_AT_SOURCE:
+        return RouteResult(
+            router=ROUTER_NAME, source=source, dest=dest,
+            hamming=walk.hamming, status=walk.status, detail=walk.detail,
+        ), net
+    if source == dest:
+        return RouteResult(
+            router=ROUTER_NAME, source=source, dest=dest, hamming=0,
+            status=RouteStatus.DELIVERED, path=[source],
+            condition=walk.condition,
+        ), net
+
+    first_hop = walk.path[1] if len(walk.path) > 1 else None
+    assert first_hop is not None
+    vector = nav.cross(nav.initial_vector(source, dest),
+                       (source ^ first_hop).bit_length() - 1)
+    src_proc = net.process(source)
+    assert isinstance(src_proc, _EgsUnicastProcess)
+    src_proc.send(first_hop, KIND, (vector, (source, first_hop)),
+                  payload_units=1)
+    net.run()
+
+    dst_proc = net.process(dest)
+    assert isinstance(dst_proc, _EgsUnicastProcess)
+    if dst_proc.received:
+        result = RouteResult(
+            router=ROUTER_NAME, source=source, dest=dest,
+            hamming=walk.hamming, status=RouteStatus.DELIVERED,
+            path=list(dst_proc.received[-1]), condition=walk.condition,
+        )
+    else:
+        result = RouteResult(
+            router=ROUTER_NAME, source=source, dest=dest,
+            hamming=walk.hamming, status=RouteStatus.STUCK,
+            path=[source], condition=walk.condition,
+            detail="message lost or held mid-network",
+        )
+    return result, net

@@ -1,0 +1,140 @@
+"""Unicasting in cubes with faulty links and nodes (Section 4.1).
+
+The algorithm is the Section 3.2 unicast, run over the two-view EGS
+assignment:
+
+* the source tests C1 against its *own* (private) level — an ``N2`` source
+  considers itself healthy;
+* C2/C3 and every intermediate decision use the *public* levels, under
+  which ``N2`` nodes read 0 — so healthy-looking routes never rely on a
+  node that might sit behind a broken link;
+* footnote 3: an ``N2`` node is avoided as an intermediate hop (its public
+  level 0 loses every max-level comparison), yet a message whose navigation
+  vector ends at it is still delivered, provided the final link is healthy.
+
+The guarantee is correspondingly weakened exactly as the paper states: a
+``k``-safe node reaches any node within ``k`` distance *except* the far
+ends of its own faulty links; destinations in ``N2`` may need the final
+hop to be checked at delivery time, which the walk below does, reporting
+``STUCK`` if the last link happens to be the faulty one.
+"""
+
+from __future__ import annotations
+
+from ..core.fault_models import RngLike, as_rng
+from ..safety.link_faults import ExtendedSafetyLevels
+from . import navigation as nav
+from .result import RouteResult, RouteStatus, SourceCondition
+
+__all__ = ["route_unicast_with_links"]
+
+ROUTER_NAME = "safety-level-egs"
+
+
+def route_unicast_with_links(
+    ext: ExtendedSafetyLevels,
+    source: int,
+    dest: int,
+    tie_break: nav.TieBreak = "lowest-dim",
+    rng: RngLike = None,
+) -> RouteResult:
+    """Safety-level unicast over an EGS assignment."""
+    topo, faults = ext.topo, ext.faults
+    topo.validate_node(source)
+    topo.validate_node(dest)
+    if faults.is_node_faulty(source):
+        raise ValueError(f"source {topo.format_node(source)} is faulty")
+    if faults.is_node_faulty(dest):
+        raise ValueError(f"destination {topo.format_node(dest)} is faulty")
+    gen = as_rng(rng) if tie_break == "random" else None
+    n = topo.dimension
+    h = topo.distance(source, dest)
+
+    if source == dest:
+        return RouteResult(router=ROUTER_NAME, source=source, dest=dest,
+                           hamming=0, status=RouteStatus.DELIVERED,
+                           path=[source], condition=SourceCondition.C1)
+
+    # Direct delivery to an adjacent destination over a healthy link is
+    # always possible regardless of levels (an N2 destination would
+    # otherwise look faulty and fail C2 spuriously).
+    if h == 1 and not faults.is_link_faulty(source, dest):
+        return RouteResult(router=ROUTER_NAME, source=source, dest=dest,
+                           hamming=1, status=RouteStatus.DELIVERED,
+                           path=[source, dest], condition=SourceCondition.C1)
+
+    def seen_level(node: int) -> int:
+        return ext.level_seen_by_neighbor(node)
+
+    vector = nav.initial_vector(source, dest)
+    preferred = [
+        (dim, seen_level(topo.neighbor_along(source, dim)))
+        for dim in nav.preferred_dims(vector, n)
+    ]
+    best_pref = nav.pick_extreme(preferred, tie_break, gen)
+    assert best_pref is not None
+
+    condition = SourceCondition.NONE
+    first_dim = None
+    if ext.own_level(source) >= h:
+        condition, first_dim = SourceCondition.C1, best_pref[0]
+    elif best_pref[1] >= h - 1:
+        condition, first_dim = SourceCondition.C2, best_pref[0]
+    else:
+        spare = [
+            (dim, seen_level(topo.neighbor_along(source, dim)))
+            for dim in nav.spare_dims(vector, n)
+        ]
+        best_spare = nav.pick_extreme(spare, tie_break, gen)
+        if best_spare is not None and best_spare[1] >= h + 1:
+            condition, first_dim = SourceCondition.C3, best_spare[0]
+
+    if condition is SourceCondition.NONE:
+        return RouteResult(
+            router=ROUTER_NAME, source=source, dest=dest, hamming=h,
+            status=RouteStatus.ABORTED_AT_SOURCE,
+            detail="C1, C2 and C3 all fail at the source (EGS view)",
+        )
+
+    assert first_dim is not None
+    vector = nav.cross(vector, first_dim)
+    current = topo.neighbor_along(source, first_dim)
+    path = [source, current]
+    if faults.is_link_faulty(source, current):
+        return RouteResult(
+            router=ROUTER_NAME, source=source, dest=dest, hamming=h,
+            status=RouteStatus.STUCK, path=[source], condition=condition,
+            detail="first hop crosses a faulty link",
+        )
+
+    while not nav.is_complete(vector):
+        candidates = [
+            (dim, seen_level(topo.neighbor_along(current, dim)))
+            for dim in nav.preferred_dims(vector, n)
+        ]
+        choice = nav.pick_extreme(candidates, tie_break, gen)
+        assert choice is not None
+        dim, level = choice
+        nxt = topo.neighbor_along(current, dim)
+        if level == 0 and nxt != dest:
+            return RouteResult(
+                router=ROUTER_NAME, source=source, dest=dest, hamming=h,
+                status=RouteStatus.STUCK, path=path, condition=condition,
+                detail=f"all preferred neighbors of "
+                       f"{topo.format_node(current)} look faulty",
+            )
+        if faults.is_node_faulty(nxt) or faults.is_link_faulty(current, nxt):
+            return RouteResult(
+                router=ROUTER_NAME, source=source, dest=dest, hamming=h,
+                status=RouteStatus.STUCK, path=path, condition=condition,
+                detail=f"hop {topo.format_node(current)} -> "
+                       f"{topo.format_node(nxt)} blocked by a fault",
+            )
+        vector = nav.cross(vector, dim)
+        current = nxt
+        path.append(current)
+
+    return RouteResult(
+        router=ROUTER_NAME, source=source, dest=dest, hamming=h,
+        status=RouteStatus.DELIVERED, path=path, condition=condition,
+    )

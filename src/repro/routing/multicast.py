@@ -1,0 +1,156 @@
+"""Multicast extension: one-to-many delivery built on safety-level unicast.
+
+The paper treats unicast; its companion line of work extends safety levels
+to one-to-many communication.  This module provides the natural
+construction on top of the Section 3.2 algorithm, as a measured extension
+(experiment E18):
+
+* :func:`multicast_separate` — one independent unicast per destination;
+  the correctness baseline, paying for every path in full.
+* :func:`multicast_greedy_tree` — destinations are attached nearest-first
+  to the *growing delivery tree*: each new destination is routed from the
+  tree node closest to it (among those whose safety conditions admit the
+  route), so common prefixes are paid for once.
+
+Both inherit the unicast guarantees per branch: every branch is optimal or
+``H+2`` *from its attach point*, and infeasible branches are detected at
+the attach point rather than lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from ..core.faults import normalize_link
+from ..safety.levels import SafetyLevels
+from .result import RouteResult, RouteStatus
+from .safety_unicast import check_feasibility, route_unicast
+
+__all__ = ["MulticastResult", "multicast_separate", "multicast_greedy_tree"]
+
+
+@dataclass(frozen=True)
+class MulticastResult:
+    """Outcome of one multicast."""
+
+    strategy: str
+    source: int
+    requested: FrozenSet[int]
+    covered: FrozenSet[int]
+    #: Destinations whose delivery was refused (detected, not lost).
+    infeasible: FrozenSet[int]
+    #: Distinct links carrying the payload (the message cost of a
+    #: store-and-forward multicast).
+    tree_links: FrozenSet[Tuple[int, int]]
+    #: Per-destination unicast results, keyed by destination.
+    branches: Dict[int, RouteResult] = field(default_factory=dict)
+
+    @property
+    def messages(self) -> int:
+        return len(self.tree_links)
+
+    @property
+    def complete(self) -> bool:
+        return self.covered == self.requested
+
+
+def _check_endpoints(sl: SafetyLevels, source: int,
+                     dests: Sequence[int]) -> None:
+    topo, faults = sl.topo, sl.faults
+    topo.validate_node(source)
+    if faults.is_node_faulty(source):
+        raise ValueError(f"source {topo.format_node(source)} is faulty")
+    for d in dests:
+        topo.validate_node(d)
+        if faults.is_node_faulty(d):
+            raise ValueError(
+                f"destination {topo.format_node(d)} is faulty")
+
+
+def multicast_separate(
+    sl: SafetyLevels, source: int, dests: Sequence[int]
+) -> MulticastResult:
+    """One unicast per destination; links shared by chance only."""
+    _check_endpoints(sl, source, dests)
+    covered: Set[int] = set()
+    infeasible: Set[int] = set()
+    links: Set[Tuple[int, int]] = set()
+    branches: Dict[int, RouteResult] = {}
+    for d in dests:
+        res = route_unicast(sl, source, d)
+        branches[d] = res
+        if res.status is RouteStatus.DELIVERED:
+            covered.add(d)
+            links.update(normalize_link(u, v)
+                         for u, v in zip(res.path, res.path[1:]))
+        else:
+            infeasible.add(d)
+    return MulticastResult(
+        strategy="separate-unicasts", source=source,
+        requested=frozenset(dests), covered=frozenset(covered),
+        infeasible=frozenset(infeasible), tree_links=frozenset(links),
+        branches=branches,
+    )
+
+
+def multicast_greedy_tree(
+    sl: SafetyLevels, source: int, dests: Sequence[int]
+) -> MulticastResult:
+    """Nearest-first tree growth with safety-checked attach points.
+
+    For each destination (closest to the source first), every node already
+    in the tree is a candidate attach point; the closest one whose
+    C1/C2/C3 test admits the residual unicast wins (ties to the smaller
+    node id).  The branch is routed with the ordinary algorithm, and its
+    nodes join the tree.
+    """
+    topo = sl.topo
+    _check_endpoints(sl, source, dests)
+    tree_nodes: Set[int] = {source}
+    links: Set[Tuple[int, int]] = set()
+    covered: Set[int] = set()
+    infeasible: Set[int] = set()
+    branches: Dict[int, RouteResult] = {}
+
+    for d in sorted(set(dests), key=lambda v: (topo.distance(source, v), v)):
+        if d in tree_nodes:
+            covered.add(d)
+            branches[d] = RouteResult(
+                router="multicast-tree", source=d, dest=d, hamming=0,
+                status=RouteStatus.DELIVERED, path=[d],
+            )
+            continue
+        candidates = sorted(
+            tree_nodes, key=lambda a: (topo.distance(a, d), a))
+        attach = None
+        for a in candidates:
+            if check_feasibility(sl, a, d).feasible:
+                attach = a
+                break
+        if attach is None:
+            infeasible.add(d)
+            branches[d] = RouteResult(
+                router="multicast-tree", source=source, dest=d,
+                hamming=topo.distance(source, d),
+                status=RouteStatus.ABORTED_AT_SOURCE,
+                detail="no tree node admits a route",
+            )
+            continue
+        res = route_unicast(sl, attach, d)
+        branches[d] = res
+        if res.status is not RouteStatus.DELIVERED:
+            # Feasibility admitted it, so this cannot happen (Theorem 3);
+            # stay defensive for experiment probing beyond the guarantees.
+            infeasible.add(d)
+            continue
+        covered.add(d)
+        tree_nodes.update(res.path)
+        links.update(normalize_link(u, v)
+                     for u, v in zip(res.path, res.path[1:]))
+
+    return MulticastResult(
+        strategy="greedy-tree", source=source, requested=frozenset(dests),
+        covered=frozenset(covered), infeasible=frozenset(infeasible),
+        tree_links=frozenset(links), branches=branches,
+    )

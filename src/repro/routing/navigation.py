@@ -1,0 +1,82 @@
+"""Navigation vectors (paper Section 3.1).
+
+The unicast message carries ``N = s XOR d``: bit ``i`` set means dimension
+``i`` still needs to be crossed.  Forwarding over a preferred dimension
+*resets* that bit; a spare hop *sets* it (the detour must be undone).  The
+message has arrived exactly when ``N == 0`` — intermediate nodes never need
+to know the destination address itself.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core import bits
+
+__all__ = [
+    "initial_vector",
+    "is_complete",
+    "preferred_dims",
+    "spare_dims",
+    "cross",
+    "TieBreak",
+    "pick_extreme",
+]
+
+
+def initial_vector(source: int, dest: int) -> int:
+    """``N = s XOR d`` computed at the source."""
+    return source ^ dest
+
+
+def is_complete(nav: int) -> bool:
+    """All differing dimensions crossed — current node is the destination."""
+    return nav == 0
+
+
+def preferred_dims(nav: int, n: int) -> List[int]:
+    """Dimensions still to cross (set bits of ``N``), ascending."""
+    return [i for i in range(n) if (nav >> i) & 1]
+
+
+def spare_dims(nav: int, n: int) -> List[int]:
+    """Dimensions not currently needed (clear bits of ``N``), ascending."""
+    return [i for i in range(n) if not (nav >> i) & 1]
+
+
+def cross(nav: int, dim: int) -> int:
+    """Navigation vector after forwarding along ``dim`` (bit toggles:
+    preferred hops clear it, spare hops set it)."""
+    return nav ^ bits.unit_vector(dim)
+
+
+#: Deterministic tie-breaking policies for "the neighbor with the highest
+#: safety level" when several candidates tie (the paper says "say, along
+#: dimension 0" — i.e. any choice is fine; E12 measures whether it matters).
+TieBreak = str
+TIE_BREAKS = ("lowest-dim", "highest-dim", "random")
+
+
+def pick_extreme(
+    candidates: List[tuple[int, int]],
+    tie_break: TieBreak = "lowest-dim",
+    rng=None,
+) -> Optional[tuple[int, int]]:
+    """Pick the ``(dim, level)`` candidate with maximal level.
+
+    ``candidates`` are ``(dim, level)`` pairs.  Returns None on empty
+    input.  ``rng`` is required for the ``"random"`` policy.
+    """
+    if not candidates:
+        return None
+    best_level = max(level for _dim, level in candidates)
+    tied = [c for c in candidates if c[1] == best_level]
+    if tie_break == "lowest-dim":
+        return min(tied)
+    if tie_break == "highest-dim":
+        return max(tied)
+    if tie_break == "random":
+        if rng is None:
+            raise ValueError("random tie-break needs an rng")
+        return tied[int(rng.integers(len(tied)))]
+    raise ValueError(f"unknown tie-break policy {tie_break!r}")

@@ -1,0 +1,129 @@
+"""Route outcomes shared by every router in the suite.
+
+A router returns a :class:`RouteResult`: what happened (delivered, aborted
+at the source with a *detected* infeasibility, or failed en route), the
+node path actually traversed (including any backtracking for DFS-style
+baselines), and enough metadata for the experiment tables (Hamming
+distance, detour, which source condition fired, message volume).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["RouteStatus", "SourceCondition", "RouteResult"]
+
+
+class RouteStatus(enum.Enum):
+    """Terminal state of a unicast attempt."""
+
+    #: Message reached the destination.
+    DELIVERED = "delivered"
+    #: The source determined (from safety information) that no route can be
+    #: guaranteed and did not inject the message.  This is the paper's
+    #: graceful failure mode — crucial in disconnected cubes.
+    ABORTED_AT_SOURCE = "aborted-at-source"
+    #: The message got stuck mid-route (no usable next hop).  Safety-level
+    #: routing never does this when a source condition held; heuristic
+    #: baselines can.
+    STUCK = "stuck"
+    #: Hop budget exhausted (livelock guard for heuristic baselines).
+    HOP_LIMIT = "hop-limit"
+
+
+class SourceCondition(enum.Enum):
+    """Which feasibility test admitted the unicast (paper Section 3.2)."""
+
+    #: ``S(s) >= H(s, d)`` — the source's own level suffices.
+    C1 = "C1"
+    #: Some preferred neighbor has level ``>= H - 1``.
+    C2 = "C2"
+    #: Some spare neighbor has level ``>= H + 1`` (suboptimal branch).
+    C3 = "C3"
+    #: Routers that do not use the safety-level feasibility tests.
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """Outcome of one unicast attempt.
+
+    ``path`` is the full node sequence traversed, starting at the source;
+    for delivered routes it ends at the destination.  ``hops`` therefore
+    counts *traversed links*, which for backtracking routers exceeds the
+    final route length.
+    """
+
+    router: str
+    source: int
+    dest: int
+    hamming: int
+    status: RouteStatus
+    path: List[int] = field(default_factory=list)
+    condition: SourceCondition = SourceCondition.NONE
+    #: Router-specific notes (e.g. failure explanations).
+    detail: Optional[str] = None
+    #: Router-specific numeric measurements (e.g. message volume in
+    #: carried words for history-bearing schemes).  Never consulted by
+    #: routing logic — experiment instrumentation only.
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.path and self.path[0] != self.source:
+            raise ValueError("path must start at the source")
+        if self.status is RouteStatus.DELIVERED:
+            if not self.path or self.path[-1] != self.dest:
+                raise ValueError("delivered route must end at the destination")
+
+    # -- derived metrics ----------------------------------------------------
+
+    @property
+    def delivered(self) -> bool:
+        return self.status is RouteStatus.DELIVERED
+
+    @property
+    def hops(self) -> int:
+        """Links traversed (0 for an aborted unicast)."""
+        return max(0, len(self.path) - 1)
+
+    @property
+    def detour(self) -> Optional[int]:
+        """``hops - H(s, d)``; None unless delivered."""
+        if not self.delivered:
+            return None
+        return self.hops - self.hamming
+
+    @property
+    def optimal(self) -> bool:
+        """Delivered along a Hamming-distance path."""
+        return self.delivered and self.hops == self.hamming
+
+    @property
+    def suboptimal(self) -> bool:
+        """Delivered with the paper's +2 detour exactly."""
+        return self.delivered and self.hops == self.hamming + 2
+
+    def describe(self, format_node=None) -> str:
+        """One-line human-readable summary (examples use this)."""
+        fmt = format_node or str
+        head = (
+            f"{self.router}: {fmt(self.source)} -> {fmt(self.dest)} "
+            f"[H={self.hamming}] {self.status.value}"
+        )
+        if self.delivered:
+            kind = (
+                "optimal" if self.optimal
+                else f"detour +{self.detour}"
+            )
+            route = " -> ".join(fmt(v) for v in self.path)
+            cond = (
+                f", via {self.condition.value}"
+                if self.condition is not SourceCondition.NONE
+                else ""
+            )
+            return f"{head} ({kind}{cond}): {route}"
+        if self.detail:
+            return f"{head}: {self.detail}"
+        return head

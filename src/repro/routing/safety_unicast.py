@@ -1,0 +1,185 @@
+"""The paper's unicasting algorithm (Section 3.2).
+
+Source rule — with ``H = H(s, d)`` and ``N = s XOR d``:
+
+* **C1**: ``S(s) >= H``, or
+* **C2**: some preferred neighbor has level ``>= H - 1``
+  → *optimal unicasting*: forward to the preferred neighbor with the
+  highest safety level; the resulting path has length exactly ``H``.
+* **C3** (only if C1 and C2 fail): some spare neighbor has level
+  ``>= H + 1`` → *suboptimal unicasting*: forward to the spare neighbor
+  with the highest level; length exactly ``H + 2``.
+* otherwise → **failure detected at the source**; the message is never
+  injected.  (Too many faults nearby, or the destination lies in another
+  part of a disconnected cube.)
+
+Intermediate rule: forward to the preferred neighbor with the highest
+safety level, until the navigation vector is zero.
+
+This module implements the algorithm as a deterministic walk over a
+precomputed :class:`~repro.safety.levels.SafetyLevels` assignment — the
+node-local information used at each step is exactly (own level, neighbors'
+levels, navigation vector), so the walk is faithful to the distributed
+protocol (see :mod:`repro.routing.distributed` for the on-simulator
+version, cross-validated in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.fault_models import RngLike, as_rng
+from ..safety.levels import SafetyLevels
+from . import navigation as nav
+from .result import RouteResult, RouteStatus, SourceCondition
+
+__all__ = ["check_feasibility", "route_unicast", "Feasibility"]
+
+ROUTER_NAME = "safety-level"
+
+
+@dataclass(frozen=True)
+class Feasibility:
+    """Outcome of the source-side feasibility tests."""
+
+    condition: SourceCondition
+    #: Dimension of the first hop the source rule selects (None on failure).
+    first_dim: Optional[int]
+
+    @property
+    def feasible(self) -> bool:
+        return self.condition is not SourceCondition.NONE
+
+    @property
+    def optimal_expected(self) -> bool:
+        return self.condition in (SourceCondition.C1, SourceCondition.C2)
+
+
+def check_feasibility(
+    sl: SafetyLevels,
+    source: int,
+    dest: int,
+    tie_break: nav.TieBreak = "lowest-dim",
+    rng: RngLike = None,
+) -> Feasibility:
+    """Run the paper's C1/C2/C3 tests at the source.
+
+    Uses only information available at the source node: its own level, its
+    neighbors' levels, and ``H(s, d)``.
+    """
+    topo = sl.topo
+    topo.validate_node(source)
+    topo.validate_node(dest)
+    gen = as_rng(rng) if tie_break == "random" else None
+    n = topo.dimension
+    vector = nav.initial_vector(source, dest)
+    h = vector.bit_count()
+    if h == 0:
+        return Feasibility(condition=SourceCondition.C1, first_dim=None)
+
+    preferred = [
+        (dim, sl.level(topo.neighbor_along(source, dim)))
+        for dim in nav.preferred_dims(vector, n)
+    ]
+
+    # C1: own level covers the distance; C2: a preferred neighbor is at
+    # least (H-1)-safe.  Both route through the max-level preferred
+    # neighbor (under C1 that neighbor is guaranteed >= H-1 by the
+    # staircase property of Definition 1).
+    best_pref = nav.pick_extreme(preferred, tie_break, gen)
+    assert best_pref is not None  # h > 0 implies preferred dims exist
+    if sl.level(source) >= h or best_pref[1] >= h - 1:
+        condition = (
+            SourceCondition.C1 if sl.level(source) >= h else SourceCondition.C2
+        )
+        return Feasibility(condition=condition, first_dim=best_pref[0])
+
+    # C3: a spare neighbor at least (H+1)-safe gives the +2 detour route.
+    spare = [
+        (dim, sl.level(topo.neighbor_along(source, dim)))
+        for dim in nav.spare_dims(vector, n)
+    ]
+    best_spare = nav.pick_extreme(spare, tie_break, gen)
+    if best_spare is not None and best_spare[1] >= h + 1:
+        return Feasibility(condition=SourceCondition.C3,
+                           first_dim=best_spare[0])
+
+    return Feasibility(condition=SourceCondition.NONE, first_dim=None)
+
+
+def route_unicast(
+    sl: SafetyLevels,
+    source: int,
+    dest: int,
+    tie_break: nav.TieBreak = "lowest-dim",
+    rng: RngLike = None,
+) -> RouteResult:
+    """Route one unicast with the safety-level algorithm.
+
+    Raises ``ValueError`` for a faulty source or destination (the paper
+    assumes both ends are alive; a faulty destination is detectable only at
+    delivery, which the simulator-level tests exercise separately).
+    """
+    topo, faults = sl.topo, sl.faults
+    topo.validate_node(source)
+    topo.validate_node(dest)
+    if faults.is_node_faulty(source):
+        raise ValueError(f"source {topo.format_node(source)} is faulty")
+    if faults.is_node_faulty(dest):
+        raise ValueError(f"destination {topo.format_node(dest)} is faulty")
+    gen = as_rng(rng) if tie_break == "random" else None
+    n = topo.dimension
+    h = topo.distance(source, dest)
+
+    if source == dest:
+        return RouteResult(
+            router=ROUTER_NAME, source=source, dest=dest, hamming=0,
+            status=RouteStatus.DELIVERED, path=[source],
+            condition=SourceCondition.C1,
+        )
+
+    feas = check_feasibility(sl, source, dest, tie_break, gen)
+    if not feas.feasible:
+        return RouteResult(
+            router=ROUTER_NAME, source=source, dest=dest, hamming=h,
+            status=RouteStatus.ABORTED_AT_SOURCE,
+            detail="C1, C2 and C3 all fail at the source",
+        )
+
+    # First hop chosen by the source rule; thereafter the intermediate rule.
+    assert feas.first_dim is not None
+    vector = nav.cross(nav.initial_vector(source, dest), feas.first_dim)
+    current = topo.neighbor_along(source, feas.first_dim)
+    path = [source, current]
+
+    while not nav.is_complete(vector):
+        candidates = [
+            (dim, sl.level(topo.neighbor_along(current, dim)))
+            for dim in nav.preferred_dims(vector, n)
+        ]
+        choice = nav.pick_extreme(candidates, tie_break, gen)
+        assert choice is not None  # vector != 0 implies preferred dims
+        dim, level = choice
+        nxt = topo.neighbor_along(current, dim)
+        if level == 0 and nxt != dest:
+            # All remaining preferred neighbors are faulty.  Cannot happen
+            # when a source condition held (Theorem 3), but the walk stays
+            # defensive so experiments can probe beyond the guarantees.
+            return RouteResult(
+                router=ROUTER_NAME, source=source, dest=dest, hamming=h,
+                status=RouteStatus.STUCK, path=path,
+                condition=feas.condition,
+                detail=f"all preferred neighbors of "
+                       f"{topo.format_node(current)} are faulty",
+            )
+        vector = nav.cross(vector, dim)
+        current = nxt
+        path.append(current)
+
+    return RouteResult(
+        router=ROUTER_NAME, source=source, dest=dest, hamming=h,
+        status=RouteStatus.DELIVERED, path=path, condition=feas.condition,
+    )

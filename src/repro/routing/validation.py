@@ -1,0 +1,114 @@
+"""Route auditing: machine-checkable compliance with the paper's contracts.
+
+The test suite and the experiment harness both need to judge whether a
+:class:`~repro.routing.result.RouteResult` honors its claims.  This module
+centralizes those judgments:
+
+* :func:`audit_route` — structural audit of any result against the fault
+  map: path continuity, fault avoidance, endpoint/status consistency.
+* :func:`audit_theorem3` — the safety-level contract on top: C1/C2 routes
+  must have length exactly ``H``, C3 routes exactly ``H + 2``, aborted
+  results must carry no path, and a result produced while a source
+  condition held must not be stuck.
+
+Both return a list of violation strings (empty = compliant), so failures
+are self-describing in test output and experiment logs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core import partition
+from ..core.faults import FaultSet
+from ..core.topology import Topology
+from .result import RouteResult, RouteStatus, SourceCondition
+
+__all__ = ["audit_route", "audit_theorem3", "assert_compliant"]
+
+
+def audit_route(
+    topo: Topology, faults: FaultSet, result: RouteResult
+) -> List[str]:
+    """Structural violations of ``result`` against the fault map."""
+    issues: List[str] = []
+    path = result.path
+
+    if result.status is RouteStatus.DELIVERED:
+        if not path:
+            issues.append("delivered with an empty path")
+            return issues
+        if path[0] != result.source:
+            issues.append("path does not start at the source")
+        if path[-1] != result.dest:
+            issues.append("path does not end at the destination")
+    if result.status is RouteStatus.ABORTED_AT_SOURCE and len(path) > 1:
+        issues.append("aborted at source but the path shows hops")
+
+    for u in path:
+        try:
+            topo.validate_node(u)
+        except ValueError:
+            issues.append(f"path contains invalid node {u}")
+            return issues
+        if faults.is_node_faulty(u):
+            issues.append(f"path visits faulty node {topo.format_node(u)}")
+    for u, v in zip(path, path[1:]):
+        if v not in topo.neighbors(u):
+            issues.append(
+                f"teleport {topo.format_node(u)} -> {topo.format_node(v)}"
+            )
+        elif faults.is_link_faulty(u, v):
+            issues.append(
+                f"path crosses faulty link {topo.format_node(u)}-"
+                f"{topo.format_node(v)}"
+            )
+
+    if result.hamming != topo.distance(result.source, result.dest):
+        issues.append("recorded Hamming distance is wrong")
+    return issues
+
+
+def audit_theorem3(
+    topo: Topology, faults: FaultSet, result: RouteResult
+) -> List[str]:
+    """Theorem-3 contract violations (includes the structural audit)."""
+    issues = audit_route(topo, faults, result)
+    cond = result.condition
+    if result.status is RouteStatus.DELIVERED:
+        if cond in (SourceCondition.C1, SourceCondition.C2) \
+                and result.hops != result.hamming:
+            issues.append(
+                f"{cond.value} route has length {result.hops}, "
+                f"expected H = {result.hamming}"
+            )
+        if cond is SourceCondition.C3 \
+                and result.hops != result.hamming + 2:
+            issues.append(
+                f"C3 route has length {result.hops}, expected "
+                f"H + 2 = {result.hamming + 2}"
+            )
+    elif cond is not SourceCondition.NONE \
+            and result.status in (RouteStatus.STUCK, RouteStatus.HOP_LIMIT):
+        issues.append(
+            f"a {cond.value}-admitted unicast must not end "
+            f"{result.status.value}"
+        )
+    if result.status is RouteStatus.ABORTED_AT_SOURCE:
+        # An abort is *conservative* if the oracle disagrees; that is
+        # allowed beyond n-1 faults, but an abort on a pair the source's
+        # own condition admitted is contradictory.
+        if cond is not SourceCondition.NONE:
+            issues.append("aborted although a source condition is recorded")
+    return issues
+
+
+def assert_compliant(
+    topo: Topology, faults: FaultSet, result: RouteResult
+) -> None:
+    """Raise ``AssertionError`` listing every Theorem-3 violation."""
+    issues = audit_theorem3(topo, faults, result)
+    if issues:
+        raise AssertionError(
+            "route violates its contract:\n  " + "\n  ".join(issues)
+        )

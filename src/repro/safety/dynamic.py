@@ -1,0 +1,194 @@
+"""Keeping safety levels up to date as faults come and go (Section 2.2).
+
+The paper sketches three maintenance policies — demand-driven, periodic,
+and state-change-driven — and notes the trade-off: periodic exchanges are
+"wasted when all (or most) of nodes' status remain stable", while a stale
+assignment can mislead a unicast until GS re-stabilizes.
+
+:class:`DynamicLevelTracker` replays a :class:`~repro.core.fault_models.
+FaultSchedule` tick by tick under a policy and accounts for
+
+* **GS traffic** — exact message counts of the state-change-driven
+  (on-change) protocol, reproduced analytically from the vectorized sweeps
+  (a level change costs one message per healthy neighbor, per round); the
+  analytic count is cross-validated against the simulator in the tests;
+* **staleness** — ticks during which the routing layer acts on levels
+  that no longer match the true fixed point.
+
+Incremental recomputation exploits monotonicity: failures only can resume
+from the previous assignment (the new fixed point is pointwise lower);
+any recovery restarts from the all-``n`` state, exactly like a fresh GS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Literal, Optional, Tuple
+
+import numpy as np
+
+from ..core.fault_models import FaultSchedule
+from ..core.faults import FaultSet
+from ..core.hypercube import Hypercube
+from .levels import _sweep
+
+__all__ = [
+    "recompute_incremental",
+    "TickRecord",
+    "DynamicRunResult",
+    "DynamicLevelTracker",
+]
+
+Policy = Literal["state-change", "periodic"]
+
+
+def _gs_message_cost(topo: Hypercube, faults: FaultSet,
+                     start: Optional[np.ndarray]) -> Tuple[np.ndarray, int, int]:
+    """Run the (possibly warm-started) fixed point, counting on-change
+    protocol messages exactly.
+
+    Returns ``(levels, rounds, messages)``.  A node that changes level in
+    a round transmits to each healthy neighbor — identical accounting to
+    :class:`~repro.safety.gs.GsProcess` in ``on-change`` mode.
+    """
+    n = topo.dimension
+    table = topo.neighbor_table()
+    faulty = faults.node_mask(topo.num_nodes)
+    healthy_degree = (~faulty[table]).sum(axis=1)
+    if start is None:
+        levels = np.full(topo.num_nodes, n, dtype=np.int64)
+    else:
+        levels = np.array(start, dtype=np.int64, copy=True)
+        levels[~faulty & (levels == 0)] = n  # recovered nodes re-enter at n
+    levels[faulty] = 0
+    staircase = np.arange(n, dtype=np.int64)[None, :]
+    scratch = np.empty((topo.num_nodes, n), dtype=np.int64)
+    rounds = 0
+    messages = 0
+    for sweep_no in range(1, topo.num_nodes + 2):
+        before = levels.copy()
+        if _sweep(levels, table, faulty, staircase, scratch) == 0:
+            return levels, rounds, messages
+        changed = np.nonzero(levels != before)[0]
+        messages += int(healthy_degree[changed].sum())
+        rounds = sweep_no
+    raise AssertionError("dynamic GS failed to stabilize")
+
+
+def recompute_incremental(
+    topo: Hypercube,
+    faults: FaultSet,
+    previous: Optional[np.ndarray],
+    had_recovery: bool,
+) -> Tuple[np.ndarray, int, int]:
+    """New fixed point plus (rounds, messages) of the on-change protocol.
+
+    Warm-starts from ``previous`` when only failures occurred (monotone —
+    the fresh fixed point is pointwise lower, so the downward iteration
+    from the old assignment is valid); restarts cold after any recovery.
+    """
+    start = None if (previous is None or had_recovery) else previous
+    return _gs_message_cost(topo, faults, start)
+
+
+@dataclass(frozen=True)
+class TickRecord:
+    """Bookkeeping for one schedule tick."""
+
+    time: int
+    fault_events: int
+    recomputed: bool
+    gs_rounds: int
+    gs_messages: int
+    #: True when the routing layer's levels equal the true fixed point.
+    levels_current: bool
+
+
+@dataclass
+class DynamicRunResult:
+    """Aggregate of a schedule replay."""
+
+    policy: str
+    ticks: List[TickRecord] = field(default_factory=list)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(t.gs_messages for t in self.ticks)
+
+    @property
+    def recomputations(self) -> int:
+        return sum(1 for t in self.ticks if t.recomputed)
+
+    @property
+    def stale_ticks(self) -> int:
+        return sum(1 for t in self.ticks if not t.levels_current)
+
+    @property
+    def horizon(self) -> int:
+        return self.ticks[-1].time if self.ticks else 0
+
+
+class DynamicLevelTracker:
+    """Replays a fault schedule under one maintenance policy.
+
+    Parameters
+    ----------
+    topo, schedule:
+        The machine and its failure/recovery timeline.
+    policy:
+        ``"state-change"`` — recompute at every tick that carries an
+        event (nodes notice a neighbor's change immediately);
+        ``"periodic"`` — recompute every ``period`` ticks regardless.
+    period:
+        Cadence for the periodic policy (ignored otherwise).
+    """
+
+    def __init__(self, topo: Hypercube, schedule: FaultSchedule,
+                 policy: Policy = "state-change", period: int = 5) -> None:
+        if policy not in ("state-change", "periodic"):
+            raise ValueError(f"unknown policy {policy!r}")
+        if period < 1:
+            raise ValueError("period must be positive")
+        self.topo = topo
+        self.schedule = schedule
+        self.policy = policy
+        self.period = period
+
+    def run(self) -> DynamicRunResult:
+        result = DynamicRunResult(policy=self.policy)
+        topo = self.topo
+        known_levels, _r, boot_msgs = recompute_incremental(
+            topo, self.schedule.at(0), None, had_recovery=False)
+        result.ticks.append(TickRecord(
+            time=0, fault_events=0, recomputed=True, gs_rounds=0,
+            gs_messages=boot_msgs, levels_current=True,
+        ))
+        events_by_time: dict = {}
+        for ev in self.schedule.events:
+            events_by_time.setdefault(ev.time, []).append(ev)
+
+        for t in range(1, self.schedule.horizon + 1):
+            events = events_by_time.get(t, [])
+            faults_now = self.schedule.at(t)
+            due = (
+                bool(events) if self.policy == "state-change"
+                else t % self.period == 0
+            )
+            rounds = messages = 0
+            if due:
+                had_recovery = any(not ev.fails for ev in events) \
+                    or self.policy == "periodic"
+                known_levels, rounds, messages = recompute_incremental(
+                    topo, faults_now, known_levels, had_recovery)
+            true_levels, _tr, _tm = recompute_incremental(
+                topo, faults_now, None, had_recovery=False)
+            result.ticks.append(TickRecord(
+                time=t,
+                fault_events=len(events),
+                recomputed=due,
+                gs_rounds=rounds,
+                gs_messages=messages,
+                levels_current=bool(np.array_equal(known_levels,
+                                                   true_levels)),
+            ))
+        return result

@@ -1,0 +1,162 @@
+"""The EGS protocol (Section 4.1) as a real distributed computation.
+
+The paper's pseudo-code, executed by node processes on the simulator:
+
+* nodes in ``N1`` (no adjacent faulty link) run ordinary GS rounds,
+  treating faulty nodes *and* their ``N2`` neighbors as 0-safe;
+* nodes in ``N2`` stay silent — they have declared themselves publicly
+  faulty — and run NODE_STATUS once in the final round, privately, over
+  their latest view of neighbor levels with the far ends of their faulty
+  links pinned to 0.
+
+Each node needs only local knowledge to classify itself (it can see its
+own adjacent links) and its neighbors (paper assumption: a node can
+distinguish an adjacent faulty link from an adjacent faulty node).
+
+Cross-validated against the vectorized
+:func:`repro.safety.link_faults.compute_extended_levels` in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..core.faults import FaultSet
+from ..core.hypercube import Hypercube
+from ..simcore.message import Message
+from ..simcore.network import Network
+from ..simcore.sync import BspProcess, RoundExecutor, RoundsResult
+from .levels import level_from_sorted
+from .link_faults import ExtendedSafetyLevels
+
+__all__ = ["EgsProcess", "EgsRun", "run_egs"]
+
+KIND_LEVEL = "egs-level"
+
+
+class EgsProcess(BspProcess):
+    """One node's side of the EGS protocol.
+
+    ``dead_link_neighbors`` are the far ends of this node's own faulty
+    links; a nonempty set puts the node in ``N2``.  ``n2_neighbors`` are
+    healthy neighbors this node must treat as faulty because *they* sit on
+    a faulty link (their declaration is local knowledge: both ends of a
+    link see its failure).
+    """
+
+    __slots__ = ("n", "final_round", "public_level", "self_level",
+                 "neighbor_view", "dead_link_neighbors", "_healthy",
+                 "in_n2")
+
+    def __init__(
+        self,
+        neighbors: Sequence[int],
+        faulty_neighbors: Sequence[int],
+        n2_neighbors: Sequence[int],
+        dead_link_neighbors: Sequence[int],
+        n: int,
+    ) -> None:
+        super().__init__()
+        self.n = n
+        self.final_round = n - 1
+        self.dead_link_neighbors = frozenset(dead_link_neighbors)
+        zeroed = set(faulty_neighbors) | set(n2_neighbors) \
+            | self.dead_link_neighbors
+        self.neighbor_view: Dict[int, int] = {
+            v: (0 if v in zeroed else n) for v in neighbors
+        }
+        self._healthy = [v for v in neighbors
+                         if v not in set(faulty_neighbors)
+                         and v not in self.dead_link_neighbors]
+        self.in_n2 = bool(self.dead_link_neighbors)
+        # Public level: what this node advertises.  N2 nodes advertise 0.
+        self.public_level = 0 if self.in_n2 else n
+        # Private level: what the node routes with.  Filled for N2 in the
+        # final round; equals public for N1.
+        self.self_level = 0 if self.in_n2 else n
+
+    def _recompute_public(self) -> bool:
+        new = level_from_sorted(sorted(self.neighbor_view.values()))
+        if new != self.public_level:
+            self.public_level = new
+            self.self_level = new
+            return True
+        return False
+
+    def on_round(self, round_no: int, inbox: Sequence[Message]) -> bool:
+        for msg in inbox:
+            self.neighbor_view[msg.src] = msg.payload
+        if self.in_n2:
+            # Silent until the last round, then one private NODE_STATUS.
+            if round_no == self.final_round:
+                # Far ends of own faulty links are already pinned at 0 in
+                # the view (never updated: those neighbors are N2 too and
+                # never transmit on this link — the link is dead).
+                self.self_level = level_from_sorted(
+                    sorted(self.neighbor_view.values()))
+                return True
+            return False
+        changed = self._recompute_public()
+        if changed:
+            for v in self._healthy:
+                self.send(v, KIND_LEVEL, self.public_level, payload_units=1)
+        return changed
+
+    def on_start(self) -> None:
+        # N1 nodes whose initial view already deviates from all-n (they
+        # border faults or N2 nodes) will recompute in round 1; nothing to
+        # transmit up front since the all-n start is known by convention.
+        pass
+
+
+@dataclass(frozen=True)
+class EgsRun:
+    """Result of a distributed EGS execution."""
+
+    levels: ExtendedSafetyLevels
+    rounds: RoundsResult
+    network: Network
+
+
+def run_egs(topo: Hypercube, faults: FaultSet, trace: bool = False) -> EgsRun:
+    """Execute distributed EGS and collect both views.
+
+    Runs exactly ``n - 1`` rounds (the paper's ``while round <= n - 1``);
+    N2 nodes evaluate themselves in the last round.
+    """
+    faults.validate(topo)
+    n = topo.dimension
+    n2_set = faults.nodes_with_faulty_links(topo)
+
+    def factory(node: int) -> EgsProcess:
+        neighbors = topo.neighbors(node)
+        return EgsProcess(
+            neighbors=neighbors,
+            faulty_neighbors=[v for v in neighbors
+                              if faults.is_node_faulty(v)],
+            n2_neighbors=[v for v in neighbors if v in n2_set
+                          and not faults.is_link_declared_faulty(node, v)],
+            dead_link_neighbors=[v for v in neighbors
+                                 if faults.is_link_declared_faulty(node, v)],
+            n=n,
+        )
+
+    net = Network(topo, faults, factory, trace=trace)
+    result = RoundExecutor(net).run(max_rounds=max(1, n - 1),
+                                    stop_when_stable=False)
+    public = np.zeros(topo.num_nodes, dtype=np.int64)
+    private = np.zeros(topo.num_nodes, dtype=np.int64)
+    for node, proc in net.processes.items():
+        assert isinstance(proc, EgsProcess)
+        public[node] = 0 if proc.in_n2 else proc.public_level
+        private[node] = proc.self_level
+    public.setflags(write=False)
+    private.setflags(write=False)
+    ext = ExtendedSafetyLevels(
+        topo=topo, faults=faults, public_levels=public,
+        self_levels=private, n2=frozenset(n2_set),
+    )
+    return EgsRun(levels=ext, rounds=result, network=net)

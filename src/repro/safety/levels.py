@@ -1,0 +1,237 @@
+"""Safety levels (Definition 1) and their fixed-point computation.
+
+Definition 1 (paper): a faulty node is 0-safe.  For a nonfaulty node ``a``
+with *nondecreasing* neighbor-level sequence ``(S_0, ..., S_{n-1})``:
+
+* if ``(S_0, ..., S_{n-1}) >= (0, 1, ..., n-1)`` elementwise, ``S(a) = n``;
+* else ``S(a) = k`` where the length-k prefix dominates ``(0, ..., k-1)``
+  and ``S_k = k - 1``.
+
+A useful consequence (used by both kernels here): in a sorted sequence the
+*first* index ``j`` with ``S_j < j`` automatically satisfies ``S_j = j - 1``
+whenever it exists — because ``S_j >= S_{j-1} >= j - 1``.  So the update
+rule collapses to::
+
+    S(a) = min { j : S_j < j }        (or n if no such j)
+
+which is exactly what :func:`level_from_sorted` computes and what the
+vectorized kernel evaluates for all nodes at once.
+
+The global assignment is the unique fixed point of this rule (Theorem 1).
+Iterating from the all-``n`` initial state (the GS initialisation) converges
+monotonically downward in at most ``n - 1`` sweeps (Property 1 corollary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.fault_models import RngLike, as_rng
+from ..core.faults import FaultSet
+from ..core.hypercube import Hypercube
+
+__all__ = [
+    "level_from_sorted",
+    "level_of_node",
+    "compute_safety_levels",
+    "compute_safety_levels_async",
+    "verify_fixed_point",
+    "SafetyLevels",
+]
+
+
+def level_from_sorted(sorted_levels: Sequence[int]) -> int:
+    """Definition 1 applied to an already-sorted neighbor sequence.
+
+    ``sorted_levels`` must be nondecreasing; the result is ``n`` (its
+    length) when the sequence dominates ``(0, 1, ..., n-1)`` and otherwise
+    the first index falling below the identity staircase.
+    """
+    for j, s in enumerate(sorted_levels):
+        if s < j:
+            return j
+    return len(sorted_levels)
+
+
+def level_of_node(neighbor_levels: Sequence[int]) -> int:
+    """Definition 1 from an unsorted neighbor-level sequence."""
+    return level_from_sorted(sorted(neighbor_levels))
+
+
+def _sweep(levels: np.ndarray, table: np.ndarray, faulty: np.ndarray,
+           staircase: np.ndarray, scratch: np.ndarray) -> int:
+    """One synchronous relaxation sweep; returns #nodes whose level changed.
+
+    ``scratch`` is a preallocated ``(N, n)`` buffer reused across sweeps so
+    the hot loop performs no allocations beyond numpy temporaries.
+    """
+    np.take(levels, table, out=scratch)
+    scratch.sort(axis=1)
+    below = scratch < staircase  # (N, n): S_j < j
+    any_below = below.any(axis=1)
+    first_fail = np.argmax(below, axis=1)
+    n = table.shape[1]
+    new_levels = np.where(any_below, first_fail, n).astype(levels.dtype)
+    new_levels[faulty] = 0
+    changed = int(np.count_nonzero(new_levels != levels))
+    levels[:] = new_levels
+    return changed
+
+
+def compute_safety_levels(topo: Hypercube, faults: FaultSet) -> np.ndarray:
+    """The unique safety-level assignment of a faulty binary n-cube.
+
+    Vectorized greatest-fixed-point iteration: start every nonfaulty node
+    at ``n`` and resweep until no level changes.  Equivalent to the
+    distributed GS algorithm (cross-validated in the test suite), but each
+    "round" is one fancy-indexed gather + row sort over the whole cube.
+
+    Returns an int64 vector of length ``2**n``; faulty nodes hold 0.
+
+    Note: link faults are outside Definition 1 — use
+    :mod:`repro.safety.link_faults` for cubes with faulty links.
+    """
+    if faults.effective_links():
+        raise ValueError(
+            "compute_safety_levels handles node faults only; use "
+            "repro.safety.link_faults.compute_extended_levels for link faults"
+        )
+    n = topo.dimension
+    table = topo.neighbor_table()
+    faulty = faults.node_mask(topo.num_nodes)
+    levels = np.full(topo.num_nodes, n, dtype=np.int64)
+    levels[faulty] = 0
+    staircase = np.arange(n, dtype=np.int64)[None, :]
+    scratch = np.empty((topo.num_nodes, n), dtype=np.int64)
+    # The monotone iteration provably needs at most n-1 sweeps to reach the
+    # fixed point (Property 1 corollary); one extra confirms stability.
+    for _ in range(n + 1):
+        if _sweep(levels, table, faulty, staircase, scratch) == 0:
+            return levels
+    raise AssertionError(
+        "safety-level iteration failed to stabilize within n+1 sweeps; "
+        "this contradicts Property 1 and indicates a kernel bug"
+    )
+
+
+def compute_safety_levels_async(
+    topo: Hypercube,
+    faults: FaultSet,
+    rng: RngLike = None,
+    start_levels: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Chaotic (random node order, one node at a time) relaxation.
+
+    Exercises Theorem 1: the fixed point is unique, so *any* fair update
+    order from the all-``n`` start must converge to the same assignment as
+    the synchronous kernel.  Used by property-based tests; not a fast path.
+    """
+    gen = as_rng(rng)
+    n = topo.dimension
+    faulty = faults.node_mask(topo.num_nodes)
+    if start_levels is None:
+        levels = np.full(topo.num_nodes, n, dtype=np.int64)
+    else:
+        levels = np.array(start_levels, dtype=np.int64, copy=True)
+    levels[faulty] = 0
+    table = topo.neighbor_table()
+    # A node's level can drop at most n times, so n * N single-node updates
+    # per pass and at most n passes bounds the work.
+    for _ in range(n + 1):
+        order = gen.permutation(topo.num_nodes)
+        changed = False
+        for node in order:
+            if faulty[node]:
+                continue
+            new = level_from_sorted(np.sort(levels[table[node]]))
+            if new != levels[node]:
+                levels[node] = new
+                changed = True
+        if not changed:
+            return levels
+    raise AssertionError("asynchronous relaxation failed to stabilize")
+
+
+def verify_fixed_point(
+    topo: Hypercube, faults: FaultSet, levels: np.ndarray
+) -> List[int]:
+    """Nodes violating Definition 1 under ``levels`` (empty = valid).
+
+    This is the Theorem-1 check: a proposed assignment is *the* safety
+    assignment iff every node satisfies the definition locally.
+    """
+    table = topo.neighbor_table()
+    bad = []
+    for node in topo.iter_nodes():
+        if faults.is_node_faulty(node):
+            expect = 0
+        else:
+            expect = level_from_sorted(np.sort(levels[table[node]]))
+        if levels[node] != expect:
+            bad.append(node)
+    return bad
+
+
+@dataclass(frozen=True)
+class SafetyLevels:
+    """An immutable view of a cube's safety assignment with query helpers.
+
+    Build with :meth:`compute`; experiments and routers consume this object
+    rather than raw arrays so that level semantics (safe/unsafe, safe set)
+    live in one place.
+    """
+
+    topo: Hypercube
+    faults: FaultSet
+    levels: np.ndarray
+
+    @classmethod
+    def compute(cls, topo: Hypercube, faults: FaultSet) -> "SafetyLevels":
+        faults.validate(topo)
+        levels = compute_safety_levels(topo, faults)
+        levels.setflags(write=False)
+        return cls(topo=topo, faults=faults, levels=levels)
+
+    def level(self, node: int) -> int:
+        """``S(node)``; 0 for faulty nodes."""
+        self.topo.validate_node(node)
+        return int(self.levels[node])
+
+    def is_safe(self, node: int) -> bool:
+        """True iff ``node`` is n-safe (the paper's *safe node*)."""
+        return self.level(node) == self.topo.dimension
+
+    def is_unsafe(self, node: int) -> bool:
+        """True iff nonfaulty with level below ``n``."""
+        return (not self.faults.is_node_faulty(node)) and not self.is_safe(node)
+
+    def safe_set(self) -> FrozenSet[int]:
+        """All n-safe nodes."""
+        n = self.topo.dimension
+        return frozenset(int(v) for v in np.nonzero(self.levels == n)[0])
+
+    def neighbor_levels(self, node: int) -> List[int]:
+        """Levels of ``node``'s neighbors in dimension order — exactly the
+        information the distributed algorithm has at ``node``."""
+        self.topo.validate_node(node)
+        return [int(self.levels[v]) for v in self.topo.neighbors(node)]
+
+    def by_level(self) -> Dict[int, List[int]]:
+        """Mapping level -> sorted node list (diagnostics, examples)."""
+        out: Dict[int, List[int]] = {}
+        for node in self.topo.iter_nodes():
+            out.setdefault(int(self.levels[node]), []).append(node)
+        return out
+
+    def render(self) -> str:
+        """Tabular dump used by the examples to mirror the paper figures."""
+        lines = [f"{'node':>8}  level"]
+        for node in self.topo.iter_nodes():
+            tag = " (faulty)" if self.faults.is_node_faulty(node) else ""
+            lines.append(
+                f"{self.topo.format_node(node):>8}  {int(self.levels[node])}{tag}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""Checkers for the paper's stated properties and theorems.
+
+These are referee utilities: they use oracle knowledge (full fault map,
+BFS) to certify that a computed safety assignment has the guarantees the
+paper claims.  The test suite calls them across random instances; the
+benchmarks call them to annotate experiment output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core import partition
+from ..core.bits import hamming_array
+from ..core.faults import FaultSet
+from ..core.hypercube import Hypercube
+from .levels import SafetyLevels
+from .safe_nodes import lee_hayes_safe, wu_fernandez_safe
+
+__all__ = [
+    "property2_violations",
+    "theorem2_violations",
+    "gh_theorem2_violations",
+    "safe_set_chain",
+    "SafeSetComparison",
+]
+
+
+def property2_violations(sl: SafetyLevels) -> List[int]:
+    """Property 2: with fewer than ``n`` faults, every nonfaulty unsafe
+    node has a safe neighbor.  Returns offending nodes (must be empty when
+    the precondition holds; meaningful diagnostics otherwise)."""
+    topo, faults = sl.topo, sl.faults
+    n = topo.dimension
+    out = []
+    for node in topo.iter_nodes():
+        if faults.is_node_faulty(node) or sl.level(node) == n:
+            continue
+        if not any(sl.level(v) == n for v in topo.neighbors(node)):
+            out.append(node)
+    return out
+
+
+def theorem2_violations(
+    sl: SafetyLevels, max_sources: int | None = None
+) -> List[Tuple[int, int]]:
+    """Theorem 2: ``S(a) = k`` implies an optimal (Hamming-length) path
+    from ``a`` to every node within distance ``k``.
+
+    Checked with the oracle: an optimal path to ``d`` exists iff the true
+    faulty-cube distance equals ``H(a, d)``.  Returns violating ``(a, d)``
+    pairs.  ``max_sources`` truncates the scan for large cubes.
+    """
+    topo, faults = sl.topo, sl.faults
+    addrs = np.arange(topo.num_nodes, dtype=np.int64)
+    faulty = faults.node_mask(topo.num_nodes)
+    violations: List[Tuple[int, int]] = []
+    scanned = 0
+    for a in topo.iter_nodes():
+        k = sl.level(a)
+        if k == 0 or faulty[a]:
+            continue
+        if max_sources is not None and scanned >= max_sources:
+            break
+        scanned += 1
+        true_dist = partition.bfs_distances(topo, faults, a)
+        ham = hamming_array(addrs, a)
+        within = (ham <= k) & (ham > 0) & ~faulty
+        bad = within & (true_dist != ham)
+        for d in np.nonzero(bad)[0]:
+            violations.append((a, int(d)))
+    return violations
+
+
+@dataclass(frozen=True)
+class SafeSetComparison:
+    """Sizes and membership of the three safe-node sets on one instance."""
+
+    safety_level_set: frozenset
+    wu_fernandez_set: frozenset
+    lee_hayes_set: frozenset
+    gs_rounds: int
+    wf_rounds: int
+    lh_rounds: int
+
+    @property
+    def chain_holds(self) -> bool:
+        """Section 2.3 containment: SL ⊇ WF ⊇ LH."""
+        return (
+            self.lee_hayes_set <= self.wu_fernandez_set
+            and self.wu_fernandez_set <= self.safety_level_set
+        )
+
+    def sizes(self) -> Tuple[int, int, int]:
+        return (
+            len(self.safety_level_set),
+            len(self.wu_fernandez_set),
+            len(self.lee_hayes_set),
+        )
+
+
+def safe_set_chain(topo: Hypercube, faults: FaultSet) -> SafeSetComparison:
+    """Compute all three safe sets plus stabilization rounds."""
+    from .gs import compute_levels_with_rounds
+
+    levels, gs_rounds = compute_levels_with_rounds(topo, faults)
+    sl_safe = frozenset(
+        int(v) for v in np.nonzero(levels == topo.dimension)[0]
+    )
+    wf = wu_fernandez_safe(topo, faults)
+    lh = lee_hayes_safe(topo, faults)
+    return SafeSetComparison(
+        safety_level_set=sl_safe,
+        wu_fernandez_set=wf.safe_set(),
+        lee_hayes_set=lh.safe_set(),
+        gs_rounds=gs_rounds,
+        wf_rounds=wf.rounds,
+        lh_rounds=lh.rounds,
+    )
+
+
+def gh_theorem2_violations(ghsl) -> List[Tuple[int, int]]:
+    """Theorem 2': in a generalized hypercube, ``S(a) = k`` implies an
+    optimal path from ``a`` to every node differing in at most ``k``
+    coordinates.
+
+    Oracle-checked like :func:`theorem2_violations`: an optimal path to
+    ``d`` exists iff the true faulty-graph distance equals the coordinate
+    distance.  Returns violating ``(a, d)`` pairs.
+    """
+    gh, faults = ghsl.gh, ghsl.faults
+    violations: List[Tuple[int, int]] = []
+    for a in gh.iter_nodes():
+        k = ghsl.level(a)
+        if k == 0 or faults.is_node_faulty(a):
+            continue
+        true_dist = partition.bfs_distances(gh, faults, a)
+        for d in gh.iter_nodes():
+            if d == a or faults.is_node_faulty(d):
+                continue
+            coord_dist = gh.distance(a, d)
+            if coord_dist <= k and true_dist[d] != coord_dist:
+                violations.append((a, d))
+    return violations

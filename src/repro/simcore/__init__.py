@@ -1,0 +1,43 @@
+"""Message-passing simulator substrate.
+
+This package stands in for the paper's hypercube multicomputer hardware.
+Protocols run as :class:`NodeProcess` objects that can only see their own
+state and single-hop messages; the :class:`Network` enforces the fail-stop
+fault model, and the :class:`RoundExecutor` provides the synchronous
+"rounds of information exchange" the paper counts.
+"""
+
+from .contention import NextHopPolicy, Packet, TrafficResult, simulate_traffic
+from .engine import Engine
+from .errors import DeliveryError, ProtocolError, SimError
+from .message import DROP_FAULTY_LINK, DROP_FAULTY_NODE, DroppedMessage, Message
+from .network import LINK_LATENCY, Network
+from .node import NodeContext, NodeProcess
+from .stats import NetworkStats
+from .sync import BspProcess, RoundExecutor, RoundsResult
+from .trace import Trace, TraceRecord
+
+__all__ = [
+    "NextHopPolicy",
+    "Packet",
+    "TrafficResult",
+    "simulate_traffic",
+    "Engine",
+    "DeliveryError",
+    "ProtocolError",
+    "SimError",
+    "DROP_FAULTY_LINK",
+    "DROP_FAULTY_NODE",
+    "DroppedMessage",
+    "Message",
+    "LINK_LATENCY",
+    "Network",
+    "NodeContext",
+    "NodeProcess",
+    "NetworkStats",
+    "BspProcess",
+    "RoundExecutor",
+    "RoundsResult",
+    "Trace",
+    "TraceRecord",
+]

@@ -1,0 +1,189 @@
+"""Store-and-forward traffic simulation with link contention.
+
+The protocols elsewhere in :mod:`repro.simcore` treat links as infinitely
+wide (every message advances one hop per tick).  Real hypercube machines
+serialize: one message per link per direction per tick.  This module adds
+a batch traffic simulator for *routing-scheme evaluation under load*:
+
+* a set of unicasts is injected (all at t=0 or on a per-message schedule),
+* each tick, every directed link forwards at most one queued message
+  (FIFO per output port, deterministic port service order),
+* the next hop of a message is decided when it lands on a node, by a
+  pluggable per-scheme policy that sees (current node, destination,
+  packet) — the same information the paper's algorithm uses.
+
+The output is per-message latency/queueing and per-link utilization,
+feeding the E16 experiment: does the freedom in "highest safety level,
+ties arbitrary" help once traffic actually queues?
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.faults import FaultSet
+from ..core.topology import Topology
+
+__all__ = ["Packet", "NextHopPolicy", "TrafficResult", "simulate_traffic"]
+
+
+@dataclass
+class Packet:
+    """One unicast message in the traffic simulation."""
+
+    pid: int
+    source: int
+    dest: int
+    inject_time: int = 0
+    # -- filled by the simulator --------------------------------------------
+    current: int = -1
+    hops: int = 0
+    deliver_time: Optional[int] = None
+    dropped_reason: Optional[str] = None
+
+    @property
+    def delivered(self) -> bool:
+        return self.deliver_time is not None
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Ticks from injection to delivery (None if not delivered)."""
+        if self.deliver_time is None:
+            return None
+        return self.deliver_time - self.inject_time
+
+    @property
+    def queueing(self) -> Optional[int]:
+        """Ticks spent waiting for links (latency minus hop count)."""
+        lat = self.latency
+        return None if lat is None else lat - self.hops
+
+
+#: Decides the next hop: ``policy(node, dest, packet) -> neighbor or None``
+#: (None aborts the packet in place).  Policies must be deterministic per
+#: call to keep runs reproducible; randomness comes via closures over
+#: seeded rngs.
+NextHopPolicy = Callable[[int, int, "Packet"], Optional[int]]
+
+
+@dataclass
+class TrafficResult:
+    """Aggregate of one traffic run."""
+
+    packets: List[Packet]
+    link_busy_ticks: Dict[Tuple[int, int], int]
+    ticks: int
+
+    @property
+    def delivered(self) -> int:
+        return sum(1 for p in self.packets if p.delivered)
+
+    @property
+    def dropped(self) -> int:
+        return sum(1 for p in self.packets if p.dropped_reason)
+
+    def latencies(self) -> List[int]:
+        return [p.latency for p in self.packets if p.latency is not None]
+
+    @property
+    def mean_latency(self) -> float:
+        lats = self.latencies()
+        return sum(lats) / len(lats) if lats else 0.0
+
+    @property
+    def max_latency(self) -> int:
+        lats = self.latencies()
+        return max(lats) if lats else 0
+
+    @property
+    def mean_queueing(self) -> float:
+        qs = [p.queueing for p in self.packets if p.queueing is not None]
+        return sum(qs) / len(qs) if qs else 0.0
+
+    @property
+    def max_link_busy(self) -> int:
+        return max(self.link_busy_ticks.values(), default=0)
+
+
+def simulate_traffic(
+    topo: Topology,
+    faults: FaultSet,
+    packets: Sequence[Tuple[int, int]],
+    policy: NextHopPolicy,
+    inject_times: Optional[Sequence[int]] = None,
+    max_ticks: int = 10_000,
+) -> TrafficResult:
+    """Run a batch of unicasts under one-per-link-per-tick contention.
+
+    ``packets`` are (source, dest) pairs; ``inject_times`` defaults to all
+    zero.  A packet routed into a faulty neighbor is dropped at that hop
+    (fail-stop); a policy returning ``None`` aborts the packet in place.
+    The run ends when nothing is queued or pending.
+    """
+    if inject_times is None:
+        inject_times = [0] * len(packets)
+    if len(inject_times) != len(packets):
+        raise ValueError("inject_times must match packets")
+
+    flights: List[Packet] = []
+    for pid, ((s, d), t0) in enumerate(zip(packets, inject_times)):
+        topo.validate_node(s)
+        topo.validate_node(d)
+        if faults.is_node_faulty(s):
+            raise ValueError(f"source {topo.format_node(s)} is faulty")
+        if t0 < 0:
+            raise ValueError("inject times must be nonnegative")
+        flights.append(Packet(pid=pid, source=s, dest=d, inject_time=t0,
+                              current=s))
+
+    queues: Dict[Tuple[int, int], deque] = {}
+    link_busy: Dict[Tuple[int, int], int] = {}
+    waiting = deque(sorted(flights, key=lambda p: (p.inject_time, p.pid)))
+    tick = 0
+
+    def place(packet: Packet) -> None:
+        """Packet sits at ``packet.current`` at time ``tick``: deliver or
+        choose an output port."""
+        if packet.current == packet.dest:
+            packet.deliver_time = tick
+            return
+        nxt = policy(packet.current, packet.dest, packet)
+        if nxt is None:
+            packet.dropped_reason = "aborted-by-policy"
+            return
+        if nxt not in topo.neighbors(packet.current):
+            raise ValueError(
+                f"policy returned non-neighbor {nxt} from "
+                f"{topo.format_node(packet.current)}"
+            )
+        queues.setdefault((packet.current, nxt), deque()).append(packet)
+
+    while True:
+        while waiting and waiting[0].inject_time <= tick:
+            place(waiting.popleft())
+        moved: List[Packet] = []
+        for port in sorted(p for p in queues if queues[p]):
+            packet = queues[port].popleft()
+            u, v = port
+            link_busy[port] = link_busy.get(port, 0) + 1
+            if faults.is_node_faulty(v) or faults.is_link_faulty(u, v):
+                packet.dropped_reason = "hit-fault"
+                continue
+            packet.current = v
+            packet.hops += 1
+            moved.append(packet)
+        tick += 1
+        for packet in moved:
+            place(packet)
+        if tick > max_ticks:
+            for q in queues.values():
+                while q:
+                    q.popleft().dropped_reason = "max-ticks"
+            break
+        if not waiting and not any(queues.values()):
+            break
+
+    return TrafficResult(packets=flights, link_busy_ticks=link_busy,
+                         ticks=tick)

@@ -1,0 +1,118 @@
+"""Discrete-event engine.
+
+A minimal, deterministic event loop: events are ``(time, seq, callback)``
+triples on a binary heap.  ``seq`` is a monotonically increasing tiebreaker
+so two events at the same time always fire in scheduling order — protocol
+runs are therefore exactly reproducible.
+
+Time is integer ticks.  One tick is one link traversal; the paper's "rounds
+of information exchange" map to one tick per round in the BSP layer built on
+top (:mod:`repro.simcore.sync`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from .errors import SimError
+
+__all__ = ["Engine"]
+
+EventCallback = Callable[[], None]
+
+
+class Engine:
+    """A deterministic integer-time discrete-event loop."""
+
+    __slots__ = ("_now", "_seq", "_heap", "_running", "_events_fired")
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._heap: List[Tuple[int, int, EventCallback]] = []
+        self._running = False
+        self._events_fired = 0
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in ticks."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled-but-unfired events."""
+        return len(self._heap)
+
+    @property
+    def events_fired(self) -> int:
+        """Total events executed since construction."""
+        return self._events_fired
+
+    # -- scheduling --------------------------------------------------------------
+
+    def schedule_at(self, time: int, callback: EventCallback) -> None:
+        """Run ``callback`` at absolute tick ``time`` (>= now)."""
+        if time < self._now:
+            raise SimError(
+                f"cannot schedule into the past (now={self._now}, t={time})"
+            )
+        heapq.heappush(self._heap, (time, self._seq, callback))
+        self._seq += 1
+
+    def schedule_after(self, delay: int, callback: EventCallback) -> None:
+        """Run ``callback`` ``delay`` ticks from now (delay >= 0)."""
+        if delay < 0:
+            raise SimError(f"negative delay {delay}")
+        self.schedule_at(self._now + delay, callback)
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, until: Optional[int] = None, max_events: int = 10_000_000) -> int:
+        """Drain the event heap; return the finishing time.
+
+        ``until`` stops the clock at a given tick even if later events are
+        pending (they stay scheduled).  ``max_events`` guards against
+        protocols that generate unbounded traffic.
+        """
+        if self._running:
+            raise SimError("engine is not reentrant")
+        self._running = True
+        try:
+            fired = 0
+            while self._heap:
+                time, _seq, callback = self._heap[0]
+                if until is not None and time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = time
+                callback()
+                self._events_fired += 1
+                fired += 1
+                if fired > max_events:
+                    raise SimError(
+                        f"exceeded {max_events} events; runaway protocol?"
+                    )
+            if until is not None and self._now < until:
+                self._now = until
+            return self._now
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Fire the single earliest event.  Returns False if none pending."""
+        if self._running:
+            raise SimError("engine is not reentrant")
+        if not self._heap:
+            return False
+        time, _seq, callback = heapq.heappop(self._heap)
+        self._now = time
+        self._running = True
+        try:
+            callback()
+            self._events_fired += 1
+        finally:
+            self._running = False
+        return True

@@ -1,0 +1,21 @@
+"""Exception types raised by the simulator substrate."""
+
+from __future__ import annotations
+
+__all__ = ["SimError", "ProtocolError", "DeliveryError"]
+
+
+class SimError(RuntimeError):
+    """Base class for simulator failures (engine misuse, bad wiring)."""
+
+
+class ProtocolError(SimError):
+    """A node protocol violated its contract (e.g. sent to a non-neighbor).
+
+    These indicate bugs in protocol implementations, not modeled faults —
+    modeled faults silently *drop* traffic instead.
+    """
+
+
+class DeliveryError(SimError):
+    """Raised when a test asks for strict delivery and a message was lost."""

@@ -1,0 +1,66 @@
+"""Messages exchanged between node processes.
+
+A message is a small immutable record: who sent it, who should receive it
+(always a direct neighbor — multi-hop traffic is a *protocol* built from
+single-hop messages), a ``kind`` tag that protocols dispatch on, and an
+arbitrary payload.  Delivery metadata (send/delivery times) is stamped by
+the network layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Optional
+
+__all__ = ["Message", "DROP_FAULTY_NODE", "DROP_FAULTY_LINK"]
+
+#: Drop reasons recorded by the network when traffic hits a fault.
+DROP_FAULTY_NODE = "faulty-node"
+DROP_FAULTY_LINK = "faulty-link"
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single-hop message between adjacent nodes.
+
+    Attributes
+    ----------
+    src, dst:
+        Sender and receiver node ids; must be neighbors in the topology.
+    kind:
+        Protocol-defined tag, e.g. ``"safety-level"`` or ``"unicast"``.
+    payload:
+        Arbitrary protocol data.  Protocols should treat it as read-only;
+        the network never copies it.
+    send_time, deliver_time:
+        Stamped by the network (``None`` until then).
+    """
+
+    src: int
+    dst: int
+    kind: str
+    payload: Any = None
+    send_time: Optional[int] = None
+    deliver_time: Optional[int] = None
+
+    def stamped(self, send_time: int, deliver_time: int) -> "Message":
+        """Copy with delivery metadata filled in."""
+        return replace(self, send_time=send_time, deliver_time=deliver_time)
+
+    def __repr__(self) -> str:  # compact, trace-friendly
+        return (
+            f"Message({self.src}->{self.dst} {self.kind!r}"
+            f" @{self.send_time})"
+        )
+
+
+@dataclass(frozen=True)
+class DroppedMessage:
+    """Record of a message the network refused to deliver."""
+
+    message: Message
+    reason: str
+    time: int
+
+    def __repr__(self) -> str:
+        return f"Dropped({self.message!r} reason={self.reason})"

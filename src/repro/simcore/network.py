@@ -1,0 +1,215 @@
+"""The network: topology + faults + node processes + message delivery.
+
+The network enforces the fault model:
+
+* faulty nodes host no process; anything sent to them is dropped,
+* faulty links silently drop traffic in both directions,
+* nonfaulty nodes may only send to direct neighbors (anything else is a
+  protocol bug and raises :class:`ProtocolError`).
+
+Messages take exactly one tick per hop.  Determinism: deliveries scheduled
+at the same tick fire in send order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..core.faults import FaultSet
+from ..core.topology import Topology
+from .engine import Engine
+from .errors import ProtocolError, SimError
+from .message import DROP_FAULTY_LINK, DROP_FAULTY_NODE, DroppedMessage, Message
+from .node import NodeProcess
+from .stats import NetworkStats
+from .trace import Trace
+
+__all__ = ["Network", "LINK_LATENCY"]
+
+#: Ticks for one link traversal.
+LINK_LATENCY = 1
+
+
+class Network:
+    """A simulated faulty-hypercube machine.
+
+    Parameters
+    ----------
+    topo:
+        The interconnect.
+    faults:
+        Failed nodes/links.  Processes are instantiated only at healthy
+        nodes.
+    process_factory:
+        Called as ``factory(node_id)`` for each healthy node to create its
+        :class:`NodeProcess`.
+    trace:
+        Record per-message events.  Off by default: traces of Monte-Carlo
+        sweeps would dominate memory.
+    latency:
+        Per-hop delay policy: ``latency(src, dst) -> int ticks`` (>= 1).
+        Default is the constant ``LINK_LATENCY``.  Deterministic functions
+        keep runs reproducible; pass a seeded-rng closure for jitter (the
+        asynchronous-GS tests do).
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        faults: FaultSet,
+        process_factory: Callable[[int], NodeProcess],
+        trace: bool = False,
+        latency: Optional[Callable[[int, int], int]] = None,
+    ) -> None:
+        faults.validate(topo)
+        self.topo = topo
+        self.faults = faults
+        self.engine = Engine()
+        self.stats = NetworkStats()
+        self.trace = Trace(enabled=trace)
+        self.dropped: List[DroppedMessage] = []
+        self._latency = latency
+        self.processes: Dict[int, NodeProcess] = {}
+        #: Nodes killed mid-run via schedule_node_failure.
+        self.dead_nodes: set = set()
+        self._started = False
+        for node in topo.iter_nodes():
+            if not faults.is_node_faulty(node):
+                proc = process_factory(node)
+                proc.attach(node, _Context(self))
+                self.processes[node] = proc
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Fire every process's ``on_start`` hook (idempotent guard)."""
+        if self._started:
+            raise SimError("network already started")
+        self._started = True
+        for node in sorted(self.processes):
+            self.processes[node].on_start()
+
+    def run(self, until: Optional[int] = None,
+            max_events: int = 10_000_000) -> int:
+        """Start if needed, then drain the event loop.  Returns end time."""
+        if not self._started:
+            self.start()
+        end = self.engine.run(until=until, max_events=max_events)
+        if until is None:
+            self.stats.check_conserved()
+        return end
+
+    # -- live fault injection -----------------------------------------------------
+
+    def schedule_node_failure(self, node: int, time: int) -> None:
+        """Fail a currently-healthy node at absolute tick ``time``.
+
+        Models the Section 2.2 dynamic setting: at the scheduled tick the
+        node's process is removed (all traffic to it is dropped from then
+        on) and every healthy neighbor gets its
+        :meth:`NodeProcess.on_neighbor_failure` hook invoked — the local
+        fault detection the paper assumes.  Messages already in flight
+        toward the node are lost (fail-stop).
+        """
+        self.topo.validate_node(node)
+        if node not in self.processes:
+            raise SimError(
+                f"{self.topo.format_node(node)} has no live process to fail"
+            )
+        self.engine.schedule_at(time, lambda: self._kill(node))
+
+    def _kill(self, node: int) -> None:
+        proc = self.processes.pop(node, None)
+        if proc is None:
+            return  # already dead (two schedules for the same node)
+        self.dead_nodes.add(node)
+        self.trace.record(self.engine.now, "fail", node, None)
+        for w in self.topo.neighbors(node):
+            neighbor_proc = self.processes.get(w)
+            if neighbor_proc is not None:
+                neighbor_proc.on_neighbor_failure(node)
+
+    # -- message path (used by node contexts) ----------------------------------
+
+    def submit(self, msg: Message, payload_units: int = 0) -> None:
+        """Validate, count, and schedule a single-hop message."""
+        src, dst = msg.src, msg.dst
+        if src not in self.processes:
+            raise ProtocolError(f"send from unknown/faulty node {src}")
+        if dst not in self.topo.neighbors(src):
+            raise ProtocolError(
+                f"{self.topo.format_node(src)} tried to send to "
+                f"non-neighbor {self.topo.format_node(dst)}"
+            )
+        now = self.engine.now
+        delay = LINK_LATENCY if self._latency is None \
+            else int(self._latency(src, dst))
+        if delay < 1:
+            raise ProtocolError(
+                f"latency policy returned {delay}; hops take >= 1 tick"
+            )
+        stamped = msg.stamped(send_time=now, deliver_time=now + delay)
+        self.stats.record_send(msg.kind, payload_units)
+        self.trace.record(now, "send", src, stamped)
+        self.engine.schedule_after(
+            delay, lambda m=stamped: self._deliver(m)
+        )
+
+    def _deliver(self, msg: Message) -> None:
+        now = self.engine.now
+        if self.faults.is_link_declared_faulty(msg.src, msg.dst):
+            self._drop(msg, DROP_FAULTY_LINK, now)
+            return
+        proc = self.processes.get(msg.dst)
+        if proc is None:
+            self._drop(msg, DROP_FAULTY_NODE, now)
+            return
+        self.stats.record_delivery(msg.kind)
+        self.trace.record(now, "deliver", msg.dst, msg)
+        proc.on_message(msg)
+
+    def _drop(self, msg: Message, reason: str, now: int) -> None:
+        self.stats.record_drop(reason)
+        self.dropped.append(DroppedMessage(message=msg, reason=reason, time=now))
+        self.trace.record(now, "drop", msg.dst, (reason, msg))
+
+    # -- conveniences -----------------------------------------------------------
+
+    def process(self, node: int) -> NodeProcess:
+        """The process at ``node`` (raises for faulty nodes)."""
+        try:
+            return self.processes[node]
+        except KeyError:
+            raise SimError(
+                f"node {self.topo.format_node(node)} is faulty; no process"
+            ) from None
+
+    def healthy_nodes(self) -> List[int]:
+        """Ids of all nodes hosting processes, ascending."""
+        return sorted(self.processes)
+
+
+class _Context:
+    """Per-network :class:`NodeContext` implementation.
+
+    Shared by all processes of one network; it carries no per-node state so
+    a single instance would suffice, but the indirection keeps processes
+    decoupled from the Network class for testing.
+    """
+
+    __slots__ = ("_net",)
+
+    def __init__(self, net: Network) -> None:
+        self._net = net
+
+    def now(self) -> int:
+        return self._net.engine.now
+
+    def neighbors(self, node: int) -> Sequence[int]:
+        return self._net.topo.neighbors(node)
+
+    def send(self, msg: Message, payload_units: int = 0) -> None:
+        self._net.submit(msg, payload_units=payload_units)
+
+    def trace(self, event: str, node: int, detail: Any = None) -> None:
+        self._net.trace.record(self._net.engine.now, event, node, detail)

@@ -1,0 +1,130 @@
+"""Node processes: the unit of distributed computation.
+
+A :class:`NodeProcess` models one hypercube processor.  Its worldview is
+deliberately narrow — exactly the paper's local-information premise:
+
+* it knows its own id and its neighbors' ids (the wiring),
+* it can send single-hop messages to neighbors,
+* it learns everything else only from received messages.
+
+It has no access to the fault set, other nodes' state, or the global clock
+beyond timestamps on its own events.  The experiment harness may peek at
+process state *after* a run (that is measurement, not protocol input).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, List, Protocol, Sequence
+
+from .errors import ProtocolError
+from .message import Message
+
+__all__ = ["NodeContext", "NodeProcess"]
+
+
+class NodeContext(Protocol):
+    """Capabilities the network hands to an attached node process."""
+
+    def now(self) -> int:
+        """Current simulation time."""
+
+    def neighbors(self, node: int) -> Sequence[int]:
+        """Neighbor ids of ``node`` (wiring only; health is not revealed)."""
+
+    def send(self, msg: Message, payload_units: int = 0) -> None:
+        """Enqueue a single-hop message."""
+
+    def trace(self, event: str, node: int, detail: Any = None) -> None:
+        """Append to the run trace."""
+
+
+class NodeProcess(abc.ABC):
+    """Base class for protocol participants.
+
+    Subclasses implement :meth:`on_message` (event-driven protocols) and/or
+    :meth:`on_round` (BSP protocols run under
+    :class:`repro.simcore.sync.RoundExecutor`).
+    """
+
+    __slots__ = ("node_id", "_ctx")
+
+    def __init__(self) -> None:
+        self.node_id: int = -1
+        self._ctx: NodeContext | None = None
+
+    # -- wiring (called by the network) ---------------------------------------
+
+    def attach(self, node_id: int, ctx: NodeContext) -> None:
+        """Bind this process to a node id and network context."""
+        self.node_id = node_id
+        self._ctx = ctx
+
+    @property
+    def attached(self) -> bool:
+        return self._ctx is not None
+
+    # -- facilities available to protocol code --------------------------------
+
+    @property
+    def ctx(self) -> NodeContext:
+        if self._ctx is None:
+            raise ProtocolError(
+                f"{type(self).__name__} used before being attached"
+            )
+        return self._ctx
+
+    @property
+    def now(self) -> int:
+        """Local reading of the simulation clock."""
+        return self.ctx.now()
+
+    @property
+    def neighbor_ids(self) -> List[int]:
+        """Ids of this node's neighbors, dimension-major order."""
+        return list(self.ctx.neighbors(self.node_id))
+
+    def send(self, dst: int, kind: str, payload: Any = None,
+             payload_units: int = 0) -> None:
+        """Send a single-hop message to neighbor ``dst``.
+
+        ``payload_units`` is the protocol's own estimate of payload size
+        (e.g. length of a carried visited-node history) so experiments can
+        compare message *volume*, not just count.
+        """
+        self.ctx.send(
+            Message(src=self.node_id, dst=dst, kind=kind, payload=payload),
+            payload_units=payload_units,
+        )
+
+    def trace(self, event: str, detail: Any = None) -> None:
+        """Record a protocol-level trace event attributed to this node."""
+        self.ctx.trace(event, self.node_id, detail)
+
+    # -- protocol hooks ---------------------------------------------------------
+
+    def on_start(self) -> None:
+        """Called once before any message flows."""
+
+    def on_message(self, msg: Message) -> None:
+        """Called at delivery time of each message addressed to this node."""
+        raise ProtocolError(
+            f"{type(self).__name__} received a message but does not "
+            "implement on_message"
+        )
+
+    def on_neighbor_failure(self, neighbor: int) -> None:
+        """Local fault detection (paper assumption 2): invoked when an
+        adjacent node fails mid-run.  Default: ignore."""
+
+    def on_round(self, round_no: int, inbox: Sequence[Message]) -> bool:
+        """BSP hook: consume last round's inbox, send this round's traffic.
+
+        Returns True if the node's protocol state *changed* this round;
+        the round executor uses the disjunction over nodes to detect global
+        stabilization (the Fig. 2 measurement).
+        """
+        raise ProtocolError(
+            f"{type(self).__name__} used under a round executor but does "
+            "not implement on_round"
+        )

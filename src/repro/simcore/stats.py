@@ -1,0 +1,71 @@
+"""Accounting for simulator runs.
+
+The paper's cost claims are message/round counts ("(n-1) rounds of
+information exchange", "a history of visited nodes has to be kept as part
+of the message"), so the stats layer counts exactly those: messages sent,
+delivered, dropped (by reason), per-kind tallies, and payload piggyback
+sizes where a protocol declares them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["NetworkStats"]
+
+
+@dataclass
+class NetworkStats:
+    """Mutable counters owned by a :class:`~repro.simcore.network.Network`."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    sent_by_kind: Counter = field(default_factory=Counter)
+    delivered_by_kind: Counter = field(default_factory=Counter)
+    dropped_by_reason: Counter = field(default_factory=Counter)
+    #: Sum over messages of protocol-declared payload size (abstract units).
+    payload_units: int = 0
+
+    def record_send(self, kind: str, payload_units: int = 0) -> None:
+        self.sent += 1
+        self.sent_by_kind[kind] += 1
+        self.payload_units += payload_units
+
+    def record_delivery(self, kind: str) -> None:
+        self.delivered += 1
+        self.delivered_by_kind[kind] += 1
+
+    def record_drop(self, reason: str) -> None:
+        self.dropped += 1
+        self.dropped_by_reason[reason] += 1
+
+    @property
+    def in_flight(self) -> int:
+        """Messages sent but neither delivered nor dropped yet."""
+        return self.sent - self.delivered - self.dropped
+
+    def check_conserved(self) -> None:
+        """Every sent message must be delivered or dropped by run end."""
+        if self.in_flight != 0:
+            raise AssertionError(
+                f"message conservation violated: sent={self.sent} "
+                f"delivered={self.delivered} dropped={self.dropped}"
+            )
+
+    def as_dict(self) -> Dict[str, int]:
+        """Flat summary for experiment tables."""
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "payload_units": self.payload_units,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkStats(sent={self.sent}, delivered={self.delivered}, "
+            f"dropped={self.dropped})"
+        )

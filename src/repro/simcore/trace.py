@@ -1,0 +1,88 @@
+"""Structured event tracing for simulator runs.
+
+A trace is an append-only list of typed records (sends, deliveries, drops,
+state changes).  Tests use traces to assert protocol behaviour ("the unicast
+visited exactly these nodes in this order"); examples use them to print the
+paper's walk-throughs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional
+
+__all__ = ["TraceRecord", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry.
+
+    ``event`` is a short tag (``"send"``, ``"deliver"``, ``"drop"``,
+    ``"state"``); ``node`` the acting node; ``detail`` free-form data.
+    """
+
+    time: int
+    event: str
+    node: int
+    detail: Any = None
+
+    def __repr__(self) -> str:
+        return f"[t={self.time}] {self.event} node={self.node} {self.detail!r}"
+
+
+class Trace:
+    """Append-only trace with simple filtering helpers."""
+
+    __slots__ = ("_records", "_enabled")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._records: List[TraceRecord] = []
+        self._enabled = enabled
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def record(self, time: int, event: str, node: int, detail: Any = None) -> None:
+        """Append a record (no-op when tracing is disabled)."""
+        if self._enabled:
+            self._records.append(TraceRecord(time, event, node, detail))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, idx: int) -> TraceRecord:
+        return self._records[idx]
+
+    def filter(
+        self,
+        event: Optional[str] = None,
+        node: Optional[int] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> List[TraceRecord]:
+        """Records matching all given criteria, in time order."""
+        out = []
+        for rec in self._records:
+            if event is not None and rec.event != event:
+                continue
+            if node is not None and rec.node != node:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def render(self, formatter: Optional[Callable[[int], str]] = None) -> str:
+        """Multi-line human-readable dump; ``formatter`` renders node ids."""
+        fmt = formatter or str
+        lines = []
+        for rec in self._records:
+            lines.append(
+                f"t={rec.time:>4}  {rec.event:<8} {fmt(rec.node):<10} "
+                f"{rec.detail if rec.detail is not None else ''}"
+            )
+        return "\n".join(lines)

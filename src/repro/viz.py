@@ -1,0 +1,188 @@
+"""ASCII rendering of small cubes: the paper's figures as text diagrams.
+
+``Q3`` and ``Q4`` are drawn in the classic cube / tesseract projection the
+paper's figures use, with per-node annotations (safety levels, fault
+marks, route membership).  Generalized hypercubes render as per-plane
+grids.  Everything is plain text so diagrams drop into terminals, test
+output, and the regenerated artifacts.
+
+Example (Fig. 1's faulty four-cube)::
+
+    from repro.instances import fig1_instance
+    from repro.safety import SafetyLevels
+    from repro.viz import render_cube
+
+    topo, faults = fig1_instance()
+    print(render_cube(topo, SafetyLevels.compute(topo, faults)))
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .core.faults import FaultSet
+from .core.generalized import GeneralizedHypercube
+from .core.hypercube import Hypercube
+from .safety.levels import SafetyLevels
+
+__all__ = ["node_label", "render_cube", "render_gh", "render_route"]
+
+# Node coordinates (row, col) for the Q3 cube drawing; the outer square is
+# bit2=1, inner square bit2=0 shifted by an offset.
+_Q3_LAYOUT: Dict[int, tuple] = {
+    0b000: (8, 0), 0b001: (8, 24),
+    0b010: (0, 0), 0b011: (0, 24),
+    0b100: (12, 8), 0b101: (12, 32),
+    0b110: (4, 8), 0b111: (4, 32),
+}
+
+
+def node_label(
+    node: int,
+    topo,
+    faults: Optional[FaultSet] = None,
+    levels: Optional[SafetyLevels] = None,
+) -> str:
+    """Annotated node label: address, level, fault mark.
+
+    ``'0110*'`` marks a faulty node; ``'0101:2'`` shows a safety level.
+    """
+    text = topo.format_node(node)
+    if faults is not None and faults.is_node_faulty(node):
+        return text + "*"
+    if levels is not None:
+        return f"{text}:{levels.level(node)}"
+    return text
+
+
+def _paint(canvas: List[List[str]], row: int, col: int, text: str) -> None:
+    for i, ch in enumerate(text):
+        if 0 <= row < len(canvas) and 0 <= col + i < len(canvas[0]):
+            canvas[row][col + i] = ch
+
+
+def _edge_chars(canvas, r1, c1, r2, c2):
+    """Draw a straight or diagonal edge between two label anchors."""
+    if r1 == r2:
+        lo, hi = sorted((c1, c2))
+        for c in range(lo + 1, hi):
+            if canvas[r1][c] == " ":
+                canvas[r1][c] = "-"
+    elif c1 == c2:
+        lo, hi = sorted((r1, r2))
+        for r in range(lo + 1, hi):
+            if canvas[r][c1] == " ":
+                canvas[r][c1] = "|"
+    else:
+        steps = max(abs(r1 - r2), abs(c1 - c2))
+        for k in range(1, steps):
+            r = r1 + (r2 - r1) * k // steps
+            c = c1 + (c2 - c1) * k // steps
+            if canvas[r][c] == " ":
+                canvas[r][c] = "\\" if (r2 - r1) * (c2 - c1) > 0 else "/"
+
+
+def _render_q3(
+    labeler: Callable[[int], str],
+    col_offset: int = 0,
+    canvas: Optional[List[List[str]]] = None,
+) -> List[List[str]]:
+    width = col_offset + 44
+    if canvas is None:
+        canvas = [[" "] * width for _ in range(14)]
+    elif len(canvas[0]) < width:
+        for row in canvas:
+            row.extend(" " * (width - len(row)))
+    anchors = {}
+    for node, (r, c) in _Q3_LAYOUT.items():
+        label = labeler(node)
+        _paint(canvas, r, c + col_offset, label)
+        anchors[node] = (r, c + col_offset + len(label) // 2)
+    for u in _Q3_LAYOUT:
+        for dim in range(3):
+            v = u ^ (1 << dim)
+            if u < v:
+                (r1, c1), (r2, c2) = anchors[u], anchors[v]
+                _edge_chars(canvas, r1, c1, r2, c2)
+    return canvas
+
+
+def render_cube(
+    topo: Hypercube,
+    levels: Optional[SafetyLevels] = None,
+    faults: Optional[FaultSet] = None,
+    highlight: Sequence[int] = (),
+) -> str:
+    """Draw a Q3 or Q4 with annotations.
+
+    Q4 renders as two Q3 subcubes (bit 3 = 0 left, = 1 right) — the same
+    projection the paper's Fig. 1 uses.  ``highlight`` nodes are wrapped
+    in brackets (used for route display).
+    """
+    if topo.dimension not in (3, 4):
+        raise ValueError("ASCII rendering supports Q3 and Q4 only")
+    if faults is None and levels is not None:
+        faults = levels.faults
+    marked = set(highlight)
+
+    def labeler_for(offset_bit: int) -> Callable[[int], str]:
+        def labeler(sub_node: int) -> str:
+            node = sub_node | offset_bit
+            text = node_label(node, topo, faults, levels)
+            return f"[{text}]" if node in marked else text
+
+        return labeler
+
+    if topo.dimension == 3:
+        canvas = _render_q3(labeler_for(0))
+        return "\n".join("".join(row).rstrip() for row in canvas).rstrip()
+
+    canvas = _render_q3(labeler_for(0))
+    canvas = _render_q3(labeler_for(8), col_offset=48, canvas=canvas)
+    lines = ["bit3 = 0" + " " * 40 + "bit3 = 1", ""]
+    lines += ["".join(row).rstrip() for row in canvas]
+    lines.append("")
+    lines.append("(dimension-3 links connect equal addresses across the "
+                 "two subcubes; '*' marks faults)")
+    return "\n".join(lines).rstrip()
+
+
+def render_gh(
+    gh: GeneralizedHypercube,
+    levels=None,
+    faults: Optional[FaultSet] = None,
+) -> str:
+    """Render a 3-dimensional GH as one grid per top-coordinate plane."""
+    if gh.dimension != 3:
+        raise ValueError("GH rendering supports 3-dimensional GHs only")
+    m0, m1, m2 = gh.radices
+    blocks: List[str] = []
+    for a2 in range(m2):
+        lines = [f"plane a2 = {a2}:"]
+        for a1 in range(m1):
+            cells = []
+            for a0 in range(m0):
+                node = gh.node_from_coords((a0, a1, a2))
+                text = gh.format_node(node)
+                if faults is not None and faults.is_node_faulty(node):
+                    cells.append(f"{text}*  ")
+                elif levels is not None:
+                    cells.append(f"{text}:{int(levels.levels[node])} ")
+                else:
+                    cells.append(f"{text}   ")
+            lines.append("   " + " ".join(cells))
+        blocks.append("\n".join(lines))
+    blocks.append("(rows are dimension-0 cliques; columns dimension-1; "
+                  "planes dimension-2; '*' marks faults)")
+    return "\n\n".join(blocks)
+
+
+def render_route(
+    topo: Hypercube,
+    levels: SafetyLevels,
+    path: Sequence[int],
+) -> str:
+    """Cube drawing with the route's nodes highlighted plus a legend."""
+    picture = render_cube(topo, levels=levels, highlight=path)
+    legend = " -> ".join(topo.format_node(v) for v in path)
+    return picture + "\n\nroute: " + legend

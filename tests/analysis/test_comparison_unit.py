@@ -1,0 +1,70 @@
+"""Unit tests for the comparison harness internals and Theorem 2'."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.comparison import RouterScore, _make_router
+from repro.core import (
+    FaultSet,
+    GeneralizedHypercube,
+    Hypercube,
+    uniform_node_faults,
+)
+from repro.safety import GhSafetyLevels, gh_theorem2_violations
+
+
+class TestRouterScore:
+    def test_rates_with_zero_pairs(self):
+        s = RouterScore(router="x")
+        assert s.delivery_rate == 0.0
+        assert s.optimal_rate == 0.0
+        assert s.mean_detour == 0.0
+        assert s.mean_hops == 0.0
+
+    def test_rates_arithmetic(self):
+        s = RouterScore(router="x", reachable_pairs=10, delivered=8,
+                        optimal=6, total_detour=4, total_hops=30)
+        assert s.delivery_rate == 0.8
+        assert s.optimal_rate == 0.75
+        assert s.mean_detour == 0.5
+        assert s.mean_hops == 3.75
+
+
+class TestMakeRouter:
+    def test_unknown_router_rejected(self, q4):
+        with pytest.raises(ValueError):
+            _make_router("quantum", q4, FaultSet.empty())
+
+    @pytest.mark.parametrize("name", [
+        "safety-level", "oracle", "sidetrack", "dfs-backtrack",
+        "progressive", "lee-hayes", "chiu-wu-style",
+    ])
+    def test_every_registered_router_routes(self, name, q4, rng):
+        faults = uniform_node_faults(q4, 2, rng)
+        router = _make_router(name, q4, faults)
+        alive = faults.nonfaulty_nodes(q4)
+        result = router(alive[0], alive[-1], rng)
+        assert result.router  # produced a tagged RouteResult
+
+
+class TestGhTheorem2Prime:
+    def test_fig5_clean(self):
+        from repro.instances import fig5_instance
+        gh, faults = fig5_instance()
+        assert gh_theorem2_violations(GhSafetyLevels.compute(gh, faults)) \
+            == []
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        radices=st.lists(st.integers(min_value=2, max_value=4),
+                         min_size=2, max_size=3),
+        frac=st.floats(min_value=0.0, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=2 ** 31),
+    )
+    def test_holds_on_random_generalized_cubes(self, radices, frac, seed):
+        gh = GeneralizedHypercube(radices)
+        faults = uniform_node_faults(gh, int(frac * gh.num_nodes),
+                                     np.random.default_rng(seed))
+        sl = GhSafetyLevels.compute(gh, faults)
+        assert gh_theorem2_violations(sl) == []

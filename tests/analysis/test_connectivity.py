@@ -1,0 +1,57 @@
+"""Tests for E20: hypercube connectivity under faults."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    connectivity_threshold_holds,
+    disconnection_probability_table,
+)
+from repro.core import Hypercube, is_connected, uniform_node_faults
+
+
+class TestThreshold:
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_exhaustive_slice(self, n):
+        assert connectivity_threshold_holds(n, exhaustive_up_to=3)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=3, max_value=7),
+        seed=st.integers(min_value=0, max_value=2 ** 31),
+        data=st.data(),
+    )
+    def test_below_n_faults_never_disconnects(self, n, seed, data):
+        """Q_n is n-connected: the reason Property 2's guarantee needs no
+        connectivity caveat."""
+        count = data.draw(st.integers(min_value=0, max_value=n - 1))
+        topo = Hypercube(n)
+        faults = uniform_node_faults(topo, count,
+                                     np.random.default_rng(seed))
+        assert is_connected(topo, faults)
+
+    def test_exactly_n_faults_can_disconnect(self):
+        """The minimal cut: the neighbor set of a single node."""
+        topo = Hypercube(4)
+        from repro.core import FaultSet
+        faults = FaultSet(nodes=topo.neighbors(0))
+        assert faults.num_node_faults == 4
+        assert not is_connected(topo, faults)
+
+
+class TestProbabilityTable:
+    def test_zero_below_threshold_and_monotone_ish(self):
+        table = disconnection_probability_table(
+            n=5, fault_counts=[3, 4, 10, 20], trials=80, seed=151)
+        rows = {row[0]: row for row in table.rows}
+        assert rows[3][1] == 0.0
+        assert rows[4][1] >= 0.0
+        # Heavy damage disconnects more often than light damage.
+        assert rows[20][1] >= rows[10][1]
+
+    def test_connected_rows_have_single_part(self):
+        table = disconnection_probability_table(
+            n=4, fault_counts=[2], trials=30, seed=5)
+        (row,) = table.rows
+        assert row[1] == 0.0 and row[2] == 1.0 and row[3] == 0.0

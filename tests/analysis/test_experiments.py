@@ -1,0 +1,165 @@
+"""Tests for the experiment runners: every claim the benchmarks print is
+asserted here at reduced scale (the benches rerun them at full scale)."""
+
+import pytest
+
+from repro.analysis import (
+    broadcast_table,
+    compare_routers,
+    disconnected_sweep,
+    fig1_report,
+    fig2_series,
+    fig3_report,
+    fig4_report,
+    fig5_report,
+    gs_policy_table,
+    rounds_comparison_table,
+    rounds_vs_faults,
+    routability_sweep,
+    safe_set_sweep_table,
+    section23_table,
+    tie_break_table,
+)
+
+
+class TestFigureReports:
+    def test_fig1_report_confirms_everything(self):
+        text = fig1_report()
+        assert "levels match the paper figure: yes" in text
+        assert "stabilized in round 2" in text
+        assert "optimal, via C1" in text and "optimal, via C2" in text
+
+    def test_fig3_report(self):
+        text = fig3_report()
+        assert "aborted-at-source" in text
+        assert "all unicasts from 1110 detected infeasible at the source: yes" in text
+        assert "Lee-Hayes=0, Wu-Fernandez=0" in text
+
+    def test_fig4_report(self):
+        text = fig4_report()
+        assert "reproduced: yes" in text
+        assert "S_self(1000) = 1" in text
+
+    def test_fig5_report(self):
+        text = fig5_report()
+        assert "reproduced: yes" in text
+        assert "S(110) = 1" in text
+
+
+class TestFig2Shape:
+    def test_paper_observations_hold(self):
+        """Average rounds < 2 for f < n, and far below worst case (n-1)."""
+        points = rounds_vs_faults(n=7, fault_counts=[1, 3, 6, 10, 20],
+                                  trials=120, seed=1)
+        by_f = {p.num_faults: p for p in points}
+        for f in (1, 3, 6):
+            assert by_f[f].gs.mean < 2.0
+        for p in points:
+            assert p.gs.maximum <= 6  # the worst-case bound n - 1
+            assert p.gs.mean < 6
+
+    def test_monotone_ish_growth(self):
+        points = rounds_vs_faults(n=6, fault_counts=[1, 8, 24], trials=100,
+                                  seed=2)
+        means = [p.gs.mean for p in points]
+        assert means[0] <= means[1] <= means[2] + 0.5
+
+    def test_series_renders(self):
+        series = fig2_series(n=5, fault_counts=[1, 2], trials=20, seed=3)
+        assert "faults" in series.render()
+
+
+class TestRoutability:
+    def test_no_guarantee_violations_and_no_aborts_below_n(self):
+        rows = routability_sweep(n=6, fault_counts=[2, 5], trials=40,
+                                 pairs_per_trial=6, seed=4)
+        for row in rows:
+            assert row.guarantee_violations == 0
+            assert row.aborted == 0  # f < n: never fails (Property 2)
+
+    def test_aborts_appear_but_stay_clean_beyond_n(self):
+        rows = routability_sweep(n=5, fault_counts=[12], trials=60,
+                                 pairs_per_trial=6, seed=5)
+        row = rows[0]
+        assert row.guarantee_violations == 0
+        assert row.aborted > 0  # heavy damage: some detected failures
+
+
+class TestRoundsComparison:
+    def test_gs_no_slower_than_rivals_bound(self):
+        table = rounds_comparison_table(dims=(4, 5), trials=40, seed=6)
+        text = table.render()
+        assert "GS avg" in text
+
+
+class TestComparison:
+    def test_oracle_dominates_and_safety_routing_is_clean(self):
+        scores = compare_routers(n=5, num_faults=4, trials=20,
+                                 pairs_per_trial=5, seed=7)
+        oracle = scores["oracle"]
+        sl = scores["safety-level"]
+        assert oracle.delivery_rate == 1.0
+        assert oracle.optimal_rate == 1.0
+        # f < n: safety-level routing also delivers everything.
+        assert sl.delivery_rate == 1.0
+        assert sl.silent_failures == 0
+        assert sl.invalid_paths == 0
+        # Every delivered safety-level route is optimal or +2.
+        assert sl.mean_detour <= 2.0
+
+    def test_dfs_delivers_everything_but_pays_hops(self):
+        scores = compare_routers(
+            n=5, num_faults=8, trials=15, pairs_per_trial=5, seed=8,
+            routers=("dfs-backtrack", "oracle"),
+        )
+        dfs, oracle = scores["dfs-backtrack"], scores["oracle"]
+        assert dfs.delivery_rate == 1.0
+        assert dfs.mean_hops >= oracle.mean_hops
+
+
+class TestDisconnected:
+    def test_theorem4_and_clean_aborts(self):
+        stats = disconnected_sweep(n=5, trials=30, pairs_per_trial=8,
+                                   seed=9)
+        assert stats.truly_disconnected == stats.instances
+        assert stats.lh_empty == stats.truly_disconnected
+        assert stats.wf_empty == stats.truly_disconnected
+        assert stats.cross_aborted == stats.cross_attempts
+        assert stats.violations == 0
+
+
+class TestAblationTables:
+    def test_tie_break_invariance(self):
+        table = tie_break_table(n=5, num_faults=4, trials=15,
+                                pairs_per_trial=5, seed=10)
+        # Guarantee columns identical across policies.
+        rows = table.rows
+        assert len(rows) == 3
+        for col in (2, 3, 4):  # optimal%, subopt%, abort%
+            assert len({r[col] for r in rows}) == 1
+
+    def test_gs_policy_periodic_costs_more(self):
+        table = gs_policy_table(n=4, fault_counts=(2,), trials=5, seed=11)
+        (row,) = table.rows
+        assert row[2] > row[1]  # every-round msgs > on-change msgs
+
+
+class TestOtherTables:
+    def test_section23_table_lists_nine_sl_safe(self):
+        text = section23_table().render()
+        assert "safety level" in text
+
+    def test_safe_set_sweep_chain_ok(self):
+        table = safe_set_sweep_table(n=5, fault_counts=[2, 6], trials=25,
+                                     seed=12)
+        for row in table.rows:
+            assert row[-1] is True
+
+    def test_broadcast_table_coverage_ordering(self):
+        table = broadcast_table(n=5, fault_counts=(0, 4), trials=15,
+                                seed=13)
+        for row in table.rows:
+            flood_cov, bin_cov, sb_cov = row[1], row[3], row[5]
+            assert flood_cov == pytest.approx(100.0)
+            assert sb_cov <= flood_cov + 1e-9
+            assert bin_cov <= flood_cov + 1e-9

@@ -1,0 +1,121 @@
+"""Tests for the extension experiments E13 (dynamic), E14 (conservatism),
+E15 (traffic)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    conservatism_table,
+    dynamic_policy_table,
+    measure_link_load,
+    reach_radii,
+    reach_radius,
+    route_with_stale_levels,
+    traffic_table,
+)
+from repro.core import FaultSet, Hypercube, uniform_node_faults
+from repro.routing import RouteStatus, route_unicast
+from repro.safety import SafetyLevels, compute_safety_levels
+
+
+class TestReachRadius:
+    def test_fault_free_radius_is_n(self, q4):
+        assert reach_radius(q4, FaultSet.empty(), 0) == 4
+
+    def test_faulty_node_radius_zero(self, q4):
+        assert reach_radius(q4, FaultSet(nodes=[3]), 3) == 0
+
+    def test_soundness_theorem2(self, q5, rng):
+        """S(a) <= r(a) on every instance — Theorem 2 restated."""
+        for _ in range(8):
+            faults = uniform_node_faults(q5, int(rng.integers(0, 14)), rng)
+            levels = compute_safety_levels(q5, faults)
+            radii = reach_radii(q5, faults)
+            assert (levels <= radii).all()
+
+    def test_radius_semantics_by_hand(self, q3):
+        """Node 0 with faulty 0b011: the blocked pair is at distance 2."""
+        faults = FaultSet(nodes=[0b011])
+        # 0 -> 0b011 is faulty, but it doesn't block optimal paths to the
+        # *nonfaulty* nodes; check against brute force.
+        r = reach_radius(q3, faults, 0)
+        from repro.core import bfs_distances
+        dist = bfs_distances(q3, faults, 0)
+        for v in range(8):
+            if v != 0b011 and bin(v).count("1") <= r:
+                assert dist[v] == bin(v).count("1")
+
+
+class TestStaleRouting:
+    def test_current_levels_behave_like_route_unicast(self, q4, rng):
+        faults = uniform_node_faults(q4, 3, rng)
+        sl = SafetyLevels.compute(q4, faults)
+        alive = faults.nonfaulty_nodes(q4)
+        for _ in range(10):
+            i, j = rng.choice(len(alive), size=2, replace=False)
+            s, d = alive[int(i)], alive[int(j)]
+            stale = route_with_stale_levels(q4, np.asarray(sl.levels),
+                                            faults, s, d)
+            fresh = route_unicast(sl, s, d)
+            assert stale == fresh.status
+
+    def test_optimistic_stale_levels_lose_messages(self, q4):
+        """Pretend the cube is fault-free while a wall of faults exists:
+        the message is forwarded straight into a fault and lost."""
+        topo = Hypercube(4)
+        all_safe = np.full(16, 4, dtype=np.int64)
+        faults = FaultSet(nodes=topo.neighbors(0))
+        status = route_with_stale_levels(topo, all_safe, faults,
+                                         source=15, dest=0)
+        assert status is RouteStatus.STUCK
+
+    def test_pessimistic_stale_levels_abort_spuriously(self, q4):
+        """Pretend everything is barely safe while the cube is fault-free:
+        the source aborts a perfectly routable unicast."""
+        topo = Hypercube(4)
+        all_low = np.ones(16, dtype=np.int64)
+        status = route_with_stale_levels(topo, all_low, FaultSet.empty(),
+                                         source=0, dest=15)
+        assert status is RouteStatus.ABORTED_AT_SOURCE
+
+
+class TestE13Table:
+    def test_state_change_never_stale_never_lossy(self):
+        table = dynamic_policy_table(n=5, horizon=12, trials=3,
+                                     periods=(6,), unicasts_per_tick=3,
+                                     seed=61)
+        rows = {row[0]: row for row in table.rows}
+        sc = rows["state-change"]
+        assert sc[3] == 0.0          # stale ticks%
+        assert sc[5] == 0.0          # lost-in-net%
+        slow = rows["periodic/6"]
+        assert slow[3] > 0.0         # goes stale between refreshes
+
+
+class TestE14Table:
+    def test_zero_soundness_violations(self):
+        table = conservatism_table(n=5, fault_counts=[2, 8], trials=10,
+                                   seed=53)
+        for row in table.rows:
+            assert row[-1] == 0      # S(a) <= r(a) everywhere
+            assert row[1] <= row[2] + 1e-9  # mean S <= mean r
+
+
+class TestE15Traffic:
+    def test_measure_link_load_counts_traversals(self, q4):
+        sl = SafetyLevels.compute(q4, FaultSet.empty())
+        pairs = [(0, 15), (15, 0), (0, 7)]
+        stats = measure_link_load(
+            "t", lambda s, d: route_unicast(sl, s, d), pairs)
+        assert stats.delivered == 3
+        assert stats.total_traversals == 4 + 4 + 3
+        assert stats.max_link_load >= 1
+
+    def test_table_renders_all_schemes(self):
+        table = traffic_table(n=5, num_faults=3, batches=2,
+                              pairs_per_batch=30, seed=71)
+        names = [row[0] for row in table.rows]
+        assert any("random tie" in name for name in names)
+        assert any("dfs" in name for name in names)
+        for row in table.rows:
+            assert row[1] > 0  # every scheme delivered something

@@ -1,0 +1,45 @@
+"""Tests for the multiprocessing sweep helpers."""
+
+import pytest
+
+from repro.analysis import fig2_series_parallel, parallel_points
+from repro.analysis.parallel import fig2_point_worker
+from repro.analysis.rounds import fig2_series
+
+
+class TestParallelPoints:
+    def test_serial_path_preserves_order(self):
+        out = parallel_points(lambda x: x * x, [3, 1, 2], processes=1)
+        assert out == [9, 1, 4]
+
+    def test_none_means_serial(self):
+        out = parallel_points(lambda x: -x, [1, 2], processes=None)
+        assert out == [-1, -2]
+
+    def test_single_point_never_forks(self):
+        # Lambdas don't pickle; this would explode if a pool were used.
+        assert parallel_points(lambda x: x + 1, [41], processes=8) == [42]
+
+    def test_rejects_nonpositive_processes(self):
+        with pytest.raises(ValueError):
+            parallel_points(fig2_point_worker, [(4, 1, 5, 0)], processes=0)
+
+
+class TestFig2Worker:
+    def test_worker_matches_direct_computation(self):
+        from repro.analysis.rounds import rounds_vs_faults
+        f, mean, maximum = fig2_point_worker((5, 4, 50, 9))
+        (point,) = rounds_vs_faults(5, [4], 50, 9)
+        assert f == 4
+        assert mean == point.gs.mean
+        assert maximum == point.gs.maximum
+
+
+class TestParallelSeries:
+    def test_pool_result_bit_identical_to_serial(self):
+        """The real guarantee: process partitioning cannot change any
+        number (per-point seeding)."""
+        serial = fig2_series(n=5, fault_counts=[1, 4, 8], trials=60, seed=7)
+        pooled = fig2_series_parallel(n=5, fault_counts=[1, 4, 8],
+                                      trials=60, seed=7, processes=2)
+        assert serial.points == pooled.points

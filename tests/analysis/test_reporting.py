@@ -1,0 +1,71 @@
+"""Tests for artifact persistence (text + JSON)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Series,
+    Table,
+    load_payload,
+    save_artifact,
+    to_payload,
+)
+
+
+class TestToPayload:
+    def test_table_roundtrip_fields(self):
+        t = Table(caption="c", headers=["a", "b"])
+        t.add_row(1, 2.5)
+        payload = to_payload(t)
+        assert payload["kind"] == "table"
+        assert payload["headers"] == ["a", "b"]
+        assert payload["rows"] == [[1, 2.5]]
+
+    def test_series_payload(self):
+        s = Series(caption="fig", x_label="x", y_label="y")
+        s.add_point(1, 2.0, "extra")
+        payload = to_payload(s)
+        assert payload["kind"] == "series"
+        assert payload["points"] == [[1, 2.0, "extra"]]
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            to_payload("not an artifact")
+
+
+class TestSaveArtifact:
+    def test_writes_both_formats(self, tmp_path):
+        t = Table(caption="cap", headers=["x"])
+        t.add_row(3)
+        paths = save_artifact(t, tmp_path, "demo")
+        assert paths["txt"].read_text().startswith("cap")
+        data = load_payload(paths["json"])
+        assert data["rows"] == [[3]]
+
+    def test_numpy_scalars_serialize(self, tmp_path):
+        t = Table(caption="c", headers=["v"])
+        t.add_row(np.int64(7))
+        paths = save_artifact(t, tmp_path, "np")
+        assert json.loads(paths["json"].read_text())["rows"] == [[7]]
+
+    def test_creates_nested_directories(self, tmp_path):
+        t = Table(caption="c", headers=["v"])
+        paths = save_artifact(t, tmp_path / "a" / "b", "x")
+        assert paths["txt"].exists()
+
+    def test_overwrites(self, tmp_path):
+        t = Table(caption="first", headers=["v"])
+        save_artifact(t, tmp_path, "same")
+        t2 = Table(caption="second", headers=["v"])
+        paths = save_artifact(t2, tmp_path, "same")
+        assert "second" in paths["txt"].read_text()
+
+
+class TestCliSave:
+    def test_save_flag_writes_text(self, tmp_path, capsys):
+        from repro.cli import main
+        assert main(["fig1", "--save", str(tmp_path)]) == 0
+        saved = (tmp_path / "fig1.txt").read_text()
+        assert "levels match the paper figure: yes" in saved

@@ -1,0 +1,84 @@
+"""Tests for table/series rendering and Monte-Carlo helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Series, Summary, Table, summarize, trial_rngs
+from repro.analysis.tables import format_cell
+
+
+class TestFormatCell:
+    def test_none_is_dash(self):
+        assert format_cell(None) == "-"
+
+    def test_floats_fixed_digits(self):
+        assert format_cell(1.23456, 2) == "1.23"
+
+    def test_bool_words(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_ints_verbatim(self):
+        assert format_cell(42) == "42"
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        t = Table(caption="cap", headers=["a", "long-header"])
+        t.add_row(1, 2.5)
+        t.add_row(100, None)
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "cap"
+        assert "long-header" in lines[2]
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1  # all body lines equal width
+
+    def test_row_arity_checked(self):
+        t = Table(caption="c", headers=["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_empty_table_renders(self):
+        t = Table(caption="c", headers=["a"])
+        assert "a" in t.render()
+
+
+class TestSeries:
+    def test_points_with_extras(self):
+        s = Series(caption="fig", x_label="x", y_label="y")
+        s.add_point(1, 2.0, 9)
+        text = s.render(extra_labels=["max"])
+        assert "x" in text and "max" in text and "2.000" in text
+
+
+class TestMonteCarlo:
+    def test_trial_rngs_independent_and_deterministic(self):
+        a = trial_rngs(42, 3)
+        b = trial_rngs(42, 3)
+        assert len(a) == 3
+        for ga, gb in zip(a, b):
+            assert ga.random() == gb.random()
+        # different children differ
+        c = trial_rngs(42, 2)
+        assert c[0].random() != c[1].random()
+
+    def test_trial_rngs_rejects_negative(self):
+        with pytest.raises(ValueError):
+            trial_rngs(1, -1)
+
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == 2.0
+        assert s.minimum == 1.0 and s.maximum == 3.0
+        assert s.count == 3
+        lo, hi = s.ci95()
+        assert lo < 2.0 < hi
+
+    def test_summarize_single_value(self):
+        s = summarize([5.0])
+        assert s.std == 0.0 and s.sem == 0.0
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])

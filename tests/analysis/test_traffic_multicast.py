@@ -1,0 +1,207 @@
+"""Tests for E16 (contention), E17 (sensitivity), E18 (multicast)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    contention_table,
+    make_oracle_policy,
+    make_safety_policy,
+    make_sidetrack_policy,
+    multicast_table,
+    sensitivity_table,
+)
+from repro.core import FaultSet, Hypercube, uniform_node_faults
+from repro.safety import SafetyLevels
+from repro.simcore import simulate_traffic
+
+
+class TestPolicies:
+    def test_safety_policy_matches_route_unicast(self, q5, rng):
+        """A lone packet under the safety policy takes exactly the static
+        router's path length."""
+        from repro.routing import route_unicast
+        faults = uniform_node_faults(q5, 4, rng)
+        sl = SafetyLevels.compute(q5, faults)
+        policy = make_safety_policy(sl)
+        alive = faults.nonfaulty_nodes(q5)
+        for _ in range(10):
+            i, j = rng.choice(len(alive), size=2, replace=False)
+            s, d = alive[int(i)], alive[int(j)]
+            static = route_unicast(sl, s, d)
+            res = simulate_traffic(q5, faults, [(s, d)], policy)
+            (p,) = res.packets
+            if static.delivered:
+                assert p.delivered
+                assert p.hops == static.hops
+            else:
+                assert p.dropped_reason == "aborted-by-policy"
+
+    def test_oracle_policy_achieves_true_shortest(self, q5, rng):
+        from repro.core import bfs_distances
+        faults = uniform_node_faults(q5, 6, rng)
+        alive = faults.nonfaulty_nodes(q5)
+        s, d = alive[0], alive[-1]
+        dist = bfs_distances(q5, faults, d)
+        policy = make_oracle_policy(q5, faults, [d])
+        res = simulate_traffic(q5, faults, [(s, d)], policy)
+        (p,) = res.packets
+        if dist[s] >= 0:
+            assert p.delivered and p.hops == dist[s]
+        else:
+            assert not p.delivered
+
+    def test_sidetrack_policy_is_seeded(self, q4):
+        faults = uniform_node_faults(q4, 3, 5)
+        a = make_sidetrack_policy(q4, faults, rng=9)
+        b = make_sidetrack_policy(q4, faults, rng=9)
+        ra = simulate_traffic(q4, faults, [(0, 15)] if not
+                              faults.is_node_faulty(0) and not
+                              faults.is_node_faulty(15) else [], a)
+        rb = simulate_traffic(q4, faults, [(0, 15)] if not
+                              faults.is_node_faulty(0) and not
+                              faults.is_node_faulty(15) else [], b)
+        assert [p.latency for p in ra.packets] == \
+            [p.latency for p in rb.packets]
+
+
+class TestE16Table:
+    def test_everything_admitted_is_delivered(self):
+        table = contention_table(n=5, num_faults=3, loads=(8, 32),
+                                 trials=3, seed=83)
+        for row in table.rows:
+            assert row[3] == 0  # no drops: pairs were pre-filtered feasible
+        # Queueing grows with load for every scheme.
+        by_scheme = {}
+        for row in table.rows:
+            by_scheme.setdefault(row[1], []).append(row[6])
+        for scheme, queueing in by_scheme.items():
+            assert queueing[0] <= queueing[-1] + 1e-9, scheme
+
+
+class TestE17Table:
+    def test_subcube_faults_leave_everyone_safe(self):
+        """The distribution insight: a dead subcube presents at most one
+        faulty neighbor to any survivor, so no safety level drops."""
+        table = sensitivity_table(n=6, count=8, trials=10,
+                                  pairs_per_trial=4, seed=97)
+        rows = {row[0]: row for row in table.rows}
+        sub = rows["subcube"]
+        assert sub[1] == pytest.approx(6.0)      # mean level = n
+        assert sub[5] == pytest.approx(0.0)      # zero GS rounds
+        assert sub[6] == pytest.approx(100.0)    # all optimal
+        # Uniform placement is strictly harder on the LH definition.
+        assert rows["uniform"][4] <= rows["clustered"][4] + 1e-9
+
+
+class TestE18Table:
+    def test_tree_is_never_more_expensive(self):
+        table = multicast_table(n=5, num_faults=3, group_sizes=(2, 8),
+                                trials=8, seed=89)
+        for row in table.rows:
+            assert row[2] <= row[1] + 1e-9       # tree <= separate
+            assert row[3] <= 1.0 + 1e-9          # ratio
+            assert row[2] <= row[4]              # tree <= flooding
+
+    def test_savings_grow_with_group_size(self):
+        table = multicast_table(n=5, num_faults=2, group_sizes=(2, 16),
+                                trials=10, seed=89)
+        small, large = table.rows[0][3], table.rows[1][3]
+        assert large <= small + 0.05
+
+
+class TestSignificance:
+    def test_lee_hayes_significantly_worse_on_delivery(self):
+        from repro.analysis import (
+            collect_paired_outcomes,
+            paired_delivery_test,
+        )
+        outcomes = collect_paired_outcomes(
+            "safety-level", "lee-hayes", n=6, num_faults=10, trials=15,
+            pairs_per_trial=6, seed=131)
+        a_only, b_only, p = paired_delivery_test(outcomes)
+        assert a_only > b_only
+        assert p < 0.01
+
+    def test_identical_scheme_is_not_significant(self):
+        from repro.analysis import (
+            collect_paired_outcomes,
+            paired_delivery_test,
+            paired_detour_test,
+        )
+        outcomes = collect_paired_outcomes(
+            "oracle", "oracle", n=5, num_faults=4, trials=8,
+            pairs_per_trial=5, seed=3)
+        a_only, b_only, p = paired_delivery_test(outcomes)
+        assert a_only == b_only == 0
+        assert p == 1.0
+        diff, p2 = paired_detour_test(outcomes)
+        assert diff == 0.0 and p2 == 1.0
+
+    def test_table_renders(self):
+        from repro.analysis import significance_table
+        table = significance_table(rivals=("sidetrack",), n=5,
+                                   num_faults=6, trials=8,
+                                   pairs_per_trial=4, seed=9)
+        assert len(table.rows) == 1
+
+
+class TestUnicastTreeBroadcast:
+    def test_guaranteed_coverage_below_n_faults(self):
+        import numpy as np
+        from repro.broadcast import broadcast_unicast_tree
+        from repro.core import Hypercube, reachable_set, uniform_node_faults
+        from repro.safety import SafetyLevels
+        q = Hypercube(6)
+        for seed in range(5):
+            gen = np.random.default_rng(seed)
+            faults = uniform_node_faults(q, 5, gen)  # f < n
+            sl = SafetyLevels.compute(q, faults)
+            src = faults.nonfaulty_nodes(q)[0]
+            res = broadcast_unicast_tree(sl, src)
+            assert set(res.covered) == reachable_set(q, faults, src)
+
+    def test_cheaper_than_flooding(self):
+        import numpy as np
+        from repro.broadcast import broadcast_flooding, broadcast_unicast_tree
+        from repro.core import Hypercube, uniform_node_faults
+        from repro.safety import SafetyLevels
+        q = Hypercube(6)
+        gen = np.random.default_rng(4)
+        faults = uniform_node_faults(q, 5, gen)
+        sl = SafetyLevels.compute(q, faults)
+        src = faults.nonfaulty_nodes(q)[0]
+        tree = broadcast_unicast_tree(sl, src)
+        flood = broadcast_flooding(q, faults, src)
+        assert tree.messages < flood.messages
+        assert tree.messages >= len(tree.covered) - 1  # spanning floor
+
+
+class TestE9cVolume:
+    def test_history_free_schemes_pay_one_word_per_hop(self, q4):
+        from repro.analysis import route_volume_words
+        from repro.core import FaultSet
+        from repro.routing import route_unicast
+        from repro.safety import SafetyLevels
+        sl = SafetyLevels.compute(q4, FaultSet.empty())
+        res = route_unicast(sl, 0, 15)
+        assert route_volume_words(res) == res.hops
+
+    def test_dfs_volume_is_exact_accumulation(self, q4):
+        """Fault-free, H hops, visited grows 2,3,...,H+1 -> sum."""
+        from repro.analysis import route_volume_words
+        from repro.core import FaultSet
+        from repro.routing import route_dfs
+        res = route_dfs(q4, FaultSet.empty(), 0, 0b1111)
+        assert res.optimal
+        expected = sum(range(2, res.hops + 2))
+        assert route_volume_words(res) == expected
+
+    def test_table_shows_history_tax(self):
+        from repro.analysis import volume_table
+        table = volume_table(n=5, fault_counts=(0, 4), trials=10,
+                             pairs_per_trial=5, seed=171)
+        by = {(row[0], row[1]): row for row in table.rows}
+        for f in (0, 4):
+            assert by[(f, "dfs-backtrack")][5] > 2.0   # > 2x the nav vector
+            assert by[(f, "safety-level")][5] == 1.0

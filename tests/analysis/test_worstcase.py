@@ -1,0 +1,64 @@
+"""Tests certifying Property 1's n-1 round bound is tight."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.analysis.worstcase import (
+    find_slow_instance,
+    isolation_cascade_instance,
+)
+from repro.core import FaultSet, Hypercube, is_connected
+from repro.safety import stabilization_rounds_fast
+
+
+class TestCascadeConstruction:
+    @pytest.mark.parametrize("n", range(3, 10))
+    def test_meets_the_bound_exactly(self, n):
+        topo, faults = isolation_cascade_instance(n)
+        assert stabilization_rounds_fast(topo, faults) == n - 1
+
+    def test_uses_minimal_fault_count(self):
+        topo, faults = isolation_cascade_instance(6)
+        assert faults.num_node_faults == 6
+
+    def test_is_the_minimal_disconnecting_pattern(self):
+        topo, faults = isolation_cascade_instance(5)
+        assert not is_connected(topo, faults)
+
+    def test_rejects_tiny_dimension(self):
+        with pytest.raises(ValueError):
+            isolation_cascade_instance(2)
+
+
+class TestBoundIsNeverExceeded:
+    def test_exhaustive_q3(self):
+        """Every fault placement of up to 5 nodes on Q3 stabilizes within
+        n - 1 = 2 rounds (brute force)."""
+        q3 = Hypercube(3)
+        for k in range(6):
+            for nodes in combinations(range(8), k):
+                r = stabilization_rounds_fast(q3, FaultSet(nodes=nodes))
+                assert r <= 2
+
+    def test_exhaustive_q4_small_sets(self):
+        q4 = Hypercube(4)
+        for k in (3, 4):
+            for nodes in combinations(range(16), k):
+                r = stabilization_rounds_fast(q4, FaultSet(nodes=nodes))
+                assert r <= 3
+
+
+class TestSearch:
+    def test_hill_climb_reaches_the_cascade_bound_on_q5(self):
+        faults, rounds = find_slow_instance(5, 5, rng=1, restarts=4,
+                                            steps_per_restart=150)
+        assert rounds >= 3  # search gets close to the bound of 4
+        assert faults.num_node_faults == 5
+
+    def test_search_is_seeded(self):
+        a = find_slow_instance(4, 4, rng=7, restarts=2,
+                               steps_per_restart=50)
+        b = find_slow_instance(4, 4, rng=7, restarts=2,
+                               steps_per_restart=50)
+        assert a[0] == b[0] and a[1] == b[1]

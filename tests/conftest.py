@@ -1,0 +1,37 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FaultSet, Hypercube, uniform_node_faults
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic per-test generator."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def q3() -> Hypercube:
+    return Hypercube(3)
+
+
+@pytest.fixture
+def q4() -> Hypercube:
+    return Hypercube(4)
+
+
+@pytest.fixture
+def q5() -> Hypercube:
+    return Hypercube(5)
+
+
+def random_instance(n: int, num_faults: int, seed: int):
+    """A seeded (topology, faults) pair for randomized tests."""
+    topo = Hypercube(n)
+    faults = uniform_node_faults(topo, num_faults,
+                                 np.random.default_rng(seed))
+    return topo, faults

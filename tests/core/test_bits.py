@@ -1,0 +1,164 @@
+"""Unit and property tests for the bit-arithmetic kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import bits
+
+
+class TestScalarOps:
+    def test_popcount_basics(self):
+        assert bits.popcount(0) == 0
+        assert bits.popcount(0b1011) == 3
+        assert bits.popcount((1 << 20) - 1) == 20
+
+    def test_hamming_examples(self):
+        assert bits.hamming(0b1101, 0b1001) == 1
+        assert bits.hamming(0b0000, 0b1111) == 4
+        assert bits.hamming(5, 5) == 0
+
+    def test_flip_bit_paper_notation(self):
+        # 1101 XOR e^2 = 1001 (the paper's own example).
+        assert bits.flip_bit(0b1101, 2) == 0b1001
+
+    def test_flip_bit_is_involution(self):
+        for a in range(16):
+            for d in range(4):
+                assert bits.flip_bit(bits.flip_bit(a, d), d) == a
+
+    def test_get_bit(self):
+        assert bits.get_bit(0b1010, 1) == 1
+        assert bits.get_bit(0b1010, 0) == 0
+
+    def test_unit_vector(self):
+        assert bits.unit_vector(0) == 1
+        assert bits.unit_vector(3) == 8
+
+    def test_neighbors_of_dimension_order(self):
+        assert bits.neighbors_of(0b000, 3) == [0b001, 0b010, 0b100]
+        assert bits.neighbors_of(0b101, 3) == [0b100, 0b111, 0b001]
+
+    def test_preferred_and_spare_partition_dimensions(self):
+        s, d, n = 0b0101, 0b1100, 4
+        pref = bits.preferred_dimensions(s, d, n)
+        spare = bits.spare_dimensions(s, d, n)
+        assert sorted(pref + spare) == list(range(n))
+        assert pref == [0, 3]
+        assert len(pref) == bits.hamming(s, d)
+
+    def test_format_address(self):
+        assert bits.format_address(0b0110, 4) == "0110"
+        assert bits.format_address(0, 3) == "000"
+
+    def test_format_address_range_check(self):
+        with pytest.raises(ValueError):
+            bits.format_address(16, 4)
+
+    def test_parse_address_roundtrip(self):
+        for a in range(16):
+            assert bits.parse_address(bits.format_address(a, 4)) == a
+
+    def test_parse_address_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            bits.parse_address("01x0")
+        with pytest.raises(ValueError):
+            bits.parse_address("")
+
+
+class TestVectorizedOps:
+    def test_popcount_array_matches_scalar(self):
+        xs = np.arange(4096)
+        expected = np.array([bits.popcount(int(x)) for x in xs])
+        assert np.array_equal(bits.popcount_array(xs), expected)
+
+    def test_popcount_array_wide_values(self):
+        xs = np.array([0, (1 << 40) - 1, 1 << 50], dtype=np.int64)
+        assert list(bits.popcount_array(xs)) == [0, 40, 1]
+
+    def test_popcount_array_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bits.popcount_array(np.array([-1]))
+
+    def test_popcount_array_empty(self):
+        out = bits.popcount_array(np.array([], dtype=np.int64))
+        assert out.shape == (0,)
+
+    def test_hamming_array_broadcasts(self):
+        a = np.arange(8)
+        out = bits.hamming_array(a, 0)
+        assert np.array_equal(out, bits.popcount_array(a))
+
+    def test_all_addresses(self):
+        assert np.array_equal(bits.all_addresses(3), np.arange(8))
+
+    def test_all_addresses_range_check(self):
+        with pytest.raises(ValueError):
+            bits.all_addresses(bits.MAX_DIMENSION + 1)
+
+    def test_neighbor_table_matches_scalar(self):
+        n = 5
+        table = bits.neighbor_table(n)
+        assert table.shape == (32, 5)
+        for a in range(32):
+            assert list(table[a]) == bits.neighbors_of(a, n)
+
+    def test_neighbor_table_is_involution(self):
+        table = bits.neighbor_table(4)
+        for d in range(4):
+            col = table[:, d]
+            assert np.array_equal(col[col], np.arange(16))
+
+
+class TestSubcubeIteration:
+    def test_full_cube_when_nothing_pinned(self):
+        assert sorted(bits.iter_subcube([], 3)) == list(range(8))
+
+    def test_pinned_bits_fix_membership(self):
+        members = sorted(bits.iter_subcube([(2, 1), (0, 0)], 3))
+        assert members == [0b100, 0b110]
+
+    def test_rejects_bad_pin(self):
+        with pytest.raises(ValueError):
+            list(bits.iter_subcube([(5, 1)], 3))
+        with pytest.raises(ValueError):
+            list(bits.iter_subcube([(0, 2)], 3))
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+addresses = st.integers(min_value=0, max_value=(1 << 16) - 1)
+
+
+@given(addresses, addresses)
+def test_hamming_symmetry(a, b):
+    assert bits.hamming(a, b) == bits.hamming(b, a)
+
+
+@given(addresses, addresses, addresses)
+def test_hamming_triangle_inequality(a, b, c):
+    assert bits.hamming(a, c) <= bits.hamming(a, b) + bits.hamming(b, c)
+
+
+@given(addresses)
+def test_hamming_identity(a):
+    assert bits.hamming(a, a) == 0
+
+
+@given(addresses, st.integers(min_value=0, max_value=15))
+def test_flip_changes_distance_by_one(a, d):
+    assert bits.hamming(a, bits.flip_bit(a, d)) == 1
+
+
+@given(st.lists(addresses, min_size=1, max_size=64))
+def test_popcount_array_agrees_with_python(xs):
+    arr = np.array(xs, dtype=np.int64)
+    assert list(bits.popcount_array(arr)) == [int(x).bit_count() for x in xs]
+
+
+@given(addresses, addresses)
+def test_preferred_dimensions_reconstruct_xor(a, b):
+    dims = bits.preferred_dimensions(a, b, 16)
+    assert sum(1 << d for d in dims) == a ^ b

@@ -1,0 +1,122 @@
+"""Tests for node-disjoint optimal paths and path counting."""
+
+from math import factorial
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    FaultSet,
+    Hypercube,
+    count_optimal_paths,
+    disjoint_optimal_paths,
+    uniform_node_faults,
+    verify_node_disjoint,
+)
+
+
+class TestDisjointPaths:
+    def test_count_equals_hamming_distance(self, q5):
+        paths = disjoint_optimal_paths(q5, 0b00000, 0b10110)
+        assert len(paths) == 3
+
+    def test_each_path_is_optimal(self, q5):
+        s, d = 0b00011, 0b11100
+        for path in disjoint_optimal_paths(q5, s, d):
+            assert path[0] == s and path[-1] == d
+            assert len(path) - 1 == q5.distance(s, d)
+            for u, v in zip(path, path[1:]):
+                assert q5.distance(u, v) == 1
+
+    def test_paths_are_node_disjoint(self, q5):
+        # The hypercube lemma the Theorem-2 proof leans on.
+        paths = disjoint_optimal_paths(q5, 0, 0b11111)
+        assert verify_node_disjoint(paths)
+
+    def test_trivial_cases(self, q4):
+        assert disjoint_optimal_paths(q4, 5, 5) == []
+        paths = disjoint_optimal_paths(q4, 0, 1)
+        assert paths == [[0, 1]]
+
+    def test_verify_rejects_shared_interior(self):
+        assert not verify_node_disjoint([[0, 1, 3], [0, 1, 5]])
+        assert verify_node_disjoint([[0, 1, 3], [0, 2, 3]])
+        assert verify_node_disjoint([])
+
+
+class TestCountOptimalPaths:
+    def test_fault_free_count_is_h_factorial(self, q5):
+        for d in (0b1, 0b11, 0b111, 0b1111):
+            assert count_optimal_paths(q5, FaultSet.empty(), 0, d) == \
+                factorial(bin(d).count("1"))
+
+    def test_single_blocking_fault(self, q3):
+        # s=000, d=011 (H=2): two optimal paths via 001 and 010.
+        assert count_optimal_paths(q3, FaultSet(nodes=[0b001]),
+                                   0b000, 0b011) == 1
+        assert count_optimal_paths(
+            q3, FaultSet(nodes=[0b001, 0b010]), 0b000, 0b011) == 0
+
+    def test_link_faults_block_too(self, q3):
+        faults = FaultSet(links=[(0b000, 0b001)])
+        assert count_optimal_paths(q3, faults, 0b000, 0b011) == 1
+
+    def test_faulty_endpoint_counts_zero(self, q4):
+        assert count_optimal_paths(q4, FaultSet(nodes=[0]), 0, 3) == 0
+        assert count_optimal_paths(q4, FaultSet(nodes=[3]), 0, 3) == 0
+
+    def test_self_pair(self, q4):
+        assert count_optimal_paths(q4, FaultSet.empty(), 6, 6) == 1
+
+    def test_consistent_with_theorem2(self, q5, rng):
+        """If S(a) = k, every pair within k must have a positive count."""
+        from repro.safety import SafetyLevels
+        for _ in range(5):
+            faults = uniform_node_faults(q5, 8, rng)
+            sl = SafetyLevels.compute(q5, faults)
+            for a in faults.nonfaulty_nodes(q5)[:6]:
+                k = sl.level(a)
+                for d in q5.iter_nodes():
+                    if d == a or faults.is_node_faulty(d):
+                        continue
+                    if q5.distance(a, d) <= k:
+                        assert count_optimal_paths(q5, faults, a, d) > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=6),
+    s=st.integers(min_value=0, max_value=63),
+    d=st.integers(min_value=0, max_value=63),
+)
+def test_disjoint_construction_properties(n, s, d):
+    q = Hypercube(n)
+    s %= q.num_nodes
+    d %= q.num_nodes
+    paths = disjoint_optimal_paths(q, s, d)
+    assert len(paths) == q.distance(s, d)
+    assert verify_node_disjoint(paths)
+    for path in paths:
+        assert len(path) - 1 == q.distance(s, d)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=5),
+    frac=st.floats(min_value=0.0, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=2 ** 31),
+)
+def test_count_positive_iff_optimal_distance_survives(n, frac, seed):
+    from repro.core import bfs_distances
+    topo = Hypercube(n)
+    gen = np.random.default_rng(seed)
+    faults = uniform_node_faults(topo, int(frac * topo.num_nodes), gen)
+    alive = faults.nonfaulty_nodes(topo)
+    if len(alive) < 2:
+        return
+    s = alive[int(gen.integers(len(alive)))]
+    dist = bfs_distances(topo, faults, s)
+    for d in alive[:8]:
+        positive = count_optimal_paths(topo, faults, s, d) > 0
+        assert positive == (dist[d] == topo.distance(s, d))

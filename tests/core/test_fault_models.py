@@ -1,0 +1,147 @@
+"""Tests for the seeded fault-pattern generators."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FaultSet,
+    Hypercube,
+    clustered_node_faults,
+    is_connected,
+    isolating_faults,
+    mixed_faults,
+    random_fault_schedule,
+    subcube_faults,
+    uniform_link_faults,
+    uniform_node_faults,
+)
+from repro.core.fault_models import FaultEvent, FaultSchedule, as_rng
+
+
+class TestAsRng:
+    def test_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert as_rng(gen) is gen
+
+    def test_seed_and_none(self):
+        assert isinstance(as_rng(7), np.random.Generator)
+        assert isinstance(as_rng(None), np.random.Generator)
+
+
+class TestUniformNodeFaults:
+    def test_count_and_range(self, q5, rng):
+        f = uniform_node_faults(q5, 6, rng)
+        assert f.num_node_faults == 6
+        assert all(0 <= v < 32 for v in f.nodes)
+
+    def test_deterministic_given_seed(self, q5):
+        a = uniform_node_faults(q5, 5, 42)
+        b = uniform_node_faults(q5, 5, 42)
+        assert a == b
+
+    def test_exclusion(self, q4, rng):
+        f = uniform_node_faults(q4, 10, rng, exclude=[0, 15])
+        assert 0 not in f.nodes and 15 not in f.nodes
+
+    def test_zero_faults(self, q4, rng):
+        assert uniform_node_faults(q4, 0, rng) == FaultSet.empty()
+
+    def test_too_many_raises(self, q3, rng):
+        with pytest.raises(ValueError):
+            uniform_node_faults(q3, 9, rng)
+        with pytest.raises(ValueError):
+            uniform_node_faults(q3, -1, rng)
+
+
+class TestUniformLinkFaults:
+    def test_links_are_real_edges(self, q4, rng):
+        f = uniform_link_faults(q4, 5, rng)
+        assert f.num_link_faults == 5
+        f.validate(q4)  # raises if any pair is not an edge
+
+
+class TestMixedFaults:
+    def test_all_declared_links_effective(self, q5, rng):
+        f = mixed_faults(q5, 4, 3, rng)
+        assert f.num_node_faults == 4
+        assert len(f.effective_links()) == 3
+        f.validate(q5)
+
+
+class TestClusteredFaults:
+    def test_count(self, q5, rng):
+        f = clustered_node_faults(q5, 7, rng)
+        assert f.num_node_faults == 7
+
+    def test_cluster_is_mostly_adjacent(self, q5, rng):
+        f = clustered_node_faults(q5, 6, rng, seed_node=0)
+        # Every fault (except possibly re-seeds) has a faulty neighbor.
+        q = Hypercube(5)
+        with_neighbor = sum(
+            1 for v in f.nodes
+            if any(w in f.nodes for w in q.neighbors(v))
+        )
+        assert with_neighbor >= 5
+
+    def test_seed_node_validated(self, q4, rng):
+        with pytest.raises(ValueError):
+            clustered_node_faults(q4, 2, rng, seed_node=99)
+
+
+class TestIsolatingFaults:
+    def test_disconnects_the_victim(self, q4, rng):
+        f = isolating_faults(q4, victim=0, rng=rng)
+        assert f.nodes == frozenset(Hypercube(4).neighbors(0))
+        assert not is_connected(Hypercube(4), f)
+
+    def test_spare_faults_never_hit_victim(self, q5, rng):
+        f = isolating_faults(q5, victim=3, rng=rng, spare_faults=4)
+        assert 3 not in f.nodes
+        assert f.num_node_faults == 5 + 4
+
+
+class TestSubcubeFaults:
+    def test_kills_exactly_the_subcube(self, q4):
+        f = subcube_faults(q4, [(3, 1), (2, 0)])
+        assert f.nodes == frozenset({0b1000, 0b1001, 0b1010, 0b1011})
+
+
+class TestFaultSchedule:
+    def test_events_sorted_and_applied(self):
+        sched = FaultSchedule(
+            base=FaultSet(nodes=[1]),
+            events=[
+                FaultEvent(time=5, node=2, fails=True),
+                FaultEvent(time=3, node=3, fails=True),
+                FaultEvent(time=7, node=3, fails=False),
+            ],
+        )
+        assert sched.horizon == 7
+        assert sched.at(0).nodes == frozenset({1})
+        assert sched.at(4).nodes == frozenset({1, 3})
+        assert sched.at(6).nodes == frozenset({1, 2, 3})
+        assert sched.at(7).nodes == frozenset({1, 2})
+        assert sched.change_times() == [3, 5, 7]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(time=-1, node=0, fails=True)
+
+    def test_random_schedule_is_consistent(self, q4):
+        sched = random_fault_schedule(q4, horizon=20, failure_rate=0.02,
+                                      recovery_rate=0.05, rng=3)
+        # Per node, events alternate fail/recover and start with a failure.
+        state = {}
+        for ev in sched.events:
+            prev = state.get(ev.node)
+            if prev is None:
+                assert ev.fails, "first event for a node must be a failure"
+            else:
+                assert ev.fails != prev, "fail/recover must alternate"
+            state[ev.node] = ev.fails
+
+    def test_random_schedule_validates_rates(self, q4):
+        with pytest.raises(ValueError):
+            random_fault_schedule(q4, 5, failure_rate=1.5)
+        with pytest.raises(ValueError):
+            random_fault_schedule(q4, -1, failure_rate=0.1)

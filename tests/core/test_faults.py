@@ -1,0 +1,106 @@
+"""Tests for FaultSet semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core import FaultSet, Hypercube, normalize_link
+
+
+class TestNormalizeLink:
+    def test_orders_endpoints(self):
+        assert normalize_link(5, 2) == (2, 5)
+        assert normalize_link(2, 5) == (2, 5)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            normalize_link(3, 3)
+
+
+class TestMembership:
+    def test_empty(self):
+        f = FaultSet.empty()
+        assert not f
+        assert f.num_node_faults == 0
+        assert not f.is_node_faulty(0)
+        assert not f.is_link_faulty(0, 1)
+
+    def test_node_faults(self):
+        f = FaultSet(nodes=[3, 5])
+        assert f.is_node_faulty(3)
+        assert not f.is_node_faulty(4)
+        assert f.num_node_faults == 2
+
+    def test_link_fault_either_direction(self):
+        f = FaultSet(links=[(4, 5)])
+        assert f.is_link_faulty(4, 5)
+        assert f.is_link_faulty(5, 4)
+        assert f.is_link_declared_faulty(5, 4)
+        assert not f.is_link_faulty(4, 6)
+
+    def test_faulty_node_takes_links_down(self):
+        f = FaultSet(nodes=[4])
+        assert f.is_link_faulty(4, 5)
+        assert not f.is_link_declared_faulty(4, 5)
+
+    def test_equality_and_hash(self):
+        a = FaultSet(nodes=[1, 2], links=[(3, 7)])
+        b = FaultSet(nodes=[2, 1], links=[(7, 3)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_with_nodes_and_links_return_new(self):
+        base = FaultSet(nodes=[1])
+        grown = base.with_nodes([2]).with_links([(4, 5)])
+        assert base.num_node_faults == 1
+        assert grown.num_node_faults == 2
+        assert grown.num_link_faults == 1
+
+
+class TestDerivedViews:
+    def test_from_addresses(self):
+        q4 = Hypercube(4)
+        f = FaultSet.from_addresses(q4, ["0011", "1001"])
+        assert f.nodes == frozenset({0b0011, 0b1001})
+
+    def test_effective_links_drop_faulty_endpoints(self):
+        f = FaultSet(nodes=[4], links=[(4, 5), (6, 7)])
+        assert f.effective_links() == frozenset({(6, 7)})
+
+    def test_nodes_with_faulty_links_is_n2(self):
+        q4 = Hypercube(4)
+        f = FaultSet(nodes=[0], links=[(8, 9), (0, 1)])
+        n2 = f.nodes_with_faulty_links(q4)
+        # link (0,1) is moot: endpoint 0 is faulty.
+        assert n2 == frozenset({8, 9})
+
+    def test_node_mask(self):
+        f = FaultSet(nodes=[0, 3])
+        mask = f.node_mask(8)
+        assert mask.dtype == bool
+        assert list(np.nonzero(mask)[0]) == [0, 3]
+
+    def test_node_mask_range_check(self):
+        with pytest.raises(ValueError):
+            FaultSet(nodes=[9]).node_mask(8)
+
+    def test_nonfaulty_nodes(self):
+        q3 = Hypercube(3)
+        f = FaultSet(nodes=[1, 6])
+        assert f.nonfaulty_nodes(q3) == [0, 2, 3, 4, 5, 7]
+
+    def test_validate_rejects_non_link(self):
+        q4 = Hypercube(4)
+        with pytest.raises(ValueError):
+            FaultSet(links=[(0, 3)]).validate(q4)  # distance 2, not a link
+
+    def test_validate_rejects_out_of_range(self):
+        q3 = Hypercube(3)
+        with pytest.raises(ValueError):
+            FaultSet(nodes=[8]).validate(q3)
+
+    def test_describe_mentions_everything(self):
+        q4 = Hypercube(4)
+        f = FaultSet(nodes=[0b0011], links=[(0b1000, 0b1001)])
+        text = f.describe(q4)
+        assert "0011" in text
+        assert "1000-1001" in text

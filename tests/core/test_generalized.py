@@ -1,0 +1,138 @@
+"""Tests for the generalized hypercube topology."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import GeneralizedHypercube, Hypercube
+
+
+@pytest.fixture
+def gh232():
+    """The paper's 2 x 3 x 2 example (written MSB-first in the paper)."""
+    return GeneralizedHypercube((2, 3, 2))
+
+
+class TestConstruction:
+    def test_num_nodes_is_product(self, gh232):
+        assert gh232.num_nodes == 12
+        assert gh232.dimension == 3
+
+    def test_rejects_degenerate_radix(self):
+        with pytest.raises(ValueError):
+            GeneralizedHypercube((2, 1, 2))
+        with pytest.raises(ValueError):
+            GeneralizedHypercube(())
+
+    def test_equality(self):
+        assert GeneralizedHypercube((2, 3)) == GeneralizedHypercube((2, 3))
+        assert GeneralizedHypercube((2, 3)) != GeneralizedHypercube((3, 2))
+
+    def test_repr_msb_first(self, gh232):
+        assert repr(gh232) == "GeneralizedHypercube(2 x 3 x 2)"
+
+
+class TestCoordinates:
+    def test_roundtrip(self, gh232):
+        for v in gh232.iter_nodes():
+            assert gh232.node_from_coords(gh232.coords(v)) == v
+
+    def test_with_coordinate(self, gh232):
+        v = gh232.node_from_coords((0, 1, 0))
+        w = gh232.with_coordinate(v, 1, 2)
+        assert gh232.coords(w) == (0, 2, 0)
+
+    def test_with_coordinate_range_check(self, gh232):
+        with pytest.raises(ValueError):
+            gh232.with_coordinate(0, 1, 3)
+
+    def test_format_is_msb_first(self, gh232):
+        # Address string a2 a1 a0, matching the paper's "010" etc.
+        assert gh232.format_node(gh232.node_from_coords((0, 1, 0))) == "010"
+        assert gh232.format_node(gh232.node_from_coords((1, 2, 0))) == "021"
+
+    def test_parse_roundtrip(self, gh232):
+        for v in gh232.iter_nodes():
+            assert gh232.parse_node(gh232.format_node(v)) == v
+
+
+class TestAdjacency:
+    def test_degree(self, gh232):
+        # (2-1) + (3-1) + (2-1) = 4 links per node.
+        assert all(gh232.degree(v) == 4 for v in gh232.iter_nodes())
+
+    def test_dimension_groups_are_cliques(self, gh232):
+        for v in gh232.iter_nodes():
+            for dim in range(3):
+                group = gh232.neighbors_along(v, dim)
+                assert len(group) == gh232.radices[dim] - 1
+                for w in group:
+                    assert v in gh232.neighbors_along(w, dim)
+
+    def test_neighbors_differ_in_one_coordinate(self, gh232):
+        for v in gh232.iter_nodes():
+            for w in gh232.neighbors(v):
+                assert gh232.distance(v, w) == 1
+
+    def test_paper_neighbor_claims(self, gh232):
+        """Fig. 5: node 010's dim-0 neighbor is 011, dim-2 neighbor is 110,
+        dim-1 neighbors are 000 and 020."""
+        v = gh232.parse_node("010")
+        assert gh232.neighbors_along(v, 0) == [gh232.parse_node("011")]
+        assert gh232.neighbors_along(v, 2) == [gh232.parse_node("110")]
+        assert sorted(gh232.neighbors_along(v, 1)) == sorted(
+            [gh232.parse_node("000"), gh232.parse_node("020")]
+        )
+
+
+class TestMetric:
+    def test_distance_counts_differing_coordinates(self, gh232):
+        assert gh232.distance(gh232.parse_node("010"),
+                              gh232.parse_node("101")) == 3
+
+    def test_step_toward_lands_on_destination_coordinate(self, gh232):
+        s = gh232.parse_node("010")
+        d = gh232.parse_node("101")
+        nxt = gh232.step_toward(s, d, 1)
+        assert gh232.format_node(nxt) == "000"
+
+    def test_agreeing_dimensions_complement(self, gh232):
+        for a in gh232.iter_nodes():
+            for b in gh232.iter_nodes():
+                diff = gh232.differing_dimensions(a, b)
+                agree = gh232.agreeing_dimensions(a, b)
+                assert sorted(diff + agree) == [0, 1, 2]
+
+
+class TestBinaryEquivalence:
+    """GH with all radices 2 is exactly the binary cube."""
+
+    def test_adjacency_matches_hypercube(self):
+        gh = GeneralizedHypercube((2, 2, 2, 2))
+        q = Hypercube(4)
+        assert gh.num_nodes == q.num_nodes
+        for v in q.iter_nodes():
+            assert sorted(gh.neighbors(v)) == sorted(q.neighbors(v))
+            assert gh.format_node(v) == q.format_node(v)
+
+    def test_distance_matches_hamming(self):
+        gh = GeneralizedHypercube((2, 2, 2))
+        q = Hypercube(3)
+        for a in q.iter_nodes():
+            for b in q.iter_nodes():
+                assert gh.distance(a, b) == q.distance(a, b)
+
+
+@given(st.lists(st.integers(min_value=2, max_value=4), min_size=1,
+                max_size=4), st.data())
+def test_greedy_walk_takes_distance_hops(radices, data):
+    gh = GeneralizedHypercube(radices)
+    a = data.draw(st.integers(min_value=0, max_value=gh.num_nodes - 1))
+    b = data.draw(st.integers(min_value=0, max_value=gh.num_nodes - 1))
+    hops = 0
+    cur = a
+    while cur != b:
+        dim = gh.differing_dimensions(cur, b)[0]
+        cur = gh.step_toward(cur, b, dim)
+        hops += 1
+        assert hops <= gh.dimension
+    assert hops == gh.distance(a, b)

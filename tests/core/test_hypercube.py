@@ -1,0 +1,116 @@
+"""Tests for the binary hypercube topology."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import Hypercube
+
+
+class TestConstruction:
+    def test_sizes(self):
+        for n in (1, 3, 8):
+            q = Hypercube(n)
+            assert q.num_nodes == 2 ** n
+            assert q.dimension == n
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(ValueError):
+            Hypercube(0)
+        with pytest.raises(ValueError):
+            Hypercube(64)
+
+    def test_equality_and_hash(self):
+        assert Hypercube(4) == Hypercube(4)
+        assert Hypercube(4) != Hypercube(5)
+        assert len({Hypercube(4), Hypercube(4), Hypercube(5)}) == 2
+
+    def test_repr(self):
+        assert repr(Hypercube(6)) == "Hypercube(n=6)"
+
+
+class TestAdjacency:
+    def test_neighbors_differ_in_one_bit(self, q4):
+        for a in q4.iter_nodes():
+            for b in q4.neighbors(a):
+                assert bin(a ^ b).count("1") == 1
+
+    def test_degree_is_dimension(self, q4):
+        assert all(q4.degree(v) == 4 for v in q4.iter_nodes())
+
+    def test_neighbor_along(self, q4):
+        assert q4.neighbor_along(0b0000, 2) == 0b0100
+        assert q4.neighbors_along(0b0000, 2) == [0b0100]
+
+    def test_neighbor_validation(self, q4):
+        with pytest.raises(ValueError):
+            q4.neighbors(16)
+        with pytest.raises(ValueError):
+            q4.neighbor_along(0, 4)
+
+    def test_edge_count(self, q4):
+        edges = list(q4.edges())
+        assert len(edges) == 4 * 16 // 2
+        assert len(set(edges)) == len(edges)
+        assert all(a < b for a, b in edges)
+
+    def test_adjacency_is_symmetric(self, q5):
+        for a in q5.iter_nodes():
+            for b in q5.neighbors(a):
+                assert a in q5.neighbors(b)
+
+
+class TestMetric:
+    def test_distance_is_hamming(self, q4):
+        assert q4.distance(0b0000, 0b1011) == 3
+
+    def test_differing_dimensions(self, q4):
+        assert q4.differing_dimensions(0b0101, 0b1100) == [0, 3]
+        assert q4.spare_dimensions(0b0101, 0b1100) == [1, 2]
+
+    def test_step_toward_sets_destination_bit(self, q4):
+        assert q4.step_toward(0b0000, 0b1111, 2) == 0b0100
+        assert q4.step_toward(0b0100, 0b0000, 2) == 0b0000
+        # Stepping on an agreeing dimension is the identity.
+        assert q4.step_toward(0b0100, 0b0111, 2) == 0b0100
+
+
+class TestVectorViews:
+    def test_neighbor_table_cached_and_readonly(self):
+        a = Hypercube(4).neighbor_table()
+        b = Hypercube(4).neighbor_table()
+        assert a is b
+        assert not a.flags.writeable
+
+    def test_neighbor_table_contents(self, q3):
+        table = q3.neighbor_table()
+        for v in q3.iter_nodes():
+            assert list(table[v]) == q3.neighbors(v)
+
+    def test_all_nodes(self, q3):
+        assert np.array_equal(q3.all_nodes(), np.arange(8))
+
+
+class TestNaming:
+    def test_format_parse_roundtrip(self, q4):
+        for v in q4.iter_nodes():
+            assert q4.parse_node(q4.format_node(v)) == v
+
+    def test_format_path(self, q4):
+        assert q4.format_path([0, 1, 3]) == "0000 -> 0001 -> 0011"
+
+
+@given(st.integers(min_value=2, max_value=8), st.data())
+def test_distance_equals_bfs_depth(n, data):
+    """Graph distance on the fault-free cube equals Hamming distance."""
+    q = Hypercube(n)
+    a = data.draw(st.integers(min_value=0, max_value=q.num_nodes - 1))
+    b = data.draw(st.integers(min_value=0, max_value=q.num_nodes - 1))
+    # Walk greedily along differing dimensions; must take exactly H hops.
+    hops = 0
+    cur = a
+    while cur != b:
+        dim = q.differing_dimensions(cur, b)[0]
+        cur = q.neighbor_along(cur, dim)
+        hops += 1
+    assert hops == q.distance(a, b)

@@ -1,0 +1,179 @@
+"""Tests for oracle connectivity analysis, cross-checked against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    FaultSet,
+    Hypercube,
+    UNREACHABLE,
+    bfs_distances,
+    component_of,
+    components,
+    is_connected,
+    path_is_fault_free,
+    reachable_set,
+    same_component,
+    shortest_path,
+    uniform_node_faults,
+)
+
+
+def _nx_subgraph(topo, faults):
+    g = nx.Graph()
+    for v in topo.iter_nodes():
+        if not faults.is_node_faulty(v):
+            g.add_node(v)
+    for a, b in topo.edges():
+        if not faults.is_link_faulty(a, b):
+            g.add_edge(a, b)
+    return g
+
+
+class TestComponents:
+    def test_fault_free_is_single_component(self, q4):
+        comps = components(q4, FaultSet.empty())
+        assert len(comps) == 1
+        assert comps[0] == list(range(16))
+
+    def test_isolation_splits(self, q3):
+        faults = FaultSet(nodes=Hypercube(3).neighbors(0))
+        comps = components(q3, faults)
+        assert [0] in comps
+        assert len(comps) == 2
+        assert not is_connected(q3, faults)
+
+    def test_link_faults_can_disconnect(self, q3):
+        # Cut all three links of node 0 without killing any node.
+        faults = FaultSet(links=[(0, v) for v in Hypercube(3).neighbors(0)])
+        comps = components(q3, faults)
+        assert [0] in comps
+        assert len(comps) == 2
+
+    def test_component_of_faulty_node_is_empty(self, q3):
+        faults = FaultSet(nodes=[5])
+        assert component_of(q3, faults, 5) == []
+
+    def test_matches_networkx(self, q5, rng):
+        for _ in range(10):
+            faults = uniform_node_faults(q5, int(rng.integers(0, 14)), rng)
+            ours = {frozenset(c) for c in components(q5, faults)}
+            theirs = {frozenset(c)
+                      for c in nx.connected_components(_nx_subgraph(q5, faults))}
+            assert ours == theirs
+
+
+class TestBfsDistances:
+    def test_fault_free_distances_are_hamming(self, q4):
+        dist = bfs_distances(q4, FaultSet.empty(), 0)
+        expected = np.array([bin(v).count("1") for v in range(16)])
+        assert np.array_equal(dist, expected)
+
+    def test_faulty_source_unreachable_everywhere(self, q4):
+        dist = bfs_distances(q4, FaultSet(nodes=[3]), 3)
+        assert (dist == UNREACHABLE).all()
+
+    def test_faulty_nodes_unreachable(self, q4):
+        dist = bfs_distances(q4, FaultSet(nodes=[1]), 0)
+        assert dist[1] == UNREACHABLE
+
+    def test_vectorized_path_matches_networkx(self, q5, rng):
+        # Node-fault-only instances take the vectorized frontier BFS.
+        for _ in range(10):
+            faults = uniform_node_faults(q5, 6, rng)
+            alive = faults.nonfaulty_nodes(q5)
+            fast = bfs_distances(q5, faults, alive[0])
+            g = _nx_subgraph(q5, faults)
+            lengths = nx.single_source_shortest_path_length(g, alive[0])
+            for v in q5.iter_nodes():
+                assert fast[v] == lengths.get(v, UNREACHABLE)
+
+    def test_link_fault_path_lengths_match_networkx(self, q4, rng):
+        faults = FaultSet(nodes=[3], links=[(0, 1), (4, 6)])
+        dist = bfs_distances(q4, faults, 0)
+        g = _nx_subgraph(q4, faults)
+        lengths = nx.single_source_shortest_path_length(g, 0)
+        for v in q4.iter_nodes():
+            assert dist[v] == lengths.get(v, UNREACHABLE)
+
+
+class TestShortestPath:
+    def test_trivial(self, q4):
+        assert shortest_path(q4, FaultSet.empty(), 5, 5) == [5]
+
+    def test_length_matches_distance(self, q5, rng):
+        faults = uniform_node_faults(q5, 6, rng)
+        alive = faults.nonfaulty_nodes(q5)
+        dist = bfs_distances(q5, faults, alive[0])
+        for v in alive[1:8]:
+            path = shortest_path(q5, faults, alive[0], v)
+            if dist[v] == UNREACHABLE:
+                assert path is None
+            else:
+                assert path is not None
+                assert len(path) - 1 == dist[v]
+                assert path_is_fault_free(q5, faults, path)
+
+    def test_none_for_faulty_endpoint(self, q4):
+        faults = FaultSet(nodes=[7])
+        assert shortest_path(q4, faults, 0, 7) is None
+        assert shortest_path(q4, faults, 7, 0) is None
+
+    def test_respects_link_faults(self, q3):
+        # Only one link removed: path must detour, never cross it.
+        faults = FaultSet(links=[(0, 1)])
+        path = shortest_path(q3, faults, 0, 1)
+        assert path is not None
+        assert len(path) - 1 == 3
+        for u, v in zip(path, path[1:]):
+            assert not faults.is_link_faulty(u, v)
+
+
+class TestSameComponentAndReachable:
+    def test_same_component_reflexive_for_healthy(self, q4):
+        assert same_component(q4, FaultSet.empty(), 3, 3)
+
+    def test_faulty_endpoints_never_connected(self, q4):
+        faults = FaultSet(nodes=[2])
+        assert not same_component(q4, faults, 2, 0)
+
+    def test_reachable_set_matches_components(self, q4, rng):
+        faults = uniform_node_faults(q4, 5, rng)
+        alive = faults.nonfaulty_nodes(q4)
+        for v in alive[:4]:
+            assert reachable_set(q4, faults, v) == set(
+                component_of(q4, faults, v))
+
+
+class TestPathAudit:
+    def test_accepts_valid_path(self, q4):
+        assert path_is_fault_free(q4, FaultSet.empty(), [0, 1, 3])
+
+    def test_rejects_faulty_node(self, q4):
+        assert not path_is_fault_free(q4, FaultSet(nodes=[1]), [0, 1, 3])
+
+    def test_rejects_faulty_link(self, q4):
+        assert not path_is_fault_free(q4, FaultSet(links=[(0, 1)]), [0, 1])
+
+    def test_rejects_teleport(self, q4):
+        assert not path_is_fault_free(q4, FaultSet.empty(), [0, 3])
+
+    def test_rejects_empty(self, q4):
+        assert not path_is_fault_free(q4, FaultSet.empty(), [])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=6),
+       st.integers(min_value=0, max_value=20),
+       st.integers(min_value=0, max_value=2 ** 31))
+def test_components_partition_the_healthy_nodes(n, num_faults, seed):
+    topo = Hypercube(n)
+    num_faults = min(num_faults, topo.num_nodes)
+    faults = uniform_node_faults(topo, num_faults,
+                                 np.random.default_rng(seed))
+    comps = components(topo, faults)
+    flat = [v for comp in comps for v in comp]
+    assert sorted(flat) == faults.nonfaulty_nodes(topo)
+    assert len(set(flat)) == len(flat)

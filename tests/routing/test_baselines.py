@@ -1,0 +1,200 @@
+"""Tests for the baseline routers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    FaultSet,
+    Hypercube,
+    isolating_faults,
+    path_is_fault_free,
+    same_component,
+    uniform_node_faults,
+)
+from repro.routing import (
+    RouteStatus,
+    route_chiu_wu_style,
+    route_dfs,
+    route_lee_hayes,
+    route_oracle,
+    route_progressive,
+    route_sidetrack,
+)
+
+ALL_BASELINES = [
+    route_oracle,
+    route_sidetrack,
+    route_dfs,
+    route_progressive,
+    route_lee_hayes,
+    route_chiu_wu_style,
+]
+
+
+def _call(router, topo, faults, s, d, rng):
+    if router is route_oracle:
+        return router(topo, faults, s, d)
+    return router(topo, faults, s, d, rng)
+
+
+class TestFaultFreeBehaviour:
+    @pytest.mark.parametrize("router", ALL_BASELINES,
+                             ids=lambda r: r.__name__)
+    def test_everything_delivers_optimally_without_faults(self, router,
+                                                          q4, rng):
+        faults = FaultSet.empty()
+        for s, d in ((0, 15), (3, 12), (5, 5)):
+            res = _call(router, q4, faults, s, d, rng)
+            assert res.delivered
+            assert res.optimal, f"{router.__name__} detoured with no faults"
+
+
+class TestPathAudit:
+    @pytest.mark.parametrize("router", ALL_BASELINES,
+                             ids=lambda r: r.__name__)
+    def test_delivered_paths_avoid_faults(self, router, q5, rng):
+        for trial in range(10):
+            faults = uniform_node_faults(q5, 6, rng)
+            alive = faults.nonfaulty_nodes(q5)
+            i, j = rng.choice(len(alive), size=2, replace=False)
+            s, d = alive[int(i)], alive[int(j)]
+            res = _call(router, q5, faults, s, d, rng)
+            if res.delivered:
+                assert path_is_fault_free(q5, faults, res.path), \
+                    router.__name__
+
+
+class TestOracle:
+    def test_always_shortest(self, q5, rng):
+        from repro.core import bfs_distances
+        faults = uniform_node_faults(q5, 8, rng)
+        alive = faults.nonfaulty_nodes(q5)
+        dist = bfs_distances(q5, faults, alive[0])
+        for d in alive[1:10]:
+            res = route_oracle(q5, faults, alive[0], d)
+            if dist[d] >= 0:
+                assert res.delivered and res.hops == dist[d]
+            else:
+                assert res.status is RouteStatus.ABORTED_AT_SOURCE
+
+    def test_faulty_endpoints_rejected(self, q4):
+        with pytest.raises(ValueError):
+            route_oracle(q4, FaultSet(nodes=[3]), 3, 0)
+
+
+class TestDfs:
+    def test_always_delivers_when_connected(self, q5, rng):
+        """DFS explores the whole component: it can never miss a reachable
+        destination (its cost is hops, not reachability)."""
+        for _ in range(10):
+            faults = uniform_node_faults(q5, 10, rng)
+            alive = faults.nonfaulty_nodes(q5)
+            i, j = rng.choice(len(alive), size=2, replace=False)
+            s, d = alive[int(i)], alive[int(j)]
+            res = route_dfs(q5, faults, s, d)
+            if same_component(q5, faults, s, d):
+                assert res.delivered
+            else:
+                assert res.status is RouteStatus.STUCK
+
+    def test_backtracking_recorded_in_walk(self, q3):
+        # Fail nodes around the direct routes so DFS must backtrack.
+        faults = FaultSet(nodes=[0b011, 0b101])
+        res = route_dfs(q3, faults, 0b001, 0b111)
+        assert res.delivered
+        # Traversed walk includes backtrack hops: strictly longer than the
+        # Hamming distance (2) and consecutive hops are always neighbors.
+        assert res.hops > 2
+        for u, v in zip(res.path, res.path[1:]):
+            assert bin(u ^ v).count("1") == 1
+
+    def test_deterministic(self, q5, rng):
+        faults = uniform_node_faults(q5, 8, rng)
+        alive = faults.nonfaulty_nodes(q5)
+        a = route_dfs(q5, faults, alive[0], alive[-1])
+        b = route_dfs(q5, faults, alive[0], alive[-1])
+        assert a.path == b.path
+
+
+class TestSidetrack:
+    def test_seeded_reproducibility(self, q5):
+        faults = uniform_node_faults(q5, 6, 77)
+        alive = faults.nonfaulty_nodes(q5)
+        a = route_sidetrack(q5, faults, alive[0], alive[-1], rng=5)
+        b = route_sidetrack(q5, faults, alive[0], alive[-1], rng=5)
+        assert a.path == b.path
+
+    def test_hop_limit_enforced(self, q4):
+        # Saturate with faults so the route cannot finish in 1 hop.
+        faults = FaultSet(nodes=[0b0001, 0b0010, 0b0100])
+        res = route_sidetrack(q4, faults, 0b0000, 0b1111, rng=1,
+                              hop_limit=1)
+        assert res.status in (RouteStatus.HOP_LIMIT, RouteStatus.DELIVERED)
+        if res.status is RouteStatus.HOP_LIMIT:
+            assert res.hops <= 1
+
+    def test_stuck_when_all_neighbors_faulty(self, q3):
+        # The source is walled in: every neighbor faulty, no hop possible.
+        victim_wall = FaultSet(nodes=Hypercube(3).neighbors(0))
+        res = route_sidetrack(q3, victim_wall, 0, 0b111, rng=2)
+        assert res.status is RouteStatus.STUCK
+
+
+class TestProgressive:
+    def test_cannot_revisit(self, q5, rng):
+        faults = uniform_node_faults(q5, 6, rng)
+        alive = faults.nonfaulty_nodes(q5)
+        res = route_progressive(q5, faults, alive[0], alive[-1], rng)
+        assert len(set(res.path)) == len(res.path)
+
+    def test_delivers_fault_free(self, q4, rng):
+        res = route_progressive(q4, FaultSet.empty(), 0, 15, rng)
+        assert res.optimal
+
+
+class TestSafeNodeRouters:
+    def test_abort_when_safe_set_empty(self, q4, rng):
+        """Theorem 4 consequence: on a disconnected cube the LH router is
+        inapplicable from any unsafe source (i.e. every source)."""
+        faults = isolating_faults(q4, victim=0, rng=rng)
+        alive = faults.nonfaulty_nodes(q4)
+        sources = [v for v in alive if v != 0]
+        res = route_lee_hayes(q4, faults, sources[0], sources[-1])
+        assert res.status in (RouteStatus.ABORTED_AT_SOURCE,
+                              RouteStatus.STUCK)
+
+    def test_bounded_detour_when_applicable(self, q5, rng):
+        """When LH routing delivers, the detour stays small (the scheme's
+        own H+2-ish contract; we allow the entry hop too)."""
+        for _ in range(10):
+            faults = uniform_node_faults(q5, 3, rng)
+            alive = faults.nonfaulty_nodes(q5)
+            i, j = rng.choice(len(alive), size=2, replace=False)
+            res = route_lee_hayes(q5, faults, alive[int(i)], alive[int(j)])
+            if res.delivered:
+                assert res.detour <= 4
+
+    def test_chiu_wu_more_applicable_than_lee_hayes(self, q5, rng):
+        """WF ⊇ LH safe sets ⇒ the Chiu–Wu-style router delivers at least
+        as often on identical workloads (statistically; checked on a fixed
+        seeded batch)."""
+        lh_ok = cw_ok = 0
+        for trial in range(30):
+            gen = np.random.default_rng(1000 + trial)
+            faults = uniform_node_faults(q5, 6, gen)
+            alive = faults.nonfaulty_nodes(q5)
+            i, j = gen.choice(len(alive), size=2, replace=False)
+            s, d = alive[int(i)], alive[int(j)]
+            lh_ok += route_lee_hayes(q5, faults, s, d).delivered
+            cw_ok += route_chiu_wu_style(q5, faults, s, d).delivered
+        assert cw_ok >= lh_ok
+
+    def test_precomputed_safe_set_reused(self, q4, rng):
+        from repro.safety import lee_hayes_safe
+        faults = uniform_node_faults(q4, 2, rng)
+        pre = lee_hayes_safe(q4, faults)
+        alive = faults.nonfaulty_nodes(q4)
+        res = route_lee_hayes(q4, faults, alive[0], alive[-1],
+                              precomputed=pre)
+        assert res.delivered or res.status is RouteStatus.ABORTED_AT_SOURCE

@@ -1,0 +1,94 @@
+"""Tests for the on-simulator distributed unicast protocol."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Hypercube, uniform_node_faults
+from repro.instances import fig1_instance, fig3_instance
+from repro.routing import (
+    RouteStatus,
+    route_unicast,
+    route_unicast_distributed,
+)
+from repro.safety import SafetyLevels
+
+
+@pytest.fixture(scope="module")
+def fig1_sl():
+    topo, faults = fig1_instance()
+    return SafetyLevels.compute(topo, faults)
+
+
+class TestProtocolEquivalence:
+    def test_paper_route_matches_walk(self, fig1_sl):
+        topo = fig1_sl.topo
+        s, d = topo.parse_node("1110"), topo.parse_node("0001")
+        walk = route_unicast(fig1_sl, s, d)
+        dist, net = route_unicast_distributed(fig1_sl, s, d)
+        assert dist.delivered
+        assert dist.path == walk.path
+        assert dist.condition == walk.condition
+
+    def test_messages_equal_hops(self, fig1_sl):
+        topo = fig1_sl.topo
+        s, d = topo.parse_node("0001"), topo.parse_node("1100")
+        dist, net = route_unicast_distributed(fig1_sl, s, d)
+        assert net.stats.sent == dist.hops
+        assert net.stats.delivered == dist.hops
+        net.stats.check_conserved()
+
+    def test_abort_sends_nothing(self):
+        topo, faults = fig3_instance()
+        sl = SafetyLevels.compute(topo, faults)
+        res, net = route_unicast_distributed(
+            sl, topo.parse_node("0111"), topo.parse_node("1110"))
+        assert res.status is RouteStatus.ABORTED_AT_SOURCE
+        assert net.stats.sent == 0
+
+    def test_self_unicast(self, fig1_sl):
+        node = fig1_sl.topo.parse_node("1111")
+        res, net = route_unicast_distributed(fig1_sl, node, node)
+        assert res.delivered and res.hops == 0
+        assert net.stats.sent == 0
+
+    def test_faulty_endpoints_rejected(self, fig1_sl):
+        bad = fig1_sl.topo.parse_node("0011")
+        with pytest.raises(ValueError):
+            route_unicast_distributed(fig1_sl, bad, 0)
+        with pytest.raises(ValueError):
+            route_unicast_distributed(fig1_sl, 0, bad)
+
+    def test_navigation_vector_is_only_routing_state(self, fig1_sl):
+        """The message payload carries (vector, path); decisions use the
+        vector only — verified by delivering with the trace on and checking
+        the arrival event."""
+        topo = fig1_sl.topo
+        s, d = topo.parse_node("1110"), topo.parse_node("0001")
+        res, net = route_unicast_distributed(fig1_sl, s, d, trace=True)
+        arrivals = net.trace.filter(event="unicast-arrived")
+        assert len(arrivals) == 1
+        assert arrivals[0].node == d
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=5),
+    frac=st.floats(min_value=0.0, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=2 ** 31),
+)
+def test_distributed_equals_walk_random(n, frac, seed):
+    topo = Hypercube(n)
+    gen = np.random.default_rng(seed)
+    faults = uniform_node_faults(topo, int(frac * topo.num_nodes), gen)
+    sl = SafetyLevels.compute(topo, faults)
+    alive = faults.nonfaulty_nodes(topo)
+    if len(alive) < 2:
+        return
+    for _ in range(5):
+        i, j = gen.choice(len(alive), size=2, replace=False)
+        s, d = alive[int(i)], alive[int(j)]
+        walk = route_unicast(sl, s, d)
+        dist, _net = route_unicast_distributed(sl, s, d)
+        assert dist.status == walk.status
+        assert dist.path == walk.path

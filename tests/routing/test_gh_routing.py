@@ -1,0 +1,166 @@
+"""Tests for Section 4.2 routing in generalized hypercubes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    FaultSet,
+    GeneralizedHypercube,
+    path_is_fault_free,
+    uniform_node_faults,
+)
+from repro.instances import fig5_instance
+from repro.routing import RouteStatus, SourceCondition, route_gh_unicast
+from repro.safety import GhSafetyLevels
+
+
+@pytest.fixture(scope="module")
+def fig5_sl():
+    gh, faults = fig5_instance()
+    return GhSafetyLevels.compute(gh, faults)
+
+
+class TestFig5Route:
+    def test_paper_route(self, fig5_sl):
+        gh = fig5_sl.gh
+        res = route_gh_unicast(fig5_sl, gh.parse_node("010"),
+                               gh.parse_node("101"))
+        assert res.optimal
+        assert [gh.format_node(v) for v in res.path] == \
+            ["010", "000", "001", "101"]
+
+    def test_path_avoids_faults(self, fig5_sl):
+        gh = fig5_sl.gh
+        res = route_gh_unicast(fig5_sl, gh.parse_node("010"),
+                               gh.parse_node("101"))
+        assert path_is_fault_free(gh, fig5_sl.faults, res.path)
+
+    def test_safe_source_routes_anywhere_alive(self, fig5_sl):
+        """Theorem 2': routing from any of the four safe nodes is optimal
+        to every nonfaulty destination."""
+        gh = fig5_sl.gh
+        for s in fig5_sl.safe_set():
+            for d in gh.iter_nodes():
+                if d == s or fig5_sl.faults.is_node_faulty(d):
+                    continue
+                res = route_gh_unicast(fig5_sl, s, d)
+                assert res.optimal, (gh.format_node(s), gh.format_node(d))
+
+
+class TestFaultFree:
+    def test_optimal_everywhere(self):
+        gh = GeneralizedHypercube((3, 4, 2))
+        sl = GhSafetyLevels.compute(gh, FaultSet.empty())
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            s, d = rng.integers(gh.num_nodes, size=2)
+            res = route_gh_unicast(sl, int(s), int(d))
+            assert res.optimal
+
+    def test_one_hop_per_dimension(self):
+        """Complete-graph dimensions: any pair is at most n hops apart."""
+        gh = GeneralizedHypercube((5, 7))
+        sl = GhSafetyLevels.compute(gh, FaultSet.empty())
+        res = route_gh_unicast(sl, 0, gh.num_nodes - 1)
+        assert res.hops == 2
+
+
+class TestValidationAndEdges:
+    def test_faulty_endpoints_rejected(self, fig5_sl):
+        gh = fig5_sl.gh
+        with pytest.raises(ValueError):
+            route_gh_unicast(fig5_sl, gh.parse_node("011"), 0)
+        with pytest.raises(ValueError):
+            route_gh_unicast(fig5_sl, 0, gh.parse_node("011"))
+
+    def test_self_unicast(self, fig5_sl):
+        node = fig5_sl.gh.parse_node("000")
+        res = route_gh_unicast(fig5_sl, node, node)
+        assert res.delivered and res.hops == 0
+
+    def test_abort_when_conditions_fail(self):
+        """Wall in a GH node; a far unsafe source must abort cleanly."""
+        gh = GeneralizedHypercube((2, 2, 2))
+        victim = 0
+        faults = FaultSet(nodes=gh.neighbors(victim))
+        sl = GhSafetyLevels.compute(gh, faults)
+        res = route_gh_unicast(sl, gh.num_nodes - 1, victim)
+        assert res.status is RouteStatus.ABORTED_AT_SOURCE
+
+    def test_lateral_fallback_mode_runs(self, fig5_sl):
+        gh = fig5_sl.gh
+        res = route_gh_unicast(fig5_sl, gh.parse_node("010"),
+                               gh.parse_node("101"), allow_lateral=True)
+        assert res.delivered
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    radices=st.lists(st.integers(min_value=2, max_value=4),
+                     min_size=2, max_size=3),
+    frac=st.floats(min_value=0.0, max_value=0.4),
+    seed=st.integers(min_value=0, max_value=2 ** 31),
+)
+def test_gh_guarantees_random(radices, frac, seed):
+    """Conditions admit ⇒ optimal (C1/C2) or exactly +2 (C3), and the path
+    never touches a fault."""
+    gh = GeneralizedHypercube(radices)
+    gen = np.random.default_rng(seed)
+    faults = uniform_node_faults(gh, int(frac * gh.num_nodes), gen)
+    sl = GhSafetyLevels.compute(gh, faults)
+    alive = faults.nonfaulty_nodes(gh)
+    if len(alive) < 2:
+        return
+    for _ in range(6):
+        i, j = gen.choice(len(alive), size=2, replace=False)
+        s, d = alive[int(i)], alive[int(j)]
+        res = route_gh_unicast(sl, s, d)
+        if res.delivered:
+            assert path_is_fault_free(gh, faults, res.path)
+            if res.condition in (SourceCondition.C1, SourceCondition.C2):
+                assert res.optimal
+            else:
+                assert res.suboptimal
+        else:
+            assert res.status is RouteStatus.ABORTED_AT_SOURCE
+
+
+class TestGhDistributedProtocol:
+    def test_fig5_path_matches_walk(self, fig5_sl):
+        from repro.routing import route_gh_unicast_distributed
+        gh = fig5_sl.gh
+        s, d = gh.parse_node("010"), gh.parse_node("101")
+        walk = route_gh_unicast(fig5_sl, s, d)
+        dist, net = route_gh_unicast_distributed(fig5_sl, s, d)
+        assert dist.delivered
+        assert dist.path == walk.path
+        assert net.stats.sent == dist.hops
+        net.stats.check_conserved()
+
+    def test_random_instances_agree(self, rng):
+        from repro.routing import route_gh_unicast_distributed
+        from repro.safety import GhSafetyLevels
+        gh = GeneralizedHypercube((3, 3, 2))
+        for _ in range(15):
+            faults = uniform_node_faults(gh, int(rng.integers(0, 6)), rng)
+            sl = GhSafetyLevels.compute(gh, faults)
+            alive = faults.nonfaulty_nodes(gh)
+            i, j = rng.choice(len(alive), size=2, replace=False)
+            s, d = alive[int(i)], alive[int(j)]
+            walk = route_gh_unicast(sl, s, d)
+            dist, _net = route_gh_unicast_distributed(sl, s, d)
+            assert walk.status.value == dist.status.value
+            if walk.delivered:
+                assert walk.path == dist.path
+
+    def test_abort_sends_nothing(self):
+        from repro.core import FaultSet
+        from repro.routing import route_gh_unicast_distributed
+        from repro.safety import GhSafetyLevels
+        gh = GeneralizedHypercube((2, 2, 2))
+        faults = FaultSet(nodes=gh.neighbors(0))
+        sl = GhSafetyLevels.compute(gh, faults)
+        res, net = route_gh_unicast_distributed(sl, gh.num_nodes - 1, 0)
+        assert not res.delivered
+        assert net.stats.sent == 0

@@ -1,0 +1,100 @@
+"""Tests for Section 4.1 routing over EGS levels."""
+
+import pytest
+
+from repro.core import FaultSet, Hypercube, path_is_fault_free
+from repro.instances import fig4_instance
+from repro.routing import RouteStatus, SourceCondition, \
+    route_unicast_with_links
+from repro.safety import compute_extended_levels
+
+
+@pytest.fixture(scope="module")
+def fig4_ext():
+    topo, faults = fig4_instance()
+    return compute_extended_levels(topo, faults)
+
+
+class TestFig4Route:
+    def test_paper_suboptimal_route(self, fig4_ext):
+        topo = fig4_ext.topo
+        res = route_unicast_with_links(fig4_ext, topo.parse_node("1101"),
+                                       topo.parse_node("1000"))
+        assert res.delivered
+        assert res.condition is SourceCondition.C3
+        assert res.suboptimal
+        assert [topo.format_node(v) for v in res.path] == \
+            ["1101", "1111", "1011", "1010", "1000"]
+
+    def test_path_avoids_the_faulty_link(self, fig4_ext):
+        topo = fig4_ext.topo
+        res = route_unicast_with_links(fig4_ext, topo.parse_node("1101"),
+                                       topo.parse_node("1000"))
+        assert path_is_fault_free(topo, fig4_ext.faults, res.path)
+
+    def test_n2_node_as_source(self, fig4_ext):
+        """1001 routes with its private level 2 (its public level is 0)."""
+        topo = fig4_ext.topo
+        res = route_unicast_with_links(fig4_ext, topo.parse_node("1001"),
+                                       topo.parse_node("0101"))
+        assert res.delivered
+        assert path_is_fault_free(topo, fig4_ext.faults, res.path)
+
+
+class TestAdjacentDelivery:
+    def test_direct_hop_over_healthy_link(self, fig4_ext):
+        """An N2 destination looks faulty to C2, but an adjacent source
+        just uses the (healthy) direct link."""
+        topo = fig4_ext.topo
+        res = route_unicast_with_links(fig4_ext, topo.parse_node("1010"),
+                                       topo.parse_node("1000"))
+        assert res.delivered and res.hops == 1
+
+    def test_the_faulty_link_itself_is_not_usable(self, fig4_ext):
+        """1001 -> 1000 are adjacent only via the dead link; the route must
+        go around (or the attempt must not cross the dead link)."""
+        topo = fig4_ext.topo
+        res = route_unicast_with_links(fig4_ext, topo.parse_node("1001"),
+                                       topo.parse_node("1000"))
+        if res.delivered:
+            assert path_is_fault_free(topo, fig4_ext.faults, res.path)
+            assert res.hops > 1
+        else:
+            assert res.status in (RouteStatus.ABORTED_AT_SOURCE,
+                                  RouteStatus.STUCK)
+
+
+class TestPureNodeFaultEquivalence:
+    def test_matches_plain_router_without_link_faults(self, q4, rng):
+        from repro.core import uniform_node_faults
+        from repro.routing import route_unicast
+        from repro.safety import SafetyLevels
+        for _ in range(10):
+            faults = uniform_node_faults(q4, 4, rng)
+            ext = compute_extended_levels(q4, faults)
+            sl = SafetyLevels.compute(q4, faults)
+            alive = faults.nonfaulty_nodes(q4)
+            i, j = rng.choice(len(alive), size=2, replace=False)
+            s, d = alive[int(i)], alive[int(j)]
+            a = route_unicast_with_links(ext, s, d)
+            b = route_unicast(sl, s, d)
+            if q4.distance(s, d) == 1:
+                # The EGS router's direct-delivery special case may label
+                # the trivial hop differently; outcomes still agree.
+                assert a.delivered == b.delivered
+            else:
+                assert a.status == b.status
+                if a.delivered:
+                    assert a.path == b.path
+
+    def test_endpoint_validation(self, fig4_ext):
+        topo = fig4_ext.topo
+        with pytest.raises(ValueError):
+            route_unicast_with_links(fig4_ext, topo.parse_node("1100"), 0)
+        with pytest.raises(ValueError):
+            route_unicast_with_links(fig4_ext, 0, topo.parse_node("1100"))
+
+    def test_self_unicast(self, fig4_ext):
+        node = fig4_ext.topo.parse_node("1111")
+        res = route_unicast_with_links(fig4_ext, node, node)
+        assert res.delivered and res.hops == 0

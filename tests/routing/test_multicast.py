@@ -1,0 +1,128 @@
+"""Tests for the multicast extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    FaultSet,
+    Hypercube,
+    isolating_faults,
+    uniform_node_faults,
+)
+from repro.routing import multicast_greedy_tree, multicast_separate
+from repro.safety import SafetyLevels
+
+
+def _sl(topo, faults):
+    return SafetyLevels.compute(topo, faults)
+
+
+class TestSeparate:
+    def test_covers_all_when_feasible(self, q4):
+        sl = _sl(q4, FaultSet.empty())
+        res = multicast_separate(sl, 0, [1, 3, 15])
+        assert res.complete
+        assert res.infeasible == frozenset()
+        assert all(res.branches[d].optimal for d in (1, 3, 15))
+
+    def test_message_cost_counts_distinct_links(self, q4):
+        sl = _sl(q4, FaultSet.empty())
+        # 0 -> 1 and 0 -> 3 share the first link under lowest-dim routing.
+        res = multicast_separate(sl, 0, [1, 3])
+        assert res.messages == 2  # links (0,1) and (1,3)
+
+    def test_faulty_destination_rejected(self, q4):
+        faults = FaultSet(nodes=[7])
+        sl = _sl(q4, faults)
+        with pytest.raises(ValueError):
+            multicast_separate(sl, 0, [7])
+
+
+class TestGreedyTree:
+    def test_fault_free_never_beats_by_less(self, q5, rng):
+        """Seeded regression: on this deterministic batch the tree's
+        shared prefixes always pay off.  (Not a universal invariant —
+        see the property test at the bottom of this file.)"""
+        sl = _sl(q5, FaultSet.empty())
+        for _ in range(10):
+            picks = rng.choice(32, size=6, replace=False)
+            source, dests = int(picks[0]), [int(v) for v in picks[1:]]
+            sep = multicast_separate(sl, source, dests)
+            tree = multicast_greedy_tree(sl, source, dests)
+            assert tree.complete
+            assert tree.messages <= sep.messages
+
+    def test_duplicate_and_on_tree_destinations(self, q4):
+        sl = _sl(q4, FaultSet.empty())
+        res = multicast_greedy_tree(sl, 0, [1, 1, 3])
+        assert res.complete
+        assert res.requested == frozenset({1, 3})
+
+    def test_tree_links_form_connected_structure(self, q5, rng):
+        faults = uniform_node_faults(q5, 4, rng)
+        sl = _sl(q5, faults)
+        alive = faults.nonfaulty_nodes(q5)
+        picks = rng.choice(len(alive), size=7, replace=False)
+        source = alive[int(picks[0])]
+        dests = [alive[int(i)] for i in picks[1:]]
+        res = multicast_greedy_tree(sl, source, dests)
+        if not res.tree_links:
+            return
+        # Union-find over the links: all covered dests reach the source.
+        parent = {}
+
+        def find(x):
+            parent.setdefault(x, x)
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for a, b in res.tree_links:
+            parent[find(a)] = find(b)
+        for d in res.covered:
+            assert find(d) == find(source)
+
+    def test_infeasible_branch_detected_not_lost(self, q4, rng):
+        faults = isolating_faults(q4, victim=0, rng=rng)
+        sl = _sl(q4, faults)
+        alive = [v for v in faults.nonfaulty_nodes(q4) if v != 0]
+        res = multicast_greedy_tree(sl, alive[0], [0, alive[-1]])
+        assert 0 in res.infeasible
+        assert alive[-1] in res.covered
+        assert not res.complete
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=5),
+    frac=st.floats(min_value=0.0, max_value=0.3),
+    seed=st.integers(min_value=0, max_value=2 ** 31),
+)
+def test_tree_never_costs_more_than_separate(n, frac, seed):
+    topo = Hypercube(n)
+    gen = np.random.default_rng(seed)
+    faults = uniform_node_faults(topo, int(frac * topo.num_nodes), gen)
+    sl = SafetyLevels.compute(topo, faults)
+    alive = faults.nonfaulty_nodes(topo)
+    if len(alive) < 4:
+        return
+    picks = gen.choice(len(alive), size=4, replace=False)
+    source = alive[int(picks[0])]
+    dests = [alive[int(i)] for i in picks[1:]]
+    sep = multicast_separate(sl, source, dests)
+    tree = multicast_greedy_tree(sl, source, dests)
+    # The tree reaches at least as much (attach points may admit routes
+    # the source cannot).  On message cost the sound bounds are: at least
+    # a spanning structure over what it covered, at most per-branch
+    # H(attach, d) + 2 <= H(s, d) + 2.  (Strict dominance over the
+    # *union* of separate routes is NOT an invariant — separate unicasts
+    # can coincidentally share more links — so E18 measures it
+    # statistically instead of asserting it per instance.)
+    assert tree.covered >= sep.covered
+    if tree.covered:
+        # The link union spans source + every covered node.
+        assert tree.messages >= len(tree.covered | {source}) - 1
+    assert tree.messages <= sum(
+        topo.distance(source, d) + 2 for d in tree.covered)

@@ -1,0 +1,71 @@
+"""Tests for navigation-vector helpers and tie-breaking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.routing import navigation as nav
+
+
+class TestVectorOps:
+    def test_initial_vector_is_xor(self):
+        assert nav.initial_vector(0b1110, 0b0001) == 0b1111
+
+    def test_is_complete(self):
+        assert nav.is_complete(0)
+        assert not nav.is_complete(0b10)
+
+    def test_preferred_and_spare_partition(self):
+        n = 5
+        vec = 0b01101
+        pref = nav.preferred_dims(vec, n)
+        spare = nav.spare_dims(vec, n)
+        assert pref == [0, 2, 3]
+        assert spare == [1, 4]
+        assert sorted(pref + spare) == list(range(n))
+
+    def test_cross_preferred_clears_bit(self):
+        assert nav.cross(0b1111, 0) == 0b1110
+
+    def test_cross_spare_sets_bit(self):
+        assert nav.cross(0b0101, 1) == 0b0111
+
+
+class TestPickExtreme:
+    def test_max_level_wins(self):
+        assert nav.pick_extreme([(0, 1), (2, 4), (3, 2)]) == (2, 4)
+
+    def test_empty_returns_none(self):
+        assert nav.pick_extreme([]) is None
+
+    def test_lowest_dim_tiebreak(self):
+        assert nav.pick_extreme([(3, 4), (1, 4), (2, 2)]) == (1, 4)
+
+    def test_highest_dim_tiebreak(self):
+        assert nav.pick_extreme([(3, 4), (1, 4)], "highest-dim") == (3, 4)
+
+    def test_random_tiebreak_needs_rng(self):
+        with pytest.raises(ValueError):
+            nav.pick_extreme([(0, 1)], "random")
+
+    def test_random_tiebreak_choice_among_tied(self):
+        rng = np.random.default_rng(0)
+        picks = {
+            nav.pick_extreme([(0, 4), (1, 4), (2, 1)], "random", rng)
+            for _ in range(50)
+        }
+        assert picks <= {(0, 4), (1, 4)}
+        assert len(picks) == 2  # both tied candidates appear
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            nav.pick_extreme([(0, 1)], "coin-flip")
+
+
+@given(st.integers(min_value=0, max_value=(1 << 10) - 1),
+       st.integers(min_value=0, max_value=(1 << 10) - 1))
+def test_crossing_all_preferred_dims_zeroes_vector(s, d):
+    vec = nav.initial_vector(s, d)
+    for dim in nav.preferred_dims(vec, 10):
+        vec = nav.cross(vec, dim)
+    assert nav.is_complete(vec)

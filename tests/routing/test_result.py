@@ -1,0 +1,77 @@
+"""Tests for the RouteResult contract."""
+
+import pytest
+
+from repro.routing import RouteResult, RouteStatus, SourceCondition
+
+
+def delivered(path, hamming):
+    return RouteResult(
+        router="t", source=path[0], dest=path[-1], hamming=hamming,
+        status=RouteStatus.DELIVERED, path=list(path),
+    )
+
+
+class TestValidation:
+    def test_path_must_start_at_source(self):
+        with pytest.raises(ValueError):
+            RouteResult(router="t", source=0, dest=1, hamming=1,
+                        status=RouteStatus.DELIVERED, path=[2, 1])
+
+    def test_delivered_path_must_end_at_dest(self):
+        with pytest.raises(ValueError):
+            RouteResult(router="t", source=0, dest=3, hamming=2,
+                        status=RouteStatus.DELIVERED, path=[0, 1])
+
+    def test_aborted_needs_no_path(self):
+        res = RouteResult(router="t", source=0, dest=3, hamming=2,
+                          status=RouteStatus.ABORTED_AT_SOURCE)
+        assert res.hops == 0
+        assert res.detour is None
+        assert not res.delivered
+
+
+class TestMetrics:
+    def test_optimal(self):
+        res = delivered([0, 1, 3], 2)
+        assert res.optimal and not res.suboptimal
+        assert res.detour == 0
+        assert res.hops == 2
+
+    def test_suboptimal_is_exactly_plus_two(self):
+        res = delivered([0, 4, 5, 7, 3], 2)
+        assert res.suboptimal and not res.optimal
+        assert res.detour == 2
+
+    def test_longer_detours_are_neither(self):
+        res = delivered([0, 1, 0, 1, 0, 1, 3], 2)
+        assert not res.optimal and not res.suboptimal
+        assert res.detour == 4
+
+    def test_self_delivery(self):
+        res = delivered([5], 0)
+        assert res.optimal
+        assert res.hops == 0
+
+
+class TestDescribe:
+    def test_describes_delivery(self):
+        res = delivered([0, 1, 3], 2)
+        text = res.describe()
+        assert "delivered" in text and "optimal" in text and "0 -> 1 -> 3" in text
+
+    def test_describes_condition(self):
+        res = RouteResult(router="t", source=0, dest=3, hamming=2,
+                          status=RouteStatus.DELIVERED, path=[0, 1, 3],
+                          condition=SourceCondition.C2)
+        assert "C2" in res.describe()
+
+    def test_describes_abort_detail(self):
+        res = RouteResult(router="t", source=0, dest=3, hamming=2,
+                          status=RouteStatus.ABORTED_AT_SOURCE,
+                          detail="no way")
+        assert "no way" in res.describe()
+
+    def test_custom_formatter(self):
+        res = delivered([0, 1], 1)
+        assert "N0 -> N1" in res.describe(lambda v: f"N{v}")

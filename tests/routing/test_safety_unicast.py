@@ -1,0 +1,222 @@
+"""Tests for the paper's unicasting algorithm (Section 3.2, Theorem 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    FaultSet,
+    Hypercube,
+    path_is_fault_free,
+    same_component,
+    uniform_node_faults,
+)
+from repro.instances import fig1_instance, fig3_instance
+from repro.routing import (
+    RouteStatus,
+    SourceCondition,
+    check_feasibility,
+    route_unicast,
+)
+from repro.safety import SafetyLevels
+
+
+@pytest.fixture(scope="module")
+def fig1_sl():
+    topo, faults = fig1_instance()
+    return SafetyLevels.compute(topo, faults)
+
+
+@pytest.fixture(scope="module")
+def fig3_sl():
+    topo, faults = fig3_instance()
+    return SafetyLevels.compute(topo, faults)
+
+
+class TestPaperWalkthroughs:
+    def test_fig1_c1_unicast_exact_path(self, fig1_sl):
+        """s=1110, d=0001: safe source, optimal; the paper picks 1111
+        first ('say, along dimension 0') — so does our lowest-dim policy,
+        and the whole walk matches."""
+        topo = fig1_sl.topo
+        res = route_unicast(fig1_sl, topo.parse_node("1110"),
+                            topo.parse_node("0001"))
+        assert res.condition is SourceCondition.C1
+        assert res.optimal
+        assert [topo.format_node(v) for v in res.path] == \
+            ["1110", "1111", "1101", "0101", "0001"]
+
+    def test_fig1_c2_unicast_exact_path(self, fig1_sl):
+        """s=0001 (level 1 < H=3) routes via a 2-safe preferred neighbor;
+        the paper's path 0001 -> 0000 -> 1000 -> 1100."""
+        topo = fig1_sl.topo
+        res = route_unicast(fig1_sl, topo.parse_node("0001"),
+                            topo.parse_node("1100"))
+        assert res.condition is SourceCondition.C2
+        assert res.optimal
+        assert [topo.format_node(v) for v in res.path] == \
+            ["0001", "0000", "1000", "1100"]
+
+    def test_fig3_intra_component_unicasts(self, fig3_sl):
+        topo = fig3_sl.topo
+        res = route_unicast(fig3_sl, topo.parse_node("0101"),
+                            topo.parse_node("0000"))
+        assert res.optimal and res.condition is SourceCondition.C1
+        res = route_unicast(fig3_sl, topo.parse_node("0111"),
+                            topo.parse_node("1011"))
+        assert res.optimal and res.condition is SourceCondition.C2
+
+    def test_fig3_cross_partition_aborts(self, fig3_sl):
+        """0111 -> 1110: the paper shows C1, C2, C3 all failing."""
+        topo = fig3_sl.topo
+        res = route_unicast(fig3_sl, topo.parse_node("0111"),
+                            topo.parse_node("1110"))
+        assert res.status is RouteStatus.ABORTED_AT_SOURCE
+
+    def test_fig3_marooned_source_always_infeasible(self, fig3_sl):
+        topo = fig3_sl.topo
+        marooned = topo.parse_node("1110")
+        for d in topo.iter_nodes():
+            if d == marooned or fig3_sl.faults.is_node_faulty(d):
+                continue
+            assert not check_feasibility(fig3_sl, marooned, d).feasible
+
+
+class TestFeasibility:
+    def test_c1_safe_source(self, fig1_sl):
+        topo = fig1_sl.topo
+        feas = check_feasibility(fig1_sl, topo.parse_node("1111"),
+                                 topo.parse_node("0000"))
+        assert feas.condition is SourceCondition.C1
+
+    def test_c3_spare_route(self):
+        """Construct an instance where only the suboptimal branch applies:
+        both preferred neighbors of the source are faulty but a spare
+        neighbor is safe."""
+        q4 = Hypercube(4)
+        s, d = 0b0000, 0b0011
+        faults = FaultSet(nodes=[0b0001, 0b0010])
+        sl = SafetyLevels.compute(q4, faults)
+        feas = check_feasibility(sl, s, d)
+        assert feas.condition is SourceCondition.C3
+        res = route_unicast(sl, s, d)
+        assert res.suboptimal
+        assert res.hops == 4  # H + 2
+        assert path_is_fault_free(q4, faults, res.path)
+
+    def test_zero_distance_is_trivially_feasible(self, fig1_sl):
+        topo = fig1_sl.topo
+        node = topo.parse_node("0001")
+        res = route_unicast(fig1_sl, node, node)
+        assert res.delivered and res.hops == 0
+
+
+class TestEndpointValidation:
+    def test_faulty_source_rejected(self, fig1_sl):
+        with pytest.raises(ValueError):
+            route_unicast(fig1_sl, fig1_sl.topo.parse_node("0011"), 0)
+
+    def test_faulty_dest_rejected(self, fig1_sl):
+        with pytest.raises(ValueError):
+            route_unicast(fig1_sl, 0, fig1_sl.topo.parse_node("0011"))
+
+
+class TestTieBreakPolicies:
+    def test_all_policies_preserve_guarantees(self, fig1_sl, rng):
+        topo = fig1_sl.topo
+        alive = fig1_sl.faults.nonfaulty_nodes(topo)
+        for policy in ("lowest-dim", "highest-dim", "random"):
+            for s in alive:
+                for d in alive:
+                    res = route_unicast(fig1_sl, s, d, tie_break=policy,
+                                        rng=rng)
+                    if res.condition in (SourceCondition.C1,
+                                         SourceCondition.C2):
+                        assert res.optimal
+                    elif res.condition is SourceCondition.C3:
+                        assert res.suboptimal
+
+
+# ---------------------------------------------------------------------------
+# Theorem 3 as a property over random instances
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=6),
+    frac=st.floats(min_value=0.0, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=2 ** 31),
+)
+def test_theorem3_guarantees(n, frac, seed):
+    topo = Hypercube(n)
+    gen = np.random.default_rng(seed)
+    faults = uniform_node_faults(topo, int(frac * topo.num_nodes), gen)
+    sl = SafetyLevels.compute(topo, faults)
+    alive = faults.nonfaulty_nodes(topo)
+    if len(alive) < 2:
+        return
+    for _ in range(10):
+        i, j = gen.choice(len(alive), size=2, replace=False)
+        s, d = alive[int(i)], alive[int(j)]
+        res = route_unicast(sl, s, d)
+        if res.status is RouteStatus.DELIVERED:
+            assert path_is_fault_free(topo, faults, res.path)
+            if res.condition in (SourceCondition.C1, SourceCondition.C2):
+                assert res.hops == res.hamming
+            else:
+                assert res.hops == res.hamming + 2
+        else:
+            # The walk never gets stuck when a condition admitted it.
+            assert res.status is RouteStatus.ABORTED_AT_SOURCE
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=6),
+    data=st.data(),
+    seed=st.integers(min_value=0, max_value=2 ** 31),
+)
+def test_never_fails_below_n_faults(n, data, seed):
+    """Property 2 corollary: with fewer than n faults the algorithm always
+    delivers (optimal or suboptimal) — no aborts at all."""
+    count = data.draw(st.integers(min_value=0, max_value=n - 1))
+    topo = Hypercube(n)
+    gen = np.random.default_rng(seed)
+    faults = uniform_node_faults(topo, count, gen)
+    sl = SafetyLevels.compute(topo, faults)
+    alive = faults.nonfaulty_nodes(topo)
+    for _ in range(8):
+        i, j = gen.choice(len(alive), size=2, replace=False)
+        res = route_unicast(sl, alive[int(i)], alive[int(j)])
+        assert res.delivered
+        assert res.optimal or res.suboptimal
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=6),
+    frac=st.floats(min_value=0.0, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=2 ** 31),
+)
+def test_bipartite_parity_invariant(n, frac, seed):
+    """The hypercube is bipartite: any delivered walk between s and d has
+    length congruent to H(s, d) mod 2 — for every router, including the
+    +2 suboptimal branch."""
+    topo = Hypercube(n)
+    gen = np.random.default_rng(seed)
+    faults = uniform_node_faults(topo, int(frac * topo.num_nodes), gen)
+    sl = SafetyLevels.compute(topo, faults)
+    alive = faults.nonfaulty_nodes(topo)
+    if len(alive) < 2:
+        return
+    from repro.routing import route_dfs, route_sidetrack
+    for _ in range(5):
+        i, j = gen.choice(len(alive), size=2, replace=False)
+        s, d = alive[int(i)], alive[int(j)]
+        for res in (
+            route_unicast(sl, s, d),
+            route_sidetrack(topo, faults, s, d, gen),
+            route_dfs(topo, faults, s, d),
+        ):
+            if res.delivered:
+                assert (res.hops - res.hamming) % 2 == 0, res.router

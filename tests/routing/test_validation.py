@@ -1,0 +1,100 @@
+"""Tests for the route auditor."""
+
+import numpy as np
+import pytest
+
+from repro.core import FaultSet, Hypercube, uniform_node_faults
+from repro.routing import (
+    RouteResult,
+    RouteStatus,
+    SourceCondition,
+    assert_compliant,
+    audit_route,
+    audit_theorem3,
+    route_unicast,
+)
+from repro.safety import SafetyLevels
+
+
+def mk(status, path, source=0, dest=3, hamming=2,
+       condition=SourceCondition.NONE):
+    return RouteResult(router="t", source=source, dest=dest,
+                       hamming=hamming, status=status, path=path,
+                       condition=condition)
+
+
+class TestAuditRoute:
+    def test_clean_route_passes(self, q4):
+        res = mk(RouteStatus.DELIVERED, [0, 1, 3])
+        assert audit_route(q4, FaultSet.empty(), res) == []
+
+    def test_detects_faulty_node_visit(self, q4):
+        res = mk(RouteStatus.DELIVERED, [0, 1, 3])
+        issues = audit_route(q4, FaultSet(nodes=[1]), res)
+        assert any("faulty node" in i for i in issues)
+
+    def test_detects_faulty_link(self, q4):
+        res = mk(RouteStatus.DELIVERED, [0, 1, 3])
+        issues = audit_route(q4, FaultSet(links=[(1, 3)]), res)
+        assert any("faulty link" in i for i in issues)
+
+    def test_detects_teleport(self, q4):
+        res = mk(RouteStatus.STUCK, [0, 5])
+        issues = audit_route(q4, FaultSet.empty(), res)
+        assert any("teleport" in i for i in issues)
+
+    def test_detects_wrong_hamming(self, q4):
+        res = mk(RouteStatus.DELIVERED, [0, 1, 3], hamming=4)
+        issues = audit_route(q4, FaultSet.empty(), res)
+        assert any("Hamming" in i for i in issues)
+
+    def test_detects_abort_with_hops(self, q4):
+        res = mk(RouteStatus.ABORTED_AT_SOURCE, [0, 1])
+        issues = audit_route(q4, FaultSet.empty(), res)
+        assert any("aborted" in i for i in issues)
+
+    def test_invalid_node_short_circuits(self, q4):
+        res = mk(RouteStatus.STUCK, [0, 99])
+        issues = audit_route(q4, FaultSet.empty(), res)
+        assert any("invalid node" in i for i in issues)
+
+
+class TestAuditTheorem3:
+    def test_c1_must_be_optimal(self, q4):
+        res = mk(RouteStatus.DELIVERED, [0, 1, 0, 1, 3],
+                 condition=SourceCondition.C1)
+        issues = audit_theorem3(q4, FaultSet.empty(), res)
+        assert any("expected H" in i for i in issues)
+
+    def test_c3_must_be_plus_two(self, q4):
+        res = mk(RouteStatus.DELIVERED, [0, 1, 3],
+                 condition=SourceCondition.C3)
+        issues = audit_theorem3(q4, FaultSet.empty(), res)
+        assert any("H + 2" in i for i in issues)
+
+    def test_admitted_unicast_must_not_get_stuck(self, q4):
+        res = mk(RouteStatus.STUCK, [0, 1], condition=SourceCondition.C2)
+        issues = audit_theorem3(q4, FaultSet.empty(), res)
+        assert any("must not end" in i for i in issues)
+
+    def test_contradictory_abort(self, q4):
+        res = mk(RouteStatus.ABORTED_AT_SOURCE, [],
+                 condition=SourceCondition.C1)
+        issues = audit_theorem3(q4, FaultSet.empty(), res)
+        assert any("aborted although" in i for i in issues)
+
+    def test_assert_compliant_raises_with_details(self, q4):
+        res = mk(RouteStatus.DELIVERED, [0, 1, 0, 1, 3],
+                 condition=SourceCondition.C1)
+        with pytest.raises(AssertionError, match="expected H"):
+            assert_compliant(q4, FaultSet.empty(), res)
+
+    def test_real_router_output_is_always_compliant(self, q5, rng):
+        """End-to-end: audit everything the actual router emits."""
+        for _ in range(10):
+            faults = uniform_node_faults(q5, int(rng.integers(0, 14)), rng)
+            sl = SafetyLevels.compute(q5, faults)
+            alive = faults.nonfaulty_nodes(q5)
+            i, j = rng.choice(len(alive), size=2, replace=False)
+            res = route_unicast(sl, alive[int(i)], alive[int(j)])
+            assert_compliant(q5, faults, res)

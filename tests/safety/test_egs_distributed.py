@@ -1,0 +1,74 @@
+"""Tests for the distributed EGS protocol (Section 4.1 pseudo-code)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FaultSet, Hypercube, mixed_faults, uniform_node_faults
+from repro.instances import fig4_instance
+from repro.safety import compute_extended_levels, run_egs
+
+
+class TestFig4Distributed:
+    def test_matches_vectorized(self):
+        topo, faults = fig4_instance()
+        run = run_egs(topo, faults)
+        vec = compute_extended_levels(topo, faults)
+        assert np.array_equal(run.levels.public_levels, vec.public_levels)
+        assert np.array_equal(run.levels.self_levels, vec.self_levels)
+        assert run.levels.n2 == vec.n2
+
+    def test_runs_exactly_n_minus_1_rounds(self):
+        topo, faults = fig4_instance()
+        run = run_egs(topo, faults)
+        assert run.rounds.rounds_executed == topo.dimension - 1
+
+    def test_n2_nodes_never_transmit(self):
+        """N2 nodes are publicly silent: no message originates from them."""
+        topo, faults = fig4_instance()
+        run = run_egs(topo, faults, trace=True)
+        n2 = run.levels.n2
+        for rec in run.network.trace.filter(event="send"):
+            assert rec.node not in n2
+
+    def test_message_conservation(self):
+        topo, faults = fig4_instance()
+        run = run_egs(topo, faults)
+        run.network.stats.check_conserved()
+
+
+class TestDegenerateCases:
+    def test_node_faults_only_matches_gs(self, q4, rng):
+        from repro.safety import compute_safety_levels
+        for _ in range(5):
+            faults = uniform_node_faults(q4, int(rng.integers(0, 8)), rng)
+            run = run_egs(q4, faults)
+            assert np.array_equal(run.levels.public_levels,
+                                  compute_safety_levels(q4, faults))
+            assert run.levels.n2 == frozenset()
+
+    def test_fault_free(self, q4):
+        run = run_egs(q4, FaultSet.empty())
+        assert (run.levels.public_levels == 4).all()
+        assert run.rounds.stabilization_round == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=5),
+    node_faults=st.integers(min_value=0, max_value=5),
+    link_faults=st.integers(min_value=0, max_value=4),
+    seed=st.integers(min_value=0, max_value=2 ** 31),
+)
+def test_distributed_egs_equals_vectorized(n, node_faults, link_faults, seed):
+    topo = Hypercube(n)
+    node_faults = min(node_faults, topo.num_nodes - 2)
+    gen = np.random.default_rng(seed)
+    try:
+        faults = mixed_faults(topo, node_faults, link_faults, gen)
+    except ValueError:
+        return  # not enough surviving links to place the requested faults
+    run = run_egs(topo, faults)
+    vec = compute_extended_levels(topo, faults)
+    assert np.array_equal(run.levels.public_levels, vec.public_levels)
+    assert np.array_equal(run.levels.self_levels, vec.self_levels)

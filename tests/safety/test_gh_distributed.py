@@ -1,0 +1,60 @@
+"""Tests for the distributed generalized-hypercube status protocol."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FaultSet, GeneralizedHypercube, uniform_node_faults
+from repro.instances import fig5_instance
+from repro.safety import gh_levels_with_rounds, run_gh_gs
+
+
+class TestFig5Distributed:
+    def test_matches_vectorized(self):
+        gh, faults = fig5_instance()
+        run = run_gh_gs(gh, faults)
+        vec, rounds = gh_levels_with_rounds(gh, faults)
+        assert np.array_equal(run.levels, vec)
+        assert run.stabilization_round == rounds
+
+    def test_bound(self):
+        gh, faults = fig5_instance()
+        run = run_gh_gs(gh, faults)
+        assert run.stabilization_round <= gh.dimension - 1
+
+
+class TestBasics:
+    def test_fault_free_is_quiet(self):
+        gh = GeneralizedHypercube((3, 4))
+        run = run_gh_gs(gh, FaultSet.empty())
+        assert (run.levels == 2).all()
+        assert run.stabilization_round == 0
+        assert run.rounds.messages_sent == 0
+
+    def test_rejects_link_faults(self):
+        gh = GeneralizedHypercube((2, 2))
+        with pytest.raises(ValueError):
+            run_gh_gs(gh, FaultSet(links=[(0, 1)]))
+
+    def test_message_conservation(self, rng):
+        gh = GeneralizedHypercube((2, 3, 3))
+        faults = uniform_node_faults(gh, 4, rng)
+        run = run_gh_gs(gh, faults)
+        run.network.stats.check_conserved()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    radices=st.lists(st.integers(min_value=2, max_value=4),
+                     min_size=2, max_size=3),
+    frac=st.floats(min_value=0.0, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=2 ** 31),
+)
+def test_distributed_gh_equals_vectorized(radices, frac, seed):
+    gh = GeneralizedHypercube(radices)
+    faults = uniform_node_faults(gh, int(frac * gh.num_nodes),
+                                 np.random.default_rng(seed))
+    run = run_gh_gs(gh, faults)
+    vec, rounds = gh_levels_with_rounds(gh, faults)
+    assert np.array_equal(run.levels, vec)
+    assert run.stabilization_round == rounds

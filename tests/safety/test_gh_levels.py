@@ -1,0 +1,113 @@
+"""Tests for Definition 4 safety levels in generalized hypercubes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FaultSet, GeneralizedHypercube, Hypercube, \
+    uniform_node_faults
+from repro.instances import fig5_instance
+from repro.safety import (
+    GhSafetyLevels,
+    compute_gh_safety_levels,
+    compute_safety_levels,
+    gh_levels_with_rounds,
+)
+
+
+class TestFig5:
+    def test_four_safe_nodes(self):
+        gh, faults = fig5_instance()
+        sl = GhSafetyLevels.compute(gh, faults)
+        safe = sorted(gh.format_node(v) for v in sl.safe_set())
+        assert safe == ["000", "001", "010", "020"]
+
+    def test_stated_levels(self):
+        gh, faults = fig5_instance()
+        sl = GhSafetyLevels.compute(gh, faults)
+        assert sl.level(gh.parse_node("110")) == 1
+        assert faults.is_node_faulty(gh.parse_node("011"))
+        assert sl.level(gh.parse_node("000")) >= 2
+        assert sl.level(gh.parse_node("020")) >= 2
+
+    def test_fixed_point(self):
+        gh, faults = fig5_instance()
+        sl = GhSafetyLevels.compute(gh, faults)
+        assert sl.verify_fixed_point() == []
+
+    def test_dimension_status_sorted_rule(self):
+        gh, faults = fig5_instance()
+        sl = GhSafetyLevels.compute(gh, faults)
+        node = gh.parse_node("010")
+        mins = sl.dimension_status(node)
+        assert len(mins) == 3
+        # dim 0 neighbor (011) is faulty -> min 0 in that dimension.
+        assert mins[0] == 0
+
+
+class TestBasicLaws:
+    def test_fault_free_all_safe(self):
+        gh = GeneralizedHypercube((3, 4, 2))
+        levels, rounds = gh_levels_with_rounds(gh, FaultSet.empty())
+        assert (levels == 3).all()
+        assert rounds == 0
+
+    def test_level_zero_iff_faulty(self, rng):
+        gh = GeneralizedHypercube((3, 3, 2))
+        faults = uniform_node_faults(gh, 4, rng)
+        levels = compute_gh_safety_levels(gh, faults)
+        for v in gh.iter_nodes():
+            assert (levels[v] == 0) == faults.is_node_faulty(v)
+
+    def test_rounds_bound(self, rng):
+        gh = GeneralizedHypercube((2, 3, 4))
+        for _ in range(10):
+            faults = uniform_node_faults(gh, int(rng.integers(0, 8)), rng)
+            _levels, rounds = gh_levels_with_rounds(gh, faults)
+            assert rounds <= gh.dimension - 1
+
+    def test_rejects_link_faults(self):
+        gh = GeneralizedHypercube((2, 2))
+        with pytest.raises(ValueError):
+            compute_gh_safety_levels(gh, FaultSet(links=[(0, 1)]))
+
+    def test_levels_readonly_in_view(self):
+        gh, faults = fig5_instance()
+        sl = GhSafetyLevels.compute(gh, faults)
+        with pytest.raises(ValueError):
+            sl.levels[0] = 2
+
+
+class TestBinaryRadixEquivalence:
+    """With all radices 2, Definition 4 degenerates to Definition 1."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=5),
+        count=st.integers(min_value=0, max_value=10),
+        seed=st.integers(min_value=0, max_value=2 ** 31),
+    )
+    def test_matches_binary_cube_levels(self, n, count, seed):
+        q = Hypercube(n)
+        gh = GeneralizedHypercube((2,) * n)
+        count = min(count, q.num_nodes)
+        faults = uniform_node_faults(q, count, np.random.default_rng(seed))
+        assert np.array_equal(
+            compute_gh_safety_levels(gh, faults),
+            compute_safety_levels(q, faults),
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    radices=st.lists(st.integers(min_value=2, max_value=4), min_size=2,
+                     max_size=3),
+    frac=st.floats(min_value=0.0, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=2 ** 31),
+)
+def test_fixed_point_on_random_gh(radices, frac, seed):
+    gh = GeneralizedHypercube(radices)
+    faults = uniform_node_faults(gh, int(frac * gh.num_nodes),
+                                 np.random.default_rng(seed))
+    sl = GhSafetyLevels.compute(gh, faults)
+    assert sl.verify_fixed_point() == []

@@ -1,0 +1,77 @@
+"""Tests for asynchronous GS under arbitrary message delays."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FaultSet, Hypercube, uniform_node_faults
+from repro.instances import fig1_instance
+from repro.safety import compute_safety_levels, run_gs, run_gs_async
+from repro.simcore import ProtocolError
+
+
+class TestAsyncGs:
+    def test_fig1_matches_synchronous(self):
+        topo, faults = fig1_instance()
+        run = run_gs_async(topo, faults, rng=1)
+        assert np.array_equal(run.levels, compute_safety_levels(topo, faults))
+
+    def test_fault_free_is_silent(self, q4):
+        run = run_gs_async(q4, FaultSet.empty(), rng=0)
+        assert run.messages_sent == 0
+        assert (run.levels == 4).all()
+        assert run.finish_time == 0
+
+    def test_different_seeds_same_fixed_point(self, q5):
+        faults = uniform_node_faults(q5, 8, 99)
+        reference = compute_safety_levels(q5, faults)
+        for seed in range(8):
+            run = run_gs_async(q5, faults, rng=seed, max_jitter=7)
+            assert np.array_equal(run.levels, reference), seed
+
+    def test_unit_latency_costs_no_more_than_bsp(self):
+        """With delay 1 everywhere, asynchronous reaction can only merge
+        or reorder updates relative to round-synchronous operation — the
+        fixed point is identical either way."""
+        topo, faults = fig1_instance()
+        async_run = run_gs_async(topo, faults, latency=lambda s, d: 1)
+        sync_run = run_gs(topo, faults)
+        assert np.array_equal(async_run.levels, sync_run.levels)
+
+    def test_custom_deterministic_latency(self, q4):
+        faults = uniform_node_faults(q4, 4, 3)
+        # Dimension-dependent deterministic delays.
+        run = run_gs_async(q4, faults,
+                           latency=lambda s, d: 1 + ((s ^ d).bit_length()))
+        assert np.array_equal(run.levels, compute_safety_levels(q4, faults))
+
+    def test_zero_latency_rejected(self, q4):
+        faults = FaultSet(nodes=[0, 3])
+        with pytest.raises(ProtocolError):
+            run_gs_async(q4, faults, latency=lambda s, d: 0)
+
+    def test_rejects_link_faults(self, q4):
+        with pytest.raises(ValueError):
+            run_gs_async(q4, FaultSet(links=[(0, 1)]))
+
+    def test_message_conservation(self, q5):
+        faults = uniform_node_faults(q5, 6, 7)
+        run = run_gs_async(q5, faults, rng=7)
+        run.network.stats.check_conserved()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=5),
+    count=st.integers(min_value=0, max_value=10),
+    seed=st.integers(min_value=0, max_value=2 ** 31),
+)
+def test_theorem1_under_async_delays(n, count, seed):
+    """The protocol-level Theorem 1: arbitrary delivery interleavings all
+    converge to the unique fixed point."""
+    topo = Hypercube(n)
+    count = min(count, topo.num_nodes)
+    gen = np.random.default_rng(seed)
+    faults = uniform_node_faults(topo, count, gen)
+    run = run_gs_async(topo, faults, rng=gen, max_jitter=9)
+    assert np.array_equal(run.levels, compute_safety_levels(topo, faults))

@@ -1,0 +1,166 @@
+"""Tests for Definition 1 safety levels: the fixed point and its laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FaultSet, Hypercube, uniform_node_faults
+from repro.instances import FIG1_EXPECTED_LEVELS, fig1_instance
+from repro.safety import (
+    SafetyLevels,
+    compute_safety_levels,
+    compute_safety_levels_async,
+    level_from_sorted,
+    level_of_node,
+    verify_fixed_point,
+)
+
+
+class TestLevelFunction:
+    """The staircase rule S(a) = min{j : S_j < j} (or n)."""
+
+    def test_all_safe_neighbors_give_n(self):
+        assert level_from_sorted([4, 4, 4, 4]) == 4
+
+    def test_staircase_boundary_is_safe(self):
+        assert level_from_sorted([0, 1, 2, 3]) == 4
+
+    def test_first_failure_sets_level(self):
+        assert level_from_sorted([0, 0, 4, 4]) == 1
+        assert level_from_sorted([0, 1, 1, 4]) == 2
+        assert level_from_sorted([0, 1, 2, 2]) == 3
+
+    def test_single_faulty_neighbor_keeps_safe(self):
+        assert level_from_sorted([0, 4, 4, 4]) == 4
+
+    def test_unsorted_input_helper(self):
+        assert level_of_node([4, 0, 4, 0]) == 1
+
+    def test_level_never_zero_for_nonfaulty(self):
+        # Whatever the neighbors, S_0 >= 0 always holds, so the first
+        # possible failure index is 1: a nonfaulty node is at least 1-safe.
+        for seq in ([0, 0, 0], [0, 0, 0, 0, 0], [1, 1]):
+            assert level_from_sorted(seq) >= 1
+
+
+class TestFig1:
+    def test_exact_paper_levels(self):
+        topo, faults = fig1_instance()
+        sl = SafetyLevels.compute(topo, faults)
+        for addr, expected in FIG1_EXPECTED_LEVELS.items():
+            assert sl.level(topo.parse_node(addr)) == expected, addr
+
+    def test_fixed_point_is_valid(self):
+        topo, faults = fig1_instance()
+        levels = compute_safety_levels(topo, faults)
+        assert verify_fixed_point(topo, faults, levels) == []
+
+
+class TestBasicLaws:
+    def test_fault_free_cube_is_all_safe(self, q5):
+        levels = compute_safety_levels(q5, FaultSet.empty())
+        assert (levels == 5).all()
+
+    def test_level_zero_iff_faulty(self, q5, rng):
+        faults = uniform_node_faults(q5, 9, rng)
+        levels = compute_safety_levels(q5, faults)
+        for v in q5.iter_nodes():
+            assert (levels[v] == 0) == faults.is_node_faulty(v)
+
+    def test_single_fault_leaves_everyone_safe(self, q4):
+        levels = compute_safety_levels(q4, FaultSet(nodes=[7]))
+        assert (levels[np.arange(16) != 7] == 4).all()
+
+    def test_rejects_link_faults(self, q4):
+        with pytest.raises(ValueError):
+            compute_safety_levels(q4, FaultSet(links=[(0, 1)]))
+
+    def test_all_faulty_neighbors_gives_level_one(self, q4):
+        faults = FaultSet(nodes=Hypercube(4).neighbors(0))
+        levels = compute_safety_levels(q4, faults)
+        assert levels[0] == 1  # marooned but nonfaulty: 1-safe
+
+    def test_monotone_in_faults(self, q5, rng):
+        """Adding faults can only lower levels (greatest-fixed-point
+        monotonicity)."""
+        base = uniform_node_faults(q5, 4, rng)
+        extra = base.with_nodes(
+            [v for v in q5.iter_nodes() if v not in base.nodes][:3]
+        )
+        low = compute_safety_levels(q5, base)
+        lower = compute_safety_levels(q5, extra)
+        assert (lower <= low).all()
+
+
+class TestSafetyLevelsView:
+    def test_safe_set_and_predicates(self, q4):
+        topo, faults = fig1_instance()
+        sl = SafetyLevels.compute(topo, faults)
+        safe = sl.safe_set()
+        assert topo.parse_node("1110") in safe
+        assert sl.is_safe(topo.parse_node("1111"))
+        assert sl.is_unsafe(topo.parse_node("0001"))
+        assert not sl.is_unsafe(topo.parse_node("0011"))  # faulty, not unsafe
+
+    def test_neighbor_levels_order(self):
+        topo, faults = fig1_instance()
+        sl = SafetyLevels.compute(topo, faults)
+        node = topo.parse_node("0000")
+        assert sl.neighbor_levels(node) == [
+            sl.level(v) for v in topo.neighbors(node)
+        ]
+
+    def test_by_level_partitions_nodes(self):
+        topo, faults = fig1_instance()
+        sl = SafetyLevels.compute(topo, faults)
+        groups = sl.by_level()
+        flat = sorted(v for vs in groups.values() for v in vs)
+        assert flat == list(topo.iter_nodes())
+
+    def test_levels_are_readonly(self):
+        topo, faults = fig1_instance()
+        sl = SafetyLevels.compute(topo, faults)
+        with pytest.raises(ValueError):
+            sl.levels[0] = 3
+
+    def test_render_mentions_faults(self):
+        topo, faults = fig1_instance()
+        text = SafetyLevels.compute(topo, faults).render()
+        assert "(faulty)" in text and "0011" in text
+
+
+# ---------------------------------------------------------------------------
+# Property-based: Theorem 1 (uniqueness) and definition conformance
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=6),
+    frac=st.floats(min_value=0.0, max_value=0.6),
+    seed=st.integers(min_value=0, max_value=2 ** 31),
+)
+def test_fixed_point_valid_on_random_instances(n, frac, seed):
+    topo = Hypercube(n)
+    count = int(frac * topo.num_nodes)
+    faults = uniform_node_faults(topo, count, np.random.default_rng(seed))
+    levels = compute_safety_levels(topo, faults)
+    assert verify_fixed_point(topo, faults, levels) == []
+    assert levels.min() >= 0 and levels.max() <= n
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=5),
+    count=st.integers(min_value=0, max_value=12),
+    seed=st.integers(min_value=0, max_value=2 ** 31),
+)
+def test_theorem1_async_order_reaches_same_fixed_point(n, count, seed):
+    """Chaotic single-node relaxation converges to the synchronous result —
+    the uniqueness claim of Theorem 1 made executable."""
+    topo = Hypercube(n)
+    count = min(count, topo.num_nodes)
+    gen = np.random.default_rng(seed)
+    faults = uniform_node_faults(topo, count, gen)
+    sync = compute_safety_levels(topo, faults)
+    chaotic = compute_safety_levels_async(topo, faults, rng=gen)
+    assert np.array_equal(sync, chaotic)

@@ -1,0 +1,104 @@
+"""Tests for EGS: safety levels with faulty links (Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FaultSet, Hypercube, mixed_faults, uniform_node_faults
+from repro.instances import fig4_instance
+from repro.safety import compute_extended_levels, compute_safety_levels
+from repro.safety.levels import level_from_sorted
+
+
+class TestFig4:
+    def test_n2_classification(self):
+        topo, faults = fig4_instance()
+        ext = compute_extended_levels(topo, faults)
+        assert ext.n2 == {topo.parse_node("1000"), topo.parse_node("1001")}
+
+    def test_paper_levels(self):
+        topo, faults = fig4_instance()
+        ext = compute_extended_levels(topo, faults)
+        assert ext.own_level(topo.parse_node("1000")) == 1
+        assert ext.own_level(topo.parse_node("1001")) == 2
+        assert ext.own_level(topo.parse_node("1111")) == 4
+
+    def test_n2_public_view_is_zero(self):
+        topo, faults = fig4_instance()
+        ext = compute_extended_levels(topo, faults)
+        for name in ("1000", "1001"):
+            assert ext.level_seen_by_neighbor(topo.parse_node(name)) == 0
+            assert ext.in_n2(topo.parse_node(name))
+
+    def test_views_agree_on_n1(self):
+        topo, faults = fig4_instance()
+        ext = compute_extended_levels(topo, faults)
+        for v in topo.iter_nodes():
+            if v not in ext.n2:
+                assert ext.own_level(v) == ext.level_seen_by_neighbor(v)
+
+    def test_render_tags_roles(self):
+        topo, faults = fig4_instance()
+        text = compute_extended_levels(topo, faults).render()
+        assert "N2" in text and "faulty" in text
+
+
+class TestDegenerateCases:
+    def test_no_link_faults_reduces_to_plain_levels(self, q4, rng):
+        for _ in range(5):
+            faults = uniform_node_faults(q4, int(rng.integers(0, 8)), rng)
+            ext = compute_extended_levels(q4, faults)
+            plain = compute_safety_levels(q4, faults)
+            assert np.array_equal(ext.public_levels, plain)
+            assert np.array_equal(ext.self_levels, plain)
+            assert ext.n2 == frozenset()
+
+    def test_link_with_faulty_endpoint_is_moot(self, q4):
+        # (0,1) with node 0 faulty: same as just the node fault.
+        a = compute_extended_levels(q4, FaultSet(nodes=[0], links=[(0, 1)]))
+        b = compute_extended_levels(q4, FaultSet(nodes=[0]))
+        assert np.array_equal(a.public_levels, b.public_levels)
+        assert a.n2 == frozenset()
+
+
+class TestSelfViewSemantics:
+    def test_self_level_treats_far_end_as_faulty(self, q3):
+        """An N2 node recomputes its own level with the far ends of its
+        faulty links pinned to 0 and everything else at public levels."""
+        faults = FaultSet(links=[(0, 1)])
+        ext = compute_extended_levels(q3, faults)
+        topo = Hypercube(3)
+        for a in (0, 1):
+            seq = []
+            for v in topo.neighbors(a):
+                seq.append(0 if faults.is_link_declared_faulty(a, v)
+                           else int(ext.public_levels[v]))
+            assert ext.own_level(a) == level_from_sorted(sorted(seq))
+
+    def test_random_mixed_instances_consistent(self, q5, rng):
+        for _ in range(8):
+            faults = mixed_faults(q5, 3, 2, rng)
+            ext = compute_extended_levels(q5, faults)
+            # Faulty nodes are zero in both views.
+            for v in faults.nodes:
+                assert ext.public_levels[v] == 0
+                assert ext.self_levels[v] == 0
+            # N2 publics are zero; N1 publics satisfy Definition 1 with the
+            # pinned mask.
+            for v in ext.n2:
+                assert ext.public_levels[v] == 0
+                assert ext.self_levels[v] >= 1
+            topo = q5
+            for v in topo.iter_nodes():
+                if faults.is_node_faulty(v) or v in ext.n2:
+                    continue
+                expected = level_from_sorted(
+                    sorted(int(ext.public_levels[w])
+                           for w in topo.neighbors(v)))
+                assert ext.public_levels[v] == expected
+
+    def test_n2_self_level_at_least_one(self, q4):
+        # Even a node whose links are all faulty is 1-safe in self view.
+        topo = Hypercube(4)
+        links = [(0, v) for v in topo.neighbors(0)]
+        ext = compute_extended_levels(q4, FaultSet(links=links))
+        assert ext.own_level(0) == 1

@@ -1,0 +1,137 @@
+"""Tests for mid-run node failures and the state-change-driven GS."""
+
+import numpy as np
+import pytest
+
+from repro.core import FaultSet, Hypercube, uniform_node_faults
+from repro.safety import compute_safety_levels
+from repro.safety.gs_async import AsyncGsProcess
+from repro.simcore import Network, SimError
+
+
+def gs_factory(topo, faults):
+    def factory(node):
+        nbrs = topo.neighbors(node)
+        return AsyncGsProcess(
+            nbrs, [v for v in nbrs if faults.is_node_faulty(v)],
+            topo.dimension)
+    return factory
+
+
+def surviving_levels(net, num_nodes):
+    out = np.zeros(num_nodes, dtype=np.int64)
+    for node, proc in net.processes.items():
+        out[node] = proc.my_level
+    return out
+
+
+class TestScheduleNodeFailure:
+    def test_traffic_to_dead_node_drops(self, q3):
+        from repro.simcore import NodeProcess
+
+        class LatePing(NodeProcess):
+            def on_start(self):
+                if self.node_id == 0:
+                    # Fires after node 1 is dead.
+                    pass
+
+            def on_message(self, msg):
+                pass
+
+        net = Network(q3, FaultSet.empty(), lambda node: LatePing())
+        net.start()
+        net.schedule_node_failure(1, 2)
+        net.engine.schedule_at(
+            3, lambda: net.process(0).send(1, "ping"))
+        net.run()
+        assert 1 in net.dead_nodes
+        assert net.stats.dropped == 1
+
+    def test_neighbors_are_notified(self, q3):
+        notified = []
+
+        from repro.simcore import NodeProcess
+
+        class Watcher(NodeProcess):
+            def on_message(self, msg):
+                pass
+
+            def on_neighbor_failure(self, neighbor):
+                notified.append((self.node_id, neighbor))
+
+        net = Network(q3, FaultSet.empty(), lambda node: Watcher())
+        net.start()
+        net.schedule_node_failure(0, 1)
+        net.run()
+        assert sorted(notified) == [(1, 0), (2, 0), (4, 0)]
+
+    def test_cannot_fail_already_faulty_node(self, q3):
+        net = Network(q3, FaultSet(nodes=[5]),
+                      lambda node: AsyncGsProcess(q3.neighbors(node),
+                                                  [5] if 5 in
+                                                  q3.neighbors(node) else [],
+                                                  3))
+        with pytest.raises(SimError):
+            net.schedule_node_failure(5, 1)
+
+    def test_double_failure_is_idempotent(self, q3):
+        net = Network(q3, FaultSet.empty(),
+                      gs_factory(q3, FaultSet.empty()))
+        net.start()
+        net.schedule_node_failure(2, 1)
+        net.schedule_node_failure(2, 1)
+        net.run()
+        assert 2 in net.dead_nodes
+
+
+class TestStateChangeDrivenGs:
+    def test_restabilizes_to_post_failure_fixed_point(self, q5, rng):
+        for trial in range(5):
+            base = uniform_node_faults(q5, 3, rng)
+            alive = base.nonfaulty_nodes(q5)
+            victims = (alive[int(rng.integers(len(alive)))],
+                       alive[int(rng.integers(len(alive)))])
+            net = Network(q5, base, gs_factory(q5, base),
+                          latency=lambda s, d: int(rng.integers(1, 4)))
+            net.start()
+            times = sorted(int(rng.integers(1, 10)) for _ in victims)
+            seen = set()
+            for victim, t in zip(victims, times):
+                if victim not in seen:
+                    net.schedule_node_failure(victim, t)
+                    seen.add(victim)
+            net.run()
+            final = base.with_nodes(seen)
+            expected = compute_safety_levels(q5, final)
+            got = surviving_levels(net, q5.num_nodes)
+            mask = ~final.node_mask(q5.num_nodes)
+            assert (got[mask] == expected[mask]).all()
+
+    def test_quiet_until_failure_then_bursts(self, q4):
+        """A fault-free machine exchanges nothing until the failure event,
+        then pays only for the induced level changes."""
+        net = Network(q4, FaultSet.empty(),
+                      gs_factory(q4, FaultSet.empty()))
+        net.start()
+        net.schedule_node_failure(0, 5)
+        net.run(until=4)
+        assert net.stats.sent == 0
+        net.run()
+        # One failure in Q4 changes no level (single faulty neighbor keeps
+        # everyone safe), so detection alone produces no traffic.
+        assert net.stats.sent == 0
+
+    def test_cascading_failures_cause_traffic(self, q4):
+        net = Network(q4, FaultSet.empty(),
+                      gs_factory(q4, FaultSet.empty()))
+        net.start()
+        # Two faults adjacent to common neighbors force level drops.
+        net.schedule_node_failure(0b0001, 2)
+        net.schedule_node_failure(0b0010, 4)
+        net.run()
+        assert net.stats.sent > 0
+        final = FaultSet(nodes=[0b0001, 0b0010])
+        expected = compute_safety_levels(q4, final)
+        got = surviving_levels(net, 16)
+        mask = ~final.node_mask(16)
+        assert (got[mask] == expected[mask]).all()

@@ -1,0 +1,83 @@
+"""Tests for Property 2 and Theorem 2 via the oracle checkers."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Hypercube, uniform_node_faults
+from repro.instances import fig1_instance
+from repro.safety import (
+    SafetyLevels,
+    property2_violations,
+    safe_set_chain,
+    theorem2_violations,
+)
+
+
+class TestProperty2:
+    def test_paper_example(self):
+        """Q4 with faults {0000, 0110, 1101}: every nonfaulty unsafe node
+        has a safe neighbor (the paper's own illustration)."""
+        q4 = Hypercube(4)
+        from repro.core import FaultSet
+        faults = FaultSet.from_addresses(q4, ["0000", "0110", "1101"])
+        sl = SafetyLevels.compute(q4, faults)
+        assert property2_violations(sl) == []
+
+    def test_fig1_instance(self):
+        topo, faults = fig1_instance()
+        sl = SafetyLevels.compute(topo, faults)
+        # Fig. 1 has n = 4 faults (not < n), yet the checker reports which
+        # nodes lack a safe neighbor; the guarantee itself needs f < n.
+        violations = property2_violations(sl)
+        assert isinstance(violations, list)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=3, max_value=6),
+        seed=st.integers(min_value=0, max_value=2 ** 31),
+        data=st.data(),
+    )
+    def test_holds_whenever_faults_below_dimension(self, n, seed, data):
+        count = data.draw(st.integers(min_value=0, max_value=n - 1))
+        topo = Hypercube(n)
+        faults = uniform_node_faults(topo, count,
+                                     np.random.default_rng(seed))
+        sl = SafetyLevels.compute(topo, faults)
+        assert property2_violations(sl) == []
+
+
+class TestTheorem2:
+    def test_fig1_instance_has_no_violations(self):
+        topo, faults = fig1_instance()
+        sl = SafetyLevels.compute(topo, faults)
+        assert theorem2_violations(sl) == []
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=5),
+        frac=st.floats(min_value=0.0, max_value=0.6),
+        seed=st.integers(min_value=0, max_value=2 ** 31),
+    )
+    def test_level_k_reaches_everything_within_k(self, n, frac, seed):
+        """S(a) = k ⇒ optimal path from a to every node within distance k
+        — checked exhaustively against BFS ground truth."""
+        topo = Hypercube(n)
+        faults = uniform_node_faults(topo, int(frac * topo.num_nodes),
+                                     np.random.default_rng(seed))
+        sl = SafetyLevels.compute(topo, faults)
+        assert theorem2_violations(sl) == []
+
+    def test_max_sources_truncation(self):
+        topo, faults = fig1_instance()
+        sl = SafetyLevels.compute(topo, faults)
+        assert theorem2_violations(sl, max_sources=2) == []
+
+
+class TestSafeSetChainObject:
+    def test_sizes_and_chain(self):
+        topo, faults = fig1_instance()
+        cmp = safe_set_chain(topo, faults)
+        assert cmp.chain_holds
+        sl, wf, lh = cmp.sizes()
+        assert sl >= wf >= lh
+        assert cmp.gs_rounds == 2

@@ -1,0 +1,117 @@
+"""Tests for the store-and-forward contention simulator."""
+
+import pytest
+
+from repro.core import FaultSet, Hypercube
+from repro.simcore import Packet, simulate_traffic
+
+
+def greedy_policy(topo):
+    """Lowest differing dimension, no fault awareness."""
+
+    def policy(node, dest, _packet):
+        dims = topo.differing_dimensions(node, dest)
+        return topo.neighbor_along(node, dims[0]) if dims else None
+
+    return policy
+
+
+class TestBasics:
+    def test_single_packet_latency_is_distance(self, q4):
+        res = simulate_traffic(q4, FaultSet.empty(), [(0, 0b1011)],
+                               greedy_policy(q4))
+        (p,) = res.packets
+        assert p.delivered
+        assert p.latency == 3
+        assert p.hops == 3
+        assert p.queueing == 0
+
+    def test_self_packet_delivers_instantly(self, q4):
+        res = simulate_traffic(q4, FaultSet.empty(), [(5, 5)],
+                               greedy_policy(q4))
+        assert res.packets[0].latency == 0
+        assert res.packets[0].hops == 0
+
+    def test_contention_serializes_a_shared_link(self, q4):
+        """Two packets from the same source to the same destination share
+        every link of the greedy path: the second must queue."""
+        res = simulate_traffic(q4, FaultSet.empty(),
+                               [(0, 0b0011), (0, 0b0011)],
+                               greedy_policy(q4))
+        lats = sorted(p.latency for p in res.packets)
+        assert lats[0] == 2
+        assert lats[1] > 2  # had to wait at least one tick
+        assert res.mean_queueing > 0
+
+    def test_disjoint_packets_do_not_interact(self, q4):
+        res = simulate_traffic(q4, FaultSet.empty(),
+                               [(0b0000, 0b0001), (0b1110, 0b1111)],
+                               greedy_policy(q4))
+        assert all(p.latency == 1 for p in res.packets)
+
+    def test_inject_times_delay_start(self, q4):
+        res = simulate_traffic(q4, FaultSet.empty(), [(0, 0b0001)],
+                               greedy_policy(q4), inject_times=[5])
+        (p,) = res.packets
+        assert p.deliver_time == 6
+        assert p.latency == 1
+
+    def test_inject_times_length_checked(self, q4):
+        with pytest.raises(ValueError):
+            simulate_traffic(q4, FaultSet.empty(), [(0, 1)],
+                             greedy_policy(q4), inject_times=[0, 0])
+
+
+class TestFaultInteraction:
+    def test_packet_routed_into_fault_is_dropped(self, q4):
+        faults = FaultSet(nodes=[0b0001])
+        res = simulate_traffic(q4, faults, [(0, 0b0011)],
+                               greedy_policy(q4))
+        (p,) = res.packets
+        assert not p.delivered
+        assert p.dropped_reason == "hit-fault"
+
+    def test_policy_abort_is_recorded(self, q4):
+        def refusing(node, dest, _packet):
+            return None
+
+        res = simulate_traffic(q4, FaultSet.empty(), [(0, 3)], refusing)
+        assert res.packets[0].dropped_reason == "aborted-by-policy"
+
+    def test_faulty_source_rejected(self, q4):
+        with pytest.raises(ValueError):
+            simulate_traffic(q4, FaultSet(nodes=[0]), [(0, 3)],
+                             greedy_policy(q4))
+
+    def test_bad_policy_output_rejected(self, q4):
+        def teleporting(node, dest, _packet):
+            return dest  # not generally a neighbor
+
+        with pytest.raises(ValueError):
+            simulate_traffic(q4, FaultSet.empty(), [(0, 0b0011)],
+                             teleporting)
+
+
+class TestAccounting:
+    def test_link_busy_counts_match_traffic(self, q4):
+        res = simulate_traffic(q4, FaultSet.empty(),
+                               [(0, 0b0011)] * 3, greedy_policy(q4))
+        # All three packets cross links (0->1) and (1->3).
+        assert res.link_busy_ticks[(0, 1)] == 3
+        assert res.link_busy_ticks[(1, 3)] == 3
+        assert res.max_link_busy == 3
+
+    def test_livelock_guard(self, q3):
+        def ping_pong(node, dest, _packet):
+            return node ^ 1  # never makes progress
+
+        res = simulate_traffic(q3, FaultSet.empty(), [(0, 0b111)],
+                               ping_pong, max_ticks=50)
+        assert res.packets[0].dropped_reason == "max-ticks"
+
+    def test_determinism(self, q5):
+        pairs = [(0, 31), (1, 30), (2, 29), (3, 28)]
+        a = simulate_traffic(q5, FaultSet.empty(), pairs, greedy_policy(q5))
+        b = simulate_traffic(q5, FaultSet.empty(), pairs, greedy_policy(q5))
+        assert [p.latency for p in a.packets] == \
+            [p.latency for p in b.packets]

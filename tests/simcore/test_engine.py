@@ -1,0 +1,118 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simcore import Engine, SimError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        eng = Engine()
+        fired = []
+        eng.schedule_at(5, lambda: fired.append("late"))
+        eng.schedule_at(1, lambda: fired.append("early"))
+        eng.run()
+        assert fired == ["early", "late"]
+        assert eng.now == 5
+
+    def test_same_tick_fifo(self):
+        eng = Engine()
+        fired = []
+        for i in range(5):
+            eng.schedule_at(3, lambda i=i: fired.append(i))
+        eng.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_schedule_after(self):
+        eng = Engine()
+        out = []
+        eng.schedule_after(2, lambda: out.append(eng.now))
+        eng.run()
+        assert out == [2]
+
+    def test_cannot_schedule_in_past(self):
+        eng = Engine()
+        eng.schedule_at(4, lambda: eng.schedule_at(1, lambda: None))
+        with pytest.raises(SimError):
+            eng.run()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimError):
+            Engine().schedule_after(-1, lambda: None)
+
+
+class TestExecution:
+    def test_events_can_schedule_events(self):
+        eng = Engine()
+        hits = []
+
+        def cascade(depth):
+            hits.append(eng.now)
+            if depth:
+                eng.schedule_after(1, lambda: cascade(depth - 1))
+
+        eng.schedule_at(0, lambda: cascade(3))
+        eng.run()
+        assert hits == [0, 1, 2, 3]
+
+    def test_run_until_leaves_future_events(self):
+        eng = Engine()
+        fired = []
+        eng.schedule_at(1, lambda: fired.append(1))
+        eng.schedule_at(10, lambda: fired.append(10))
+        eng.run(until=5)
+        assert fired == [1]
+        assert eng.now == 5
+        assert eng.pending_events == 1
+        eng.run()
+        assert fired == [1, 10]
+
+    def test_step(self):
+        eng = Engine()
+        fired = []
+        eng.schedule_at(1, lambda: fired.append("a"))
+        eng.schedule_at(2, lambda: fired.append("b"))
+        assert eng.step()
+        assert fired == ["a"]
+        assert eng.step()
+        assert not eng.step()
+
+    def test_max_events_guard(self):
+        eng = Engine()
+
+        def forever():
+            eng.schedule_after(1, forever)
+
+        eng.schedule_at(0, forever)
+        with pytest.raises(SimError):
+            eng.run(max_events=100)
+
+    def test_events_fired_counter(self):
+        eng = Engine()
+        for i in range(4):
+            eng.schedule_at(i, lambda: None)
+        eng.run()
+        assert eng.events_fired == 4
+
+    def test_not_reentrant(self):
+        eng = Engine()
+
+        def nested():
+            eng.run()
+
+        eng.schedule_at(0, nested)
+        with pytest.raises(SimError):
+            eng.run()
+
+    def test_determinism_across_runs(self):
+        def trace_run():
+            eng = Engine()
+            log = []
+            eng.schedule_at(2, lambda: log.append(("x", eng.now)))
+            eng.schedule_at(2, lambda: log.append(("y", eng.now)))
+            eng.schedule_at(1, lambda: eng.schedule_after(1,
+                            lambda: log.append(("z", eng.now))))
+            eng.run()
+            return log
+
+        assert trace_run() == trace_run()

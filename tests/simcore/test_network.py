@@ -1,0 +1,162 @@
+"""Tests for the network layer: delivery, drops, fault semantics."""
+
+import pytest
+
+from repro.core import FaultSet, Hypercube
+from repro.simcore import (
+    DROP_FAULTY_LINK,
+    DROP_FAULTY_NODE,
+    Message,
+    Network,
+    NodeProcess,
+    ProtocolError,
+    SimError,
+)
+
+
+class Recorder(NodeProcess):
+    """Collects everything delivered to it."""
+
+    def __init__(self):
+        super().__init__()
+        self.inbox = []
+
+    def on_message(self, msg):
+        self.inbox.append(msg)
+
+
+class PingOnStart(Recorder):
+    def __init__(self, target):
+        super().__init__()
+        self.target = target
+
+    def on_start(self):
+        self.send(self.target, "ping", {"hop": 1})
+
+
+def make_net(topo, faults, factory=None, **kw):
+    return Network(topo, faults, factory or (lambda node: Recorder()), **kw)
+
+
+class TestWiring:
+    def test_processes_only_at_healthy_nodes(self, q3):
+        net = make_net(q3, FaultSet(nodes=[0, 5]))
+        assert sorted(net.processes) == [1, 2, 3, 4, 6, 7]
+        assert net.healthy_nodes() == [1, 2, 3, 4, 6, 7]
+
+    def test_process_accessor_raises_for_faulty(self, q3):
+        net = make_net(q3, FaultSet(nodes=[0]))
+        with pytest.raises(SimError):
+            net.process(0)
+
+    def test_start_is_not_idempotent(self, q3):
+        net = make_net(q3, FaultSet.empty())
+        net.start()
+        with pytest.raises(SimError):
+            net.start()
+
+    def test_invalid_faults_rejected(self, q3):
+        with pytest.raises(ValueError):
+            make_net(q3, FaultSet(nodes=[99]))
+
+
+class TestDelivery:
+    def test_one_hop_delivery(self, q3):
+        net = make_net(
+            q3, FaultSet.empty(),
+            lambda node: PingOnStart(1) if node == 0 else Recorder(),
+        )
+        net.run()
+        inbox = net.process(1).inbox
+        assert len(inbox) == 1
+        msg = inbox[0]
+        assert msg.src == 0 and msg.dst == 1 and msg.kind == "ping"
+        assert msg.send_time == 0 and msg.deliver_time == 1
+        assert net.stats.sent == 1 and net.stats.delivered == 1
+
+    def test_send_to_non_neighbor_is_protocol_error(self, q3):
+        net = make_net(
+            q3, FaultSet.empty(),
+            lambda node: PingOnStart(3) if node == 0 else Recorder(),
+        )
+        with pytest.raises(ProtocolError):
+            net.run()
+
+    def test_drop_at_faulty_node(self, q3):
+        net = make_net(
+            q3, FaultSet(nodes=[1]),
+            lambda node: PingOnStart(1) if node == 0 else Recorder(),
+        )
+        net.run()
+        assert net.stats.dropped == 1
+        assert net.stats.dropped_by_reason[DROP_FAULTY_NODE] == 1
+        assert net.dropped[0].reason == DROP_FAULTY_NODE
+
+    def test_drop_at_faulty_link(self, q3):
+        net = make_net(
+            q3, FaultSet(links=[(0, 1)]),
+            lambda node: PingOnStart(1) if node == 0 else Recorder(),
+        )
+        net.run()
+        assert net.stats.dropped_by_reason[DROP_FAULTY_LINK] == 1
+        assert net.process(1).inbox == []
+
+    def test_conservation_check(self, q3):
+        net = make_net(
+            q3, FaultSet.empty(),
+            lambda node: PingOnStart(node ^ 1),
+        )
+        net.run()
+        net.stats.check_conserved()
+        assert net.stats.sent == 8
+        assert net.stats.delivered == 8
+
+    def test_payload_units_accumulate(self, q3):
+        class Chatty(NodeProcess):
+            def on_start(self):
+                self.send(self.node_id ^ 1, "blob", None, payload_units=7)
+
+            def on_message(self, msg):
+                pass
+
+        net = make_net(q3, FaultSet.empty(), lambda node: Chatty())
+        net.run()
+        assert net.stats.payload_units == 7 * 8
+
+
+class TestMultiHopProtocol:
+    def test_relay_chain(self, q3):
+        """A tiny forwarding protocol: relay along dimension order."""
+
+        class Relay(NodeProcess):
+            def __init__(self):
+                super().__init__()
+                self.got = None
+
+            def on_start(self):
+                if self.node_id == 0:
+                    self.send(1, "relay", 0b111 ^ 0b001)
+
+            def on_message(self, msg):
+                remaining = msg.payload
+                if remaining == 0:
+                    self.got = msg
+                    return
+                dim = (remaining & -remaining).bit_length() - 1
+                self.send(self.node_id ^ (1 << dim), "relay",
+                          remaining ^ (1 << dim))
+
+        net = make_net(q3, FaultSet.empty(), lambda node: Relay())
+        net.run()
+        assert net.process(0b111).got is not None
+        assert net.engine.now == 3  # one tick per hop
+
+    def test_trace_records_send_and_deliver(self, q3):
+        net = make_net(
+            q3, FaultSet.empty(),
+            lambda node: PingOnStart(2) if node == 0 else Recorder(),
+            trace=True,
+        )
+        net.run()
+        events = [rec.event for rec in net.trace]
+        assert "send" in events and "deliver" in events

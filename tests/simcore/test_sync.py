@@ -1,0 +1,90 @@
+"""Tests for the BSP round executor."""
+
+import pytest
+
+from repro.core import FaultSet, Hypercube
+from repro.simcore import (
+    BspProcess,
+    Network,
+    NodeProcess,
+    RoundExecutor,
+    SimError,
+)
+
+
+class Gossip(BspProcess):
+    """Each round, adopt max(own, heard) and gossip on change.
+
+    Converges to the global max value; rounds-to-stabilize equals the
+    eccentricity of the initial maximum holder.
+    """
+
+    def __init__(self, value):
+        super().__init__()
+        self.value = value
+
+    def on_round(self, round_no, inbox):
+        new = max([self.value] + [m.payload for m in inbox])
+        changed = new != self.value
+        self.value = new
+        if changed or round_no == 1:
+            for v in self.neighbor_ids:
+                self.send(v, "gossip", self.value)
+        return changed
+
+
+class TestRoundExecutor:
+    def test_gossip_converges_to_max(self, q3):
+        net = Network(q3, FaultSet.empty(), lambda node: Gossip(node))
+        result = RoundExecutor(net).run(max_rounds=10)
+        assert all(net.process(v).value == 7 for v in q3.iter_nodes())
+        # 7's value needs eccentricity(7)=3 hops; heard in rounds 2..4.
+        assert result.stabilization_round == 4
+        assert result.rounds_executed >= result.stabilization_round
+
+    def test_stable_system_stabilizes_at_round_zero(self, q3):
+        net = Network(q3, FaultSet.empty(), lambda node: Gossip(0))
+        result = RoundExecutor(net).run(max_rounds=10)
+        # Round 1 gossips identical values; nothing ever changes.
+        assert result.stabilization_round == 0
+
+    def test_fixed_round_count_mode(self, q3):
+        net = Network(q3, FaultSet.empty(), lambda node: Gossip(node))
+        result = RoundExecutor(net).run(max_rounds=2, stop_when_stable=False)
+        assert result.rounds_executed == 2
+
+    def test_message_conservation_after_run(self, q3):
+        net = Network(q3, FaultSet(nodes=[5]), lambda node: Gossip(node))
+        result = RoundExecutor(net).run(max_rounds=10)
+        net.stats.check_conserved()
+        assert result.messages_sent == net.stats.sent
+
+    def test_rejects_non_bsp_processes(self, q3):
+        class EventDriven(NodeProcess):
+            def on_message(self, msg):
+                pass
+
+        net = Network(q3, FaultSet.empty(), lambda node: EventDriven())
+        with pytest.raises(SimError):
+            RoundExecutor(net)
+
+    def test_negative_rounds_rejected(self, q3):
+        net = Network(q3, FaultSet.empty(), lambda node: Gossip(0))
+        with pytest.raises(SimError):
+            RoundExecutor(net).run(max_rounds=-1)
+
+    def test_faulty_nodes_do_not_participate(self, q3):
+        # Max value 7 is faulty: survivors converge to the next max, 6.
+        net = Network(q3, FaultSet(nodes=[7]), lambda node: Gossip(node))
+        RoundExecutor(net).run(max_rounds=10)
+        assert all(net.process(v).value == 6
+                   for v in q3.iter_nodes() if v != 7)
+
+
+class TestBspInbox:
+    def test_take_inbox_drains(self, q3):
+        proc = Gossip(0)
+        proc.on_message(type("M", (), {"payload": 3})())
+        batch = proc.take_inbox()
+        assert len(batch) == 1
+        assert proc.take_inbox() == []

@@ -1,0 +1,76 @@
+"""Tests for trace recording and message/stat types."""
+
+import pytest
+
+from repro.simcore import Message, NetworkStats, Trace
+
+
+class TestTrace:
+    def test_record_and_iterate(self):
+        tr = Trace()
+        tr.record(0, "send", 1, "a")
+        tr.record(1, "deliver", 2, "b")
+        assert len(tr) == 2
+        assert tr[0].event == "send"
+        assert [r.node for r in tr] == [1, 2]
+
+    def test_disabled_trace_is_noop(self):
+        tr = Trace(enabled=False)
+        tr.record(0, "send", 1)
+        assert len(tr) == 0
+        assert not tr.enabled
+
+    def test_filter_by_event_and_node(self):
+        tr = Trace()
+        for t in range(4):
+            tr.record(t, "send" if t % 2 else "deliver", t % 2)
+        assert len(tr.filter(event="send")) == 2
+        assert len(tr.filter(node=0)) == 2
+        assert len(tr.filter(event="send", node=1)) == 2
+        assert len(tr.filter(predicate=lambda r: r.time >= 2)) == 2
+
+    def test_render_uses_formatter(self):
+        tr = Trace()
+        tr.record(3, "state", 5, "lvl=2")
+        text = tr.render(formatter=lambda v: f"N{v}")
+        assert "N5" in text and "state" in text and "lvl=2" in text
+
+
+class TestMessage:
+    def test_stamped_copies(self):
+        msg = Message(src=0, dst=1, kind="x", payload=42)
+        stamped = msg.stamped(send_time=3, deliver_time=4)
+        assert msg.send_time is None
+        assert stamped.send_time == 3 and stamped.deliver_time == 4
+        assert stamped.payload == 42
+
+    def test_messages_are_frozen(self):
+        msg = Message(src=0, dst=1, kind="x")
+        with pytest.raises(AttributeError):
+            msg.kind = "y"
+
+
+class TestNetworkStats:
+    def test_counters(self):
+        st = NetworkStats()
+        st.record_send("a", payload_units=2)
+        st.record_send("b")
+        st.record_delivery("a")
+        st.record_drop("faulty-node")
+        assert st.sent == 2 and st.delivered == 1 and st.dropped == 1
+        assert st.payload_units == 2
+        assert st.in_flight == 0
+        st.check_conserved()
+
+    def test_conservation_violation_raises(self):
+        st = NetworkStats()
+        st.record_send("a")
+        with pytest.raises(AssertionError):
+            st.check_conserved()
+
+    def test_as_dict(self):
+        st = NetworkStats()
+        st.record_send("a")
+        st.record_delivery("a")
+        d = st.as_dict()
+        assert d["sent"] == 1 and d["delivered"] == 1

@@ -1,0 +1,169 @@
+"""Tests for the broadcast extension (E11)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.broadcast import (
+    broadcast_binomial,
+    broadcast_flooding,
+    broadcast_safety_binomial,
+)
+from repro.core import FaultSet, Hypercube, reachable_set, \
+    uniform_node_faults
+from repro.safety import SafetyLevels
+
+
+class TestFaultFree:
+    def test_flooding_covers_everything(self, q4):
+        res = broadcast_flooding(q4, FaultSet.empty(), 0)
+        assert res.covered == frozenset(range(16))
+        assert res.depth == 4
+        assert res.coverage_fraction(q4, FaultSet.empty()) == 1.0
+
+    def test_binomial_exact_message_count(self, q4):
+        res = broadcast_binomial(q4, FaultSet.empty(), 0)
+        assert res.covered == frozenset(range(16))
+        assert res.messages == 15  # N - 1, the tree's defining economy
+        assert res.depth == 4
+
+    def test_safety_binomial_matches_binomial_without_faults(self, q4):
+        sl = SafetyLevels.compute(q4, FaultSet.empty())
+        res = broadcast_safety_binomial(sl, 0)
+        assert res.covered == frozenset(range(16))
+        assert res.messages == 15
+
+
+class TestWithFaults:
+    def test_flooding_covers_exactly_the_component(self, q5, rng):
+        for _ in range(5):
+            faults = uniform_node_faults(q5, 8, rng)
+            alive = faults.nonfaulty_nodes(q5)
+            src = alive[int(rng.integers(len(alive)))]
+            res = broadcast_flooding(q5, faults, src)
+            assert set(res.covered) == reachable_set(q5, faults, src)
+            assert res.missed(q5, faults) == frozenset()
+
+    def test_trees_never_cover_faulty_or_unreachable(self, q5, rng):
+        faults = uniform_node_faults(q5, 6, rng)
+        alive = faults.nonfaulty_nodes(q5)
+        src = alive[0]
+        sl = SafetyLevels.compute(q5, faults)
+        for res in (broadcast_binomial(q5, faults, src),
+                    broadcast_safety_binomial(sl, src)):
+            reach = reachable_set(q5, faults, src)
+            assert set(res.covered) <= reach
+            assert src in res.covered
+
+    def test_tree_message_budget_never_exceeds_n_minus_1(self, q5, rng):
+        for _ in range(5):
+            faults = uniform_node_faults(q5, 7, rng)
+            alive = faults.nonfaulty_nodes(q5)
+            src = alive[int(rng.integers(len(alive)))]
+            sl = SafetyLevels.compute(q5, faults)
+            for res in (broadcast_binomial(q5, faults, src),
+                        broadcast_safety_binomial(sl, src)):
+                assert res.messages <= q5.num_nodes - 1
+                # every message reaches a distinct covered node
+                assert res.messages == len(res.covered) - 1
+
+    def test_safety_ordering_beats_fixed_order_in_aggregate(self):
+        """The design claim behind the extension: across a seeded batch,
+        level-guided subtree assignment loses fewer nodes than fixed
+        dimension order.  (Per-instance it can tie or occasionally lose.)"""
+        q = Hypercube(6)
+        plain_total = safety_total = 0
+        for trial in range(40):
+            gen = np.random.default_rng(5000 + trial)
+            faults = uniform_node_faults(q, 5, gen)
+            alive = faults.nonfaulty_nodes(q)
+            src = alive[int(gen.integers(len(alive)))]
+            sl = SafetyLevels.compute(q, faults)
+            plain_total += len(broadcast_binomial(q, faults, src).covered)
+            safety_total += len(broadcast_safety_binomial(sl, src).covered)
+        assert safety_total >= plain_total
+
+    def test_faulty_source_rejected(self, q4):
+        faults = FaultSet(nodes=[3])
+        with pytest.raises(ValueError):
+            broadcast_flooding(q4, faults, 3)
+        with pytest.raises(ValueError):
+            broadcast_binomial(q4, faults, 3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=6),
+    frac=st.floats(min_value=0.0, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=2 ** 31),
+)
+def test_broadcast_invariants(n, frac, seed):
+    topo = Hypercube(n)
+    gen = np.random.default_rng(seed)
+    faults = uniform_node_faults(topo, int(frac * topo.num_nodes), gen)
+    alive = faults.nonfaulty_nodes(topo)
+    if not alive:
+        return
+    src = alive[int(gen.integers(len(alive)))]
+    sl = SafetyLevels.compute(topo, faults)
+    flood = broadcast_flooding(topo, faults, src)
+    tree = broadcast_safety_binomial(sl, src)
+    # Flooding is the coverage ceiling for any strategy.
+    assert tree.covered <= flood.covered
+    assert 0.0 <= tree.coverage_fraction(topo, faults) <= 1.0
+    # The tree is always cheaper (or equal, for tiny components).
+    assert tree.messages <= flood.messages
+
+
+class TestPatchedBroadcast:
+    def test_zero_rounds_equals_base_tree(self, q5, rng):
+        from repro.broadcast import (
+            broadcast_safety_binomial,
+            broadcast_safety_binomial_patched,
+        )
+        faults = uniform_node_faults(q5, 6, rng)
+        sl = SafetyLevels.compute(q5, faults)
+        src = faults.nonfaulty_nodes(q5)[0]
+        base = broadcast_safety_binomial(sl, src)
+        patched = broadcast_safety_binomial_patched(sl, src, 0)
+        assert patched.covered == base.covered
+        assert patched.messages == base.messages
+
+    def test_enough_rounds_reach_the_whole_component(self, q5, rng):
+        from repro.broadcast import broadcast_safety_binomial_patched
+        faults = uniform_node_faults(q5, 9, rng)
+        sl = SafetyLevels.compute(q5, faults)
+        src = faults.nonfaulty_nodes(q5)[0]
+        res = broadcast_safety_binomial_patched(sl, src,
+                                                patch_rounds=q5.num_nodes)
+        assert set(res.covered) == reachable_set(q5, faults, src)
+
+    def test_patch_cost_is_one_message_per_new_node(self, q5, rng):
+        from repro.broadcast import (
+            broadcast_safety_binomial,
+            broadcast_safety_binomial_patched,
+        )
+        faults = uniform_node_faults(q5, 8, rng)
+        sl = SafetyLevels.compute(q5, faults)
+        src = faults.nonfaulty_nodes(q5)[0]
+        base = broadcast_safety_binomial(sl, src)
+        full = broadcast_safety_binomial_patched(sl, src, q5.num_nodes)
+        assert full.messages == base.messages + \
+            (len(full.covered) - len(base.covered))
+
+    def test_monotone_coverage_in_rounds(self, q5, rng):
+        from repro.broadcast import broadcast_safety_binomial_patched
+        faults = uniform_node_faults(q5, 10, rng)
+        sl = SafetyLevels.compute(q5, faults)
+        src = faults.nonfaulty_nodes(q5)[0]
+        prev = -1
+        for k in range(4):
+            res = broadcast_safety_binomial_patched(sl, src, k)
+            assert len(res.covered) >= prev
+            prev = len(res.covered)
+
+    def test_negative_rounds_rejected(self, q4):
+        from repro.broadcast import broadcast_safety_binomial_patched
+        sl = SafetyLevels.compute(q4, FaultSet.empty())
+        with pytest.raises(ValueError):
+            broadcast_safety_binomial_patched(sl, 0, -1)

@@ -1,0 +1,100 @@
+"""Tests for the message-passing broadcast protocols (fidelity twins)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.broadcast import (
+    broadcast_binomial,
+    broadcast_flooding,
+    broadcast_safety_binomial,
+    run_flooding_protocol,
+    run_tree_protocol,
+)
+from repro.core import FaultSet, Hypercube, uniform_node_faults
+from repro.safety import SafetyLevels
+
+
+class TestFloodingProtocol:
+    def test_fault_free_full_coverage(self, q4):
+        res, net = run_flooding_protocol(q4, FaultSet.empty(), 0)
+        assert res.covered == frozenset(range(16))
+        assert res.depth == 4  # one tick per hop: the cube diameter
+        net.stats.check_conserved()
+
+    def test_matches_computational_twin(self, q5, rng):
+        for _ in range(5):
+            faults = uniform_node_faults(q5, 7, rng)
+            alive = faults.nonfaulty_nodes(q5)
+            src = alive[int(rng.integers(len(alive)))]
+            comp = broadcast_flooding(q5, faults, src)
+            prot, _net = run_flooding_protocol(q5, faults, src)
+            assert prot.covered == comp.covered
+            assert prot.messages == comp.messages
+
+    def test_faulty_source_rejected(self, q4):
+        with pytest.raises(ValueError):
+            run_flooding_protocol(q4, FaultSet(nodes=[2]), 2)
+
+
+class TestTreeProtocol:
+    def test_fault_free_n_minus_1_messages(self, q4):
+        res, net = run_tree_protocol(q4, FaultSet.empty(), 0)
+        assert res.covered == frozenset(range(16))
+        assert res.messages == 15
+        net.stats.check_conserved()
+
+    def test_plain_matches_computational(self, q5, rng):
+        for _ in range(5):
+            faults = uniform_node_faults(q5, 6, rng)
+            alive = faults.nonfaulty_nodes(q5)
+            src = alive[int(rng.integers(len(alive)))]
+            comp = broadcast_binomial(q5, faults, src)
+            prot, _net = run_tree_protocol(q5, faults, src)
+            assert prot.covered == comp.covered
+            assert prot.messages == comp.messages
+
+    def test_safety_ordered_matches_computational(self, q5, rng):
+        for _ in range(5):
+            faults = uniform_node_faults(q5, 6, rng)
+            sl = SafetyLevels.compute(q5, faults)
+            alive = faults.nonfaulty_nodes(q5)
+            src = alive[int(rng.integers(len(alive)))]
+            comp = broadcast_safety_binomial(sl, src)
+            prot, _net = run_tree_protocol(q5, faults, src, safety=sl)
+            assert prot.covered == comp.covered
+            assert prot.messages == comp.messages
+
+    def test_no_drops_thanks_to_local_fault_knowledge(self, q5, rng):
+        faults = uniform_node_faults(q5, 6, rng)
+        alive = faults.nonfaulty_nodes(q5)
+        _res, net = run_tree_protocol(q5, faults, alive[0])
+        assert net.stats.dropped == 0  # senders skip known-dead children
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=5),
+    frac=st.floats(min_value=0.0, max_value=0.4),
+    seed=st.integers(min_value=0, max_value=2 ** 31),
+)
+def test_twins_agree_random(n, frac, seed):
+    topo = Hypercube(n)
+    gen = np.random.default_rng(seed)
+    faults = uniform_node_faults(topo, int(frac * topo.num_nodes), gen)
+    alive = faults.nonfaulty_nodes(topo)
+    if not alive:
+        return
+    src = alive[int(gen.integers(len(alive)))]
+    sl = SafetyLevels.compute(topo, faults)
+    pairs = [
+        (broadcast_flooding(topo, faults, src),
+         run_flooding_protocol(topo, faults, src)[0]),
+        (broadcast_binomial(topo, faults, src),
+         run_tree_protocol(topo, faults, src)[0]),
+        (broadcast_safety_binomial(sl, src),
+         run_tree_protocol(topo, faults, src, safety=sl)[0]),
+    ]
+    for comp, prot in pairs:
+        assert prot.covered == comp.covered
+        assert prot.messages == comp.messages

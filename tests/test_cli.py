@@ -1,0 +1,36 @@
+"""Tests for the CLI entry point."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "levels match the paper figure: yes" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        assert "reproduced: yes" in capsys.readouterr().out
+
+    def test_quick_fig2(self, capsys):
+        assert main(["fig2", "--quick", "--trials", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "avg_rounds" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["does-not-exist"])
+
+    def test_every_experiment_has_description(self):
+        for name, (desc, runner) in EXPERIMENTS.items():
+            assert desc
+            assert callable(runner)

@@ -1,0 +1,176 @@
+"""Cross-cutting edge cases and failure-injection tests.
+
+Collected here: boundary behaviours that don't belong to a single module's
+happy path — misuse errors, degenerate sizes, and protocol-bug injection
+against the simulator's defenses.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FaultSet, GeneralizedHypercube, Hypercube
+from repro.routing import RouteStatus, route_unicast
+from repro.safety import SafetyLevels, level_from_sorted
+from repro.simcore import (
+    Engine,
+    Message,
+    Network,
+    NodeProcess,
+    ProtocolError,
+    SimError,
+    simulate_traffic,
+)
+
+
+class TestDegenerateSizes:
+    def test_q1_works_end_to_end(self):
+        q1 = Hypercube(1)
+        sl = SafetyLevels.compute(q1, FaultSet.empty())
+        assert list(sl.levels) == [1, 1]
+        res = route_unicast(sl, 0, 1)
+        assert res.optimal and res.hops == 1
+
+    def test_q1_with_one_fault(self):
+        q1 = Hypercube(1)
+        sl = SafetyLevels.compute(q1, FaultSet(nodes=[1]))
+        # Node 0 survives at level 1 (its only neighbor is faulty, and a
+        # nonfaulty node is always at least 1-safe).
+        assert sl.level(0) == 1
+
+    def test_smallest_gh(self):
+        gh = GeneralizedHypercube((2,))
+        assert gh.num_nodes == 2
+        assert gh.neighbors(0) == [1]
+
+    def test_fully_faulty_neighborhoods(self):
+        q2 = Hypercube(2)
+        sl = SafetyLevels.compute(q2, FaultSet(nodes=[1, 2]))
+        assert sl.level(0) == 1
+        assert sl.level(3) == 1
+        res = route_unicast(sl, 0, 3)
+        assert res.status is RouteStatus.ABORTED_AT_SOURCE
+
+    def test_all_but_one_faulty(self, q3):
+        faults = FaultSet(nodes=list(range(1, 8)))
+        sl = SafetyLevels.compute(q3, faults)
+        assert sl.level(0) == 1
+        assert sl.safe_set() == frozenset()
+
+
+class TestLevelFunctionBoundaries:
+    def test_empty_sequence(self):
+        # A 0-dimensional corner case: no neighbors means vacuously safe
+        # at level 0 (never arises for n >= 1 topologies).
+        assert level_from_sorted([]) == 0
+
+    def test_all_zero_neighbors(self):
+        assert level_from_sorted([0] * 8) == 1
+
+    def test_single_neighbor(self):
+        assert level_from_sorted([0]) == 1
+        assert level_from_sorted([1]) == 1
+
+    def test_plateau_sequences(self):
+        assert level_from_sorted([2, 2, 2, 2]) == 3
+        assert level_from_sorted([3, 3, 3, 3]) == 4
+
+
+class TestSimulatorDefenses:
+    def test_unattached_process_cannot_send(self):
+        class Loose(NodeProcess):
+            def on_message(self, msg):
+                pass
+
+        proc = Loose()
+        with pytest.raises(ProtocolError):
+            proc.send(1, "x")
+
+    def test_on_message_default_raises(self, q3):
+        class Mute(NodeProcess):
+            def on_start(self):
+                if self.node_id == 0:
+                    self.send(1, "ping")
+
+        net = Network(q3, FaultSet.empty(), lambda node: Mute())
+        with pytest.raises(ProtocolError):
+            net.run()
+
+    def test_on_round_default_raises(self, q3):
+        from repro.simcore import BspProcess, RoundExecutor
+
+        class NoRound(BspProcess):
+            pass
+
+        net = Network(q3, FaultSet.empty(), lambda node: NoRound())
+        with pytest.raises(ProtocolError):
+            RoundExecutor(net).run(max_rounds=1)
+
+    def test_self_message_rejected(self, q3):
+        class Narcissist(NodeProcess):
+            def on_start(self):
+                self.send(self.node_id, "hi")
+
+            def on_message(self, msg):
+                pass
+
+        net = Network(q3, FaultSet.empty(), lambda node: Narcissist())
+        with pytest.raises(ProtocolError):
+            net.run()
+
+    def test_engine_zero_until(self):
+        eng = Engine()
+        fired = []
+        eng.schedule_at(0, lambda: fired.append(0))
+        eng.run(until=0)
+        assert fired == [0]
+
+
+class TestGhLargeRadix:
+    def test_high_radix_levels_and_routing(self):
+        from repro.core import uniform_node_faults
+        from repro.routing import route_gh_unicast
+        from repro.safety import GhSafetyLevels
+        gh = GeneralizedHypercube((6, 5))
+        gen = np.random.default_rng(2)
+        faults = uniform_node_faults(gh, 4, gen)
+        sl = GhSafetyLevels.compute(gh, faults)
+        assert sl.verify_fixed_point() == []
+        alive = faults.nonfaulty_nodes(gh)
+        delivered = 0
+        for _ in range(10):
+            i, j = gen.choice(len(alive), size=2, replace=False)
+            res = route_gh_unicast(sl, alive[int(i)], alive[int(j)])
+            delivered += res.delivered
+            if res.delivered:
+                assert res.hops <= gh.dimension + 2
+        assert delivered > 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=5),
+    load=st.integers(min_value=1, max_value=20),
+    seed=st.integers(min_value=0, max_value=2 ** 31),
+)
+def test_contention_conservation_property(n, load, seed):
+    """Every injected packet terminates: delivered or dropped, never lost
+    by the simulator itself; latency >= hops >= Hamming distance."""
+    topo = Hypercube(n)
+    gen = np.random.default_rng(seed)
+    pairs = [
+        (int(gen.integers(topo.num_nodes)), int(gen.integers(topo.num_nodes)))
+        for _ in range(load)
+    ]
+
+    def greedy(node, dest, _packet):
+        dims = topo.differing_dimensions(node, dest)
+        return topo.neighbor_along(node, dims[0]) if dims else None
+
+    res = simulate_traffic(topo, FaultSet.empty(), pairs, greedy)
+    for p in res.packets:
+        assert p.delivered != bool(p.dropped_reason)
+        if p.delivered:
+            assert p.latency >= p.hops
+            assert p.hops == topo.distance(p.source, p.dest)
+            assert p.queueing >= 0

@@ -1,0 +1,34 @@
+"""Golden-artifact regression pins.
+
+Seeded experiments must reproduce bit-for-bit forever: any change to the
+RNG plumbing, the safety kernel, or the sweep machinery that silently
+shifts numbers trips these tests.  Regenerate a golden file ONLY when the
+change is intentional, and say why in the commit.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import fig2_series, to_payload
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+
+def test_fig2_series_is_bit_stable():
+    golden = json.loads(
+        (GOLDEN_DIR / "fig2_q5_t50_s424242.json").read_text())
+    series = fig2_series(n=5, fault_counts=list(range(1, 13)), trials=50,
+                         seed=424242)
+    fresh = json.loads(json.dumps(to_payload(series),
+                                  default=lambda v: v.item()))
+    assert fresh["points"] == golden["points"]
+    assert fresh["x_label"] == golden["x_label"]
+
+
+def test_golden_file_sanity():
+    golden = json.loads(
+        (GOLDEN_DIR / "fig2_q5_t50_s424242.json").read_text())
+    assert len(golden["points"]) == 12
+    # The paper's qualitative claim holds in the pinned data too.
+    below_n = [p[1] for p in golden["points"] if p[0] < 5]
+    assert all(v < 2.0 for v in below_n)

@@ -1,0 +1,155 @@
+"""The canonical paper instances, pinned end to end.
+
+These tests are the repository's claim check: every number and route the
+paper states for its figures is asserted here against the actual
+algorithms (with the documented deviations called out explicitly).
+"""
+
+import numpy as np
+
+from repro.core import is_connected
+from repro.instances import (
+    FIG1_EXPECTED_LEVELS,
+    FIG3_EXPECTED_LEVELS,
+    SECTION23_SL_SAFE_SET,
+    fig1_instance,
+    fig3_instance,
+    fig4_instance,
+    fig5_instance,
+    section23_instance,
+)
+from repro.routing import (
+    RouteStatus,
+    SourceCondition,
+    route_gh_unicast,
+    route_unicast,
+    route_unicast_with_links,
+)
+from repro.safety import (
+    GhSafetyLevels,
+    SafetyLevels,
+    compute_extended_levels,
+    lee_hayes_safe,
+    run_gs,
+    verify_fixed_point,
+    wu_fernandez_safe,
+)
+
+
+class TestFig1Canonical:
+    def test_levels_and_rounds(self):
+        topo, faults = fig1_instance()
+        sl = SafetyLevels.compute(topo, faults)
+        assert {topo.format_node(v): sl.level(v)
+                for v in topo.iter_nodes()} == FIG1_EXPECTED_LEVELS
+        assert run_gs(topo, faults).stabilization_round == 2
+
+    def test_both_unicast_walkthroughs(self):
+        topo, faults = fig1_instance()
+        sl = SafetyLevels.compute(topo, faults)
+        r1 = route_unicast(sl, topo.parse_node("1110"),
+                           topo.parse_node("0001"))
+        assert r1.optimal and r1.condition is SourceCondition.C1
+        r2 = route_unicast(sl, topo.parse_node("0001"),
+                           topo.parse_node("1100"))
+        assert [topo.format_node(v) for v in r2.path] == \
+            ["0001", "0000", "1000", "1100"]
+
+
+class TestFig3Canonical:
+    def test_is_disconnected_with_recorded_levels(self):
+        topo, faults = fig3_instance()
+        assert not is_connected(topo, faults)
+        sl = SafetyLevels.compute(topo, faults)
+        assert {topo.format_node(v): sl.level(v)
+                for v in topo.iter_nodes()} == FIG3_EXPECTED_LEVELS
+        assert verify_fixed_point(topo, faults, np.asarray(sl.levels)) == []
+
+    def test_paper_stated_levels(self):
+        """The levels the text names explicitly: S(0101)=2, S(0111)=1,
+        S(0011)=2, both spare neighbors of 0111 at level 2."""
+        topo, faults = fig3_instance()
+        sl = SafetyLevels.compute(topo, faults)
+        assert sl.level(topo.parse_node("0101")) == 2
+        assert sl.level(topo.parse_node("0111")) == 1
+        assert sl.level(topo.parse_node("0011")) == 2
+
+    def test_all_three_routes(self):
+        topo, faults = fig3_instance()
+        sl = SafetyLevels.compute(topo, faults)
+        assert route_unicast(sl, topo.parse_node("0101"),
+                             topo.parse_node("0000")).optimal
+        assert route_unicast(sl, topo.parse_node("0111"),
+                             topo.parse_node("1011")).optimal
+        assert route_unicast(
+            sl, topo.parse_node("0111"), topo.parse_node("1110")
+        ).status is RouteStatus.ABORTED_AT_SOURCE
+
+    def test_theorem4_on_fig3(self):
+        topo, faults = fig3_instance()
+        assert lee_hayes_safe(topo, faults).num_safe == 0
+        assert wu_fernandez_safe(topo, faults).num_safe == 0
+
+
+class TestFig4Canonical:
+    def test_every_stated_fact(self):
+        topo, faults = fig4_instance()
+        assert faults.is_node_faulty(topo.parse_node("1100"))
+        ext = compute_extended_levels(topo, faults)
+        assert ext.own_level(topo.parse_node("1000")) == 1
+        assert ext.own_level(topo.parse_node("1001")) == 2
+        assert ext.own_level(topo.parse_node("1111")) == 4
+        res = route_unicast_with_links(ext, topo.parse_node("1101"),
+                                       topo.parse_node("1000"))
+        assert [topo.format_node(v) for v in res.path] == \
+            ["1101", "1111", "1011", "1010", "1000"]
+        assert res.suboptimal
+
+    def test_both_preferred_neighbors_look_faulty(self):
+        """The sentence that forces the C3 branch: from 1101, preferred
+        neighbors 1100 (faulty) and 1001 (N2, publicly 0)."""
+        topo, faults = fig4_instance()
+        ext = compute_extended_levels(topo, faults)
+        assert ext.level_seen_by_neighbor(topo.parse_node("1100")) == 0
+        assert ext.level_seen_by_neighbor(topo.parse_node("1001")) == 0
+
+
+class TestFig5Canonical:
+    def test_every_stated_fact(self):
+        gh, faults = fig5_instance()
+        sl = GhSafetyLevels.compute(gh, faults)
+        # four safe nodes
+        assert len(sl.safe_set()) == 4
+        # the dimension-0 neighbor of 010 is faulty
+        assert faults.is_node_faulty(gh.parse_node("011"))
+        # the dimension-2 neighbor has level 1 (< H - 1 = 2: ineligible)
+        assert sl.level(gh.parse_node("110")) == 1
+        # both dimension-1 neighbors eligible (level >= 2)
+        assert sl.level(gh.parse_node("000")) >= 2
+        assert sl.level(gh.parse_node("020")) >= 2
+        res = route_gh_unicast(sl, gh.parse_node("010"),
+                               gh.parse_node("101"))
+        assert [gh.format_node(v) for v in res.path] == \
+            ["010", "000", "001", "101"]
+
+    def test_documented_deviation_s001(self):
+        """The paper prints S(001) = 1, which is impossible under
+        Definition 4 while 000 and 101 are alive; our recovered instance
+        yields 3.  Pinned here so any drift is caught."""
+        gh, faults = fig5_instance()
+        sl = GhSafetyLevels.compute(gh, faults)
+        assert sl.level(gh.parse_node("001")) == 3
+
+
+class TestSection23Canonical:
+    def test_sl_set_exact(self):
+        topo, faults = section23_instance()
+        sl = SafetyLevels.compute(topo, faults)
+        got = sorted(topo.format_node(v) for v in sl.safe_set())
+        assert got == sorted(SECTION23_SL_SAFE_SET)
+
+    def test_lh_empty_wf_superset(self):
+        topo, faults = section23_instance()
+        assert lee_hayes_safe(topo, faults).num_safe == 0
+        wf = wu_fernandez_safe(topo, faults)
+        assert wf.num_safe == 9  # printed set (8) plus the documented 1100

@@ -1,0 +1,146 @@
+"""Full-stack integration scenarios crossing every layer.
+
+Each test here exercises a realistic end-to-end pipeline: generate faults,
+compute safety state three independent ways, route traffic with walk /
+distributed protocol / contention simulator, and referee everything with
+the oracle.  These are the "does the whole machine hang together" checks
+on top of the per-module suites.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FaultSet,
+    Hypercube,
+    bfs_distances,
+    is_connected,
+    path_is_fault_free,
+    same_component,
+    uniform_node_faults,
+)
+from repro.routing import (
+    RouteStatus,
+    SourceCondition,
+    check_feasibility,
+    route_unicast,
+    route_unicast_distributed,
+)
+from repro.safety import (
+    SafetyLevels,
+    compute_safety_levels_async,
+    run_gs,
+    verify_fixed_point,
+)
+
+
+class TestThreeWayLevelAgreement:
+    """Vectorized fixed point == distributed GS == chaotic relaxation."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_q6_with_moderate_damage(self, seed):
+        topo = Hypercube(6)
+        gen = np.random.default_rng(seed)
+        faults = uniform_node_faults(topo, 9, gen)
+        sl = SafetyLevels.compute(topo, faults)
+        gs = run_gs(topo, faults)
+        chaotic = compute_safety_levels_async(topo, faults, rng=gen)
+        assert np.array_equal(sl.levels, gs.levels)
+        assert np.array_equal(sl.levels, chaotic)
+        assert verify_fixed_point(topo, faults, np.asarray(sl.levels)) == []
+
+
+class TestEndToEndRouting:
+    def test_walk_protocol_and_oracle_agree_on_q7(self):
+        topo = Hypercube(7)
+        gen = np.random.default_rng(42)
+        faults = uniform_node_faults(topo, 12, gen)
+        sl = SafetyLevels.compute(topo, faults)
+        alive = faults.nonfaulty_nodes(topo)
+        checked = 0
+        for _ in range(30):
+            i, j = gen.choice(len(alive), size=2, replace=False)
+            s, d = alive[int(i)], alive[int(j)]
+            walk = route_unicast(sl, s, d)
+            dist, net = route_unicast_distributed(sl, s, d)
+            assert walk.status == dist.status
+            if walk.delivered:
+                assert walk.path == dist.path
+                assert path_is_fault_free(topo, faults, walk.path)
+                assert net.stats.sent == walk.hops
+                truth = bfs_distances(topo, faults, s)
+                # Optimal routes achieve the oracle distance exactly.
+                if walk.optimal:
+                    assert truth[d] == walk.hamming
+                checked += 1
+            else:
+                assert walk.status is RouteStatus.ABORTED_AT_SOURCE
+        assert checked > 0
+
+    def test_disconnection_pipeline(self):
+        """Build a partitioned machine, verify detection end to end."""
+        topo = Hypercube(6)
+        gen = np.random.default_rng(7)
+        from repro.core import isolating_faults
+        faults = isolating_faults(topo, victim=0, rng=gen, spare_faults=3)
+        assert not is_connected(topo, faults)
+        sl = SafetyLevels.compute(topo, faults)
+        alive = faults.nonfaulty_nodes(topo)
+        others = [v for v in alive if v != 0]
+        for s in others[:10]:
+            feas = check_feasibility(sl, s, 0)
+            assert not feas.feasible
+            assert not same_component(topo, faults, s, 0)
+        # Intra-component routing keeps working.
+        delivered = sum(
+            route_unicast(sl, others[0], d).delivered
+            for d in others[1:15]
+        )
+        assert delivered > 0
+
+
+class TestMaintenanceToRoutingPipeline:
+    def test_levels_refreshed_after_failure_keep_guarantees(self):
+        """Fail nodes incrementally; after each refresh the routing layer
+        must immediately honor Theorem 3 on the new instance."""
+        topo = Hypercube(5)
+        gen = np.random.default_rng(3)
+        nodes = list(gen.permutation(topo.num_nodes)[:6])
+        current: set = set()
+        for extra in nodes:
+            current.add(int(extra))
+            faults = FaultSet(nodes=current)
+            sl = SafetyLevels.compute(topo, faults)
+            alive = faults.nonfaulty_nodes(topo)
+            for _ in range(6):
+                i, j = gen.choice(len(alive), size=2, replace=False)
+                res = route_unicast(sl, alive[int(i)], alive[int(j)])
+                if res.delivered:
+                    assert path_is_fault_free(topo, faults, res.path)
+                    assert res.optimal or res.suboptimal
+
+
+class TestCrossTopologyConsistency:
+    def test_binary_gh_and_hypercube_pipelines_agree(self):
+        """The GH pipeline with all radices 2 must replicate the binary
+        pipeline end to end (levels and route feasibility)."""
+        from repro.core import GeneralizedHypercube
+        from repro.routing import route_gh_unicast
+        from repro.safety import GhSafetyLevels
+        n = 4
+        topo = Hypercube(n)
+        gh = GeneralizedHypercube((2,) * n)
+        gen = np.random.default_rng(11)
+        faults = uniform_node_faults(topo, 4, gen)
+        sl = SafetyLevels.compute(topo, faults)
+        ghsl = GhSafetyLevels.compute(gh, faults)
+        assert np.array_equal(sl.levels, ghsl.levels)
+        alive = faults.nonfaulty_nodes(topo)
+        for _ in range(15):
+            i, j = gen.choice(len(alive), size=2, replace=False)
+            s, d = alive[int(i)], alive[int(j)]
+            a = route_unicast(sl, s, d)
+            b = route_gh_unicast(ghsl, s, d)
+            assert a.delivered == b.delivered
+            if a.delivered:
+                assert a.hops == b.hops

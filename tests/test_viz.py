@@ -1,0 +1,74 @@
+"""Tests for the ASCII cube renderers."""
+
+import pytest
+
+from repro.core import FaultSet, GeneralizedHypercube, Hypercube
+from repro.instances import fig1_instance, fig5_instance
+from repro.routing import route_unicast
+from repro.safety import GhSafetyLevels, SafetyLevels
+from repro.viz import node_label, render_cube, render_gh, render_route
+
+
+class TestNodeLabel:
+    def test_fault_marker(self, q4):
+        faults = FaultSet(nodes=[3])
+        assert node_label(3, q4, faults) == "0011*"
+
+    def test_level_annotation(self):
+        topo, faults = fig1_instance()
+        sl = SafetyLevels.compute(topo, faults)
+        assert node_label(topo.parse_node("0101"), topo, faults, sl) \
+            == "0101:2"
+
+    def test_plain(self, q3):
+        assert node_label(5, q3) == "101"
+
+
+class TestRenderCube:
+    def test_q3_contains_all_nodes(self, q3):
+        text = render_cube(q3)
+        for v in range(8):
+            assert q3.format_node(v) in text
+
+    def test_fig1_q4_rendering(self):
+        topo, faults = fig1_instance()
+        sl = SafetyLevels.compute(topo, faults)
+        text = render_cube(topo, sl)
+        assert "0011*" in text      # faulty node marked
+        assert "0101:2" in text     # level annotated
+        assert "bit3 = 0" in text and "bit3 = 1" in text
+
+    def test_highlight_brackets(self):
+        topo, faults = fig1_instance()
+        sl = SafetyLevels.compute(topo, faults)
+        text = render_cube(topo, sl, highlight=[topo.parse_node("1110")])
+        assert "[1110:4]" in text
+
+    def test_unsupported_dimension(self):
+        with pytest.raises(ValueError):
+            render_cube(Hypercube(5))
+
+
+class TestRenderRoute:
+    def test_route_legend(self):
+        topo, faults = fig1_instance()
+        sl = SafetyLevels.compute(topo, faults)
+        res = route_unicast(sl, topo.parse_node("1110"),
+                            topo.parse_node("0001"))
+        text = render_route(topo, sl, res.path)
+        assert "route: 1110 -> 1111 -> 1101 -> 0101 -> 0001" in text
+        assert "[1111:4]" in text
+
+
+class TestRenderGh:
+    def test_fig5_planes(self):
+        gh, faults = fig5_instance()
+        sl = GhSafetyLevels.compute(gh, faults)
+        text = render_gh(gh, sl, faults)
+        assert "plane a2 = 0" in text and "plane a2 = 1" in text
+        assert "011*" in text
+        assert "110:1" in text
+
+    def test_requires_three_dimensions(self):
+        with pytest.raises(ValueError):
+            render_gh(GeneralizedHypercube((2, 2)))
