@@ -2,7 +2,7 @@
 
 PY ?= python3
 
-.PHONY: install test bench experiments artifacts scorecard examples clean
+.PHONY: install test bench bench-sweep experiments artifacts scorecard examples clean
 
 install:
 	$(PY) -m pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -12,6 +12,10 @@ test:
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
+
+# Sweep-engine throughput trajectory; writes BENCH_sweep.json at the root.
+bench-sweep:
+	PYTHONPATH=src $(PY) benchmarks/bench_kernel_throughput.py
 
 # Regenerate every table/figure at full scale into ./artifacts
 artifacts:

@@ -1,0 +1,164 @@
+"""Throughput benchmark for the safety-level sweep engine.
+
+Measures trials/sec on the Fig. 2 Q8 sweep (stabilization rounds over
+random fault placements) along the optimization trajectory:
+
+* ``per_trial``        — the seed implementation: one kernel call per
+  trial, scratch buffers reallocated every call;
+* ``per_trial_ws``     — per-trial kernel with the reusable
+  :class:`~repro.safety.levels.LevelsWorkspace`;
+* ``batched``          — one :func:`stabilization_rounds_batch` call per
+  (n, f) cell through the sweep engine, serial;
+* ``parallel``         — the same batched chunks fanned out over worker
+  processes (``REPRO_JOBS`` or the machine's core count).
+
+Writes ``BENCH_sweep.json`` at the repository root so the perf numbers
+are tracked across PRs, and asserts the engine's determinism guarantee
+(parallel results bit-identical to serial) while at it.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_kernel_throughput.py [--quick]
+
+(Not a pytest-benchmark module on purpose — the JSON trajectory file
+wants stable, comparable fields rather than pytest-benchmark's storage.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.rounds import rounds_vs_faults
+from repro.core.fault_models import uniform_node_faults
+from repro.core.hypercube import Hypercube
+from repro.safety.gs import compute_levels_with_rounds
+from repro.safety.levels import LevelsWorkspace
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_sweep.json"
+
+#: The benchmark workload: the Fig. 2 sweep lifted to Q8 — the paper's
+#: full fault grid, 1 to 40 faulty nodes per placement.
+N = 8
+FAULT_COUNTS = tuple(range(1, 41))
+SEED = 20250705
+
+
+def _per_trial_sweep(trials: int, reuse_workspace: bool) -> List[int]:
+    """The old path, verbatim: one stock spawned rng and one kernel call
+    per trial (scratch reallocated per call unless ``reuse_workspace``)."""
+    topo = Hypercube(N)
+    shared = LevelsWorkspace() if reuse_workspace else None
+    out: List[int] = []
+    for f in FAULT_COUNTS:
+        for i in range(trials):
+            rng = np.random.default_rng(
+                np.random.SeedSequence(SEED + f, spawn_key=(i,))
+            )
+            faults = uniform_node_faults(topo, f, rng)
+            ws = shared if reuse_workspace else LevelsWorkspace()
+            out.append(compute_levels_with_rounds(topo, faults, ws)[1])
+    return out
+
+
+def _engine_sweep(trials: int, jobs: int) -> List:
+    """The new path: batched kernel chunks through the sweep engine."""
+    return rounds_vs_faults(N, FAULT_COUNTS, trials, SEED, jobs=jobs)
+
+
+def _time(fn, *args) -> tuple[float, object]:
+    start = time.perf_counter()
+    result = fn(*args)
+    return time.perf_counter() - start, result
+
+
+def run_benchmark(trials: int, jobs: int, repeats: int = 3) -> Dict:
+    """Measure every path; best-of-``repeats`` wall time per path."""
+    total_trials = trials * len(FAULT_COUNTS)
+    paths: Dict[str, Dict] = {}
+
+    def record(name: str, seconds: float) -> None:
+        best = min(seconds, paths.get(name, {}).get("seconds", float("inf")))
+        paths[name] = {
+            "seconds": round(best, 6),
+            "trials_per_sec": round(total_trials / best, 1),
+        }
+
+    serial_points = None
+    for _ in range(repeats):
+        sec, baseline_rounds = _time(_per_trial_sweep, trials, False)
+        record("per_trial", sec)
+        sec, ws_rounds = _time(_per_trial_sweep, trials, True)
+        record("per_trial_ws", sec)
+        sec, serial_points = _time(_engine_sweep, trials, 1)
+        record("batched", sec)
+        sec, parallel_points = _time(_engine_sweep, trials, jobs)
+        record("parallel", sec)
+        assert ws_rounds == baseline_rounds, "workspace changed results"
+        assert parallel_points == serial_points, (
+            "parallel sweep diverged from serial — determinism bug"
+        )
+
+    # The batched kernel must agree with the per-trial kernel trial by
+    # trial (the equivalence the speedup claim rests on).
+    assert serial_points is not None
+    engine_means = [p.gs.mean for p in serial_points]
+    baseline_means = [
+        float(np.mean(baseline_rounds[i * trials:(i + 1) * trials]))
+        for i in range(len(FAULT_COUNTS))
+    ]
+    assert engine_means == baseline_means, "batched kernel diverged"
+
+    base = paths["per_trial"]["trials_per_sec"]
+    report = {
+        "benchmark": "fig2_q8_sweep",
+        "n": N,
+        "fault_counts": list(FAULT_COUNTS),
+        "trials_per_point": trials,
+        "total_trials": total_trials,
+        "jobs": jobs,
+        "paths": paths,
+        "speedup_batched": round(paths["batched"]["trials_per_sec"] / base, 2),
+        "speedup_parallel": round(
+            paths["parallel"]["trials_per_sec"] / base, 2),
+        "parallel_matches_serial": True,
+    }
+    return report
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small trial count for CI smoke runs")
+    parser.add_argument("--trials", type=int, default=None,
+                        help="trials per (n, f) point (default 150, "
+                             "quick 25)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="workers for the parallel path (default "
+                             "REPRO_JOBS or cpu count)")
+    parser.add_argument("--output", type=Path, default=OUTPUT,
+                        help=f"report path (default {OUTPUT})")
+    args = parser.parse_args(argv)
+
+    trials = args.trials or (25 if args.quick else 150)
+    jobs = args.jobs or int(os.environ.get("REPRO_JOBS", "0")) \
+        or (os.cpu_count() or 1)
+    report = run_benchmark(trials, jobs, repeats=2 if args.quick else 3)
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {args.output}")
+    best = max(report["speedup_batched"], report["speedup_parallel"])
+    print(f"best speedup over per-trial baseline: {best:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -54,7 +54,15 @@ from .experiments import (
     fig4_report,
     fig5_report,
 )
-from .montecarlo import Summary, summarize, trial_rngs
+from .montecarlo import Summary, iter_trial_rngs, summarize, trial_rngs
+from .sweep import (
+    JOBS_ENV_VAR,
+    TrialChunk,
+    chunk_trials,
+    map_trials,
+    resolve_jobs,
+    run_sweep,
+)
 from .rounds import (
     RoundsPoint,
     fig2_series,
@@ -117,7 +125,14 @@ __all__ = [
     "fig5_report",
     "Summary",
     "summarize",
+    "iter_trial_rngs",
     "trial_rngs",
+    "JOBS_ENV_VAR",
+    "TrialChunk",
+    "chunk_trials",
+    "map_trials",
+    "resolve_jobs",
+    "run_sweep",
     "RoundsPoint",
     "fig2_series",
     "rounds_comparison_table",

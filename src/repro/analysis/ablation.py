@@ -22,7 +22,7 @@ from ..routing.result import RouteStatus
 from ..routing.safety_unicast import route_unicast
 from ..safety.gs import run_gs
 from ..safety.levels import SafetyLevels
-from .montecarlo import summarize, trial_rngs
+from .montecarlo import iter_trial_rngs, summarize
 from .tables import Table
 
 __all__ = ["tie_break_table", "gs_policy_table"]
@@ -40,7 +40,7 @@ def tie_break_table(
     policies = ("lowest-dim", "highest-dim", "random")
     counts = {p: {"attempts": 0, "optimal": 0, "suboptimal": 0,
                   "aborted": 0, "distinct_paths": 0} for p in policies}
-    for rng in trial_rngs(seed * 13 + num_faults, trials):
+    for rng in iter_trial_rngs(seed * 13 + num_faults, trials):
         faults = uniform_node_faults(topo, num_faults, rng)
         sl = SafetyLevels.compute(topo, faults)
         alive = faults.nonfaulty_nodes(topo)
@@ -101,7 +101,7 @@ def gs_policy_table(
         on_change: List[int] = []
         every_round: List[int] = []
         rounds: List[int] = []
-        for rng in trial_rngs(seed + f, trials):
+        for rng in iter_trial_rngs(seed + f, trials):
             faults = uniform_node_faults(topo, f, rng)
             a = run_gs(topo, faults, policy="on-change")
             b = run_gs(topo, faults, policy="every-round",

@@ -38,7 +38,7 @@ from ..routing.result import RouteResult, RouteStatus
 from ..routing.safety_unicast import route_unicast
 from ..safety.levels import SafetyLevels
 from ..safety.safe_nodes import lee_hayes_safe, wu_fernandez_safe
-from .montecarlo import trial_rngs
+from .montecarlo import iter_trial_rngs
 from .tables import Table
 
 __all__ = ["RouterScore", "compare_routers", "comparison_table",
@@ -129,7 +129,7 @@ def compare_routers(
     """Run the paired comparison; all routers see identical workloads."""
     topo = Hypercube(n)
     scores = {name: RouterScore(router=name) for name in routers}
-    for rng in trial_rngs(seed * 7919 + num_faults, trials):
+    for rng in iter_trial_rngs(seed * 7919 + num_faults, trials):
         faults = uniform_node_faults(topo, num_faults, rng)
         instances = {name: _make_router(name, topo, faults)
                      for name in routers}

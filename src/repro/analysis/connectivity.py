@@ -22,7 +22,7 @@ from ..core import partition
 from ..core.fault_models import uniform_node_faults
 from ..core.faults import FaultSet
 from ..core.hypercube import Hypercube
-from .montecarlo import trial_rngs
+from .montecarlo import iter_trial_rngs
 from .tables import Table
 
 __all__ = [
@@ -70,7 +70,7 @@ def disconnection_probability_table(
         parts: List[int] = []
         marooned: List[int] = []
         largest_frac: List[float] = []
-        for rng in trial_rngs(seed + f, trials):
+        for rng in iter_trial_rngs(seed + f, trials):
             faults = uniform_node_faults(topo, f, rng)
             comps = partition.components(topo, faults)
             alive = topo.num_nodes - f

@@ -24,7 +24,7 @@ from ..core.bits import hamming_array
 from ..core.fault_models import uniform_node_faults
 from ..core.hypercube import Hypercube
 from ..safety.levels import SafetyLevels
-from .montecarlo import trial_rngs
+from .montecarlo import iter_trial_rngs
 from .tables import Table
 
 __all__ = ["reach_radius", "reach_radii", "conservatism_table"]
@@ -76,7 +76,7 @@ def conservatism_table(
         levels_all: List[int] = []
         radii_all: List[int] = []
         violations = 0
-        for rng in trial_rngs(seed * 17 + f, trials):
+        for rng in iter_trial_rngs(seed * 17 + f, trials):
             faults = uniform_node_faults(topo, f, rng)
             sl = SafetyLevels.compute(topo, faults)
             radii = reach_radii(topo, faults)

@@ -22,7 +22,7 @@ from ..routing import navigation as nav
 from ..safety.levels import SafetyLevels
 from ..simcore.contention import NextHopPolicy, TrafficResult, \
     simulate_traffic
-from .montecarlo import trial_rngs
+from .montecarlo import iter_trial_rngs
 from .tables import Table
 
 __all__ = [
@@ -151,7 +151,7 @@ def contention_table(
     )
     for load in loads:
         agg: Dict[str, List[TrafficResult]] = {}
-        for rng in trial_rngs(seed + load, trials):
+        for rng in iter_trial_rngs(seed + load, trials):
             faults = uniform_node_faults(topo, num_faults, rng)
             sl = SafetyLevels.compute(topo, faults)
             alive = faults.nonfaulty_nodes(topo)

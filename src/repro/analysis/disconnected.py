@@ -24,7 +24,7 @@ from ..routing.result import RouteStatus
 from ..routing.safety_unicast import route_unicast
 from ..safety.levels import SafetyLevels
 from ..safety.safe_nodes import lee_hayes_safe, wu_fernandez_safe
-from .montecarlo import trial_rngs
+from .montecarlo import iter_trial_rngs
 from .tables import Table
 
 __all__ = ["DisconnectedStats", "disconnected_sweep", "disconnected_table"]
@@ -56,7 +56,7 @@ def disconnected_sweep(
     """Run the E10 measurement."""
     topo = Hypercube(n)
     stats = DisconnectedStats()
-    for rng in trial_rngs(seed * 101 + n, trials):
+    for rng in iter_trial_rngs(seed * 101 + n, trials):
         faults = isolating_faults(topo, rng=rng, spare_faults=spare_faults)
         stats.instances += 1
         if partition.is_connected(topo, faults):

@@ -25,7 +25,7 @@ from ..core.hypercube import Hypercube
 from ..routing import navigation as nav
 from ..routing.result import RouteStatus
 from ..safety.dynamic import DynamicLevelTracker, recompute_incremental
-from .montecarlo import trial_rngs
+from .montecarlo import iter_trial_rngs
 from .tables import Table
 
 __all__ = ["route_with_stale_levels", "dynamic_policy_table",
@@ -153,7 +153,7 @@ def dynamic_policy_table(
         stale = 0
         total_ticks = 0
         delivered = lost = aborted = 0
-        for rng in trial_rngs(seed, trials):
+        for rng in iter_trial_rngs(seed, trials):
             schedule = random_fault_schedule(
                 topo, horizon, failure_rate, recovery_rate, rng)
             tracker = DynamicLevelTracker(topo, schedule, policy=policy,

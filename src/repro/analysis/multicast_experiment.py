@@ -22,7 +22,7 @@ from ..core.fault_models import uniform_node_faults
 from ..core.hypercube import Hypercube
 from ..routing.multicast import multicast_greedy_tree, multicast_separate
 from ..safety.levels import SafetyLevels
-from .montecarlo import trial_rngs
+from .montecarlo import iter_trial_rngs
 from .tables import Table
 
 __all__ = ["multicast_table"]
@@ -49,7 +49,7 @@ def multicast_table(
         flood_msgs: List[int] = []
         sep_cov: List[float] = []
         tree_cov: List[float] = []
-        for rng in trial_rngs(seed + size, trials):
+        for rng in iter_trial_rngs(seed + size, trials):
             faults = uniform_node_faults(topo, num_faults, rng)
             sl = SafetyLevels.compute(topo, faults)
             alive = faults.nonfaulty_nodes(topo)

@@ -56,7 +56,9 @@ def fig2_point_worker(args: Tuple[int, int, int, int]) -> Tuple[int, float, floa
     from .rounds import rounds_vs_faults
 
     n, num_faults, trials, seed = args
-    (point,) = rounds_vs_faults(n, [num_faults], trials, seed)
+    # jobs=1: this already runs inside a pool worker; never nest pools
+    # (and ignore any inherited REPRO_JOBS setting).
+    (point,) = rounds_vs_faults(n, [num_faults], trials, seed, jobs=1)
     return num_faults, point.gs.mean, point.gs.maximum
 
 

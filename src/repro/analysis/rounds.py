@@ -14,13 +14,16 @@ worst case is ``O(n^2)`` rounds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
-from ..core.fault_models import uniform_node_faults
+import numpy as np
+
+from ..core.fault_models import uniform_node_fault_masks, uniform_node_faults
 from ..core.hypercube import Hypercube
-from ..safety.gs import stabilization_rounds_fast
+from ..safety.gs import stabilization_rounds_batch
 from ..safety.safe_nodes import lee_hayes_safe, wu_fernandez_safe
-from .montecarlo import Summary, summarize, trial_rngs
+from .montecarlo import Summary, summarize
+from .sweep import TrialChunk, run_sweep
 from .tables import Series, Table
 
 __all__ = [
@@ -41,35 +44,66 @@ class RoundsPoint:
     wu_fernandez: Summary | None = None
 
 
+def _rounds_chunk(
+    chunk: TrialChunk, n: int, num_faults: int, include_rivals: bool
+) -> List[Tuple[int, Optional[int], Optional[int]]]:
+    """One chunk of a (n, f) cell: ``(gs, lh, wf)`` rounds per trial.
+
+    The GS measurement is *batched*: the chunk's fault masks become one
+    ``(count, 2**n)`` matrix and a single
+    :func:`stabilization_rounds_batch` call covers every trial.  The rival
+    definitions stay per-trial (they are round-by-round simulations) on
+    exactly the same instances, keeping the E8 comparison paired.
+    """
+    topo = Hypercube(n)
+    lh_rounds: List[Optional[int]]
+    wf_rounds: List[Optional[int]]
+    if include_rivals:
+        # The rivals need FaultSet objects, so build them the ordinary way
+        # and derive the mask rows from them (identical draws either way).
+        masks = np.zeros((chunk.count, topo.num_nodes), dtype=bool)
+        lh_rounds, wf_rounds = [], []
+        for i, rng in enumerate(chunk.iter_rngs()):
+            faults = uniform_node_faults(topo, num_faults, rng)
+            masks[i] = faults.node_mask(topo.num_nodes)
+            lh_rounds.append(lee_hayes_safe(topo, faults).rounds)
+            wf_rounds.append(wu_fernandez_safe(topo, faults).rounds)
+    else:
+        masks = uniform_node_fault_masks(topo, num_faults, chunk.iter_rngs())
+        lh_rounds = wf_rounds = [None] * chunk.count
+    gs_rounds = stabilization_rounds_batch(topo, masks).tolist()
+    return list(zip(gs_rounds, lh_rounds, wf_rounds))
+
+
 def rounds_vs_faults(
     n: int,
     fault_counts: Sequence[int],
     trials: int,
     seed: int = 0,
     include_rivals: bool = False,
+    jobs: Optional[int] = None,
 ) -> List[RoundsPoint]:
     """Measure stabilization rounds over random fault placements.
 
     One fresh uniform fault set per trial per point; the same instances are
     reused across definitions when ``include_rivals`` is set, so the E8
-    comparison is paired.
+    comparison is paired.  Each point runs through the batched sweep
+    engine — one :func:`stabilization_rounds_batch` kernel call per chunk,
+    chunks optionally fanned out over ``jobs`` worker processes with
+    bit-identical results for any worker count.
     """
-    topo = Hypercube(n)
     points: List[RoundsPoint] = []
     for f in fault_counts:
-        rngs = trial_rngs(seed + f, trials)
-        gs_rounds, lh_rounds, wf_rounds = [], [], []
-        for rng in rngs:
-            faults = uniform_node_faults(topo, f, rng)
-            gs_rounds.append(stabilization_rounds_fast(topo, faults))
-            if include_rivals:
-                lh_rounds.append(lee_hayes_safe(topo, faults).rounds)
-                wf_rounds.append(wu_fernandez_safe(topo, faults).rounds)
+        per_trial = run_sweep(_rounds_chunk, seed + f, trials, jobs=jobs,
+                              args=(n, f, include_rivals))
+        gs_rounds = [t[0] for t in per_trial]
         points.append(RoundsPoint(
             num_faults=f,
             gs=summarize(gs_rounds),
-            lee_hayes=summarize(lh_rounds) if include_rivals else None,
-            wu_fernandez=summarize(wf_rounds) if include_rivals else None,
+            lee_hayes=(summarize([t[1] for t in per_trial])
+                       if include_rivals else None),
+            wu_fernandez=(summarize([t[2] for t in per_trial])
+                          if include_rivals else None),
         ))
     return points
 
@@ -79,6 +113,7 @@ def fig2_series(
     fault_counts: Sequence[int] | None = None,
     trials: int = 1000,
     seed: int = 20250705,
+    jobs: Optional[int] = None,
 ) -> Series:
     """The Fig. 2 curve: average GS rounds vs number of faults (7-cubes)."""
     if fault_counts is None:
@@ -89,7 +124,7 @@ def fig2_series(
         x_label="faults",
         y_label="avg_rounds",
     )
-    for point in rounds_vs_faults(n, fault_counts, trials, seed):
+    for point in rounds_vs_faults(n, fault_counts, trials, seed, jobs=jobs):
         series.add_point(point.num_faults, point.gs.mean, point.gs.maximum)
     return series
 
@@ -99,6 +134,7 @@ def rounds_comparison_table(
     faults_per_dim: float = 1.0,
     trials: int = 300,
     seed: int = 7,
+    jobs: Optional[int] = None,
 ) -> Table:
     """E8: GS vs Lee–Hayes vs Wu–Fernandez stabilization rounds.
 
@@ -115,7 +151,7 @@ def rounds_comparison_table(
     for n in dims:
         f = max(1, round(faults_per_dim * n))
         (point,) = rounds_vs_faults(n, [f], trials, seed,
-                                    include_rivals=True)
+                                    include_rivals=True, jobs=jobs)
         assert point.lee_hayes is not None and point.wu_fernandez is not None
         table.add_row(
             n, f,

@@ -17,7 +17,9 @@ algorithm never fails* — appears as an abort rate of exactly zero for
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from ..core import partition
 from ..core.fault_models import uniform_node_faults
@@ -25,7 +27,7 @@ from ..core.hypercube import Hypercube
 from ..routing.result import RouteStatus, SourceCondition
 from ..routing.safety_unicast import route_unicast
 from ..safety.levels import SafetyLevels
-from .montecarlo import trial_rngs
+from .sweep import map_trials
 from .tables import Table
 
 __all__ = ["RoutabilityRow", "routability_sweep", "routability_table"]
@@ -53,58 +55,88 @@ class RoutabilityRow:
         return value / self.attempts if self.attempts else 0.0
 
 
+def _routability_trial(
+    rng: np.random.Generator, n: int, num_faults: int, pairs_per_trial: int
+) -> RoutabilityRow:
+    """One E7 trial: a fresh fault set, ``pairs_per_trial`` audited routes.
+
+    Returns a partial :class:`RoutabilityRow` holding just this trial's
+    counters; the sweep merges them in trial order.  Module level so the
+    sweep engine can ship it to pool workers.
+    """
+    topo = Hypercube(n)
+    row = RoutabilityRow(n=n, num_faults=num_faults)
+    faults = uniform_node_faults(topo, num_faults, rng)
+    sl = SafetyLevels.compute(topo, faults)
+    alive = faults.nonfaulty_nodes(topo)
+    if len(alive) < 2:
+        return row
+    for _ in range(pairs_per_trial):
+        s, d = rng.choice(len(alive), size=2, replace=False)
+        source, dest = alive[int(s)], alive[int(d)]
+        result = route_unicast(sl, source, dest)
+        row.attempts += 1
+        row.by_condition[result.condition.value] = (
+            row.by_condition.get(result.condition.value, 0) + 1
+        )
+        if result.status is RouteStatus.DELIVERED:
+            if result.optimal:
+                row.delivered_optimal += 1
+            elif result.suboptimal:
+                row.delivered_suboptimal += 1
+            else:
+                row.guarantee_violations += 1
+            # Path sanity: never cross a fault.
+            if not partition.path_is_fault_free(topo, faults, result.path):
+                row.guarantee_violations += 1
+            # C1/C2 must be optimal, C3 must be exactly +2.
+            if (result.condition in (SourceCondition.C1, SourceCondition.C2)
+                    and not result.optimal):
+                row.guarantee_violations += 1
+            if (result.condition is SourceCondition.C3
+                    and not result.suboptimal):
+                row.guarantee_violations += 1
+        elif result.status is RouteStatus.ABORTED_AT_SOURCE:
+            row.aborted += 1
+            if partition.same_component(topo, faults, source, dest):
+                row.aborted_reachable += 1
+        else:
+            # STUCK should be impossible: a condition admitted it.
+            row.guarantee_violations += 1
+    return row
+
+
+def _merge_rows(into: RoutabilityRow, part: RoutabilityRow) -> None:
+    into.attempts += part.attempts
+    into.delivered_optimal += part.delivered_optimal
+    into.delivered_suboptimal += part.delivered_suboptimal
+    into.aborted += part.aborted
+    into.aborted_reachable += part.aborted_reachable
+    into.guarantee_violations += part.guarantee_violations
+    for key, count in part.by_condition.items():
+        into.by_condition[key] = into.by_condition.get(key, 0) + count
+
+
 def routability_sweep(
     n: int,
     fault_counts: Sequence[int],
     trials: int,
     pairs_per_trial: int,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[RoutabilityRow]:
-    """Run the E7 sweep for one cube dimension."""
-    topo = Hypercube(n)
+    """Run the E7 sweep for one cube dimension.
+
+    Trials go through the sweep engine (``jobs`` workers, or the
+    ``REPRO_JOBS`` default); per-trial counter rows are merged in trial
+    order, so the aggregate is identical for any worker count.
+    """
     rows: List[RoutabilityRow] = []
     for f in fault_counts:
         row = RoutabilityRow(n=n, num_faults=f)
-        for rng in trial_rngs(seed * 1000 + f, trials):
-            faults = uniform_node_faults(topo, f, rng)
-            sl = SafetyLevels.compute(topo, faults)
-            alive = faults.nonfaulty_nodes(topo)
-            if len(alive) < 2:
-                continue
-            for _ in range(pairs_per_trial):
-                s, d = rng.choice(len(alive), size=2, replace=False)
-                source, dest = alive[int(s)], alive[int(d)]
-                result = route_unicast(sl, source, dest)
-                row.attempts += 1
-                row.by_condition[result.condition.value] = (
-                    row.by_condition.get(result.condition.value, 0) + 1
-                )
-                if result.status is RouteStatus.DELIVERED:
-                    if result.optimal:
-                        row.delivered_optimal += 1
-                    elif result.suboptimal:
-                        row.delivered_suboptimal += 1
-                    else:
-                        row.guarantee_violations += 1
-                    # Path sanity: never cross a fault.
-                    if not partition.path_is_fault_free(topo, faults,
-                                                        result.path):
-                        row.guarantee_violations += 1
-                    # C1/C2 must be optimal, C3 must be exactly +2.
-                    if (result.condition in (SourceCondition.C1,
-                                             SourceCondition.C2)
-                            and not result.optimal):
-                        row.guarantee_violations += 1
-                    if (result.condition is SourceCondition.C3
-                            and not result.suboptimal):
-                        row.guarantee_violations += 1
-                elif result.status is RouteStatus.ABORTED_AT_SOURCE:
-                    row.aborted += 1
-                    if partition.same_component(topo, faults, source, dest):
-                        row.aborted_reachable += 1
-                else:
-                    # STUCK should be impossible: a condition admitted it.
-                    row.guarantee_violations += 1
+        for part in map_trials(_routability_trial, seed * 1000 + f, trials,
+                               jobs=jobs, args=(n, f, pairs_per_trial)):
+            _merge_rows(row, part)
         rows.append(row)
     return rows
 
@@ -115,11 +147,13 @@ def routability_table(
     trials: int = 200,
     pairs_per_trial: int = 10,
     seed: int = 11,
+    jobs: Optional[int] = None,
 ) -> Table:
     """Render the E7 sweep as the published-style table."""
     if fault_counts is None:
         fault_counts = [1, 2, 4, n - 1, n, 2 * n, 4 * n]
-    rows = routability_sweep(n, fault_counts, trials, pairs_per_trial, seed)
+    rows = routability_sweep(n, fault_counts, trials, pairs_per_trial, seed,
+                             jobs=jobs)
     table = Table(
         caption=f"E7 — safety-level unicast outcomes, Q{n}, "
                 f"{trials} fault sets x {pairs_per_trial} pairs",

@@ -18,7 +18,7 @@ from ..instances import (
     section23_instance,
 )
 from ..safety.properties import safe_set_chain
-from .montecarlo import summarize, trial_rngs
+from .montecarlo import iter_trial_rngs, summarize
 from .tables import Table
 
 __all__ = ["section23_table", "safe_set_sweep_table"]
@@ -74,7 +74,7 @@ def safe_set_sweep_table(
         wf_sizes: List[int] = []
         lh_sizes: List[int] = []
         chain_ok = True
-        for rng in trial_rngs(seed * 31 + f, trials):
+        for rng in iter_trial_rngs(seed * 31 + f, trials):
             faults = uniform_node_faults(topo, f, rng)
             cmp = safe_set_chain(topo, faults)
             chain_ok &= cmp.chain_holds

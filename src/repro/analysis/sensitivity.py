@@ -26,7 +26,7 @@ from ..routing.safety_unicast import route_unicast
 from ..safety.gs import compute_levels_with_rounds
 from ..safety.levels import SafetyLevels
 from ..safety.safe_nodes import lee_hayes_safe, wu_fernandez_safe
-from .montecarlo import trial_rngs
+from .montecarlo import iter_trial_rngs
 from .tables import Table
 
 __all__ = ["sensitivity_table", "FAULT_MODELS"]
@@ -79,7 +79,7 @@ def sensitivity_table(
         lh_sizes: List[int] = []
         rounds: List[int] = []
         outcomes = {"optimal": 0, "subopt": 0, "abort": 0, "attempts": 0}
-        for rng in trial_rngs(seed, trials):
+        for rng in iter_trial_rngs(seed, trials):
             faults = model(topo, count, rng)
             levels, r = compute_levels_with_rounds(topo, faults)
             alive_mask = ~faults.node_mask(topo.num_nodes)

@@ -26,7 +26,7 @@ from ..core import partition
 from ..core.fault_models import uniform_node_faults
 from ..core.hypercube import Hypercube
 from .comparison import _make_router
-from .montecarlo import trial_rngs
+from .montecarlo import iter_trial_rngs
 from .tables import Table
 
 __all__ = [
@@ -66,7 +66,7 @@ def collect_paired_outcomes(
     out = PairedOutcomes(scheme_a=scheme_a, scheme_b=scheme_b,
                          delivered_a=[], delivered_b=[],
                          detours_a=[], detours_b=[])
-    for rng in trial_rngs(seed, trials):
+    for rng in iter_trial_rngs(seed, trials):
         faults = uniform_node_faults(topo, num_faults, rng)
         router_a = _make_router(scheme_a, topo, faults)
         router_b = _make_router(scheme_b, topo, faults)

@@ -1,0 +1,162 @@
+"""Deterministic batched + parallel executor for Monte-Carlo sweeps.
+
+Every experiment here is the same shape — ``trials`` independent seeded
+trials whose per-trial results get aggregated — so this module factors the
+execution strategy out of the experiment code:
+
+* trials are split into contiguous :class:`TrialChunk` ranges, and each
+  chunk reconstructs exactly its own trial generators through
+  ``SeedSequence`` spawn keys (see
+  :func:`repro.analysis.montecarlo.iter_trial_rngs`);
+* a chunk function maps one chunk to its per-trial results — typically by
+  building a fault-mask batch and calling a batched kernel such as
+  :func:`repro.safety.gs.stabilization_rounds_batch` once;
+* chunks fan out over a ``ProcessPoolExecutor`` when more than one job is
+  requested (``jobs`` argument, else the ``REPRO_JOBS`` environment knob,
+  else serial), and results are concatenated in chunk order.
+
+Because trial ``i``'s random stream depends only on ``(master_seed, i)``
+and results are reassembled in trial order, the output is bit-identical
+for any worker count and any chunking — the same guarantee the seeded
+``trial_rngs`` list gave the old per-trial loops.
+
+Chunk functions (and the trial functions passed to :func:`map_trials`)
+must be module-level callables so they pickle into spawn-based workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .montecarlo import iter_trial_rngs
+
+__all__ = [
+    "JOBS_ENV_VAR",
+    "TrialChunk",
+    "resolve_jobs",
+    "chunk_trials",
+    "run_sweep",
+    "map_trials",
+]
+
+#: Environment variable consulted when no explicit ``jobs`` is given.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+@dataclass(frozen=True)
+class TrialChunk:
+    """A contiguous range of trials of one seeded sweep."""
+
+    master_seed: int
+    start: int
+    count: int
+
+    def iter_rngs(self) -> Iterator[np.random.Generator]:
+        """The chunk's per-trial generators, lazily, in trial order."""
+        return iter_trial_rngs(self.master_seed, self.count, self.start)
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit argument, else ``REPRO_JOBS``, else 1."""
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV_VAR, "").strip()
+        if not env:
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{JOBS_ENV_VAR} must be a positive integer, got {env!r}"
+            ) from None
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def chunk_trials(
+    master_seed: int,
+    trials: int,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
+) -> List[TrialChunk]:
+    """Split ``trials`` into contiguous chunks.
+
+    The default chunk size spreads trials evenly over ``jobs`` (one chunk
+    when serial, so a whole cell hits the batched kernels in one call).
+    Chunking never affects results — only scheduling granularity.
+    """
+    if trials < 0:
+        raise ValueError("trials must be nonnegative")
+    if chunk_size is None:
+        chunk_size = max(1, -(-trials // max(jobs, 1)))
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    return [
+        TrialChunk(master_seed=master_seed, start=start,
+                   count=min(chunk_size, trials - start))
+        for start in range(0, trials, chunk_size)
+    ]
+
+
+def run_sweep(
+    chunk_fn: Callable[..., Sequence[Any]],
+    master_seed: int,
+    trials: int,
+    *,
+    jobs: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    args: Tuple[Any, ...] = (),
+) -> List[Any]:
+    """Per-trial results of ``chunk_fn`` over every chunk, in trial order.
+
+    ``chunk_fn(chunk, *args)`` must return one result per trial of the
+    chunk, in trial order.  With ``jobs > 1`` the chunks run on a
+    spawn-context process pool (serial fallback otherwise); either way the
+    returned list is the in-order concatenation, so worker count cannot
+    change any downstream statistic.
+    """
+    jobs = resolve_jobs(jobs)
+    chunks = chunk_trials(master_seed, trials, jobs, chunk_size)
+    results: List[Any] = []
+    if jobs == 1 or len(chunks) <= 1:
+        for chunk in chunks:
+            results.extend(chunk_fn(chunk, *args))
+        return results
+    ctx = mp.get_context("spawn")
+    with ProcessPoolExecutor(max_workers=min(jobs, len(chunks)),
+                             mp_context=ctx) as pool:
+        futures = [pool.submit(chunk_fn, chunk, *args) for chunk in chunks]
+        for future in futures:
+            results.extend(future.result())
+    return results
+
+
+def _trial_chunk(chunk: TrialChunk, trial_fn: Callable[..., Any],
+                 trial_args: Tuple[Any, ...]) -> List[Any]:
+    """Generic chunk runner for :func:`map_trials` (module level: pickles)."""
+    return [trial_fn(rng, *trial_args) for rng in chunk.iter_rngs()]
+
+
+def map_trials(
+    trial_fn: Callable[..., Any],
+    master_seed: int,
+    trials: int,
+    *,
+    jobs: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    args: Tuple[Any, ...] = (),
+) -> List[Any]:
+    """Map ``trial_fn(rng, *args)`` over every trial, in trial order.
+
+    Convenience wrapper for experiments whose per-trial work is not itself
+    batchable (routing loops, simulators); the chunking and pool plumbing
+    match :func:`run_sweep`.
+    """
+    return run_sweep(_trial_chunk, master_seed, trials, jobs=jobs,
+                     chunk_size=chunk_size, args=(trial_fn, args))

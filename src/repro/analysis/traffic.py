@@ -30,7 +30,7 @@ from ..routing.baselines import route_dfs, route_sidetrack
 from ..routing.result import RouteResult
 from ..routing.safety_unicast import route_unicast
 from ..safety.levels import SafetyLevels
-from .montecarlo import trial_rngs
+from .montecarlo import iter_trial_rngs
 from .tables import Table
 
 __all__ = ["LoadStats", "measure_link_load", "traffic_table"]
@@ -96,7 +96,7 @@ def traffic_table(
                  "mean link load", "concentration (cv)"],
     )
     totals: Dict[str, List[LoadStats]] = {}
-    for rng in trial_rngs(seed, batches):
+    for rng in iter_trial_rngs(seed, batches):
         faults = uniform_node_faults(topo, num_faults, rng)
         sl = SafetyLevels.compute(topo, faults)
         alive = faults.nonfaulty_nodes(topo)

@@ -27,7 +27,7 @@ from ..routing.baselines import route_dfs, route_progressive, route_sidetrack
 from ..routing.result import RouteResult
 from ..routing.safety_unicast import route_unicast
 from ..safety.levels import SafetyLevels
-from .montecarlo import trial_rngs
+from .montecarlo import iter_trial_rngs
 from .tables import Table
 
 __all__ = ["route_volume_words", "volume_table"]
@@ -66,7 +66,7 @@ def volume_table(
     for f in fault_counts:
         sums: Dict[str, List[float]] = {}
         hops: Dict[str, List[int]] = {}
-        for rng in trial_rngs(seed + f, trials):
+        for rng in iter_trial_rngs(seed + f, trials):
             faults = uniform_node_faults(topo, f, rng)
             sl = SafetyLevels.compute(topo, faults)
             alive = faults.nonfaulty_nodes(topo)

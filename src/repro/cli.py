@@ -5,20 +5,26 @@ Usage::
     python -m repro.cli list
     python -m repro.cli fig1
     python -m repro.cli fig2 --trials 500
+    python -m repro.cli fig2 --jobs 4
     python -m repro.cli all --quick
 
 Every experiment is seeded; rerunning a command reproduces its output
-bit-for-bit.  ``--quick`` shrinks trial counts for smoke runs.
+bit-for-bit.  ``--quick`` shrinks trial counts for smoke runs.  ``--jobs``
+fans Monte-Carlo trials out over worker processes (equivalent to setting
+``REPRO_JOBS``); the sweep engine guarantees results do not depend on the
+worker count.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable, Dict, List
 
 from . import analysis
+from .analysis.sweep import JOBS_ENV_VAR
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -189,10 +195,21 @@ def main(argv: List[str] | None = None) -> int:
                         help="reduced trial counts for a fast smoke run")
     parser.add_argument("--trials", type=int, default=None,
                         help="override the per-experiment trial count")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for Monte-Carlo sweeps "
+                             f"(default: ${JOBS_ENV_VAR} or serial); "
+                             "results are identical for any value")
     parser.add_argument("--save", metavar="DIR", default=None,
                         help="also write each experiment's output to "
                              "DIR/<name>.txt")
     args = parser.parse_args(argv)
+
+    if args.jobs is not None:
+        if args.jobs < 1:
+            parser.error("--jobs must be >= 1")
+        # The sweep engine resolves this env knob wherever a runner does
+        # not take an explicit jobs argument, so one flag covers them all.
+        os.environ[JOBS_ENV_VAR] = str(args.jobs)
 
     if args.experiment == "list":
         try:

@@ -27,12 +27,15 @@ from .gs import (
     GsRun,
     compute_levels_with_rounds,
     run_gs,
+    stabilization_rounds_batch,
     stabilization_rounds_fast,
 )
 from .levels import (
+    LevelsWorkspace,
     SafetyLevels,
     compute_safety_levels,
     compute_safety_levels_async,
+    compute_safety_levels_batch,
     level_from_sorted,
     level_of_node,
     verify_fixed_point,
@@ -64,10 +67,13 @@ __all__ = [
     "GsRun",
     "compute_levels_with_rounds",
     "run_gs",
+    "stabilization_rounds_batch",
     "stabilization_rounds_fast",
+    "LevelsWorkspace",
     "SafetyLevels",
     "compute_safety_levels",
     "compute_safety_levels_async",
+    "compute_safety_levels_batch",
     "level_from_sorted",
     "level_of_node",
     "verify_fixed_point",

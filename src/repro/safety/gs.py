@@ -25,7 +25,7 @@ which :func:`run_gs` reports for the E12 ablation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Literal, Sequence
+from typing import Dict, List, Literal, Optional, Sequence
 
 import numpy as np
 
@@ -34,7 +34,13 @@ from ..core.hypercube import Hypercube
 from ..simcore.message import Message
 from ..simcore.network import Network
 from ..simcore.sync import BspProcess, RoundExecutor, RoundsResult
-from .levels import level_from_sorted, _sweep
+from .levels import (
+    LevelsWorkspace,
+    _DEFAULT_WORKSPACE,
+    _sweep,
+    compute_safety_levels_batch,
+    level_from_sorted,
+)
 
 __all__ = [
     "GsProcess",
@@ -42,6 +48,7 @@ __all__ = [
     "run_gs",
     "compute_levels_with_rounds",
     "stabilization_rounds_fast",
+    "stabilization_rounds_batch",
     "KIND_LEVEL",
 ]
 
@@ -152,23 +159,27 @@ def run_gs(
 
 
 def compute_levels_with_rounds(
-    topo: Hypercube, faults: FaultSet
+    topo: Hypercube,
+    faults: FaultSet,
+    workspace: Optional[LevelsWorkspace] = None,
 ) -> tuple[np.ndarray, int]:
     """Vectorized GS: final levels plus the stabilization round.
 
     One numpy sweep corresponds exactly to one synchronous GS round, so the
     count of change-bearing sweeps equals the distributed protocol's
-    stabilization round (cross-checked in tests).  This is the kernel the
-    Fig. 2 Monte-Carlo uses — it runs thousands of 7-cube trials per
-    second, where full simulation would dominate the experiment.
+    stabilization round (cross-checked in tests).  This is the per-trial
+    kernel behind the Fig. 2 Monte-Carlo; whole sweep cells should prefer
+    :func:`stabilization_rounds_batch`, which runs every trial of a cell
+    in one numpy computation.
     """
     n = topo.dimension
     table = topo.neighbor_table()
     faulty = faults.node_mask(topo.num_nodes)
     levels = np.full(topo.num_nodes, n, dtype=np.int64)
     levels[faulty] = 0
-    staircase = np.arange(n, dtype=np.int64)[None, :]
-    scratch = np.empty((topo.num_nodes, n), dtype=np.int64)
+    ws = workspace if workspace is not None else _DEFAULT_WORKSPACE
+    staircase = ws.staircase(n)[None, :]
+    scratch = ws.gather(1, topo.num_nodes, n)[0]
     rounds = 0
     for sweep_no in range(1, n + 2):
         if _sweep(levels, table, faulty, staircase, scratch) == 0:
@@ -180,3 +191,21 @@ def compute_levels_with_rounds(
 def stabilization_rounds_fast(topo: Hypercube, faults: FaultSet) -> int:
     """Stabilization round only (the Fig. 2 y-axis quantity)."""
     return compute_levels_with_rounds(topo, faults)[1]
+
+
+def stabilization_rounds_batch(
+    topo: Hypercube,
+    fault_masks: np.ndarray,
+    workspace: Optional[LevelsWorkspace] = None,
+) -> np.ndarray:
+    """Per-trial stabilization rounds for a ``(B, 2**n)`` fault-mask batch.
+
+    Batched counterpart of :func:`stabilization_rounds_fast`: one call
+    evaluates a whole Fig. 2 (n, f) Monte-Carlo cell, with the rounds of
+    trial ``b`` equal to what the per-trial kernel reports for row ``b``'s
+    fault set (asserted by the equivalence tests).
+    """
+    _, rounds = compute_safety_levels_batch(
+        topo, fault_masks, workspace=workspace, return_rounds=True
+    )
+    return rounds

@@ -25,7 +25,7 @@ monotonically downward in at most ``n - 1`` sweeps (Property 1 corollary).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,7 +36,9 @@ from ..core.hypercube import Hypercube
 __all__ = [
     "level_from_sorted",
     "level_of_node",
+    "LevelsWorkspace",
     "compute_safety_levels",
+    "compute_safety_levels_batch",
     "compute_safety_levels_async",
     "verify_fixed_point",
     "SafetyLevels",
@@ -81,7 +83,104 @@ def _sweep(levels: np.ndarray, table: np.ndarray, faulty: np.ndarray,
     return changed
 
 
-def compute_safety_levels(topo: Hypercube, faults: FaultSet) -> np.ndarray:
+class LevelsWorkspace:
+    """Reusable scratch buffers for the safety-level kernels.
+
+    The vectorized kernels need an identity staircase, a gather buffer of
+    shape ``(batch, 2**n, n)``, and (for the batched SWAR kernel) packed
+    threshold tables.  In Monte-Carlo loops those allocations dominate
+    small-cube trials, so this class caches them keyed on the cube shape,
+    growing batch capacity on demand and handing out views.  Buffers are
+    plain mutable scratch: a workspace must not be shared between threads
+    (separate *processes* each get their own).
+    """
+
+    __slots__ = ("_staircases", "_gathers", "_swar", "_swar_scratch")
+
+    def __init__(self) -> None:
+        self._staircases: Dict[int, np.ndarray] = {}
+        self._gathers: Dict[Tuple[int, int], np.ndarray] = {}
+        self._swar: Dict[int, Tuple[np.ndarray, np.ndarray, int, int]] = {}
+        self._swar_scratch: Dict[int, np.ndarray] = {}
+
+    def staircase(self, n: int) -> np.ndarray:
+        """Read-only ``(0, 1, ..., n-1)`` row for Definition-1 comparisons."""
+        arr = self._staircases.get(n)
+        if arr is None:
+            arr = np.arange(n, dtype=np.int64)
+            arr.setflags(write=False)
+            self._staircases[n] = arr
+        return arr
+
+    def gather(self, batch: int, num_nodes: int, n: int) -> np.ndarray:
+        """A ``(batch, num_nodes, n)`` int64 scratch view (uninitialized)."""
+        key = (num_nodes, n)
+        buf = self._gathers.get(key)
+        if buf is None or buf.shape[0] < batch:
+            buf = np.empty((batch, num_nodes, n), dtype=np.int64)
+            self._gathers[key] = buf
+        return buf[:batch]
+
+    def swar_scratch(
+        self, batch: int, num_nodes: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Two ``(batch, num_nodes)`` uint64 scratch views (uninitialized)."""
+        buf = self._swar_scratch.get(num_nodes)
+        if buf is None or buf.shape[1] < batch:
+            buf = np.empty((2, batch, num_nodes), dtype=np.uint64)
+            self._swar_scratch[num_nodes] = buf
+        return buf[0, :batch], buf[1, :batch]
+
+    def swar_tables(self, n: int) -> Tuple[np.ndarray, np.ndarray, int, int]:
+        """Packed-threshold tables for the SWAR batched kernel (n <= 9).
+
+        Definition 1's update collapses to ``S(a) = min{t : c_t >= t+1}``
+        where ``c_t`` counts neighbors with level below ``t`` (or ``n``
+        when no threshold fails; ``t = 0`` can never fail).  The SWAR
+        kernel keeps every counter ``c_1 .. c_{n-1}`` in its own 7-bit
+        field of one ``uint64`` per node, so a single add per dimension
+        accumulates all thresholds at once.  Returned tables:
+
+        * ``vlut[L]`` — the packed contribution of one neighbor at level
+          ``L``: bit ``7t`` set for every threshold ``t > L``;
+        * ``tlut[p]`` — maps ``popcount(O ^ (O - 1))`` of the overflow
+          word ``O`` back to the lowest failing threshold: the lowest set
+          bit ``7t + 6`` gives popcount ``7t + 7``; ``O == 0`` wraps to
+          all-ones (popcount 64), which maps to ``n`` for "no failure";
+        * ``bias`` — adds ``64 - (t+1)`` into field ``t``, so field
+          ``t`` overflows into bit ``7t + 6`` exactly when
+          ``c_t >= t+1`` (fields hold at most ``n + 63 < 128``: no
+          carry between fields);
+        * ``over`` — the mask of all overflow bits.
+        """
+        cached = self._swar.get(n)
+        if cached is None:
+            if not 1 <= n <= 9:
+                raise ValueError("SWAR kernel supports 1 <= n <= 9")
+            vlut = np.zeros(n + 1, dtype=np.uint64)
+            for level in range(n + 1):
+                vlut[level] = sum(1 << (7 * t) for t in range(level + 1, n))
+            vlut.setflags(write=False)
+            tlut = np.full(65, n, dtype=np.int8)
+            for t in range(1, n):
+                tlut[7 * t + 7] = t
+            tlut.setflags(write=False)
+            bias = sum((63 - t) << (7 * t) for t in range(1, n))
+            over = sum(1 << (7 * t + 6) for t in range(1, n))
+            cached = (vlut, tlut, bias, over)
+            self._swar[n] = cached
+        return cached
+
+
+#: Shared workspace for single-threaded callers (the default everywhere).
+_DEFAULT_WORKSPACE = LevelsWorkspace()
+
+
+def compute_safety_levels(
+    topo: Hypercube,
+    faults: FaultSet,
+    workspace: Optional[LevelsWorkspace] = None,
+) -> np.ndarray:
     """The unique safety-level assignment of a faulty binary n-cube.
 
     Vectorized greatest-fixed-point iteration: start every nonfaulty node
@@ -90,6 +189,8 @@ def compute_safety_levels(topo: Hypercube, faults: FaultSet) -> np.ndarray:
     "round" is one fancy-indexed gather + row sort over the whole cube.
 
     Returns an int64 vector of length ``2**n``; faulty nodes hold 0.
+    ``workspace`` defaults to a module-level scratch cache so tight trial
+    loops do not reallocate the ``(2**n, n)`` gather buffer every call.
 
     Note: link faults are outside Definition 1 — use
     :mod:`repro.safety.link_faults` for cubes with faulty links.
@@ -104,8 +205,9 @@ def compute_safety_levels(topo: Hypercube, faults: FaultSet) -> np.ndarray:
     faulty = faults.node_mask(topo.num_nodes)
     levels = np.full(topo.num_nodes, n, dtype=np.int64)
     levels[faulty] = 0
-    staircase = np.arange(n, dtype=np.int64)[None, :]
-    scratch = np.empty((topo.num_nodes, n), dtype=np.int64)
+    ws = workspace if workspace is not None else _DEFAULT_WORKSPACE
+    staircase = ws.staircase(n)[None, :]
+    scratch = ws.gather(1, topo.num_nodes, n)[0]
     # The monotone iteration provably needs at most n-1 sweeps to reach the
     # fixed point (Property 1 corollary); one extra confirms stability.
     for _ in range(n + 1):
@@ -115,6 +217,192 @@ def compute_safety_levels(topo: Hypercube, faults: FaultSet) -> np.ndarray:
         "safety-level iteration failed to stabilize within n+1 sweeps; "
         "this contradicts Property 1 and indicates a kernel bug"
     )
+
+
+#: Row-block size for the batched kernel.  The SWAR sweep touches two
+#: ``(block, 2**n)`` uint64 buffers per pass; blocking keeps them inside
+#: the cache instead of streaming a whole 10k-trial batch through memory.
+_BATCH_BLOCK = 512
+
+
+def _batch_block_swar(
+    n: int, masks: np.ndarray, ws: LevelsWorkspace
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Definition-1 fixed point for one block of fault masks, SWAR kernel.
+
+    Works for ``n <= 9``.  Levels live in an int8 ``(B, 2**n)`` matrix.
+    One sweep packs every node's threshold counters ``c_1 .. c_{n-1}``
+    (#neighbors with level < t) into 7-bit lanes of a uint64 — the lane
+    sums are just ``n`` adds of the value table along each reversed cube
+    axis, since the dimension-``j`` neighbor of node ``a`` is ``a ^ 2**j``.
+    Adding the bias makes lane ``t`` overflow into its top bit exactly when
+    ``c_t >= t + 1``; the lowest set overflow bit *is* the new level
+    (Definition 1 collapsed to ``S(a) = min{t : c_t >= t+1}``, else ``n``).
+    No gather, no sort, ~n ops per node per sweep.
+    """
+    vlut, tlut, bias, over = ws.swar_tables(n)
+    batch, num_nodes = masks.shape
+    levels = np.full((batch, num_nodes), n, dtype=np.int8)
+    levels[masks] = 0
+    rounds = np.zeros(batch, dtype=np.int64)
+    packed, summed = ws.swar_scratch(batch, num_nodes)
+    # Sweep 1 collapses analytically: from the all-n start a neighbor
+    # contributes to every threshold iff it is faulty, so each counter
+    # c_t equals the faulty-neighbor count F and the swept level is 1
+    # where F >= 2, else n.  Counting F is an 8-bit add per dimension —
+    # a quarter of the packed sweep's traffic.
+    cnt = np.empty((batch, num_nodes), dtype=np.uint8)
+    cnt_cube = cnt.reshape((batch,) + (2,) * n)
+    mask_cube = masks.view(np.uint8).reshape(cnt_cube.shape)
+    for axis in range(1, n + 1):
+        rev = tuple(
+            slice(None, None, -1) if k == axis else slice(None)
+            for k in range(n + 1)
+        )
+        if axis == 1:
+            cnt_cube[...] = mask_cube[rev]
+        else:
+            np.add(cnt_cube, mask_cube[rev], out=cnt_cube)
+    dropped = (cnt >= 2) & ~masks
+    active = np.flatnonzero(dropped.any(axis=1))
+    if active.size:
+        new_levels = np.where(dropped[active], np.int8(1), np.int8(n))
+        new_levels[masks[active]] = 0
+        levels[active] = new_levels
+        rounds[active] = 1
+    for sweep_no in range(2, n + 2):
+        b = active.size
+        if b == 0:
+            break
+        # While every row is still active, operate on the block arrays
+        # directly instead of fancy-indexed copies of them.
+        full = b == batch
+        sub_levels = levels if full else levels[active]
+        sub_masks = masks if full else masks[active]
+        value = packed[:b]
+        np.take(vlut, sub_levels, out=value)
+        cube = value.reshape((b,) + (2,) * n)
+        total = summed[:b]
+        # Seed the accumulator with the bias so it rides along the
+        # neighbor adds instead of costing a separate pass.
+        total.fill(bias)
+        total_cube = total.reshape(cube.shape)
+        for axis in range(1, n + 1):
+            rev = tuple(
+                slice(None, None, -1) if k == axis else slice(None)
+                for k in range(n + 1)
+            )
+            np.add(total_cube, cube[rev], out=total_cube)
+        total &= over
+        # total ^ (total - 1) sets bits 0 .. lowest-set-bit, so its
+        # popcount maps through tlut to the level (total == 0 wraps to
+        # all-ones, popcount 64 -> n).  Reuses the value buffer.
+        np.subtract(total, np.uint64(1), out=value)
+        np.bitwise_xor(value, total, out=value)
+        new_levels = tlut[np.bitwise_count(value)]
+        new_levels[sub_masks] = 0
+        changed = (new_levels != sub_levels).any(axis=1)
+        still = np.flatnonzero(changed) if full else active[changed]
+        rounds[still] = sweep_no
+        levels[still] = new_levels[changed]
+        active = still
+    if active.size:
+        raise AssertionError(
+            "batched safety-level iteration failed to stabilize within n+1 "
+            "sweeps; this contradicts Property 1 and indicates a kernel bug"
+        )
+    return levels.astype(np.int64), rounds
+
+
+def _batch_block_sorted(
+    n: int, num_nodes: int, table: np.ndarray, masks: np.ndarray,
+    ws: LevelsWorkspace,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generic fallback fixed point: gather + row sort per sweep.
+
+    Handles any dimension (the SWAR packing runs out of uint64 lanes past
+    ``n = 9``); same contract as :func:`_batch_block_swar`.
+    """
+    batch = masks.shape[0]
+    levels = np.full((batch, num_nodes), n, dtype=np.int64)
+    levels[masks] = 0
+    rounds = np.zeros(batch, dtype=np.int64)
+    staircase = ws.staircase(n)
+    active = np.arange(batch)
+    for sweep_no in range(1, n + 2):
+        if active.size == 0:
+            break
+        sub_levels = levels[active]
+        scratch = ws.gather(active.size, num_nodes, n)
+        np.take(sub_levels, table, axis=1, out=scratch)
+        scratch.sort(axis=2)
+        below = scratch < staircase  # (b, N, n): S_j < j
+        any_below = below.any(axis=2)
+        first_fail = np.argmax(below, axis=2)
+        new_levels = np.where(any_below, first_fail, n).astype(np.int64)
+        new_levels[masks[active]] = 0
+        changed = (new_levels != sub_levels).any(axis=1)
+        still = active[changed]
+        rounds[still] = sweep_no
+        levels[still] = new_levels[changed]
+        active = still
+    if active.size:
+        raise AssertionError(
+            "batched safety-level iteration failed to stabilize within n+1 "
+            "sweeps; this contradicts Property 1 and indicates a kernel bug"
+        )
+    return levels, rounds
+
+
+def compute_safety_levels_batch(
+    topo: Hypercube,
+    fault_masks: np.ndarray,
+    workspace: Optional[LevelsWorkspace] = None,
+    return_rounds: bool = False,
+) -> np.ndarray | Tuple[np.ndarray, np.ndarray]:
+    """Safety levels of ``B`` independent fault sets in one kernel.
+
+    ``fault_masks`` is a boolean ``(B, 2**n)`` matrix, one row per trial
+    (row ``b`` true at ``b``'s faulty nodes).  Each Definition-1 sweep runs
+    over every still-unstable trial at once, so a whole Monte-Carlo cell
+    amortizes numpy dispatch that the per-trial kernel pays ``B`` times;
+    rows that reach their fixed point drop out of subsequent sweeps, and
+    large batches are processed in cache-sized row blocks.  For ``n <= 9``
+    the sweep uses the SWAR threshold-counting kernel
+    (:func:`_batch_block_swar`); larger cubes fall back to the gather+sort
+    formulation.
+
+    Returns the ``(B, 2**n)`` int64 level matrix; with ``return_rounds``
+    also the ``(B,)`` per-trial stabilization round (the count of
+    change-bearing synchronous sweeps — exactly what
+    :func:`repro.safety.gs.compute_levels_with_rounds` reports trial by
+    trial, cross-checked in the test suite).
+    """
+    masks = np.asarray(fault_masks, dtype=bool)
+    if masks.ndim != 2 or masks.shape[1] != topo.num_nodes:
+        raise ValueError(
+            f"fault_masks must have shape (B, {topo.num_nodes}), "
+            f"got {masks.shape}"
+        )
+    n = topo.dimension
+    num_nodes = topo.num_nodes
+    batch = masks.shape[0]
+    ws = workspace if workspace is not None else _DEFAULT_WORKSPACE
+    use_swar = n <= 9 and num_nodes == (1 << n)
+    table = None if use_swar else topo.neighbor_table()
+    levels = np.empty((batch, num_nodes), dtype=np.int64)
+    rounds = np.empty(batch, dtype=np.int64)
+    for lo in range(0, batch, _BATCH_BLOCK):
+        hi = min(lo + _BATCH_BLOCK, batch)
+        if use_swar:
+            blk_levels, blk_rounds = _batch_block_swar(n, masks[lo:hi], ws)
+        else:
+            blk_levels, blk_rounds = _batch_block_sorted(
+                n, num_nodes, table, masks[lo:hi], ws
+            )
+        levels[lo:hi] = blk_levels
+        rounds[lo:hi] = blk_rounds
+    return (levels, rounds) if return_rounds else levels
 
 
 def compute_safety_levels_async(
@@ -211,7 +499,7 @@ class SafetyLevels:
     def safe_set(self) -> FrozenSet[int]:
         """All n-safe nodes."""
         n = self.topo.dimension
-        return frozenset(int(v) for v in np.nonzero(self.levels == n)[0])
+        return frozenset(np.flatnonzero(self.levels == n).tolist())
 
     def neighbor_levels(self, node: int) -> List[int]:
         """Levels of ``node``'s neighbors in dimension order — exactly the
@@ -221,10 +509,16 @@ class SafetyLevels:
 
     def by_level(self) -> Dict[int, List[int]]:
         """Mapping level -> sorted node list (diagnostics, examples)."""
-        out: Dict[int, List[int]] = {}
-        for node in self.topo.iter_nodes():
-            out.setdefault(int(self.levels[node]), []).append(node)
-        return out
+        # One stable sort groups nodes by level while keeping ascending
+        # node ids within each group — no per-node Python loop over 2**n.
+        order = np.argsort(self.levels, kind="stable")
+        grouped = self.levels[order]
+        values, starts = np.unique(grouped, return_index=True)
+        bounds = np.append(starts, order.size)
+        return {
+            int(values[i]): order[bounds[i]:bounds[i + 1]].tolist()
+            for i in range(values.size)
+        }
 
     def render(self) -> str:
         """Tabular dump used by the examples to mirror the paper figures."""

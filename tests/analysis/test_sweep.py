@@ -1,0 +1,132 @@
+"""Sweep engine: chunking, jobs resolution, and bit-identical parallelism."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import (
+    _entropy_words,
+    iter_trial_rngs,
+    trial_rngs,
+)
+from repro.analysis.rounds import rounds_vs_faults
+from repro.analysis.sweep import (
+    JOBS_ENV_VAR,
+    TrialChunk,
+    chunk_trials,
+    map_trials,
+    resolve_jobs,
+    run_sweep,
+)
+
+
+class TestTrialStreams:
+    def test_iter_matches_stock_spawning(self):
+        for seed in (0, 1, 424242, 2**40 + 3, 2**70 + 999):
+            children = np.random.SeedSequence(seed).spawn(4)
+            for child, rng in zip(children, iter_trial_rngs(seed, 4)):
+                ref = np.random.default_rng(child)
+                assert (rng.integers(2**63, size=8)
+                        == ref.integers(2**63, size=8)).all(), seed
+
+    def test_offset_reproduces_suffix(self):
+        tail = list(iter_trial_rngs(99, 5))[3:]
+        offset = list(iter_trial_rngs(99, 2, start=3))
+        for a, b in zip(tail, offset):
+            assert (a.integers(2**32, size=4)
+                    == b.integers(2**32, size=4)).all()
+
+    def test_trial_rngs_wrapper_is_eager_equivalent(self):
+        eager = trial_rngs(7, 3)
+        lazy = list(iter_trial_rngs(7, 3))
+        assert len(eager) == len(lazy) == 3
+        for a, b in zip(eager, lazy):
+            assert (a.integers(1000, size=6) == b.integers(1000, size=6)).all()
+
+    def test_entropy_words_round_trip(self):
+        for seed in (0, 1, 0xFFFFFFFF, 2**32, 2**64 + 17, 2**100 + 5):
+            words = _entropy_words(seed)
+            assert words.dtype == np.uint32
+            ref = np.random.SeedSequence(seed, spawn_key=(0,))
+            fast = np.random.SeedSequence(words, spawn_key=(0,))
+            assert (ref.generate_state(4) == fast.generate_state(4)).all()
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            list(iter_trial_rngs(-1, 1))
+        with pytest.raises(ValueError):
+            list(iter_trial_rngs(0, -1))
+        with pytest.raises(ValueError):
+            list(iter_trial_rngs(0, 1, start=-1))
+
+
+class TestChunking:
+    def test_chunks_cover_trials_exactly(self):
+        chunks = chunk_trials(5, 103, jobs=4)
+        assert sum(c.count for c in chunks) == 103
+        assert chunks[0].start == 0
+        for prev, nxt in zip(chunks, chunks[1:]):
+            assert nxt.start == prev.start + prev.count
+
+    def test_serial_is_one_chunk(self):
+        assert len(chunk_trials(5, 1000, jobs=1)) == 1
+
+    def test_chunk_streams_match_global_enumeration(self):
+        chunk = TrialChunk(master_seed=11, start=6, count=3)
+        global_rngs = list(iter_trial_rngs(11, 9))[6:]
+        for a, b in zip(chunk.iter_rngs(), global_rngs):
+            assert (a.integers(2**31, size=4)
+                    == b.integers(2**31, size=4)).all()
+
+    def test_resolve_jobs(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(3) == 3
+        monkeypatch.setenv(JOBS_ENV_VAR, "4")
+        assert resolve_jobs(None) == 4
+        assert resolve_jobs(2) == 2
+        monkeypatch.setenv(JOBS_ENV_VAR, "zebra")
+        with pytest.raises(ValueError):
+            resolve_jobs(None)
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+
+
+def _square_trial(rng):
+    """Module level so it pickles into spawn workers."""
+    return int(rng.integers(1000)) ** 2
+
+
+def _chunk_sums(chunk):
+    return [int(rng.integers(100)) for rng in chunk.iter_rngs()]
+
+
+class TestDeterministicParallelism:
+    def test_map_trials_serial_vs_four_workers(self):
+        serial = map_trials(_square_trial, 31, 24, jobs=1)
+        parallel = map_trials(_square_trial, 31, 24, jobs=4)
+        assert parallel == serial
+
+    def test_run_sweep_chunk_size_is_invisible(self):
+        whole = run_sweep(_chunk_sums, 8, 30, jobs=1)
+        fine = run_sweep(_chunk_sums, 8, 30, jobs=1, chunk_size=7)
+        assert fine == whole
+
+    def test_rounds_sweep_serial_vs_four_workers(self):
+        serial = rounds_vs_faults(5, [2, 6], trials=20, seed=99, jobs=1)
+        parallel = rounds_vs_faults(5, [2, 6], trials=20, seed=99, jobs=4)
+        assert parallel == serial
+
+    def test_rounds_sweep_matches_per_trial_reference(self):
+        from repro.core import Hypercube
+        from repro.core.fault_models import uniform_node_faults
+        from repro.safety.gs import compute_levels_with_rounds
+
+        n, f, trials, seed = 5, 4, 25, 77
+        (point,) = rounds_vs_faults(n, [f], trials, seed)
+        topo = Hypercube(n)
+        ref = []
+        for rng in iter_trial_rngs(seed + f, trials):
+            faults = uniform_node_faults(topo, f, rng)
+            ref.append(compute_levels_with_rounds(topo, faults)[1])
+        assert point.gs.mean == float(np.mean(ref))
+        assert point.gs.maximum == float(max(ref))
