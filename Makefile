@@ -2,7 +2,7 @@
 
 PY ?= python3
 
-.PHONY: install test bench bench-sweep experiments artifacts scorecard examples clean
+.PHONY: install test bench bench-sweep experiments artifacts scorecard stats-demo examples clean
 
 install:
 	$(PY) -m pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -24,9 +24,14 @@ artifacts:
 scorecard:
 	$(PY) -m repro.cli scorecard
 
+# Quick instrumented run -> JSONL telemetry -> offline stats report.
+stats-demo:
+	PYTHONPATH=src $(PY) -m repro.cli fig2 --quick --metrics-out stats-demo.jsonl
+	PYTHONPATH=src $(PY) -m repro.cli stats stats-demo.jsonl
+
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PY) $$f > /dev/null || exit 1; done; echo "all examples OK"
 
 clean:
-	rm -rf artifacts benchmarks/results .pytest_cache .hypothesis
+	rm -rf artifacts benchmarks/results .pytest_cache .hypothesis stats-demo.jsonl
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -15,40 +15,78 @@ A full reproduction of Jie Wu's safety-level unicasting system
 * :mod:`repro.broadcast` — the safety-level broadcast extension;
 * :mod:`repro.analysis` — experiment harness regenerating each paper
   table/figure;
+* :mod:`repro.obs` — metrics + structured JSONL run telemetry;
+* :mod:`repro.results` — the result protocol every outcome object shares;
+* :mod:`repro.api` — the one-stop facade over all of the above;
 * :mod:`repro.instances` — the exact instances drawn in the paper's
   figures.
 
 Quickstart::
 
-    from repro.core import Hypercube, FaultSet
-    from repro.safety import SafetyLevels
-    from repro.routing import route_unicast
+    import repro
 
-    q = Hypercube(4)
-    faults = FaultSet.from_addresses(q, ["0011", "0100", "0110", "1001"])
-    levels = SafetyLevels.compute(q, faults)
-    result = route_unicast(levels, q.parse_node("1110"), q.parse_node("0001"))
-    print(result.describe(q.format_node))
+    levels = repro.compute_levels(4, ["0011", "0100", "0110", "1001"])
+    result = repro.route(levels, "1110", "0001")
+    print(result.summary())
+
+The older deep imports (``repro.routing.route_unicast`` and friends)
+remain public and stable; the top-level ``route_unicast`` /
+``check_feasibility`` aliases are deprecated in favor of the facade and
+now warn (but keep working) when touched.
 """
 
-from . import analysis, broadcast, core, instances, routing, safety, simcore, viz
-from .core import FaultSet, GeneralizedHypercube, Hypercube
-from .routing import (
-    RouteResult,
-    RouteStatus,
-    SourceCondition,
-    check_feasibility,
-    route_unicast,
+import warnings as _warnings
+
+from . import (
+    analysis,
+    api,
+    broadcast,
+    core,
+    instances,
+    obs,
+    results,
+    routing,
+    safety,
+    simcore,
+    viz,
 )
+from .api import compute_levels, record_run, route, stats, sweep
+from .core import FaultSet, GeneralizedHypercube, Hypercube
+from .results import ResultLike
+from .routing import RouteResult, RouteStatus, SourceCondition
 from .safety import SafetyLevels
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Deprecated top-level aliases -> (replacement hint, canonical object).
+_DEPRECATED_ALIASES = {
+    "route_unicast": ("repro.route / repro.routing.route_unicast",
+                      lambda: routing.route_unicast),
+    "check_feasibility": ("repro.routing.check_feasibility",
+                          lambda: routing.check_feasibility),
+}
+
+
+def __getattr__(name):
+    entry = _DEPRECATED_ALIASES.get(name)
+    if entry is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    hint, resolve = entry
+    _warnings.warn(
+        f"repro.{name} is deprecated; use {hint}",
+        DeprecationWarning, stacklevel=2,
+    )
+    return resolve()
+
 
 __all__ = [
     "analysis",
+    "api",
     "broadcast",
     "core",
     "instances",
+    "obs",
+    "results",
     "routing",
     "safety",
     "simcore",
@@ -59,8 +97,14 @@ __all__ = [
     "RouteResult",
     "RouteStatus",
     "SourceCondition",
+    "ResultLike",
+    "SafetyLevels",
+    "compute_levels",
+    "route",
+    "sweep",
+    "record_run",
+    "stats",
     "check_feasibility",
     "route_unicast",
-    "SafetyLevels",
     "__version__",
 ]

@@ -28,12 +28,14 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.instruments import record_sweep
 from .montecarlo import iter_trial_rngs
 
 __all__ = [
@@ -120,20 +122,33 @@ def run_sweep(
     spawn-context process pool (serial fallback otherwise); either way the
     returned list is the in-order concatenation, so worker count cannot
     change any downstream statistic.
+
+    Each run reports throughput telemetry (trials/sec, per-chunk timing)
+    through :mod:`repro.obs` when observability is enabled.  Workers never
+    record — spawn re-imports leave them with the disabled defaults — so
+    parallel timing is observed from the driver side and the engine gains
+    no IPC.
     """
     jobs = resolve_jobs(jobs)
     chunks = chunk_trials(master_seed, trials, jobs, chunk_size)
     results: List[Any] = []
+    chunk_seconds: List[float] = []
+    start = time.perf_counter()
     if jobs == 1 or len(chunks) <= 1:
         for chunk in chunks:
+            t0 = time.perf_counter()
             results.extend(chunk_fn(chunk, *args))
-        return results
-    ctx = mp.get_context("spawn")
-    with ProcessPoolExecutor(max_workers=min(jobs, len(chunks)),
-                             mp_context=ctx) as pool:
-        futures = [pool.submit(chunk_fn, chunk, *args) for chunk in chunks]
-        for future in futures:
-            results.extend(future.result())
+            chunk_seconds.append(time.perf_counter() - t0)
+    else:
+        ctx = mp.get_context("spawn")
+        with ProcessPoolExecutor(max_workers=min(jobs, len(chunks)),
+                                 mp_context=ctx) as pool:
+            futures = [pool.submit(chunk_fn, chunk, *args)
+                       for chunk in chunks]
+            for future in futures:
+                results.extend(future.result())
+    record_sweep(master_seed, trials, jobs, len(chunks),
+                 time.perf_counter() - start, chunk_seconds)
     return results
 
 

@@ -1,0 +1,109 @@
+"""repro.api — the one-stop facade over the package's core flows.
+
+Four verbs cover the workflow the rest of the package elaborates::
+
+    import repro
+
+    levels = repro.api.compute_levels(4, ["0011", "0100", "0110", "1001"])
+    result = repro.api.route(levels, "1110", "0001")      # RouteResult
+    with repro.api.record_run("run.jsonl") as (reg, rec):
+        outcomes = repro.api.sweep(my_trial_fn, trials=1000, seed=7)
+    print(repro.api.stats("run.jsonl").gs_rounds_mean)
+
+Each facade function is a thin, friendlier wrapper over the canonical
+implementation (node addresses accepted as binary strings, fault sets
+buildable from addresses, telemetry switched on in one line); the
+underlying entry points remain public and stable, so code that outgrows
+the facade drops down without rewriting.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Iterable, Optional, Sequence, Tuple, Union
+
+from .core.faults import FaultSet
+from .core.hypercube import Hypercube
+from .obs.instruments import observed
+from .obs.runstats import RunStats, summarize_run
+from .routing.result import RouteResult
+from .routing.safety_unicast import route_unicast
+from .safety.levels import SafetyLevels
+from .analysis.sweep import map_trials
+
+__all__ = ["compute_levels", "route", "sweep", "record_run", "stats"]
+
+NodeSpec = Union[int, str]
+FaultSpec = Union[FaultSet, Iterable[Union[int, str]], None]
+
+
+def _as_topo(topo: Union[Hypercube, int]) -> Hypercube:
+    return topo if isinstance(topo, Hypercube) else Hypercube(int(topo))
+
+
+def _as_node(topo: Hypercube, node: NodeSpec) -> int:
+    return topo.parse_node(node) if isinstance(node, str) else int(node)
+
+
+def _as_faults(topo: Hypercube, faults: FaultSpec) -> FaultSet:
+    if faults is None:
+        return FaultSet()
+    if isinstance(faults, FaultSet):
+        return faults
+    items = list(faults)
+    if any(isinstance(f, str) for f in items):
+        return FaultSet.from_addresses(topo, [str(f) for f in items])
+    return FaultSet(frozenset(int(f) for f in items))
+
+
+def compute_levels(topo: Union[Hypercube, int],
+                   faults: FaultSpec = None) -> SafetyLevels:
+    """The cube's safety-level assignment (Definition 1 fixed point).
+
+    ``topo`` is a :class:`Hypercube` or just its dimension; ``faults`` a
+    :class:`FaultSet`, an iterable of node ids or binary address strings,
+    or ``None`` for a fault-free cube.
+    """
+    cube = _as_topo(topo)
+    return SafetyLevels.compute(cube, _as_faults(cube, faults))
+
+
+def route(levels: SafetyLevels, source: NodeSpec, dest: NodeSpec,
+          **kwargs: Any) -> RouteResult:
+    """One safety-level unicast; endpoints accept ints or address strings.
+
+    Extra keyword arguments (``tie_break``, ``rng``) pass through to
+    :func:`repro.routing.route_unicast`.
+    """
+    topo = levels.topo
+    return route_unicast(levels, _as_node(topo, source),
+                         _as_node(topo, dest), **kwargs)
+
+
+def sweep(trial_fn: Callable[..., Any], trials: int, *, seed: int = 0,
+          jobs: Optional[int] = None, args: Tuple[Any, ...] = ()) -> list:
+    """Run ``trial_fn(rng, *args)`` over seeded Monte-Carlo trials.
+
+    Deterministic for any worker count; ``trial_fn`` must be a module-level
+    callable when ``jobs > 1`` (it is pickled into spawn workers).  This is
+    :func:`repro.analysis.sweep.map_trials` under its workflow name — use
+    :func:`repro.analysis.sweep.run_sweep` directly for chunk-batched
+    kernels.
+    """
+    return map_trials(trial_fn, seed, trials, jobs=jobs, args=args)
+
+
+def record_run(path: Union[str, Path], tool: str = "repro.api",
+               config: Optional[dict] = None):
+    """Context manager: metrics + JSONL telemetry for the enclosed block.
+
+    Yields ``(registry, recorder)``; on exit a final counter snapshot and
+    the ``run_end`` envelope are appended and the previous observability
+    state is restored.  Shorthand for :func:`repro.obs.observed`.
+    """
+    return observed(path, tool=tool, config=config)
+
+
+def stats(path: Union[str, Path]) -> RunStats:
+    """Validate and aggregate a recorded run (see ``repro stats``)."""
+    return summarize_run(path)

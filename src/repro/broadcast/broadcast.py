@@ -25,11 +25,12 @@ accounting so the E11 benchmark can print the trade-off table.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import Any, Dict, FrozenSet, List, Sequence, Set, Tuple
 
 from ..core import partition
 from ..core.faults import FaultSet
 from ..core.hypercube import Hypercube
+from ..results import base_record
 from ..safety.levels import SafetyLevels
 
 __all__ = [
@@ -65,6 +66,31 @@ class BroadcastResult:
         """Reachable nonfaulty nodes the strategy failed to inform."""
         reachable = partition.reachable_set(topo, faults, self.source)
         return frozenset(reachable - set(self.covered))
+
+    # -- the shared result protocol (repro.results.ResultLike) --------------
+
+    @property
+    def status(self) -> str:
+        """``"delivered"`` when anyone beyond the source heard the message,
+        else ``"failed"`` (completeness needs the topology — see
+        :meth:`coverage_fraction`)."""
+        return "delivered" if len(self.covered) > 1 else "failed"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return base_record(
+            self,
+            strategy=self.strategy,
+            source=self.source,
+            covered=len(self.covered),
+            messages=self.messages,
+            depth=self.depth,
+        )
+
+    def summary(self) -> str:
+        return (
+            f"broadcast[{self.strategy}]: {len(self.covered)} nodes covered "
+            f"in depth {self.depth}, {self.messages} messages ({self.status})"
+        )
 
 
 def _check_source(topo: Hypercube, faults: FaultSet, source: int) -> None:

@@ -5,14 +5,23 @@ Usage::
     python -m repro.cli list
     python -m repro.cli fig1
     python -m repro.cli fig2 --trials 500
-    python -m repro.cli fig2 --jobs 4
+    python -m repro.cli fig2 --jobs 4 --metrics-out run.jsonl
+    python -m repro.cli stats run.jsonl
     python -m repro.cli all --quick
 
 Every experiment is seeded; rerunning a command reproduces its output
 bit-for-bit.  ``--quick`` shrinks trial counts for smoke runs.  ``--jobs``
 fans Monte-Carlo trials out over worker processes (equivalent to setting
 ``REPRO_JOBS``); the sweep engine guarantees results do not depend on the
-worker count.
+worker count.  ``--metrics-out PATH`` records the run's telemetry — a
+provenance manifest, per-attempt routing outcomes, kernel batches, sweep
+throughput and a final counter snapshot — as schema-versioned JSONL
+(see :mod:`repro.obs`); ``stats PATH`` folds such a file back into the
+run's headline numbers offline.
+
+Experiments live in a declarative registry: each entry binds a name to a
+description, a runner and its default trial counts, and every entry
+shares the flags above.  ``list`` enumerates the registry.
 """
 
 from __future__ import annotations
@@ -21,105 +30,211 @@ import argparse
 import os
 import sys
 import time
-from typing import Callable, Dict, List
+import warnings
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional
 
-from . import analysis
+from . import analysis, obs
 from .analysis.sweep import JOBS_ENV_VAR
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = ["main", "RunContext", "Experiment", "REGISTRY", "EXPERIMENTS",
+           "register"]
 
 
-def _fig2(quick: bool, trials: int | None) -> str:
-    t = trials if trials else (100 if quick else 1000)
-    counts = list(range(1, 15 if quick else 41))
-    return analysis.fig2_series(trials=t, fault_counts=counts).render(
+@dataclass(frozen=True)
+class RunContext:
+    """What a runner receives: the shared flags, with trials resolved.
+
+    ``trials`` is the explicit ``--trials`` override if given, else the
+    experiment's declared quick/full default (``None`` for experiments
+    without a trial knob).
+    """
+
+    quick: bool = False
+    trials: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registry entry: name -> runner -> default trial counts."""
+
+    name: str
+    description: str
+    runner: Callable[[RunContext], str]
+    quick_trials: Optional[int] = None
+    full_trials: Optional[int] = None
+
+    def resolve_trials(self, quick: bool,
+                       trials: Optional[int]) -> Optional[int]:
+        if trials is not None:
+            return trials
+        return self.quick_trials if quick else self.full_trials
+
+    def run(self, quick: bool = False, trials: Optional[int] = None) -> str:
+        """Execute the runner under the shared-flag contract."""
+        ctx = RunContext(quick=quick,
+                         trials=self.resolve_trials(quick, trials))
+        return self.runner(ctx)
+
+    def __iter__(self) -> Iterator:
+        """Deprecated: unpack as the legacy ``(description, runner)`` tuple.
+
+        Early versions kept ``EXPERIMENTS`` as ``name -> (description,
+        runner(quick, trials))``; this shim keeps that shape working while
+        steering callers to ``.description`` / ``.run``.
+        """
+        warnings.warn(
+            "unpacking an Experiment as (description, runner) is "
+            "deprecated; use experiment.description and experiment.run()",
+            DeprecationWarning, stacklevel=2,
+        )
+        yield self.description
+        yield lambda quick, trials: self.run(quick=quick, trials=trials)
+
+
+#: The experiment registry: name -> :class:`Experiment`.
+REGISTRY: Dict[str, Experiment] = {}
+
+#: Back-compat alias (the dict used to map name -> (description, runner);
+#: entries now unpack that way only through the deprecation shim above).
+EXPERIMENTS = REGISTRY
+
+
+def register(name: str, description: str, quick: Optional[int] = None,
+             full: Optional[int] = None):
+    """Declare one experiment; decorates a ``runner(ctx) -> str``."""
+
+    def deco(fn: Callable[[RunContext], str]) -> Callable[[RunContext], str]:
+        if name in REGISTRY:
+            raise ValueError(f"experiment {name!r} registered twice")
+        REGISTRY[name] = Experiment(name=name, description=description,
+                                    runner=fn, quick_trials=quick,
+                                    full_trials=full)
+        return fn
+
+    return deco
+
+
+# -- the experiments --------------------------------------------------------
+
+
+@register("fig1", "Fig. 1 safety levels + Section 3.2 unicasts (E1)")
+def _fig1(ctx: RunContext) -> str:
+    return analysis.fig1_report()
+
+
+@register("fig2", "Fig. 2 average GS rounds vs faults, 7-cubes (E2)",
+          quick=100, full=1000)
+def _fig2(ctx: RunContext) -> str:
+    counts = list(range(1, 15 if ctx.quick else 41))
+    return analysis.fig2_series(trials=ctx.trials, fault_counts=counts).render(
         extra_labels=["max_rounds"]
     )
 
 
-def _safesets(quick: bool, trials: int | None) -> str:
-    t = trials if trials else (50 if quick else 200)
+@register("fig3", "Fig. 3 disconnected cube + Theorem 4 (E4)")
+def _fig3(ctx: RunContext) -> str:
+    return analysis.fig3_report()
+
+
+@register("fig4", "Fig. 4 node+link faults, EGS routing (E5)")
+def _fig4(ctx: RunContext) -> str:
+    return analysis.fig4_report()
+
+
+@register("fig5", "Fig. 5 generalized hypercube routing (E6)")
+def _fig5(ctx: RunContext) -> str:
+    return analysis.fig5_report()
+
+
+@register("safesets", "Section 2.3 safe-set comparison (E3)",
+          quick=50, full=200)
+def _safesets(ctx: RunContext) -> str:
     return "\n\n".join([
         analysis.section23_table().render(),
-        analysis.safe_set_sweep_table(trials=t).render(),
+        analysis.safe_set_sweep_table(trials=ctx.trials).render(),
     ])
 
 
-def _routability(quick: bool, trials: int | None) -> str:
-    t = trials if trials else (40 if quick else 200)
-    return analysis.routability_table(trials=t).render()
+@register("routability", "unicast guarantee sweep (E7)", quick=40, full=200)
+def _routability(ctx: RunContext) -> str:
+    return analysis.routability_table(trials=ctx.trials).render()
 
 
-def _rounds_compare(quick: bool, trials: int | None) -> str:
-    t = trials if trials else (60 if quick else 300)
-    dims = (4, 5, 6) if quick else (4, 5, 6, 7, 8)
-    return analysis.rounds_comparison_table(dims=dims, trials=t).render()
+@register("rounds-compare", "GS vs LH vs WF rounds (E8)", quick=60, full=300)
+def _rounds_compare(ctx: RunContext) -> str:
+    dims = (4, 5, 6) if ctx.quick else (4, 5, 6, 7, 8)
+    return analysis.rounds_comparison_table(dims=dims,
+                                            trials=ctx.trials).render()
 
 
-def _compare(quick: bool, trials: int | None) -> str:
-    t = trials if trials else (15 if quick else 60)
-    tables = analysis.comparison_table(trials=t)
+@register("compare", "router shoot-out (E9)", quick=15, full=60)
+def _compare(ctx: RunContext) -> str:
+    tables = analysis.comparison_table(trials=ctx.trials)
     return "\n\n".join(tbl.render() for tbl in tables)
 
 
-def _disconnected(quick: bool, trials: int | None) -> str:
-    t = trials if trials else (40 if quick else 150)
-    dims = (4, 5) if quick else (4, 5, 6, 7)
-    return analysis.disconnected_table(dims=dims, trials=t).render()
+@register("disconnected", "disconnected-cube sweep (E10)", quick=40, full=150)
+def _disconnected(ctx: RunContext) -> str:
+    dims = (4, 5) if ctx.quick else (4, 5, 6, 7)
+    return analysis.disconnected_table(dims=dims, trials=ctx.trials).render()
 
 
-def _broadcast(quick: bool, trials: int | None) -> str:
-    t = trials if trials else (20 if quick else 60)
-    return analysis.broadcast_table(trials=t).render()
+@register("broadcast", "broadcast extension (E11)", quick=20, full=60)
+def _broadcast(ctx: RunContext) -> str:
+    return analysis.broadcast_table(trials=ctx.trials).render()
 
 
-def _ablation(quick: bool, trials: int | None) -> str:
-    t = trials if trials else (20 if quick else 60)
-    gs_trials = max(5, t // 3)
+@register("ablation", "tie-break + GS policy ablations (E12)",
+          quick=20, full=60)
+def _ablation(ctx: RunContext) -> str:
     return "\n\n".join([
-        analysis.tie_break_table(trials=t).render(),
-        analysis.gs_policy_table(trials=gs_trials).render(),
+        analysis.tie_break_table(trials=ctx.trials).render(),
+        analysis.gs_policy_table(trials=max(5, ctx.trials // 3)).render(),
     ])
 
 
-def _dynamic(quick: bool, trials: int | None) -> str:
-    t = trials if trials else (4 if quick else 10)
-    horizon = 15 if quick else 40
-    return analysis.dynamic_policy_table(trials=t, horizon=horizon).render()
+@register("dynamic", "dynamic fault maintenance policies (E13)",
+          quick=4, full=10)
+def _dynamic(ctx: RunContext) -> str:
+    horizon = 15 if ctx.quick else 40
+    return analysis.dynamic_policy_table(trials=ctx.trials,
+                                         horizon=horizon).render()
 
 
-def _conservatism(quick: bool, trials: int | None) -> str:
-    t = trials if trials else (10 if quick else 40)
-    return analysis.conservatism_table(trials=t).render()
+@register("conservatism", "safety level vs exact reach radius (E14)",
+          quick=10, full=40)
+def _conservatism(ctx: RunContext) -> str:
+    return analysis.conservatism_table(trials=ctx.trials).render()
 
 
-def _traffic(quick: bool, trials: int | None) -> str:
-    t = trials if trials else (3 if quick else 10)
-    return analysis.traffic_table(batches=t).render()
+@register("traffic", "link-load distribution across schemes (E15)",
+          quick=3, full=10)
+def _traffic(ctx: RunContext) -> str:
+    return analysis.traffic_table(batches=ctx.trials).render()
 
 
-def _contention(quick: bool, trials: int | None) -> str:
-    t = trials if trials else (3 if quick else 6)
-    loads = (16, 64) if quick else (16, 64, 256)
-    return analysis.contention_table(trials=t, loads=loads).render()
+@register("contention", "latency under link contention (E16)",
+          quick=3, full=6)
+def _contention(ctx: RunContext) -> str:
+    loads = (16, 64) if ctx.quick else (16, 64, 256)
+    return analysis.contention_table(trials=ctx.trials, loads=loads).render()
 
 
-def _sensitivity(quick: bool, trials: int | None) -> str:
-    t = trials if trials else (20 if quick else 60)
-    return analysis.sensitivity_table(trials=t).render()
+@register("sensitivity", "fault-distribution sensitivity (E17)",
+          quick=20, full=60)
+def _sensitivity(ctx: RunContext) -> str:
+    return analysis.sensitivity_table(trials=ctx.trials).render()
 
 
-def _multicast(quick: bool, trials: int | None) -> str:
-    t = trials if trials else (10 if quick else 30)
-    return analysis.multicast_table(trials=t).render()
+@register("multicast", "multicast tree vs separate unicasts (E18)",
+          quick=10, full=30)
+def _multicast(ctx: RunContext) -> str:
+    return analysis.multicast_table(trials=ctx.trials).render()
 
 
-def _significance(quick: bool, trials: int | None) -> str:
-    t = trials if trials else (15 if quick else 40)
-    return analysis.significance_table(trials=t).render()
-
-
-def _worstcase(quick: bool, trials: int | None) -> str:
+@register("worstcase", "tightness of the n-1 round bound (E19)")
+def _worstcase(ctx: RunContext) -> str:
     from .analysis import Table, find_slow_instance, isolation_cascade_instance
     from .safety import stabilization_rounds_fast
 
@@ -129,8 +244,8 @@ def _worstcase(quick: bool, trials: int | None) -> str:
                 "it from random starts",
         headers=["n", "bound n-1", "cascade rounds", "search rounds"],
     )
-    dims = (4, 5, 6) if quick else (4, 5, 6, 7, 8)
-    restarts = 2 if quick else 4
+    dims = (4, 5, 6) if ctx.quick else (4, 5, 6, 7, 8)
+    restarts = 2 if ctx.quick else 4
     for n in dims:
         topo, faults = isolation_cascade_instance(n)
         cascade = stabilization_rounds_fast(topo, faults)
@@ -140,45 +255,82 @@ def _worstcase(quick: bool, trials: int | None) -> str:
     return table.render()
 
 
-#: name -> (description, runner(quick, trials) -> printable text)
-EXPERIMENTS: Dict[str, tuple] = {
-    "fig1": ("Fig. 1 safety levels + Section 3.2 unicasts (E1)",
-             lambda quick, trials: analysis.fig1_report()),
-    "fig2": ("Fig. 2 average GS rounds vs faults, 7-cubes (E2)", _fig2),
-    "fig3": ("Fig. 3 disconnected cube + Theorem 4 (E4)",
-             lambda quick, trials: analysis.fig3_report()),
-    "fig4": ("Fig. 4 node+link faults, EGS routing (E5)",
-             lambda quick, trials: analysis.fig4_report()),
-    "fig5": ("Fig. 5 generalized hypercube routing (E6)",
-             lambda quick, trials: analysis.fig5_report()),
-    "safesets": ("Section 2.3 safe-set comparison (E3)", _safesets),
-    "routability": ("unicast guarantee sweep (E7)", _routability),
-    "rounds-compare": ("GS vs LH vs WF rounds (E8)", _rounds_compare),
-    "compare": ("router shoot-out (E9)", _compare),
-    "disconnected": ("disconnected-cube sweep (E10)", _disconnected),
-    "broadcast": ("broadcast extension (E11)", _broadcast),
-    "ablation": ("tie-break + GS policy ablations (E12)", _ablation),
-    "dynamic": ("dynamic fault maintenance policies (E13)", _dynamic),
-    "conservatism": ("safety level vs exact reach radius (E14)",
-                     _conservatism),
-    "traffic": ("link-load distribution across schemes (E15)", _traffic),
-    "contention": ("latency under link contention (E16)", _contention),
-    "sensitivity": ("fault-distribution sensitivity (E17)", _sensitivity),
-    "multicast": ("multicast tree vs separate unicasts (E18)", _multicast),
-    "worstcase": ("tightness of the n-1 round bound (E19)", _worstcase),
-    "significance": ("paired significance tests for E9 (E9b)",
-                     _significance),
-    "volume": ("message volume: the history tax (E9c)",
-               lambda quick, trials: analysis.volume_table(
-                   trials=trials or (15 if quick else 40)).render()),
-    "connectivity": ("disconnection probability vs fault count (E20)",
-                     lambda quick, trials: analysis.
-                     disconnection_probability_table(
-                         trials=trials or (60 if quick else 300)).render()),
-    "scorecard": ("one-pass PASS/FAIL check of every headline claim",
-                  lambda quick, trials: analysis.render_scorecard(
-                      analysis.scorecard())),
-}
+@register("significance", "paired significance tests for E9 (E9b)",
+          quick=15, full=40)
+def _significance(ctx: RunContext) -> str:
+    return analysis.significance_table(trials=ctx.trials).render()
+
+
+@register("volume", "message volume: the history tax (E9c)",
+          quick=15, full=40)
+def _volume(ctx: RunContext) -> str:
+    return analysis.volume_table(trials=ctx.trials).render()
+
+
+@register("connectivity", "disconnection probability vs fault count (E20)",
+          quick=60, full=300)
+def _connectivity(ctx: RunContext) -> str:
+    return analysis.disconnection_probability_table(
+        trials=ctx.trials).render()
+
+
+@register("scorecard", "one-pass PASS/FAIL check of every headline claim")
+def _scorecard(ctx: RunContext) -> str:
+    return analysis.render_scorecard(analysis.scorecard())
+
+
+# -- commands ---------------------------------------------------------------
+
+
+def _cmd_list() -> int:
+    try:
+        width = max(len(name) for name in REGISTRY)
+        for name in sorted(REGISTRY):
+            exp = REGISTRY[name]
+            trials = (
+                f"trials {exp.quick_trials}/{exp.full_trials} (quick/full)"
+                if exp.full_trials is not None else "no trial knob"
+            )
+            print(f"{name:<{width}}  {exp.description}  [{trials}]")
+    except BrokenPipeError:  # piped into head/less that quit early
+        pass
+    return 0
+
+
+def _cmd_stats(path: str) -> int:
+    try:
+        stats = obs.summarize_run(path)
+    except FileNotFoundError:
+        print(f"stats: no such file: {path}", file=sys.stderr)
+        return 1
+    except obs.SchemaError as exc:
+        print(f"stats: {path} failed schema validation: {exc}",
+              file=sys.stderr)
+        return 1
+    print(obs.render_stats(stats))
+    return 0
+
+
+def _run_experiments(names: List[str], args: argparse.Namespace,
+                     recorder) -> None:
+    for name in names:
+        exp = REGISTRY[name]
+        start = time.perf_counter()
+        output = exp.run(quick=args.quick, trials=args.trials)
+        elapsed = time.perf_counter() - start
+        if recorder is not None:
+            recorder.emit("experiment", name=name,
+                          elapsed_s=round(elapsed, 6), status="ok")
+        print(f"### {name} — {exp.description}")
+        print(output)
+        print(f"[{name} regenerated in {elapsed:.1f}s]")
+        print()
+        if args.save:
+            from pathlib import Path
+
+            out_dir = Path(args.save)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            (out_dir / f"{name}.txt").write_text(output + "\n")
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -187,10 +339,13 @@ def main(argv: List[str] | None = None) -> int:
         description="Regenerate the paper's tables and figures.",
     )
     parser.add_argument(
-        "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list"],
-        help="experiment id (see DESIGN.md), 'all', or 'list'",
+        "command",
+        choices=sorted(REGISTRY) + ["all", "list", "stats"],
+        help="experiment id (see DESIGN.md), 'all', 'list', or "
+             "'stats RUN.jsonl'",
     )
+    parser.add_argument("path", nargs="?", default=None,
+                        help="run file for the stats command")
     parser.add_argument("--quick", action="store_true",
                         help="reduced trial counts for a fast smoke run")
     parser.add_argument("--trials", type=int, default=None,
@@ -202,7 +357,18 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument("--save", metavar="DIR", default=None,
                         help="also write each experiment's output to "
                              "DIR/<name>.txt")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="record run telemetry (schema-versioned JSONL) "
+                             "to PATH; read it back with 'stats PATH'")
     args = parser.parse_args(argv)
+
+    if args.command == "stats":
+        if args.path is None:
+            parser.error("stats requires a run file: repro stats RUN.jsonl")
+        return _cmd_stats(args.path)
+    if args.path is not None:
+        parser.error(f"unexpected argument {args.path!r} "
+                     f"(only the stats command takes a path)")
 
     if args.jobs is not None:
         if args.jobs < 1:
@@ -211,30 +377,20 @@ def main(argv: List[str] | None = None) -> int:
         # not take an explicit jobs argument, so one flag covers them all.
         os.environ[JOBS_ENV_VAR] = str(args.jobs)
 
-    if args.experiment == "list":
-        try:
-            for name in sorted(EXPERIMENTS):
-                print(f"{name:<16} {EXPERIMENTS[name][0]}")
-        except BrokenPipeError:  # piped into head/less that quit early
-            pass
-        return 0
+    if args.command == "list":
+        return _cmd_list()
 
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        desc, runner = EXPERIMENTS[name]
-        start = time.perf_counter()
-        output = runner(args.quick, args.trials)
-        elapsed = time.perf_counter() - start
-        print(f"### {name} — {desc}")
-        print(output)
-        print(f"[{name} regenerated in {elapsed:.1f}s]")
-        print()
-        if args.save:
-            from pathlib import Path
-
-            out_dir = Path(args.save)
-            out_dir.mkdir(parents=True, exist_ok=True)
-            (out_dir / f"{name}.txt").write_text(output + "\n")
+    names = sorted(REGISTRY) if args.command == "all" else [args.command]
+    if args.metrics_out:
+        config = {"command": args.command, "quick": args.quick,
+                  "trials": args.trials, "jobs": args.jobs}
+        with obs.observed(args.metrics_out, tool="repro.cli",
+                          config=config) as (_registry, recorder):
+            _run_experiments(names, args, recorder)
+        print(f"[telemetry written to {args.metrics_out}; "
+              f"summarize with: repro stats {args.metrics_out}]")
+    else:
+        _run_experiments(names, args, None)
     return 0
 
 

@@ -1,0 +1,82 @@
+"""repro.obs — metrics and structured telemetry for experiment runs.
+
+The observability layer has three parts, all dependency-free below the
+rest of the package so every subsystem may report through it:
+
+* :mod:`repro.obs.metrics` — an in-process :class:`MetricsRegistry`
+  (counters, gauges, histograms, timers) that costs one branch per hook
+  when disabled;
+* :mod:`repro.obs.events` / :mod:`repro.obs.recorder` — the
+  schema-versioned JSONL event stream: a :class:`RunRecorder` frames each
+  run with a provenance manifest (run id, fresh entropy, config, git
+  revision) and a ``run_end`` envelope, validating every record at emit
+  time;
+* :mod:`repro.obs.runstats` — offline aggregation: ``repro stats
+  run.jsonl`` folds a stream back into the run's headline numbers.
+
+Hot paths report through the hooks in :mod:`repro.obs.instruments`
+(:func:`record_route_attempt`, :func:`record_gs_batch`,
+:func:`record_sweep`); turn collection on around any code block with::
+
+    from repro import obs
+
+    with obs.observed("run.jsonl", config={"experiment": "fig2"}) as (reg, rec):
+        ...  # routed unicasts, kernel batches and sweeps are recorded
+    print(obs.render_stats(obs.summarize_run("run.jsonl")))
+
+The CLI exposes the same switch as ``--metrics-out PATH``.
+"""
+
+from .events import EVENT_TYPES, SCHEMA_VERSION, SchemaError, validate_event, validate_stream
+from .instruments import (
+    STANDARD_COUNTERS,
+    active_recorder,
+    disable_metrics,
+    enable_metrics,
+    metrics,
+    observed,
+    record_gs_batch,
+    record_route_attempt,
+    record_sweep,
+    set_recorder,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Timer
+from .recorder import (
+    RunRecorder,
+    current_git_rev,
+    iter_events,
+    read_events,
+    validate_run,
+)
+from .runstats import RunStats, render_stats, summarize_run
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "EVENT_TYPES",
+    "SchemaError",
+    "validate_event",
+    "validate_stream",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "RunRecorder",
+    "current_git_rev",
+    "iter_events",
+    "read_events",
+    "validate_run",
+    "RunStats",
+    "summarize_run",
+    "render_stats",
+    "STANDARD_COUNTERS",
+    "metrics",
+    "enable_metrics",
+    "disable_metrics",
+    "active_recorder",
+    "set_recorder",
+    "observed",
+    "record_route_attempt",
+    "record_gs_batch",
+    "record_sweep",
+]

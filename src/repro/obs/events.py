@@ -1,0 +1,172 @@
+"""Typed, schema-versioned telemetry events.
+
+Every record in a run's JSONL stream is a flat JSON object with three
+envelope fields plus per-type payload fields:
+
+``v``
+    Schema version (integer).  Consumers must reject streams whose major
+    version they do not know; see the version policy in DESIGN.md's
+    Observability section.
+``seq``
+    0-based position in the stream — monotonically increasing, assigned
+    by the recorder.  Lets consumers detect truncated or interleaved
+    streams without trusting file order.
+``type``
+    One of :data:`EVENT_TYPES`.
+
+The taxonomy (payload field -> required?) is deliberately small; new
+event types or *optional* fields are a compatible (same-version) change,
+while removing or re-typing a required field bumps :data:`SCHEMA_VERSION`.
+This module is the single source of truth — the recorder emits through
+it and ``repro stats`` validates against it, so the two cannot drift.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "EVENT_TYPES",
+    "SchemaError",
+    "validate_event",
+    "validate_stream",
+]
+
+#: Version stamped into (and required of) every event envelope.
+SCHEMA_VERSION = 1
+
+#: type -> {field: required?}.  Envelope fields (v, seq, type) are implicit.
+EVENT_TYPES: Dict[str, Dict[str, bool]] = {
+    # First record of every run: identity + provenance.
+    "manifest": {
+        "run_id": True,        # random 128-bit hex, unique per run
+        "entropy": True,       # fresh OS entropy captured at open (hex)
+        "started_at": True,    # wall-clock ISO-8601
+        "tool": True,          # emitting program, e.g. "repro.cli"
+        "git_rev": False,      # repo HEAD if resolvable
+        "python": False,
+        "platform": False,
+        "config": False,       # free-form run configuration object
+    },
+    # One unicast attempt through the safety-level router.
+    "route_attempt": {
+        "router": True,
+        "status": True,        # RouteStatus value string
+        "condition": True,     # C1 / C2 / C3 / none
+        "hamming": True,
+        "hops": True,
+        "detour": False,       # present iff delivered
+    },
+    # One compute_safety_levels_batch kernel call.
+    "gs_batch": {
+        "n": True,             # cube dimension
+        "batch": True,         # trials in this call
+        "kernel": True,        # "swar" | "sorted"
+        "rounds_hist": True,   # {stabilization round -> trial count}
+        "rounds_max": True,
+        "rounds_sum": True,
+    },
+    # One run_sweep() execution (one Monte-Carlo cell).
+    "sweep": {
+        "master_seed": True,
+        "trials": True,
+        "jobs": True,
+        "chunks": True,
+        "elapsed_s": True,
+        "trials_per_s": True,
+    },
+    # One CLI experiment finishing.
+    "experiment": {
+        "name": True,
+        "elapsed_s": True,
+        "status": True,        # "ok" | "error"
+    },
+    # A structured result object (anything satisfying repro.results.ResultLike).
+    "result": {
+        "kind": True,          # result class name
+        "status": True,
+        "data": True,          # the result's to_dict() payload
+    },
+    # A simulator trace record bridged from repro.simcore.trace.Trace.
+    "sim_trace": {
+        "time": True,
+        "event": True,
+        "node": True,
+        "detail": False,
+    },
+    # Full MetricsRegistry dump (usually once, just before run_end).
+    "metrics_snapshot": {
+        "metrics": True,
+    },
+    # Last record: closes the envelope the manifest opened.
+    "run_end": {
+        "events": True,        # records emitted before this one
+        "wall_s": True,        # seconds since manifest
+        "status": True,        # "ok" | "error"
+    },
+}
+
+
+class SchemaError(ValueError):
+    """An event (or stream) violates the telemetry schema."""
+
+
+def validate_event(record: Mapping[str, Any],
+                   seq: int | None = None) -> None:
+    """Raise :class:`SchemaError` unless ``record`` is a valid v1 event."""
+    if not isinstance(record, Mapping):
+        raise SchemaError(f"event must be an object, got {type(record).__name__}")
+    version = record.get("v")
+    if version != SCHEMA_VERSION:
+        raise SchemaError(
+            f"unsupported schema version {version!r} "
+            f"(this reader understands v{SCHEMA_VERSION})"
+        )
+    etype = record.get("type")
+    if etype not in EVENT_TYPES:
+        raise SchemaError(f"unknown event type {etype!r}")
+    if not isinstance(record.get("seq"), int):
+        raise SchemaError(f"{etype}: missing integer 'seq'")
+    if seq is not None and record["seq"] != seq:
+        raise SchemaError(
+            f"{etype}: sequence gap — expected seq {seq}, got {record['seq']}"
+        )
+    spec = EVENT_TYPES[etype]
+    for field, required in spec.items():
+        if required and field not in record:
+            raise SchemaError(f"{etype}: missing required field {field!r}")
+    extra = set(record) - set(spec) - {"v", "seq", "type", "ts"}
+    if extra:
+        raise SchemaError(
+            f"{etype}: unknown fields {sorted(extra)} "
+            "(extend EVENT_TYPES before emitting new fields)"
+        )
+
+
+def validate_stream(records: Iterable[Mapping[str, Any]]) -> int:
+    """Validate a whole run: per-event schema plus stream-level invariants.
+
+    Returns the number of records.  Requires the stream to open with a
+    ``manifest``, close with a ``run_end``, and carry gap-free ``seq``
+    numbers.
+    """
+    count = 0
+    last_type = None
+    for i, record in enumerate(records):
+        validate_event(record, seq=i)
+        if i == 0 and record["type"] != "manifest":
+            raise SchemaError(
+                f"stream must open with a manifest, got {record['type']!r}"
+            )
+        if last_type == "run_end":
+            raise SchemaError("records found after run_end")
+        last_type = record["type"]
+        count += 1
+    if count == 0:
+        raise SchemaError("empty stream")
+    if last_type != "run_end":
+        raise SchemaError(
+            f"stream truncated: last record is {last_type!r}, not run_end"
+        )
+    return count

@@ -1,0 +1,233 @@
+"""Process-global observability state and the hot-path hooks.
+
+This module owns exactly two globals — the ambient
+:class:`~repro.obs.metrics.MetricsRegistry` (disabled by default) and the
+ambient :class:`~repro.obs.recorder.RunRecorder` (``None`` by default) —
+plus one ``record_*`` hook per instrumented subsystem:
+
+* :func:`record_route_attempt` — the Section 3.2 unicast router;
+* :func:`record_gs_batch` — the batched safety-level kernel;
+* :func:`record_sweep` — the Monte-Carlo sweep engine.
+
+Hooks follow one discipline: **bail out on the first line when nothing is
+observing**.  With the default state each hook costs a couple of global
+reads and a branch, which is what keeps instrumented hot paths within
+noise of the uninstrumented seed (asserted by the overhead-guard test and
+the BENCH_sweep.json trajectory).
+
+Sweep worker processes re-import this module fresh (spawn context), so
+they always run with the defaults — observability never adds IPC to the
+sweep engine, and parallel runs report through driver-side ``sweep``
+events instead of interleaved worker streams.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Sequence, Tuple, Union
+
+from .metrics import MetricsRegistry
+from .recorder import RunRecorder
+
+__all__ = [
+    "metrics",
+    "enable_metrics",
+    "disable_metrics",
+    "active_recorder",
+    "set_recorder",
+    "observed",
+    "STANDARD_COUNTERS",
+    "record_route_attempt",
+    "record_gs_batch",
+    "record_sweep",
+]
+
+#: Counters guaranteed present (value 0 if never fired) in every snapshot
+#: taken through :func:`observed` — consumers key on these names.
+STANDARD_COUNTERS: Tuple[str, ...] = (
+    "route.attempts",
+    "route.delivered",
+    "route.aborted_at_source",
+    "route.stuck",
+    "route.hop_limit",
+    "route.condition.C1",
+    "route.condition.C2",
+    "route.condition.C3",
+    "route.condition.none",
+    "gs.batch_calls",
+    "gs.trials",
+    "gs.kernel.swar",
+    "gs.kernel.sorted",
+    "sweep.runs",
+    "sweep.trials",
+    "sweep.chunks",
+)
+
+_METRICS = MetricsRegistry(enabled=False)
+_RECORDER: Optional[RunRecorder] = None
+
+
+def metrics() -> MetricsRegistry:
+    """The ambient registry every hook reports to."""
+    return _METRICS
+
+
+def enable_metrics() -> MetricsRegistry:
+    """Switch collection on (idempotent) and preregister standard counters."""
+    _METRICS.enable()
+    _METRICS.preregister(counters=STANDARD_COUNTERS)
+    return _METRICS
+
+
+def disable_metrics() -> MetricsRegistry:
+    _METRICS.disable()
+    return _METRICS
+
+
+def active_recorder() -> Optional[RunRecorder]:
+    return _RECORDER
+
+
+def set_recorder(recorder: Optional[RunRecorder]) -> Optional[RunRecorder]:
+    """Install (or clear, with ``None``) the ambient recorder; returns the
+    previous one so callers can restore it."""
+    global _RECORDER
+    previous = _RECORDER
+    _RECORDER = recorder
+    return previous
+
+
+@contextmanager
+def observed(
+    metrics_out: Optional[Union[str, Path]] = None,
+    tool: str = "repro",
+    config: Optional[Dict[str, Any]] = None,
+) -> Iterator[Tuple[MetricsRegistry, Optional[RunRecorder]]]:
+    """Enable metrics (and optionally a JSONL recorder) for a code block.
+
+    On exit the previous enabled/recorder state is restored; if a recorder
+    was opened, a final ``metrics_snapshot`` is appended before the
+    ``run_end`` record, so every ``observed`` stream is self-contained.
+    """
+    was_enabled = _METRICS.enabled
+    registry = enable_metrics()
+    recorder = (
+        RunRecorder(metrics_out, tool=tool, config=config)
+        if metrics_out is not None else None
+    )
+    previous = set_recorder(recorder) if recorder is not None else None
+    try:
+        yield registry, recorder
+    except BaseException:
+        if recorder is not None:
+            recorder.record_metrics(registry)
+            recorder.close(status="error")
+        raise
+    finally:
+        if recorder is not None:
+            set_recorder(previous)
+            if not recorder._closed:
+                recorder.record_metrics(registry)
+                recorder.close(status="ok")
+        if not was_enabled:
+            _METRICS.disable()
+
+
+# -- hot-path hooks ---------------------------------------------------------
+
+
+def record_route_attempt(result: Any) -> None:
+    """One unicast attempt: outcome counters + an optional stream event.
+
+    ``result`` is a :class:`repro.routing.result.RouteResult`; the hook
+    only reads it, and reads nothing at all when observability is off.
+    """
+    reg, rec = _METRICS, _RECORDER
+    if not reg.enabled and rec is None:
+        return
+    status = result.status.value
+    condition = result.condition.value
+    hops = result.hops
+    detour = result.detour
+    if reg.enabled:
+        reg.counter("route.attempts").inc()
+        reg.counter("route." + status.replace("-", "_")).inc()
+        reg.counter("route.condition." + condition).inc()
+        reg.histogram("route.hops").observe(hops)
+        if detour is not None:
+            reg.histogram("route.detour").observe(detour)
+    if rec is not None:
+        rec.emit(
+            "route_attempt",
+            router=result.router,
+            status=status,
+            condition=condition,
+            hamming=result.hamming,
+            hops=hops,
+            detour=detour,
+        )
+
+
+def record_gs_batch(n: int, batch: int, kernel: str, rounds: Any) -> None:
+    """One batched safety-level kernel call.
+
+    ``rounds`` is the per-trial stabilization-round vector the kernel
+    already computed; the hook reduces it to a bounded histogram (rounds
+    never exceed ``n - 1``), so event size is O(n) regardless of batch.
+    """
+    reg, rec = _METRICS, _RECORDER
+    if not reg.enabled and rec is None:
+        return
+    if reg.enabled:
+        reg.counter("gs.batch_calls").inc()
+        reg.counter("gs.trials").inc(batch)
+        reg.counter("gs.kernel." + kernel).inc()
+        reg.histogram("gs.batch_size").observe(batch)
+    if rec is not None:
+        import numpy as np
+
+        counts = np.bincount(np.asarray(rounds, dtype=np.int64))
+        hist = {int(r): int(c) for r, c in enumerate(counts) if c}
+        rec.emit(
+            "gs_batch",
+            n=n,
+            batch=batch,
+            kernel=kernel,
+            rounds_hist=hist,
+            rounds_max=int(max(hist)) if hist else 0,
+            rounds_sum=int(sum(r * c for r, c in hist.items())),
+        )
+
+
+def record_sweep(
+    master_seed: int,
+    trials: int,
+    jobs: int,
+    chunks: int,
+    elapsed_s: float,
+    chunk_seconds: Sequence[float] = (),
+) -> None:
+    """One sweep-engine run (one Monte-Carlo cell): throughput telemetry."""
+    reg, rec = _METRICS, _RECORDER
+    if not reg.enabled and rec is None:
+        return
+    if reg.enabled:
+        reg.counter("sweep.runs").inc()
+        reg.counter("sweep.trials").inc(trials)
+        reg.counter("sweep.chunks").inc(chunks)
+        reg.gauge("sweep.jobs").set(jobs)
+        timer = reg.timer("sweep.chunk")
+        for sec in chunk_seconds:
+            timer.observe(sec)
+        reg.timer("sweep.run").observe(elapsed_s)
+    if rec is not None:
+        rec.emit(
+            "sweep",
+            master_seed=master_seed,
+            trials=trials,
+            jobs=jobs,
+            chunks=chunks,
+            elapsed_s=round(elapsed_s, 6),
+            trials_per_s=round(trials / elapsed_s, 3) if elapsed_s > 0 else 0.0,
+        )

@@ -1,0 +1,256 @@
+"""Lightweight process-local metrics: counters, gauges, histograms, timers.
+
+A :class:`MetricsRegistry` is a named bag of instruments that hot paths
+update while an experiment runs.  The design goals, in order:
+
+1. **Near-zero overhead when disabled.**  The instrumentation hooks in
+   :mod:`repro.obs.instruments` test ``registry.enabled`` before touching
+   any instrument, so a disabled registry costs one attribute read and one
+   branch per hook — routing and kernel throughput are unaffected (guarded
+   by a test and the BENCH_sweep.json trajectory).
+2. **No dependencies, no background threads.**  Everything is a plain
+   in-process object; snapshots are explicit.
+3. **JSON-able snapshots.**  ``registry.snapshot()`` returns primitives
+   only, so a snapshot drops straight into the JSONL event stream
+   (:mod:`repro.obs.recorder`) as a ``metrics_snapshot`` event.
+
+Instruments are created on first use and live for the registry's
+lifetime, so a counter that never fired still appears in the snapshot
+with value 0 once pre-registered (see :func:`MetricsRegistry.preregister`)
+— downstream consumers can rely on stable key sets.
+
+Registries are not thread-safe by design (the sweep engine parallelises
+with *processes*, each of which gets its own registry); guard explicitly
+if you ever share one across threads.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, Iterable, List, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+]
+
+
+class Counter:
+    """Monotonically increasing count (attempts, deliveries, kernel calls)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        v = self.value
+        return int(v) if float(v).is_integer() else v
+
+
+class Gauge:
+    """Last-write-wins instantaneous value (worker count, batch in flight)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> float:
+        v = self.value
+        return int(v) if float(v).is_integer() else v
+
+
+class Histogram:
+    """Streaming summary of an observed distribution.
+
+    Keeps count / sum / min / max / sum-of-squares (for the variance) in
+    O(1) memory — enough for mean, spread and extremes without retaining
+    samples.  Values are plain floats; observing is five arithmetic ops.
+    """
+
+    __slots__ = ("count", "total", "sq_total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.sq_total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.sq_total += value * value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.observe(v)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        if self.count < 2:
+            return 0.0
+        var = self.sq_total / self.count - self.mean ** 2
+        return math.sqrt(max(0.0, var))
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+        }
+
+
+class Timer:
+    """A histogram of elapsed seconds with a context-manager front end.
+
+    ``with registry.timer("sweep.chunk"):`` records one observation on
+    exit.  The underlying histogram is shared with :class:`Histogram`
+    snapshots so timers serialize identically.
+    """
+
+    __slots__ = ("histogram", "_start")
+
+    def __init__(self) -> None:
+        self.histogram = Histogram()
+        self._start: Optional[float] = None
+
+    def observe(self, seconds: float) -> None:
+        self.histogram.observe(seconds)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._start is not None:
+            self.histogram.observe(time.perf_counter() - self._start)
+            self._start = None
+
+    def snapshot(self) -> Dict[str, float]:
+        return self.histogram.snapshot()
+
+
+class MetricsRegistry:
+    """Named instruments plus the master enable switch.
+
+    Instrument getters create on first use and always return the live
+    object, so callers may cache references; whether an *update* happens
+    is decided by the caller checking :attr:`enabled` (the pattern every
+    hook in :mod:`repro.obs.instruments` follows).
+    """
+
+    __slots__ = ("enabled", "_counters", "_gauges", "_histograms", "_timers")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._timers: Dict[str, Timer] = {}
+
+    # -- switches -----------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Forget every instrument (the enable switch is left alone)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._timers.clear()
+
+    # -- instruments --------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter()
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge()
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram()
+        return inst
+
+    def timer(self, name: str) -> Timer:
+        inst = self._timers.get(name)
+        if inst is None:
+            inst = self._timers[name] = Timer()
+        return inst
+
+    def preregister(self, counters: Iterable[str] = (),
+                    histograms: Iterable[str] = ()) -> None:
+        """Materialize instruments up front for a stable snapshot key set."""
+        for name in counters:
+            self.counter(name)
+        for name in histograms:
+            self.histogram(name)
+
+    # -- export -------------------------------------------------------------
+
+    def counter_values(self) -> Dict[str, float]:
+        return {name: c.snapshot() for name, c in sorted(self._counters.items())}
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able dump of every instrument, keys sorted for stable diffs."""
+        return {
+            "counters": self.counter_values(),
+            "gauges": {n: g.snapshot()
+                       for n, g in sorted(self._gauges.items())},
+            "histograms": {n: h.snapshot()
+                           for n, h in sorted(self._histograms.items())},
+            "timers": {n: t.snapshot()
+                       for n, t in sorted(self._timers.items())},
+        }
+
+    def describe(self) -> List[str]:
+        """Sorted instrument names, prefixed by kind (diagnostics)."""
+        return (
+            [f"counter:{n}" for n in sorted(self._counters)]
+            + [f"gauge:{n}" for n in sorted(self._gauges)]
+            + [f"histogram:{n}" for n in sorted(self._histograms)]
+            + [f"timer:{n}" for n in sorted(self._timers)]
+        )

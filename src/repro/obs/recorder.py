@@ -1,0 +1,191 @@
+"""JSONL run recording: a manifest-framed, schema-validated event stream.
+
+:class:`RunRecorder` generalizes what :class:`repro.simcore.trace.Trace`
+does for one simulator run to a *whole experiment process*: an append-only
+stream of typed records, but persisted as JSON Lines, versioned by the
+schema in :mod:`repro.obs.events`, and opened/closed by manifest and
+run-end envelope records that carry run identity (fresh entropy, config,
+git revision) and wall time.  Simulator traces still bridge in untouched
+via :meth:`RunRecorder.record_trace`.
+
+Every record is validated *at emit time* against the schema, so a stream
+that reaches disk is well-formed by construction; ``repro stats`` and the
+CI smoke job re-validate on read (:func:`read_events` /
+:func:`validate_run`) to catch truncation and version skew.
+
+The recorder is intentionally process-local: sweep worker processes do
+not inherit it (they re-import with the default no-recorder state), so
+parallel runs record driver-side aggregates — the ``sweep`` events —
+rather than interleaving worker streams.  See DESIGN.md's Observability
+section.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from .events import SCHEMA_VERSION, SchemaError, validate_event, validate_stream
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "RunRecorder",
+    "current_git_rev",
+    "iter_events",
+    "read_events",
+    "validate_run",
+]
+
+
+def current_git_rev() -> Optional[str]:
+    """The repository HEAD this process runs from, if resolvable."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of payload values to JSON primitives."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(v) for v in value)
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    if hasattr(value, "tolist"):  # numpy array
+        return value.tolist()
+    if hasattr(value, "to_dict"):  # ResultLike
+        return _jsonable(value.to_dict())
+    return str(value)
+
+
+class RunRecorder:
+    """Writes one run's telemetry as schema-valid JSON Lines.
+
+    Opening the recorder writes the manifest; :meth:`close` (or context
+    exit) writes the ``run_end`` record and closes the file.  ``emit``
+    after close raises.  All writes go through :func:`validate_event`.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        tool: str = "repro",
+        config: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.path = Path(path)
+        self._fh = self.path.open("w", encoding="utf-8")
+        self._seq = 0
+        self._closed = False
+        self._t0 = time.perf_counter()
+        self.run_id = os.urandom(16).hex()
+        self.emit(
+            "manifest",
+            run_id=self.run_id,
+            entropy=os.urandom(16).hex(),
+            started_at=datetime.now(timezone.utc).isoformat(),
+            tool=tool,
+            git_rev=current_git_rev(),
+            python=platform.python_version(),
+            platform=sys.platform,
+            config=_jsonable(config or {}),
+        )
+
+    # -- core ---------------------------------------------------------------
+
+    @property
+    def events_emitted(self) -> int:
+        return self._seq
+
+    def emit(self, event_type: str, **fields: Any) -> None:
+        """Validate and append one event record."""
+        if self._closed:
+            raise RuntimeError("RunRecorder is closed")
+        record = {"v": SCHEMA_VERSION, "seq": self._seq, "type": event_type}
+        for key, value in fields.items():
+            if value is not None:
+                record[key] = _jsonable(value)
+        validate_event(record, seq=self._seq)
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._seq += 1
+
+    def close(self, status: str = "ok") -> None:
+        if self._closed:
+            return
+        self.emit(
+            "run_end",
+            events=self._seq,
+            wall_s=round(time.perf_counter() - self._t0, 6),
+            status=status,
+        )
+        self._closed = True
+        self._fh.close()
+
+    def __enter__(self) -> "RunRecorder":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        self.close(status="ok" if exc_type is None else "error")
+
+    # -- convenience emitters ----------------------------------------------
+
+    def record_result(self, result: Any) -> None:
+        """Record anything satisfying :class:`repro.results.ResultLike`."""
+        data = result.to_dict()
+        self.emit("result", kind=data.get("kind", type(result).__name__),
+                  status=data.get("status", "unknown"), data=data)
+
+    def record_trace(self, trace: Any) -> None:
+        """Bridge a :class:`repro.simcore.trace.Trace` into the stream."""
+        for rec in trace:
+            self.emit("sim_trace", time=rec.time, event=rec.event,
+                      node=rec.node, detail=rec.detail)
+
+    def record_metrics(self, registry: MetricsRegistry) -> None:
+        self.emit("metrics_snapshot", metrics=registry.snapshot())
+
+
+# -- readers ----------------------------------------------------------------
+
+
+def iter_events(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
+    """Yield raw event dicts from a JSONL run file (no validation)."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def read_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    return list(iter_events(path))
+
+
+def validate_run(path: Union[str, Path]) -> int:
+    """Schema-validate a whole run file; returns its record count.
+
+    A line that is not JSON at all is as much a schema violation as a
+    bad event, so decode errors surface as :class:`SchemaError` too.
+    """
+    try:
+        return validate_stream(iter_events(path))
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"not valid JSON Lines: {exc}") from exc

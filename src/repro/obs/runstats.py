@@ -1,0 +1,184 @@
+"""Offline aggregation of a recorded run: the ``repro stats`` backend.
+
+Reads a ``--metrics-out`` JSONL file, validates it against the schema,
+and folds the event stream back into the quantities the live experiment
+reported — C1/C2/C3 hit rates, GS stabilization-round averages and
+maxima, sweep-engine throughput — *from the events alone*.  That
+round-trip (emit → aggregate → same numbers) is the contract the
+telemetry layer is tested against: if ``repro stats`` cannot reproduce a
+headline number, the stream is missing information.
+
+Deliberately free of :mod:`repro.analysis` imports so the observability
+layer stays at the bottom of the dependency stack (core/simcore-level);
+rendering is plain text.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .events import SchemaError, validate_stream
+from .recorder import iter_events
+
+__all__ = ["RunStats", "summarize_run", "render_stats"]
+
+
+@dataclass
+class RunStats:
+    """Aggregates recovered from one run's event stream."""
+
+    path: str
+    manifest: Dict[str, Any]
+    run_end: Dict[str, Any]
+    total_events: int = 0
+    event_counts: Dict[str, int] = field(default_factory=dict)
+    #: RouteStatus value -> attempts; SourceCondition value -> attempts.
+    route_status: Dict[str, int] = field(default_factory=dict)
+    route_conditions: Dict[str, int] = field(default_factory=dict)
+    route_hops_sum: int = 0
+    #: stabilization round -> trial count, merged over every gs_batch.
+    gs_rounds_hist: Dict[int, int] = field(default_factory=dict)
+    gs_kernels: Dict[str, int] = field(default_factory=dict)
+    gs_batches: int = 0
+    sweep_trials: int = 0
+    sweep_chunks: int = 0
+    sweep_elapsed_s: float = 0.0
+    sweep_jobs_max: int = 0
+    experiments: List[Dict[str, Any]] = field(default_factory=list)
+    metrics_snapshot: Optional[Dict[str, Any]] = None
+
+    # -- derived headline numbers ------------------------------------------
+
+    @property
+    def route_attempts(self) -> int:
+        return sum(self.route_status.values())
+
+    @property
+    def gs_trials(self) -> int:
+        return sum(self.gs_rounds_hist.values())
+
+    @property
+    def gs_rounds_mean(self) -> float:
+        trials = self.gs_trials
+        if not trials:
+            return 0.0
+        return sum(r * c for r, c in self.gs_rounds_hist.items()) / trials
+
+    @property
+    def gs_rounds_max(self) -> int:
+        return max(self.gs_rounds_hist, default=0)
+
+    @property
+    def sweep_trials_per_s(self) -> float:
+        if self.sweep_elapsed_s <= 0:
+            return 0.0
+        return self.sweep_trials / self.sweep_elapsed_s
+
+    def condition_rate(self, condition: str) -> float:
+        attempts = self.route_attempts
+        if not attempts:
+            return 0.0
+        return self.route_conditions.get(condition, 0) / attempts
+
+
+def summarize_run(path: Union[str, Path]) -> RunStats:
+    """Validate ``path`` and fold its events into a :class:`RunStats`."""
+    try:
+        records = list(iter_events(path))
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"not valid JSON Lines: {exc}") from exc
+    validate_stream(records)
+    stats = RunStats(path=str(path), manifest=records[0],
+                     run_end=records[-1], total_events=len(records))
+    for rec in records:
+        etype = rec["type"]
+        stats.event_counts[etype] = stats.event_counts.get(etype, 0) + 1
+        if etype == "route_attempt":
+            status, cond = rec["status"], rec["condition"]
+            stats.route_status[status] = stats.route_status.get(status, 0) + 1
+            stats.route_conditions[cond] = (
+                stats.route_conditions.get(cond, 0) + 1)
+            stats.route_hops_sum += rec["hops"]
+        elif etype == "gs_batch":
+            stats.gs_batches += 1
+            stats.gs_kernels[rec["kernel"]] = (
+                stats.gs_kernels.get(rec["kernel"], 0) + 1)
+            for r, c in rec["rounds_hist"].items():
+                r = int(r)  # JSON object keys arrive as strings
+                stats.gs_rounds_hist[r] = stats.gs_rounds_hist.get(r, 0) + c
+        elif etype == "sweep":
+            stats.sweep_trials += rec["trials"]
+            stats.sweep_chunks += rec["chunks"]
+            stats.sweep_elapsed_s += rec["elapsed_s"]
+            stats.sweep_jobs_max = max(stats.sweep_jobs_max, rec["jobs"])
+        elif etype == "experiment":
+            stats.experiments.append(rec)
+        elif etype == "metrics_snapshot":
+            stats.metrics_snapshot = rec["metrics"]
+    return stats
+
+
+def _fmt_counts(pairs: Dict[str, int], total: int) -> str:
+    parts = []
+    for key in sorted(pairs):
+        share = 100.0 * pairs[key] / total if total else 0.0
+        parts.append(f"{key}={pairs[key]} ({share:.1f}%)")
+    return "  ".join(parts) if parts else "none"
+
+
+def render_stats(stats: RunStats) -> str:
+    """Human-readable report mirroring the live experiment's headlines."""
+    m = stats.manifest
+    lines = [
+        f"run {m['run_id'][:12]}  [{stats.path}]",
+        f"  schema v{m['v']}  tool={m['tool']}  started={m['started_at']}",
+        f"  git={m.get('git_rev', 'n/a')}  python={m.get('python', 'n/a')}"
+        f"  status={stats.run_end['status']}"
+        f"  wall={stats.run_end['wall_s']:.3f}s",
+        f"  events: {stats.total_events} total — "
+        + "  ".join(f"{k}={v}" for k, v in sorted(stats.event_counts.items())),
+    ]
+    config = m.get("config") or {}
+    if config:
+        lines.append("  config: "
+                     + "  ".join(f"{k}={v}" for k, v in sorted(config.items())))
+    if stats.experiments:
+        lines.append("experiments:")
+        for exp in stats.experiments:
+            lines.append(f"  {exp['name']:<16} {exp['status']:<6} "
+                         f"{exp['elapsed_s']:.2f}s")
+    attempts = stats.route_attempts
+    lines.append(f"routing: {attempts} attempts")
+    if attempts:
+        lines.append("  status:     "
+                     + _fmt_counts(stats.route_status, attempts))
+        lines.append("  conditions: "
+                     + _fmt_counts(stats.route_conditions, attempts))
+        lines.append(f"  mean hops:  {stats.route_hops_sum / attempts:.3f}")
+    lines.append(
+        f"gs kernel: {stats.gs_trials} trials in {stats.gs_batches} batches"
+        + (f" ({_fmt_counts(stats.gs_kernels, stats.gs_batches)})"
+           if stats.gs_batches else "")
+    )
+    if stats.gs_trials:
+        lines.append(f"  rounds: mean={stats.gs_rounds_mean:.4f}  "
+                     f"max={stats.gs_rounds_max}  "
+                     f"hist={dict(sorted(stats.gs_rounds_hist.items()))}")
+    if stats.sweep_trials:
+        lines.append(
+            f"sweeps: {stats.sweep_trials} trials / {stats.sweep_chunks} "
+            f"chunks in {stats.sweep_elapsed_s:.3f}s busy "
+            f"-> {stats.sweep_trials_per_s:,.0f} trials/s "
+            f"(jobs<={stats.sweep_jobs_max})"
+        )
+    if stats.metrics_snapshot:
+        counters = stats.metrics_snapshot.get("counters", {})
+        nonzero = {k: v for k, v in counters.items() if v}
+        lines.append(f"counters ({len(counters)} registered, "
+                     f"{len(nonzero)} nonzero):")
+        for key in sorted(counters):
+            lines.append(f"  {key:<28} {counters[key]}")
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""The common result protocol every experiment outcome satisfies.
+
+Seven result dataclasses grew up independently across the packages —
+:class:`~repro.routing.result.RouteResult`,
+:class:`~repro.routing.multicast.MulticastResult`,
+:class:`~repro.broadcast.broadcast.BroadcastResult`,
+:class:`~repro.safety.safe_nodes.SafeNodeResult`,
+:class:`~repro.simcore.sync.RoundsResult`,
+:class:`~repro.simcore.contention.TrafficResult` and
+:class:`~repro.safety.dynamic.DynamicRunResult` — each with its own
+field vocabulary.  They now share one consumable shape
+(:class:`ResultLike`): a ``status`` string (or enum whose ``.value`` is
+the string), a JSON-able ``to_dict()`` whose payload always carries
+``kind`` and ``status`` keys, and a one-line ``summary()``.  The
+:class:`~repro.obs.recorder.RunRecorder` (``record_result``) and the
+tables layer consume results through this protocol only, so new result
+types plug in by conforming rather than by teaching every consumer a new
+shape.  A parametrized conformance test pins all implementations.
+
+``to_dict()`` payloads are *summaries*, not pickles: collection-valued
+fields (fault masks, packet lists, tick logs) are reduced to counts or
+bounded aggregates so a record is always cheap to emit and diff.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, Protocol, runtime_checkable
+
+__all__ = ["ResultLike", "status_text", "base_record", "to_jsonable"]
+
+
+@runtime_checkable
+class ResultLike(Protocol):
+    """What the recorder and tables layer require of any result object."""
+
+    @property
+    def status(self) -> Any:  # str, or an enum whose .value is the string
+        ...
+
+    def to_dict(self) -> Dict[str, Any]:
+        ...
+
+    def summary(self) -> str:
+        ...
+
+
+def status_text(result: Any) -> str:
+    """The normalized status string of any :class:`ResultLike`."""
+    status = result.status
+    if isinstance(status, enum.Enum):
+        status = status.value
+    return str(status)
+
+
+def base_record(result: Any, **fields: Any) -> Dict[str, Any]:
+    """The shared ``to_dict()`` skeleton: kind + status, then payload.
+
+    Keeps the field names every consumer keys on in one place; result
+    classes pass their type-specific payload as keyword arguments.
+    """
+    record: Dict[str, Any] = {
+        "kind": type(result).__name__,
+        "status": status_text(result),
+    }
+    for key, value in fields.items():
+        record[key] = to_jsonable(value)
+    return record
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively reduce a payload value to JSON primitives.
+
+    Handles enums (→ value), sets/frozensets (→ sorted list), numpy
+    scalars/arrays (→ python numbers/lists), and mappings/sequences
+    recursively.  Anything else falls back to ``str``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return to_jsonable(value.value)
+    if isinstance(value, dict):
+        return {str(to_jsonable(k)): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return sorted(to_jsonable(v) for v in value)
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    if hasattr(value, "item") and not hasattr(value, "tolist"):
+        return value.item()  # numpy scalar
+    if hasattr(value, "tolist"):
+        return value.tolist()  # numpy array
+    return str(value)

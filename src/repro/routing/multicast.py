@@ -20,9 +20,10 @@ the attach point rather than lost.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import Any, Dict, FrozenSet, List, Sequence, Set, Tuple
 
 from ..core.faults import normalize_link
+from ..results import base_record
 from ..safety.levels import SafetyLevels
 from .result import RouteResult, RouteStatus
 from .safety_unicast import check_feasibility, route_unicast
@@ -53,6 +54,35 @@ class MulticastResult:
     @property
     def complete(self) -> bool:
         return self.covered == self.requested
+
+    # -- the shared result protocol (repro.results.ResultLike) --------------
+
+    @property
+    def status(self) -> str:
+        """``"complete"``, ``"partial"`` (some branches refused), or
+        ``"failed"`` (no destination reached)."""
+        if self.complete:
+            return "complete"
+        return "partial" if self.covered else "failed"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return base_record(
+            self,
+            strategy=self.strategy,
+            source=self.source,
+            requested=len(self.requested),
+            covered=len(self.covered),
+            infeasible=sorted(self.infeasible),
+            messages=self.messages,
+            complete=self.complete,
+        )
+
+    def summary(self) -> str:
+        return (
+            f"multicast[{self.strategy}]: {len(self.covered)}/"
+            f"{len(self.requested)} destinations covered, "
+            f"{self.messages} tree links ({self.status})"
+        )
 
 
 def _check_endpoints(sl: SafetyLevels, source: int,

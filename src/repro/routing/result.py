@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..results import base_record
 
 __all__ = ["RouteStatus", "SourceCondition", "RouteResult"]
 
@@ -104,6 +106,29 @@ class RouteResult:
     def suboptimal(self) -> bool:
         """Delivered with the paper's +2 detour exactly."""
         return self.delivered and self.hops == self.hamming + 2
+
+    # -- the shared result protocol (repro.results.ResultLike) --------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able record; ``status``/``condition`` are value strings."""
+        return base_record(
+            self,
+            router=self.router,
+            source=self.source,
+            dest=self.dest,
+            hamming=self.hamming,
+            condition=self.condition,
+            hops=self.hops,
+            detour=self.detour,
+            optimal=self.optimal,
+            path=list(self.path),
+            detail=self.detail,
+            metrics=dict(self.metrics),
+        )
+
+    def summary(self) -> str:
+        """One-line outcome (the protocol spelling of :meth:`describe`)."""
+        return self.describe()
 
     def describe(self, format_node=None) -> str:
         """One-line human-readable summary (examples use this)."""

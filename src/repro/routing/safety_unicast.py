@@ -32,6 +32,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..core.fault_models import RngLike, as_rng
+from ..obs.instruments import record_route_attempt
 from ..safety.levels import SafetyLevels
 from . import navigation as nav
 from .result import RouteResult, RouteStatus, SourceCondition
@@ -122,7 +123,24 @@ def route_unicast(
     Raises ``ValueError`` for a faulty source or destination (the paper
     assumes both ends are alive; a faulty destination is detectable only at
     delivery, which the simulator-level tests exercise separately).
+
+    Every attempt reports through :mod:`repro.obs` (outcome, source
+    condition, hops, detour) when observability is enabled; the hook is a
+    single branch otherwise.
     """
+    result = _route_unicast(sl, source, dest, tie_break, rng)
+    record_route_attempt(result)
+    return result
+
+
+def _route_unicast(
+    sl: SafetyLevels,
+    source: int,
+    dest: int,
+    tie_break: nav.TieBreak = "lowest-dim",
+    rng: RngLike = None,
+) -> RouteResult:
+    """The uninstrumented walk (see :func:`route_unicast`)."""
     topo, faults = sl.topo, sl.faults
     topo.validate_node(source)
     topo.validate_node(dest)

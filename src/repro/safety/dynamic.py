@@ -23,13 +23,14 @@ any recovery restarts from the all-``n`` state, exactly like a fresh GS.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Literal, Optional, Tuple
+from typing import Any, Dict, List, Literal, Optional, Tuple
 
 import numpy as np
 
 from ..core.fault_models import FaultSchedule
 from ..core.faults import FaultSet
 from ..core.hypercube import Hypercube
+from ..results import base_record
 from .levels import _sweep
 
 __all__ = [
@@ -126,6 +127,33 @@ class DynamicRunResult:
     @property
     def horizon(self) -> int:
         return self.ticks[-1].time if self.ticks else 0
+
+    # -- the shared result protocol (repro.results.ResultLike) --------------
+
+    @property
+    def status(self) -> str:
+        """``"current"`` when the routing layer never acted on stale
+        levels during the replay, else ``"stale"``."""
+        return "current" if self.stale_ticks == 0 else "stale"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return base_record(
+            self,
+            policy=self.policy,
+            ticks=len(self.ticks),
+            horizon=self.horizon,
+            total_messages=self.total_messages,
+            recomputations=self.recomputations,
+            stale_ticks=self.stale_ticks,
+        )
+
+    def summary(self) -> str:
+        return (
+            f"dynamic[{self.policy}]: horizon {self.horizon}, "
+            f"{self.recomputations} recomputations, "
+            f"{self.total_messages} messages, "
+            f"{self.stale_ticks} stale ticks ({self.status})"
+        )
 
 
 class DynamicLevelTracker:

@@ -32,6 +32,7 @@ import numpy as np
 from ..core.fault_models import RngLike, as_rng
 from ..core.faults import FaultSet
 from ..core.hypercube import Hypercube
+from ..obs.instruments import record_gs_batch
 
 __all__ = [
     "level_from_sorted",
@@ -402,6 +403,7 @@ def compute_safety_levels_batch(
             )
         levels[lo:hi] = blk_levels
         rounds[lo:hi] = blk_rounds
+    record_gs_batch(n, batch, "swar" if use_swar else "sorted", rounds)
     return (levels, rounds) if return_rounds else levels
 
 

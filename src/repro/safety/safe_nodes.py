@@ -20,12 +20,13 @@ against these implementations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, FrozenSet
+from typing import Any, Callable, Dict, FrozenSet
 
 import numpy as np
 
 from ..core.faults import FaultSet
 from ..core.hypercube import Hypercube
+from ..results import base_record
 
 __all__ = [
     "SafeNodeResult",
@@ -56,6 +57,28 @@ class SafeNodeResult:
     @property
     def num_safe(self) -> int:
         return int(np.count_nonzero(self.safe_mask))
+
+    # -- the shared result protocol (repro.results.ResultLike) --------------
+
+    @property
+    def status(self) -> str:
+        """Fixed-point computations always stabilize (monotone growth)."""
+        return "stable"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return base_record(
+            self,
+            definition=self.definition,
+            num_safe=self.num_safe,
+            num_nodes=int(self.safe_mask.size),
+            rounds=self.rounds,
+        )
+
+    def summary(self) -> str:
+        return (
+            f"safe-nodes[{self.definition}]: {self.num_safe}/"
+            f"{self.safe_mask.size} safe after {self.rounds} rounds"
+        )
 
 
 def _grow_unsafe(

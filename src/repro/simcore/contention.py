@@ -21,10 +21,11 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.faults import FaultSet
 from ..core.topology import Topology
+from ..results import base_record
 
 __all__ = ["Packet", "NextHopPolicy", "TrafficResult", "simulate_traffic"]
 
@@ -105,6 +106,36 @@ class TrafficResult:
     @property
     def max_link_busy(self) -> int:
         return max(self.link_busy_ticks.values(), default=0)
+
+    # -- the shared result protocol (repro.results.ResultLike) --------------
+
+    @property
+    def status(self) -> str:
+        """``"delivered"`` when every packet arrived, ``"partial"`` when
+        some were dropped/aborted, ``"idle"`` for an empty run."""
+        if not self.packets:
+            return "idle"
+        return "delivered" if self.delivered == len(self.packets) else "partial"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return base_record(
+            self,
+            packets=len(self.packets),
+            delivered=self.delivered,
+            dropped=self.dropped,
+            ticks=self.ticks,
+            mean_latency=self.mean_latency,
+            max_latency=self.max_latency,
+            mean_queueing=self.mean_queueing,
+            max_link_busy=self.max_link_busy,
+        )
+
+    def summary(self) -> str:
+        return (
+            f"traffic: {self.delivered}/{len(self.packets)} delivered in "
+            f"{self.ticks} ticks, mean latency {self.mean_latency:.2f} "
+            f"({self.status})"
+        )
 
 
 def simulate_traffic(

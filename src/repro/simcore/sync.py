@@ -17,8 +17,9 @@ first exchange confirms every level unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Any, Dict, List, Sequence
 
+from ..results import base_record
 from .errors import SimError
 from .message import Message
 from .network import Network
@@ -71,6 +72,31 @@ class RoundsResult:
     rounds_executed: int
     stabilization_round: int
     messages_sent: int
+
+    # -- the shared result protocol (repro.results.ResultLike) --------------
+
+    @property
+    def status(self) -> str:
+        """``"stable"`` when a quiet round was observed (the executor ran
+        past the last state change), else ``"budget-exhausted"``."""
+        if self.rounds_executed > self.stabilization_round:
+            return "stable"
+        return "budget-exhausted"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return base_record(
+            self,
+            rounds_executed=self.rounds_executed,
+            stabilization_round=self.stabilization_round,
+            messages_sent=self.messages_sent,
+        )
+
+    def summary(self) -> str:
+        return (
+            f"rounds: stabilized at round {self.stabilization_round} "
+            f"({self.rounds_executed} executed, "
+            f"{self.messages_sent} messages, {self.status})"
+        )
 
 
 class RoundExecutor:

@@ -4,12 +4,17 @@ A trace is an append-only list of typed records (sends, deliveries, drops,
 state changes).  Tests use traces to assert protocol behaviour ("the unicast
 visited exactly these nodes in this order"); examples use them to print the
 paper's walk-throughs.
+
+Traces are one simulator run's view; the run-level generalization is the
+schema-versioned JSONL stream of :mod:`repro.obs` — a whole trace bridges
+into that stream via :meth:`Trace.to_events` (or
+``RunRecorder.record_trace``) as ``sim_trace`` events.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 __all__ = ["TraceRecord", "Trace"]
 
@@ -74,6 +79,23 @@ class Trace:
             if predicate is not None and not predicate(rec):
                 continue
             out.append(rec)
+        return out
+
+    def to_events(self) -> List[Dict[str, Any]]:
+        """The trace as ``sim_trace`` event payloads for :mod:`repro.obs`.
+
+        Each payload holds the fields a recorder's ``emit("sim_trace",
+        **payload)`` expects; ``detail`` is stringified when it is not a
+        JSON primitive, mirroring the recorder's own coercion.
+        """
+        out = []
+        for rec in self._records:
+            detail = rec.detail
+            if detail is not None and not isinstance(
+                    detail, (bool, int, float, str)):
+                detail = repr(detail)
+            out.append({"time": rec.time, "event": rec.event,
+                        "node": rec.node, "detail": detail})
         return out
 
     def render(self, formatter: Optional[Callable[[int], str]] = None) -> str:

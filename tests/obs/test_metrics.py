@@ -1,0 +1,114 @@
+"""MetricsRegistry semantics: instruments, switches, snapshots."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+class TestCounter:
+    def test_counts_and_snapshot_is_int_when_integral(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.snapshot() == 5
+        assert isinstance(c.snapshot(), int)
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_same_name_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.counter("x") is not reg.counter("y")
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = MetricsRegistry().gauge("jobs")
+        g.set(4)
+        g.set(2)
+        assert g.snapshot() == 2
+
+    def test_inc_dec(self):
+        g = MetricsRegistry().gauge("inflight")
+        g.inc(3)
+        g.dec()
+        assert g.snapshot() == 2
+
+
+class TestHistogram:
+    def test_streaming_moments(self):
+        h = MetricsRegistry().histogram("hops")
+        for v in (1, 2, 3, 4):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == 10
+        assert snap["mean"] == pytest.approx(2.5)
+        assert snap["min"] == 1
+        assert snap["max"] == 4
+        assert snap["stddev"] == pytest.approx(1.1180339887, rel=1e-9)
+
+    def test_empty_histogram_snapshot_is_finite(self):
+        snap = MetricsRegistry().histogram("empty").snapshot()
+        assert snap == {"count": 0, "sum": 0.0, "mean": 0.0, "stddev": 0.0,
+                        "min": 0.0, "max": 0.0}
+
+
+class TestTimer:
+    def test_context_manager_records_elapsed(self):
+        t = MetricsRegistry().timer("chunk")
+        with t:
+            pass
+        snap = t.snapshot()
+        assert snap["count"] == 1
+        assert 0.0 <= snap["max"] < 1.0
+
+
+class TestRegistry:
+    def test_disabled_by_flag_not_by_instrument_loss(self):
+        # The enable switch is advisory: hooks check it, instruments stay
+        # live, so cached references survive a disable/enable cycle.
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("x")
+        reg.enable()
+        assert reg.enabled
+        c.inc()
+        reg.disable()
+        assert not reg.enabled
+        assert reg.counter("x").snapshot() == 1
+
+    def test_preregister_gives_stable_snapshot_keys(self):
+        reg = MetricsRegistry()
+        reg.preregister(counters=["a", "b"], histograms=["h"])
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a": 0, "b": 0}
+        assert snap["histograms"]["h"]["count"] == 0
+
+    def test_snapshot_is_json_serializable_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(3)
+        with reg.timer("t"):
+            pass
+        snap = reg.snapshot()
+        json.dumps(snap)  # must not raise
+        assert list(snap["counters"]) == ["a", "b"]
+
+    def test_reset_forgets_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert reg.snapshot()["counters"] == {}
+
+    def test_describe_lists_kinds(self):
+        reg = MetricsRegistry()
+        reg.counter("c")
+        reg.gauge("g")
+        assert reg.describe() == ["counter:c", "gauge:g"]

@@ -1,0 +1,131 @@
+"""Conformance of every result class to the repro.results protocol.
+
+One parametrized suite pins all seven result types to the shared shape
+the recorder and tables layer consume: a status, a JSON-able
+``to_dict()`` carrying ``kind``/``status``, and a one-line ``summary()``.
+"""
+
+import json
+
+import pytest
+
+from repro.broadcast import broadcast_safety_binomial
+from repro.core import FaultSet, Hypercube
+from repro.core.fault_models import FaultEvent, FaultSchedule
+from repro.results import ResultLike, status_text, to_jsonable
+from repro.routing import multicast_greedy_tree, route_unicast
+from repro.safety import SafetyLevels, lee_hayes_safe, run_gs
+from repro.safety.dynamic import DynamicLevelTracker
+from repro.simcore import simulate_traffic
+
+
+def _topo_and_faults():
+    topo = Hypercube(4)
+    return topo, FaultSet(nodes=[0b0110, 0b1001])
+
+
+def _levels():
+    topo, faults = _topo_and_faults()
+    return SafetyLevels.compute(topo, faults)
+
+
+def _greedy_policy(topo):
+    def policy(node, dest, _packet):
+        dims = topo.differing_dimensions(node, dest)
+        return topo.neighbor_along(node, dims[0]) if dims else None
+
+    return policy
+
+
+def make_route_result():
+    return route_unicast(_levels(), 0b0000, 0b1111)
+
+
+def make_multicast_result():
+    return multicast_greedy_tree(_levels(), 0b0000, [0b0011, 0b1111])
+
+
+def make_broadcast_result():
+    return broadcast_safety_binomial(_levels(), 0b0000)
+
+
+def make_safe_node_result():
+    return lee_hayes_safe(*_topo_and_faults())
+
+
+def make_rounds_result():
+    return run_gs(*_topo_and_faults()).rounds
+
+
+def make_traffic_result():
+    topo = Hypercube(4)
+    return simulate_traffic(topo, FaultSet.empty(),
+                            [(0, 0b0111), (1, 0b1110)], _greedy_policy(topo))
+
+
+def make_dynamic_run_result():
+    topo = Hypercube(4)
+    schedule = FaultSchedule(base=FaultSet(), events=[
+        FaultEvent(time=2, node=5, fails=True),
+        FaultEvent(time=4, node=9, fails=True),
+    ])
+    return DynamicLevelTracker(topo, schedule).run()
+
+
+FACTORIES = [
+    make_route_result,
+    make_multicast_result,
+    make_broadcast_result,
+    make_safe_node_result,
+    make_rounds_result,
+    make_traffic_result,
+    make_dynamic_run_result,
+]
+
+
+@pytest.fixture(params=FACTORIES, ids=lambda f: f.__name__[5:])
+def result(request):
+    return request.param()
+
+
+class TestProtocolConformance:
+    def test_satisfies_result_like(self, result):
+        assert isinstance(result, ResultLike)
+
+    def test_status_normalizes_to_nonempty_string(self, result):
+        text = status_text(result)
+        assert isinstance(text, str) and text
+
+    def test_to_dict_carries_kind_and_status(self, result):
+        data = result.to_dict()
+        assert data["kind"] == type(result).__name__
+        assert data["status"] == status_text(result)
+
+    def test_to_dict_is_json_serializable(self, result):
+        json.dumps(result.to_dict())  # must not raise
+
+    def test_summary_is_one_line(self, result):
+        text = result.summary()
+        assert isinstance(text, str) and text
+        assert "\n" not in text
+
+    def test_kinds_are_distinct_across_classes(self):
+        kinds = {f().to_dict()["kind"] for f in FACTORIES}
+        assert len(kinds) == len(FACTORIES)
+
+
+class TestJsonableHelper:
+    def test_converts_awkward_values(self):
+        import numpy as np
+
+        out = to_jsonable({
+            "set": {3, 1, 2},
+            "np_int": np.int64(7),
+            "np_arr": np.array([1, 2]),
+            "nested": [{"k": (1, 2)}],
+        })
+        assert out["set"] == [1, 2, 3]
+        assert out["np_int"] == 7
+        assert out["np_arr"] == [1, 2]
+        assert out["nested"] == [{"k": [1, 2]}]
+        json.dumps(out)
