@@ -2,7 +2,7 @@
 
 PY ?= python3
 
-.PHONY: install test bench bench-sweep experiments artifacts scorecard stats-demo examples clean
+.PHONY: install test bench bench-sweep bench-routing experiments artifacts scorecard stats-demo examples clean
 
 install:
 	$(PY) -m pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -16,6 +16,11 @@ bench:
 # Sweep-engine throughput trajectory; writes BENCH_sweep.json at the root.
 bench-sweep:
 	PYTHONPATH=src $(PY) benchmarks/bench_kernel_throughput.py
+
+# Batched vs scalar routing kernel; writes BENCH_routing.json at the root
+# and asserts the >= 10x speedup floor plus scalar equivalence.
+bench-routing:
+	PYTHONPATH=src $(PY) benchmarks/bench_routing_throughput.py
 
 # Regenerate every table/figure at full scale into ./artifacts
 artifacts:

@@ -1,0 +1,170 @@
+"""Throughput benchmark for the batched unicast routing kernel.
+
+Measures routes/sec on the E7 routability workload — all alive (source,
+destination) pairs of damaged Q8 instances — along both dispatch paths:
+
+* ``scalar``  — the seed implementation: one :func:`route_unicast` walk
+  per pair over a precomputed :class:`SafetyLevels` assignment;
+* ``batched`` — one :func:`route_unicast_batch` kernel call per fault
+  set (vectorized C1/C2/C3 plus the lock-step walk).
+
+Writes ``BENCH_routing.json`` at the repository root so the speedup is
+tracked across PRs, and asserts the equivalence the speedup claim rests
+on: the batched kernel must reproduce the scalar walk's status,
+condition, hop count and path on every pair.  Full (non ``--quick``)
+runs additionally assert the batched kernel is at least 10x faster.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_routing_throughput.py [--quick]
+
+(Not a pytest-benchmark module on purpose — the JSON trajectory file
+wants stable, comparable fields rather than pytest-benchmark's storage.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.fault_models import uniform_node_faults
+from repro.core.hypercube import Hypercube
+from repro.routing.batch import route_unicast_batch
+from repro.routing.safety_unicast import route_unicast
+from repro.safety.levels import SafetyLevels, compute_safety_levels_batch
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_routing.json"
+
+#: The benchmark workload: Q8 instances across the damage range E7
+#: sweeps, routing every alive pair of each instance.
+N = 8
+FAULT_COUNTS = (4, 8, 16, 32)
+SEED = 424242
+
+#: Full-run acceptance floor for the vectorized kernel.
+MIN_SPEEDUP = 10.0
+
+
+def build_workload(
+    quick: bool,
+) -> List[Tuple[SafetyLevels, np.ndarray, np.ndarray, np.ndarray]]:
+    """Per fault set: (scalar assignment, levels row, sources, dests)."""
+    topo = Hypercube(N)
+    fault_counts = FAULT_COUNTS[:2] if quick else FAULT_COUNTS
+    workload = []
+    for i, f in enumerate(fault_counts):
+        rng = np.random.default_rng(np.random.SeedSequence(SEED,
+                                                           spawn_key=(i,)))
+        faults = uniform_node_faults(topo, f, rng)
+        sl = SafetyLevels.compute(topo, faults)
+        levels = compute_safety_levels_batch(
+            topo, faults.node_mask(topo.num_nodes)[None, :])
+        alive = np.array(faults.nonfaulty_nodes(topo))
+        srcs, dsts = np.meshgrid(alive, alive, indexing="ij")
+        srcs, dsts = srcs.reshape(-1), dsts.reshape(-1)
+        if quick:                     # cap the scalar loop for smoke runs
+            pick = np.random.default_rng(SEED + i).choice(
+                srcs.size, size=min(4000, srcs.size), replace=False)
+            srcs, dsts = srcs[pick], dsts[pick]
+        workload.append((sl, levels, srcs, dsts))
+    return workload
+
+
+def _scalar_pass(workload) -> List[List]:
+    """The seed path: one route_unicast walk per pair."""
+    out = []
+    for sl, _levels, srcs, dsts in workload:
+        out.append([route_unicast(sl, int(s), int(d))
+                    for s, d in zip(srcs, dsts)])
+    return out
+
+
+def _batched_pass(workload) -> List:
+    """One vectorized kernel call per fault set."""
+    topo = Hypercube(N)
+    return [route_unicast_batch(topo, levels, srcs, dsts, return_paths=True)
+            for _sl, levels, srcs, dsts in workload]
+
+
+def _assert_equivalent(scalar_results, batch_results) -> None:
+    """The speedup claim's foundation: bit-identical routes, every pair."""
+    for scalar_routes, batch in zip(scalar_results, batch_results):
+        for k, ref in enumerate(scalar_routes):
+            got = batch.result(0, k)
+            assert got == ref, (
+                f"batched kernel diverged from scalar walk at pair {k}: "
+                f"{got} != {ref}"
+            )
+
+
+def run_benchmark(quick: bool, repeats: int) -> Dict:
+    workload = build_workload(quick)
+    routes = int(sum(srcs.size for _sl, _lv, srcs, _d in workload))
+    paths: Dict[str, Dict] = {}
+
+    def record(name: str, seconds: float) -> None:
+        best = min(seconds, paths.get(name, {}).get("seconds", float("inf")))
+        paths[name] = {
+            "seconds": round(best, 6),
+            "routes_per_sec": round(routes / best, 1),
+        }
+
+    scalar_results = batch_results = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        scalar_results = _scalar_pass(workload)
+        record("scalar", time.perf_counter() - start)
+        start = time.perf_counter()
+        batch_results = _batched_pass(workload)
+        record("batched", time.perf_counter() - start)
+
+    assert scalar_results is not None and batch_results is not None
+    _assert_equivalent(scalar_results, batch_results)
+
+    speedup = round(
+        paths["batched"]["routes_per_sec"] / paths["scalar"]["routes_per_sec"],
+        2)
+    report = {
+        "benchmark": "routability_q8_all_pairs",
+        "n": N,
+        "fault_counts": list(FAULT_COUNTS[:2] if quick else FAULT_COUNTS),
+        "routes": routes,
+        "quick": quick,
+        "paths": paths,
+        "speedup_batched": speedup,
+        "batched_matches_scalar": True,
+    }
+    return report
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="sampled pairs and fewer fault sets for CI "
+                             "smoke runs (skips the 10x floor assert)")
+    parser.add_argument("--output", type=Path, default=OUTPUT,
+                        help=f"report path (default {OUTPUT})")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args.quick, repeats=2 if args.quick else 3)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {args.output}")
+    print(f"batched kernel speedup over scalar walk: "
+          f"{report['speedup_batched']:.1f}x on {report['routes']} routes")
+    if not args.quick:
+        assert report["speedup_batched"] >= MIN_SPEEDUP, (
+            f"batched kernel only {report['speedup_batched']:.1f}x faster; "
+            f"the acceptance floor is {MIN_SPEEDUP:.0f}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

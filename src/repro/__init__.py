@@ -50,7 +50,7 @@ from . import (
     simcore,
     viz,
 )
-from .api import compute_levels, record_run, route, stats, sweep
+from .api import compute_levels, record_run, route, route_batch, stats, sweep
 from .core import FaultSet, GeneralizedHypercube, Hypercube
 from .results import ResultLike
 from .routing import RouteResult, RouteStatus, SourceCondition
@@ -101,6 +101,7 @@ __all__ = [
     "SafetyLevels",
     "compute_levels",
     "route",
+    "route_batch",
     "sweep",
     "record_run",
     "stats",

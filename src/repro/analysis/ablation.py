@@ -18,6 +18,7 @@ from typing import List, Sequence
 
 from ..core.fault_models import uniform_node_faults
 from ..core.hypercube import Hypercube
+from ..routing.batch import route_unicast_batch
 from ..routing.result import RouteStatus
 from ..routing.safety_unicast import route_unicast
 from ..safety.gs import run_gs
@@ -44,24 +45,47 @@ def tie_break_table(
         faults = uniform_node_faults(topo, num_faults, rng)
         sl = SafetyLevels.compute(topo, faults)
         alive = faults.nonfaulty_nodes(topo)
+        # The random policy draws from the shared generator, so it stays
+        # scalar inside the pair loop (draw order: pair pick, then that
+        # pair's random-tie walk — unchanged).  The two deterministic
+        # policies draw nothing and route the whole trial's pair batch in
+        # one batched-kernel call each, bit-identical to the scalar walk.
+        pairs = []
+        random_paths = []
         for _ in range(pairs_per_trial):
             i, j = rng.choice(len(alive), size=2, replace=False)
             source, dest = alive[int(i)], alive[int(j)]
-            paths = {}
-            for policy in policies:
-                res = route_unicast(sl, source, dest, tie_break=policy,
-                                    rng=rng)
-                c = counts[policy]
-                c["attempts"] += 1
-                if res.status is RouteStatus.DELIVERED:
-                    if res.optimal:
-                        c["optimal"] += 1
-                    elif res.suboptimal:
-                        c["suboptimal"] += 1
-                elif res.status is RouteStatus.ABORTED_AT_SOURCE:
-                    c["aborted"] += 1
-                paths[policy] = tuple(res.path)
-            if len(set(paths.values())) > 1:
+            pairs.append((source, dest))
+            res = route_unicast(sl, source, dest, tie_break="random",
+                                rng=rng)
+            c = counts["random"]
+            c["attempts"] += 1
+            if res.status is RouteStatus.DELIVERED:
+                if res.optimal:
+                    c["optimal"] += 1
+                elif res.suboptimal:
+                    c["suboptimal"] += 1
+            elif res.status is RouteStatus.ABORTED_AT_SOURCE:
+                c["aborted"] += 1
+            random_paths.append(tuple(res.path))
+        batches = {
+            policy: route_unicast_batch(topo, sl,
+                                        [p[0] for p in pairs],
+                                        [p[1] for p in pairs],
+                                        tie_break=policy, return_paths=True)
+            for policy in ("lowest-dim", "highest-dim")
+        }
+        for policy, batch in batches.items():
+            c = counts[policy]
+            c["attempts"] += batch.pairs
+            c["optimal"] += int(batch.optimal.sum())
+            c["suboptimal"] += int(batch.suboptimal.sum())
+            c["aborted"] += int(batch.aborted.sum())
+        for k, rand_path in enumerate(random_paths):
+            realized = {rand_path}
+            realized.update(tuple(batches[p].path_of(0, k))
+                            for p in ("lowest-dim", "highest-dim"))
+            if len(realized) > 1:
                 for policy in policies:
                     counts[policy]["distinct_paths"] += 1
     table = Table(

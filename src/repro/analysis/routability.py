@@ -24,10 +24,10 @@ import numpy as np
 from ..core import partition
 from ..core.fault_models import uniform_node_faults
 from ..core.hypercube import Hypercube
-from ..routing.result import RouteStatus, SourceCondition
-from ..routing.safety_unicast import route_unicast
-from ..safety.levels import SafetyLevels
-from .sweep import map_trials
+from ..routing.batch import route_unicast_batch
+from ..routing.result import SourceCondition
+from ..safety.levels import compute_safety_levels_batch
+from .sweep import TrialChunk, run_sweep
 from .tables import Table
 
 __all__ = ["RoutabilityRow", "routability_sweep", "routability_table"]
@@ -55,55 +55,95 @@ class RoutabilityRow:
         return value / self.attempts if self.attempts else 0.0
 
 
-def _routability_trial(
-    rng: np.random.Generator, n: int, num_faults: int, pairs_per_trial: int
-) -> RoutabilityRow:
-    """One E7 trial: a fresh fault set, ``pairs_per_trial`` audited routes.
+_CONDITION_NAMES = tuple(c.value for c in
+                         (SourceCondition.C1, SourceCondition.C2,
+                          SourceCondition.C3, SourceCondition.NONE))
 
-    Returns a partial :class:`RoutabilityRow` holding just this trial's
-    counters; the sweep merges them in trial order.  Module level so the
-    sweep engine can ship it to pool workers.
+
+def _routability_chunk(
+    chunk: TrialChunk, n: int, num_faults: int, pairs_per_trial: int
+) -> List[RoutabilityRow]:
+    """One chunk of E7 trials: fresh fault sets, batched audited routes.
+
+    The random draws happen per trial in the same order as the original
+    per-trial loop (one ``uniform_node_faults`` then ``pairs_per_trial``
+    pair picks), so the sampled instances are unchanged; the *work* —
+    safety levels and the unicast walks — then runs as one
+    :func:`compute_safety_levels_batch` plus one
+    :func:`route_unicast_batch` call over the whole chunk, and the
+    Theorem 3 audits reduce over the result arrays.  Returns one partial
+    :class:`RoutabilityRow` per trial, in trial order; the sweep merges
+    them.  Module level so the sweep engine can ship it to pool workers.
     """
     topo = Hypercube(n)
-    row = RoutabilityRow(n=n, num_faults=num_faults)
-    faults = uniform_node_faults(topo, num_faults, rng)
-    sl = SafetyLevels.compute(topo, faults)
-    alive = faults.nonfaulty_nodes(topo)
-    if len(alive) < 2:
-        return row
-    for _ in range(pairs_per_trial):
-        s, d = rng.choice(len(alive), size=2, replace=False)
-        source, dest = alive[int(s)], alive[int(d)]
-        result = route_unicast(sl, source, dest)
-        row.attempts += 1
-        row.by_condition[result.condition.value] = (
-            row.by_condition.get(result.condition.value, 0) + 1
-        )
-        if result.status is RouteStatus.DELIVERED:
-            if result.optimal:
-                row.delivered_optimal += 1
-            elif result.suboptimal:
-                row.delivered_suboptimal += 1
-            else:
-                row.guarantee_violations += 1
-            # Path sanity: never cross a fault.
-            if not partition.path_is_fault_free(topo, faults, result.path):
-                row.guarantee_violations += 1
-            # C1/C2 must be optimal, C3 must be exactly +2.
-            if (result.condition in (SourceCondition.C1, SourceCondition.C2)
-                    and not result.optimal):
-                row.guarantee_violations += 1
-            if (result.condition is SourceCondition.C3
-                    and not result.suboptimal):
-                row.guarantee_violations += 1
-        elif result.status is RouteStatus.ABORTED_AT_SOURCE:
-            row.aborted += 1
-            if partition.same_component(topo, faults, source, dest):
+    rows = [RoutabilityRow(n=n, num_faults=num_faults)
+            for _ in range(chunk.count)]
+    masks = np.zeros((chunk.count, topo.num_nodes), dtype=bool)
+    fault_sets = []
+    routed: List[int] = []        # trials with at least two alive nodes
+    srcs: List[List[int]] = []
+    dsts: List[List[int]] = []
+    for i, rng in enumerate(chunk.iter_rngs()):
+        faults = uniform_node_faults(topo, num_faults, rng)
+        fault_sets.append(faults)
+        masks[i] = faults.node_mask(topo.num_nodes)
+        alive = faults.nonfaulty_nodes(topo)
+        if len(alive) < 2:
+            continue
+        routed.append(i)
+        trial_srcs, trial_dsts = [], []
+        for _ in range(pairs_per_trial):
+            s, d = rng.choice(len(alive), size=2, replace=False)
+            trial_srcs.append(alive[int(s)])
+            trial_dsts.append(alive[int(d)])
+        srcs.append(trial_srcs)
+        dsts.append(trial_dsts)
+    if not routed:
+        return rows
+
+    levels = compute_safety_levels_batch(topo, masks[routed])
+    batch = route_unicast_batch(topo, levels, np.array(srcs), np.array(dsts),
+                                return_paths=True)
+
+    delivered = batch.delivered
+    optimal = batch.optimal
+    suboptimal = batch.suboptimal
+    # Path sanity: never cross a fault.  Level 0 <=> faulty, so a route is
+    # fault-free iff every node on its (padded) path has level > 0.
+    valid = batch.paths >= 0
+    trial_idx = np.arange(len(routed))[:, None, None]
+    node_levels = levels[trial_idx, np.where(valid, batch.paths, 0)]
+    path_faulty = ((node_levels == 0) & valid).any(axis=2)
+    # C1/C2 must be optimal, C3 must be exactly +2; STUCK is impossible
+    # when a condition admitted the route.
+    cond_c1c2 = ((batch.condition == 0) | (batch.condition == 1))
+    cond_c3 = batch.condition == 2
+    violations = (
+        (delivered & ~optimal & ~suboptimal).astype(np.int64)
+        + (delivered & path_faulty)
+        + (delivered & cond_c1c2 & ~optimal)
+        + (delivered & cond_c3 & ~suboptimal)
+        + batch.stuck
+    ).sum(axis=1)
+
+    for t, i in enumerate(routed):
+        row = rows[i]
+        row.attempts = batch.pairs
+        row.delivered_optimal = int(optimal[t].sum())
+        row.delivered_suboptimal = int(suboptimal[t].sum())
+        row.aborted = int(batch.aborted[t].sum())
+        row.guarantee_violations = int(violations[t])
+        counts = np.bincount(batch.condition[t],
+                             minlength=len(_CONDITION_NAMES))
+        row.by_condition = {
+            name: int(c) for name, c in zip(_CONDITION_NAMES, counts) if c
+        }
+        # Aborts are rare; the oracle reachability check stays scalar.
+        for p in np.flatnonzero(batch.aborted[t]):
+            if partition.same_component(topo, fault_sets[i],
+                                        srcs[t][p], dsts[t][p]):
                 row.aborted_reachable += 1
-        else:
-            # STUCK should be impossible: a condition admitted it.
-            row.guarantee_violations += 1
-    return row
+    return rows
 
 
 def _merge_rows(into: RoutabilityRow, part: RoutabilityRow) -> None:
@@ -128,14 +168,17 @@ def routability_sweep(
     """Run the E7 sweep for one cube dimension.
 
     Trials go through the sweep engine (``jobs`` workers, or the
-    ``REPRO_JOBS`` default); per-trial counter rows are merged in trial
-    order, so the aggregate is identical for any worker count.
+    ``REPRO_JOBS`` default) in chunk-batched form — one safety-level
+    kernel call and one :func:`route_unicast_batch` call per chunk —
+    and per-trial counter rows are merged in trial order, so the
+    aggregate is identical for any worker count (and to the retired
+    per-pair ``route_unicast`` loop: same draws, bit-identical routes).
     """
     rows: List[RoutabilityRow] = []
     for f in fault_counts:
         row = RoutabilityRow(n=n, num_faults=f)
-        for part in map_trials(_routability_trial, seed * 1000 + f, trials,
-                               jobs=jobs, args=(n, f, pairs_per_trial)):
+        for part in run_sweep(_routability_chunk, seed * 1000 + f, trials,
+                              jobs=jobs, args=(n, f, pairs_per_trial)):
             _merge_rows(row, part)
         rows.append(row)
     return rows

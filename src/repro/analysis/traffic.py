@@ -27,13 +27,15 @@ from ..core.fault_models import uniform_node_faults
 from ..core.faults import FaultSet, normalize_link
 from ..core.hypercube import Hypercube
 from ..routing.baselines import route_dfs, route_sidetrack
+from ..routing.batch import BatchRouteResult, route_unicast_batch
 from ..routing.result import RouteResult
 from ..routing.safety_unicast import route_unicast
 from ..safety.levels import SafetyLevels
 from .montecarlo import iter_trial_rngs
 from .tables import Table
 
-__all__ = ["LoadStats", "measure_link_load", "traffic_table"]
+__all__ = ["LoadStats", "measure_link_load", "measure_link_load_batched",
+           "traffic_table"]
 
 
 @dataclass(frozen=True)
@@ -80,6 +82,42 @@ def measure_link_load(
                      max_link_load=0, mean_link_load=0.0, concentration=0.0)
 
 
+def measure_link_load_batched(scheme: str,
+                              batch: BatchRouteResult) -> LoadStats:
+    """Per-link load of one :func:`route_unicast_batch` result.
+
+    Equivalent to :func:`measure_link_load` over the materialized routes
+    (the link loads come from the same paths), but the per-link counting
+    is one vectorized ``np.unique`` over normalized link keys instead of a
+    Python loop over every hop.  Requires ``return_paths=True``.
+    """
+    if batch.paths is None:
+        raise ValueError("link load needs paths; route with return_paths=True")
+    delivered_mask = batch.delivered
+    delivered = int(delivered_mask.sum())
+    u = batch.paths[..., :-1]
+    v = batch.paths[..., 1:]
+    hop = (v >= 0) & delivered_mask[..., None]
+    if hop.any():
+        lo = np.minimum(u, v)[hop].astype(np.int64)
+        hi = np.maximum(u, v)[hop].astype(np.int64)
+        _, counts = np.unique(lo * batch.topo.num_nodes + hi,
+                              return_counts=True)
+        values = counts.astype(np.float64)
+        concentration = float(values.std() / values.mean()) \
+            if values.mean() else 0.0
+        return LoadStats(
+            scheme=scheme,
+            delivered=delivered,
+            total_traversals=int(values.sum()),
+            max_link_load=int(values.max()),
+            mean_link_load=float(values.mean()),
+            concentration=concentration,
+        )
+    return LoadStats(scheme=scheme, delivered=delivered, total_traversals=0,
+                     max_link_load=0, mean_link_load=0.0, concentration=0.0)
+
+
 def traffic_table(
     n: int = 7,
     num_faults: int = 6,
@@ -104,9 +142,18 @@ def traffic_table(
         while len(pairs) < pairs_per_batch:
             i, j = rng.choice(len(alive), size=2, replace=False)
             pairs.append((alive[int(i)], alive[int(j)]))
+        # The deterministic scheme routes the whole pair batch in one
+        # batched-kernel call (draws nothing, so the shared generator is
+        # untouched); the rng-consuming schemes stay scalar below, in the
+        # original order, drawing pair by pair exactly as before.
+        det = route_unicast_batch(
+            topo, sl,
+            [p[0] for p in pairs], [p[1] for p in pairs],
+            tie_break="lowest-dim", return_paths=True,
+        )
+        totals.setdefault("safety-level (lowest-dim)", []).append(
+            measure_link_load_batched("safety-level (lowest-dim)", det))
         schemes: List[Tuple[str, Callable[[int, int], RouteResult]]] = [
-            ("safety-level (lowest-dim)",
-             lambda s, d: route_unicast(sl, s, d, tie_break="lowest-dim")),
             ("safety-level (random tie)",
              lambda s, d: route_unicast(sl, s, d, tie_break="random",
                                         rng=rng)),

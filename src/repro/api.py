@@ -26,12 +26,14 @@ from .core.faults import FaultSet
 from .core.hypercube import Hypercube
 from .obs.instruments import observed
 from .obs.runstats import RunStats, summarize_run
+from .routing.batch import BatchRouteResult, route_unicast_batch
 from .routing.result import RouteResult
 from .routing.safety_unicast import route_unicast
 from .safety.levels import SafetyLevels
 from .analysis.sweep import map_trials
 
-__all__ = ["compute_levels", "route", "sweep", "record_run", "stats"]
+__all__ = ["compute_levels", "route", "route_batch", "sweep",
+           "record_run", "stats"]
 
 NodeSpec = Union[int, str]
 FaultSpec = Union[FaultSet, Iterable[Union[int, str]], None]
@@ -78,6 +80,22 @@ def route(levels: SafetyLevels, source: NodeSpec, dest: NodeSpec,
     topo = levels.topo
     return route_unicast(levels, _as_node(topo, source),
                          _as_node(topo, dest), **kwargs)
+
+
+def route_batch(levels: SafetyLevels, sources: Sequence[NodeSpec],
+                dests: Sequence[NodeSpec], **kwargs: Any) -> BatchRouteResult:
+    """Route many pairs over one assignment with the batched kernel.
+
+    ``sources``/``dests`` are equal-length sequences of ints or address
+    strings; extra keyword arguments (``tie_break``, ``return_paths``,
+    ``kernel``) pass through to
+    :func:`repro.routing.route_unicast_batch`.  Every route's outcome is
+    bit-identical to calling :func:`route` pair by pair.
+    """
+    topo = levels.topo
+    srcs = [_as_node(topo, s) for s in sources]
+    dsts = [_as_node(topo, d) for d in dests]
+    return route_unicast_batch(topo, levels, srcs, dsts, **kwargs)
 
 
 def sweep(trial_fn: Callable[..., Any], trials: int, *, seed: int = 0,

@@ -36,6 +36,7 @@ from typing import Callable, Dict, Iterator, List, Optional
 
 from . import analysis, obs
 from .analysis.sweep import JOBS_ENV_VAR
+from .routing.batch import KERNEL_ENV_VAR, KERNELS
 
 __all__ = ["main", "RunContext", "Experiment", "REGISTRY", "EXPERIMENTS",
            "register"]
@@ -354,6 +355,12 @@ def main(argv: List[str] | None = None) -> int:
                         help="worker processes for Monte-Carlo sweeps "
                              f"(default: ${JOBS_ENV_VAR} or serial); "
                              "results are identical for any value")
+    parser.add_argument("--route-kernel", choices=list(KERNELS),
+                        default=None,
+                        help="routing kernel for batched unicast calls "
+                             f"(default: ${KERNEL_ENV_VAR} or vectorized); "
+                             "'scalar' forces the per-route reference walk "
+                             "— outputs are identical either way")
     parser.add_argument("--save", metavar="DIR", default=None,
                         help="also write each experiment's output to "
                              "DIR/<name>.txt")
@@ -377,13 +384,20 @@ def main(argv: List[str] | None = None) -> int:
         # not take an explicit jobs argument, so one flag covers them all.
         os.environ[JOBS_ENV_VAR] = str(args.jobs)
 
+    if args.route_kernel is not None:
+        # Resolved by route_unicast_batch at every call site (including
+        # sweep workers, which inherit the environment), so one flag
+        # covers every batched routing dispatch.
+        os.environ[KERNEL_ENV_VAR] = args.route_kernel
+
     if args.command == "list":
         return _cmd_list()
 
     names = sorted(REGISTRY) if args.command == "all" else [args.command]
     if args.metrics_out:
         config = {"command": args.command, "quick": args.quick,
-                  "trials": args.trials, "jobs": args.jobs}
+                  "trials": args.trials, "jobs": args.jobs,
+                  "route_kernel": args.route_kernel}
         with obs.observed(args.metrics_out, tool="repro.cli",
                           config=config) as (_registry, recorder):
             _run_experiments(names, args, recorder)

@@ -24,7 +24,7 @@ from .fault_models import (
     uniform_node_faults,
 )
 from .generalized import GeneralizedHypercube
-from .hypercube import Hypercube
+from .hypercube import Hypercube, neighbor_table
 from .partition import (
     UNREACHABLE,
     bfs_distances,
@@ -56,6 +56,7 @@ __all__ = [
     "uniform_node_faults",
     "GeneralizedHypercube",
     "Hypercube",
+    "neighbor_table",
     "Topology",
     "UNREACHABLE",
     "bfs_distances",

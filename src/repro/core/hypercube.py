@@ -17,11 +17,21 @@ import numpy as np
 from . import bits
 from .topology import Topology
 
-__all__ = ["Hypercube"]
+__all__ = ["Hypercube", "neighbor_table"]
 
 
 @lru_cache(maxsize=None)
-def _cached_neighbor_table(n: int) -> np.ndarray:
+def neighbor_table(n: int) -> np.ndarray:
+    """The read-only ``(2**n, n)`` XOR index matrix of an ``n``-cube.
+
+    ``neighbor_table(n)[a, i] == a ^ (1 << i)`` — the address of ``a``'s
+    neighbor along dimension ``i``.  Both vectorized kernels gather
+    through this table every sweep/hop (the safety-level fixed point in
+    :mod:`repro.safety.levels` and the batched routing walk in
+    :mod:`repro.routing.batch`), so it is built once per dimension and
+    cached for the life of the process; callers must treat it as
+    immutable shared state.
+    """
     table = bits.neighbor_table(n)
     table.setflags(write=False)
     return table
@@ -114,9 +124,9 @@ class Hypercube(Topology):
         """Read-only ``(2**n, n)`` matrix of neighbor addresses.
 
         ``table[a, i] == a ^ (1 << i)``; shared across instances of the
-        same dimension.
+        same dimension (see the module-level :func:`neighbor_table`).
         """
-        return _cached_neighbor_table(self._n)
+        return neighbor_table(self._n)
 
     def all_nodes(self) -> np.ndarray:
         """All addresses as an int64 vector (for vectorized sweeps)."""

@@ -67,6 +67,19 @@ EVENT_TYPES: Dict[str, Dict[str, bool]] = {
         "rounds_max": True,
         "rounds_sum": True,
     },
+    # One route_unicast_batch() kernel call: a (trials, pairs) matrix of
+    # unicast attempts summarized as counts, not per-attempt events.
+    "routing_batch": {
+        "n": True,             # cube dimension
+        "trials": True,        # level-matrix rows in this call
+        "pairs": True,         # routes per trial
+        "routes": True,        # trials * pairs
+        "tie_break": True,     # lowest-dim / highest-dim / random
+        "kernel": True,        # "vectorized" | "scalar"
+        "statuses": True,      # {RouteStatus value -> route count}
+        "conditions": True,    # {C1/C2/C3/none -> route count}
+        "hops_sum": True,      # total links traversed across the batch
+    },
     # One run_sweep() execution (one Monte-Carlo cell).
     "sweep": {
         "master_seed": True,

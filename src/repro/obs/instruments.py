@@ -6,6 +6,7 @@ ambient :class:`~repro.obs.recorder.RunRecorder` (``None`` by default) —
 plus one ``record_*`` hook per instrumented subsystem:
 
 * :func:`record_route_attempt` — the Section 3.2 unicast router;
+* :func:`record_routing_batch` — the batched routing kernel;
 * :func:`record_gs_batch` — the batched safety-level kernel;
 * :func:`record_sweep` — the Monte-Carlo sweep engine.
 
@@ -39,6 +40,7 @@ __all__ = [
     "observed",
     "STANDARD_COUNTERS",
     "record_route_attempt",
+    "record_routing_batch",
     "record_gs_batch",
     "record_sweep",
 ]
@@ -55,6 +57,8 @@ STANDARD_COUNTERS: Tuple[str, ...] = (
     "route.condition.C2",
     "route.condition.C3",
     "route.condition.none",
+    "routing.batch_calls",
+    "routing.batch_routes",
     "gs.batch_calls",
     "gs.trials",
     "gs.kernel.swar",
@@ -166,6 +170,47 @@ def record_route_attempt(result: Any) -> None:
             hamming=result.hamming,
             hops=hops,
             detour=detour,
+        )
+
+
+def record_routing_batch(result: Any) -> None:
+    """One batched routing kernel call: batch counters, one stream event.
+
+    ``result`` is a :class:`repro.routing.batch.BatchRouteResult`.  The
+    batch kernel deliberately does **not** fire per-attempt
+    ``route_attempt`` hooks — a single call can cover 10^5 routes — but
+    it keeps the ``route.*`` counters in sync by incrementing them with
+    batch totals, so counter-based consumers see the same numbers either
+    way.  The stream gets one ``routing_batch`` event carrying the batch
+    shape, the dispatched kernel, and per-status/per-condition counts.
+    """
+    reg, rec = _METRICS, _RECORDER
+    if not reg.enabled and rec is None:
+        return
+    statuses = result.status_counts()
+    conditions = result.condition_counts()
+    hops_sum = int(result.hops.sum())
+    if reg.enabled:
+        reg.counter("routing.batch_calls").inc()
+        reg.counter("routing.batch_routes").inc(result.routes)
+        reg.counter("route.attempts").inc(result.routes)
+        for status, count in statuses.items():
+            reg.counter("route." + status.replace("-", "_")).inc(count)
+        for condition, count in conditions.items():
+            reg.counter("route.condition." + condition).inc(count)
+        reg.histogram("routing.batch_size").observe(result.routes)
+    if rec is not None:
+        rec.emit(
+            "routing_batch",
+            n=result.topo.dimension,
+            trials=result.trials,
+            pairs=result.pairs,
+            routes=result.routes,
+            tie_break=result.tie_break,
+            kernel=result.kernel,
+            statuses=statuses,
+            conditions=conditions,
+            hops_sum=hops_sum,
         )
 
 

@@ -39,6 +39,12 @@ class RunStats:
     route_status: Dict[str, int] = field(default_factory=dict)
     route_conditions: Dict[str, int] = field(default_factory=dict)
     route_hops_sum: int = 0
+    #: routing_batch kernel calls and the routes they covered (the
+    #: per-route outcomes are already folded into route_status /
+    #: route_conditions / route_hops_sum alongside scalar attempts).
+    routing_batches: int = 0
+    routing_batch_routes: int = 0
+    routing_kernels: Dict[str, int] = field(default_factory=dict)
     #: stabilization round -> trial count, merged over every gs_batch.
     gs_rounds_hist: Dict[int, int] = field(default_factory=dict)
     gs_kernels: Dict[str, int] = field(default_factory=dict)
@@ -102,6 +108,18 @@ def summarize_run(path: Union[str, Path]) -> RunStats:
             stats.route_conditions[cond] = (
                 stats.route_conditions.get(cond, 0) + 1)
             stats.route_hops_sum += rec["hops"]
+        elif etype == "routing_batch":
+            stats.routing_batches += 1
+            stats.routing_batch_routes += rec["routes"]
+            stats.routing_kernels[rec["kernel"]] = (
+                stats.routing_kernels.get(rec["kernel"], 0) + 1)
+            for status, count in rec["statuses"].items():
+                stats.route_status[status] = (
+                    stats.route_status.get(status, 0) + count)
+            for cond, count in rec["conditions"].items():
+                stats.route_conditions[cond] = (
+                    stats.route_conditions.get(cond, 0) + count)
+            stats.route_hops_sum += rec["hops_sum"]
         elif etype == "gs_batch":
             stats.gs_batches += 1
             stats.gs_kernels[rec["kernel"]] = (
@@ -152,6 +170,12 @@ def render_stats(stats: RunStats) -> str:
                          f"{exp['elapsed_s']:.2f}s")
     attempts = stats.route_attempts
     lines.append(f"routing: {attempts} attempts")
+    if stats.routing_batches:
+        lines.append(
+            f"  batched:    {stats.routing_batch_routes} routes in "
+            f"{stats.routing_batches} kernel calls "
+            f"({_fmt_counts(stats.routing_kernels, stats.routing_batches)})"
+        )
     if attempts:
         lines.append("  status:     "
                      + _fmt_counts(stats.route_status, attempts))

@@ -7,6 +7,9 @@ Entry points:
 * :func:`route_unicast_distributed` — the same protocol executed by node
   processes on the simulator.
 * :func:`check_feasibility` — the source-side C1/C2/C3 tests alone.
+* :func:`route_unicast_batch` / :func:`check_feasibility_batch` — the same
+  algorithm vectorized over whole (trials × pairs) route matrices,
+  bit-identical to the scalar walk (see :mod:`repro.routing.batch`).
 * :func:`route_unicast_with_links` — the Section 4.1 variant over EGS.
 * :func:`route_gh_unicast` — the Section 4.2 variant for generalized cubes.
 * :mod:`repro.routing.baselines` — oracle, sidetracking, DFS, progressive,
@@ -15,6 +18,12 @@ Entry points:
 
 from . import navigation
 from .adaptive import AdaptiveRouteOutcome, route_unicast_adaptive
+from .batch import (
+    BatchFeasibility,
+    BatchRouteResult,
+    check_feasibility_batch,
+    route_unicast_batch,
+)
 from .baselines import (
     route_chiu_wu_style,
     route_dfs,
@@ -62,6 +71,10 @@ __all__ = [
     "Feasibility",
     "check_feasibility",
     "route_unicast",
+    "BatchFeasibility",
+    "BatchRouteResult",
+    "check_feasibility_batch",
+    "route_unicast_batch",
     "assert_compliant",
     "audit_route",
     "audit_theorem3",

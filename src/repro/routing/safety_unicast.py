@@ -70,6 +70,18 @@ def check_feasibility(
 
     Uses only information available at the source node: its own level, its
     neighbors' levels, and ``H(s, d)``.
+
+    **Draw order** (``tie_break="random"``): with ``H > 0`` this function
+    consumes *exactly one* draw from ``rng`` for the preferred-neighbor
+    pick (:func:`~repro.routing.navigation.pick_extreme` draws even when a
+    single candidate tops the list), plus *one more* for the spare pick
+    if and only if both C1 and C2 fail and a spare dimension exists
+    (``H < n``).  ``H == 0`` draws nothing.  A caller that shares one
+    generator between an explicit feasibility check and the subsequent
+    walk must hand the resulting :class:`Feasibility` to
+    :func:`route_unicast` via its ``feasibility`` parameter — the router
+    then skips its internal re-check, so the shared generator advances
+    exactly as it would for a single ``route_unicast`` call.
     """
     topo = sl.topo
     topo.validate_node(source)
@@ -117,6 +129,7 @@ def route_unicast(
     dest: int,
     tie_break: nav.TieBreak = "lowest-dim",
     rng: RngLike = None,
+    feasibility: Optional[Feasibility] = None,
 ) -> RouteResult:
     """Route one unicast with the safety-level algorithm.
 
@@ -124,11 +137,24 @@ def route_unicast(
     assumes both ends are alive; a faulty destination is detectable only at
     delivery, which the simulator-level tests exercise separately).
 
+    ``feasibility`` lets a caller that already ran
+    :func:`check_feasibility` hand over its result instead of having the
+    router repeat the source tests.  Beyond saving the recomputation, this
+    is what keeps a *shared* ``tie_break="random"`` generator honest: the
+    source tests draw from ``rng`` (see the draw-order note on
+    :func:`check_feasibility`), so re-running them inside the router would
+    advance the generator twice and desynchronize it from a plain
+    single-call ``route_unicast``.  With the precomputed feasibility
+    passed in, the check + route pair consumes draw-for-draw the same
+    stream as the single call.  The caller must have computed it for the
+    same ``(sl, source, dest, tie_break)``; for ``source == dest`` it is
+    ignored (the trivial route never consults the source rule).
+
     Every attempt reports through :mod:`repro.obs` (outcome, source
     condition, hops, detour) when observability is enabled; the hook is a
     single branch otherwise.
     """
-    result = _route_unicast(sl, source, dest, tie_break, rng)
+    result = _route_unicast(sl, source, dest, tie_break, rng, feasibility)
     record_route_attempt(result)
     return result
 
@@ -139,6 +165,7 @@ def _route_unicast(
     dest: int,
     tie_break: nav.TieBreak = "lowest-dim",
     rng: RngLike = None,
+    feasibility: Optional[Feasibility] = None,
 ) -> RouteResult:
     """The uninstrumented walk (see :func:`route_unicast`)."""
     topo, faults = sl.topo, sl.faults
@@ -159,7 +186,8 @@ def _route_unicast(
             condition=SourceCondition.C1,
         )
 
-    feas = check_feasibility(sl, source, dest, tie_break, gen)
+    feas = (feasibility if feasibility is not None
+            else check_feasibility(sl, source, dest, tie_break, gen))
     if not feas.feasible:
         return RouteResult(
             router=ROUTER_NAME, source=source, dest=dest, hamming=h,

@@ -31,7 +31,7 @@ import numpy as np
 
 from ..core.fault_models import RngLike, as_rng
 from ..core.faults import FaultSet
-from ..core.hypercube import Hypercube
+from ..core.hypercube import Hypercube, neighbor_table
 from ..obs.instruments import record_gs_batch
 
 __all__ = [
@@ -202,7 +202,7 @@ def compute_safety_levels(
             "repro.safety.link_faults.compute_extended_levels for link faults"
         )
     n = topo.dimension
-    table = topo.neighbor_table()
+    table = neighbor_table(n)
     faulty = faults.node_mask(topo.num_nodes)
     levels = np.full(topo.num_nodes, n, dtype=np.int64)
     levels[faulty] = 0
@@ -390,7 +390,7 @@ def compute_safety_levels_batch(
     batch = masks.shape[0]
     ws = workspace if workspace is not None else _DEFAULT_WORKSPACE
     use_swar = n <= 9 and num_nodes == (1 << n)
-    table = None if use_swar else topo.neighbor_table()
+    table = None if use_swar else neighbor_table(n)
     levels = np.empty((batch, num_nodes), dtype=np.int64)
     rounds = np.empty(batch, dtype=np.int64)
     for lo in range(0, batch, _BATCH_BLOCK):

@@ -220,3 +220,35 @@ def test_bipartite_parity_invariant(n, frac, seed):
         ):
             if res.delivered:
                 assert (res.hops - res.hamming) % 2 == 0, res.router
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=6),
+    frac=st.floats(min_value=0.0, max_value=0.6),
+    seed=st.integers(min_value=0, max_value=2 ** 31),
+)
+def test_shared_rng_feasibility_then_route_matches_single_call(n, frac, seed):
+    """The documented random-tie draw order: check_feasibility followed by
+    route_unicast(feasibility=...) on one shared generator must produce the
+    same route AND leave the generator in the same state as a single
+    route_unicast call."""
+    topo = Hypercube(n)
+    gen = np.random.default_rng(seed)
+    faults = uniform_node_faults(topo, int(frac * topo.num_nodes), gen)
+    sl = SafetyLevels.compute(topo, faults)
+    alive = faults.nonfaulty_nodes(topo)
+    if len(alive) < 2:
+        return
+    for _ in range(6):
+        i, j = gen.choice(len(alive), size=2, replace=False)
+        s, d = alive[int(i)], alive[int(j)]
+        route_seed = int(gen.integers(2 ** 32))
+        g_single = np.random.default_rng(route_seed)
+        single = route_unicast(sl, s, d, tie_break="random", rng=g_single)
+        g_shared = np.random.default_rng(route_seed)
+        feas = check_feasibility(sl, s, d, tie_break="random", rng=g_shared)
+        paired = route_unicast(sl, s, d, tie_break="random", rng=g_shared,
+                               feasibility=feas)
+        assert paired == single
+        assert g_shared.bit_generator.state == g_single.bit_generator.state
