@@ -2,7 +2,7 @@
 
 PY ?= python3
 
-.PHONY: install test bench bench-sweep bench-routing experiments artifacts scorecard stats-demo examples clean
+.PHONY: install test bench bench-sweep bench-routing chaos experiments artifacts scorecard stats-demo examples clean
 
 install:
 	$(PY) -m pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -21,6 +21,13 @@ bench-sweep:
 # and asserts the >= 10x speedup floor plus scalar equivalence.
 bench-routing:
 	PYTHONPATH=src $(PY) benchmarks/bench_routing_throughput.py
+
+# Chaos-harness reproducibility smoke: seeded 3x-repeated injection
+# matrix (Q4/Q6, node/link/mixed) asserting byte-identical records plus
+# serial == --jobs, then the E21 table.
+chaos:
+	PYTHONPATH=src $(PY) benchmarks/chaos_smoke.py
+	PYTHONPATH=src $(PY) -m repro.cli chaos --quick
 
 # Regenerate every table/figure at full scale into ./artifacts
 artifacts:

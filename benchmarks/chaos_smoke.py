@@ -1,0 +1,99 @@
+"""Chaos-harness reproducibility smoke: byte-identical seeded scenarios.
+
+Runs a seeded chaos matrix — node / link / mixed injection profiles on
+Q4 and Q6 — three times over and asserts the canonical JSONL record
+stream is **byte-identical** across repeats, then re-runs one cell with
+a multi-worker pool and asserts serial == parallel.  This is the
+determinism contract of the robustness harness: a chaos scenario that
+cannot be replayed exactly cannot be debugged.
+
+Also verifies the run-level delivery invariants on every record (no
+silent loss: every scenario terminates ``delivered`` or
+``failed-detected``).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/chaos_smoke.py [--quick]
+
+Exit status is nonzero on any mismatch, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Dict, List, Sequence
+
+from repro.analysis import chaos_records
+
+#: The matrix: (n, profile, kills, static_faults).
+MATRIX = [
+    (4, "node", 2, 1),
+    (4, "link", 2, 1),
+    (4, "mixed", 2, 1),
+    (6, "node", 3, 1),
+    (6, "link", 3, 1),
+    (6, "mixed", 3, 1),
+]
+SEED = 20260806
+REPEATS = 3
+
+
+def _cell_stream(n: int, profile: str, kills: int, static: int,
+                 trials: int, jobs: int | None = None) -> str:
+    records = chaos_records(trials, n=n, profile=profile, kills=kills,
+                            static_faults=static,
+                            tamper=(0.05, 0.05, 0.1),
+                            seed=SEED, jobs=jobs)
+    for rec in records:
+        assert rec["status"] in ("delivered", "failed-detected"), rec
+    return "\n".join(json.dumps(rec, sort_keys=True) for rec in records)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer trials per cell")
+    parser.add_argument("--trials", type=int, default=None)
+    args = parser.parse_args(argv)
+    trials = args.trials or (8 if args.quick else 25)
+
+    start = time.perf_counter()
+    failures: List[str] = []
+    streams: Dict[str, str] = {}
+    for n, profile, kills, static in MATRIX:
+        key = f"Q{n}/{profile}/k{kills}"
+        repeats = [
+            _cell_stream(n, profile, kills, static, trials)
+            for _ in range(REPEATS)
+        ]
+        if len(set(repeats)) != 1:
+            failures.append(f"{key}: records differ across repeats")
+        else:
+            streams[key] = repeats[0]
+        print(f"  {key:<16} {trials} trials x{REPEATS} repeats "
+              f"{'MISMATCH' if len(set(repeats)) != 1 else 'byte-identical'}")
+
+    # one cell through the process pool: serial must equal parallel
+    n, profile, kills, static = MATRIX[0]
+    parallel = _cell_stream(n, profile, kills, static, trials, jobs=3)
+    key = f"Q{n}/{profile}/k{kills}"
+    if streams.get(key) != parallel:
+        failures.append(f"{key}: serial vs jobs=3 records differ")
+    else:
+        print(f"  {key:<16} serial == jobs=3")
+
+    elapsed = time.perf_counter() - start
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    total = trials * len(MATRIX) * REPEATS + trials
+    print(f"chaos smoke OK: {total} scenarios byte-identical "
+          f"in {elapsed:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,8 @@ A full reproduction of Jie Wu's safety-level unicasting system
 * :mod:`repro.routing` — the safety-level unicast (optimal / suboptimal /
   detected-failure) and every baseline router;
 * :mod:`repro.broadcast` — the safety-level broadcast extension;
+* :mod:`repro.chaos` — seeded mid-flight fault injection (chaos plans,
+  controller, run invariants) for the resilient unicast harness;
 * :mod:`repro.analysis` — experiment harness regenerating each paper
   table/figure;
 * :mod:`repro.obs` — metrics + structured JSONL run telemetry;
@@ -41,6 +43,7 @@ from . import (
     analysis,
     api,
     broadcast,
+    chaos,
     core,
     instances,
     obs,
@@ -50,7 +53,15 @@ from . import (
     simcore,
     viz,
 )
-from .api import compute_levels, record_run, route, route_batch, stats, sweep
+from .api import (
+    compute_levels,
+    record_run,
+    route,
+    route_batch,
+    route_resilient,
+    stats,
+    sweep,
+)
 from .core import FaultSet, GeneralizedHypercube, Hypercube
 from .results import ResultLike
 from .routing import RouteResult, RouteStatus, SourceCondition
@@ -83,6 +94,7 @@ __all__ = [
     "analysis",
     "api",
     "broadcast",
+    "chaos",
     "core",
     "instances",
     "obs",
@@ -102,6 +114,7 @@ __all__ = [
     "compute_levels",
     "route",
     "route_batch",
+    "route_resilient",
     "sweep",
     "record_run",
     "stats",

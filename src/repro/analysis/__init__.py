@@ -5,6 +5,12 @@ artifacts to the functions exported here.
 """
 
 from .ablation import gs_policy_table, tie_break_table
+from .chaos_experiment import (
+    CHAOS_PROFILES,
+    chaos_records,
+    chaos_sweep,
+    chaos_table,
+)
 from .connectivity import (
     connectivity_threshold_holds,
     disconnection_probability_table,
@@ -76,6 +82,10 @@ from .tables import Series, Table
 __all__ = [
     "gs_policy_table",
     "tie_break_table",
+    "CHAOS_PROFILES",
+    "chaos_records",
+    "chaos_sweep",
+    "chaos_table",
     "connectivity_threshold_holds",
     "disconnection_probability_table",
     "conservatism_table",

@@ -27,13 +27,14 @@ from .core.hypercube import Hypercube
 from .obs.instruments import observed
 from .obs.runstats import RunStats, summarize_run
 from .routing.batch import BatchRouteResult, route_unicast_batch
+from .routing.resilient import ResilientResult, route_unicast_resilient
 from .routing.result import RouteResult
 from .routing.safety_unicast import route_unicast
 from .safety.levels import SafetyLevels
 from .analysis.sweep import map_trials
 
-__all__ = ["compute_levels", "route", "route_batch", "sweep",
-           "record_run", "stats"]
+__all__ = ["compute_levels", "route", "route_batch", "route_resilient",
+           "sweep", "record_run", "stats"]
 
 NodeSpec = Union[int, str]
 FaultSpec = Union[FaultSet, Iterable[Union[int, str]], None]
@@ -96,6 +97,22 @@ def route_batch(levels: SafetyLevels, sources: Sequence[NodeSpec],
     srcs = [_as_node(topo, s) for s in sources]
     dsts = [_as_node(topo, d) for d in dests]
     return route_unicast_batch(topo, levels, srcs, dsts, **kwargs)
+
+
+def route_resilient(levels: SafetyLevels, source: NodeSpec, dest: NodeSpec,
+                    **kwargs: Any) -> ResilientResult:
+    """One hardened unicast (hop ACKs, retries, chaos injection).
+
+    Endpoints accept ints or address strings; extra keyword arguments
+    (``plan``, ``tie_break``, ``rng``, ``strict``, retry knobs) pass
+    through to :func:`repro.routing.route_unicast_resilient`.  Returns
+    the :class:`~repro.routing.resilient.ResilientResult` alone — use
+    the underlying entry point when the simulated network is needed too.
+    """
+    topo = levels.topo
+    result, _net = route_unicast_resilient(
+        levels, _as_node(topo, source), _as_node(topo, dest), **kwargs)
+    return result
 
 
 def sweep(trial_fn: Callable[..., Any], trials: int, *, seed: int = 0,

@@ -1,0 +1,36 @@
+"""Chaos harness: seeded fault injection for resilient-delivery runs.
+
+Three layers, strictly ordered:
+
+* :mod:`~repro.chaos.plan` — declarative, seeded scenarios (pure data);
+* :mod:`~repro.chaos.controller` — compiles a plan onto a live
+  :class:`~repro.simcore.network.Network` (kills + message interception);
+* :mod:`~repro.chaos.invariants` — the safety contract every run must
+  satisfy (no silent loss, at-most-once delivery, valid bounded paths).
+
+The resilient unicast driver (:mod:`repro.routing.resilient`) sits on
+top; this package never imports routing code.
+"""
+
+from .controller import ChaosController
+from .invariants import InvariantViolation, check_chaos_invariants
+from .plan import (
+    ChaosPlan,
+    LinkKill,
+    MessageTamper,
+    NodeKill,
+    StalenessWindow,
+    random_chaos_plan,
+)
+
+__all__ = [
+    "ChaosController",
+    "InvariantViolation",
+    "check_chaos_invariants",
+    "ChaosPlan",
+    "LinkKill",
+    "MessageTamper",
+    "NodeKill",
+    "StalenessWindow",
+    "random_chaos_plan",
+]

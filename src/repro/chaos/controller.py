@@ -1,0 +1,125 @@
+"""Compiling a :class:`~repro.chaos.plan.ChaosPlan` onto a live network.
+
+The controller is the only piece of the chaos layer that touches
+simulator objects.  :meth:`ChaosController.arm` translates the plan into
+engine-scheduled kills (via the network's own injection entry points, so
+fail-stop semantics and local fault detection are the network's, not
+re-implemented here) and installs a message interceptor that rewrites
+sends into explicit deliver/drop fates.  Everything the controller does
+is observable after the run through its counters — chaos never loses a
+message silently, by construction of the fates protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+import numpy as np
+
+from ..simcore.errors import InjectionError
+from ..simcore.message import DROP_CHAOS, Message
+from ..simcore.network import FATE_DELIVER, FATE_DROP, Network
+from .plan import ChaosPlan
+
+__all__ = ["ChaosController"]
+
+
+class ChaosController:
+    """Owns one plan's execution against one network.
+
+    Tamper draws come from ``default_rng(plan.seed)`` and are consumed
+    in message-submit order, which the engine makes deterministic —
+    re-running the same (plan, network, workload) triple replays the
+    exact same fates.  A controller is single-use: :meth:`arm` may be
+    called once, before ``network.run``.
+    """
+
+    def __init__(self, net: Network, plan: ChaosPlan) -> None:
+        plan.validate(net.topo, net.faults)
+        self.net = net
+        self.plan = plan
+        self._rng = np.random.default_rng(plan.seed)
+        self._armed = False
+        #: Tamper outcomes actually applied, by kind.
+        self.drops = 0
+        self.delays = 0
+        self.duplicates = 0
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def arm(self) -> "ChaosController":
+        """Schedule every kill and install the interceptor (once)."""
+        if self._armed:
+            raise InjectionError("chaos controller armed twice")
+        self._armed = True
+        for kill in self.plan.node_kills:
+            if self.net.faults.is_node_faulty(kill.node):
+                raise InjectionError(
+                    f"plan kills statically-faulty node {kill.node}"
+                )
+            self.net.schedule_node_failure(kill.node, kill.time)
+        for lk in self.plan.link_kills:
+            self.net.schedule_link_failure(lk.u, lk.v, lk.time)
+        if self.plan.tampers:
+            self.net.set_interceptor(self._intercept)
+        return self
+
+    # -- accounting ---------------------------------------------------------------
+
+    @property
+    def tampered(self) -> int:
+        """Messages the interceptor dropped, delayed, or duplicated."""
+        return self.drops + self.delays + self.duplicates
+
+    @property
+    def node_kills(self) -> int:
+        return len(self.plan.node_kills)
+
+    @property
+    def link_kills(self) -> int:
+        return len(self.plan.link_kills)
+
+    def is_stale(self) -> bool:
+        """True while the current tick sits in a staleness window —
+        the signal the resilient driver consults before reconverging
+        safety levels for a re-route."""
+        return self.plan.is_stale(self.net.engine.now)
+
+    # -- the interceptor ----------------------------------------------------------
+
+    def _intercept(self, msg: Message,
+                   delay: int) -> Sequence[Tuple[str, Any]]:
+        now = self.net.engine.now
+        for tamper in self.plan.tampers:
+            if not tamper.active(now, msg.kind):
+                continue
+            # One uniform draw partitions [0,1) into drop | dup | delay |
+            # untouched bands, so fates are exclusive and draw count per
+            # message is fixed (replayability does not depend on which
+            # band fires).
+            roll = float(self._rng.random())
+            if roll < tamper.drop_p:
+                self.drops += 1
+                return ((FATE_DROP, DROP_CHAOS),)
+            if roll < tamper.drop_p + tamper.dup_p:
+                self.duplicates += 1
+                return ((FATE_DELIVER, delay), (FATE_DELIVER, delay + 1))
+            if roll < tamper.drop_p + tamper.dup_p + tamper.delay_p:
+                extra = 1 + int(self._rng.integers(tamper.max_extra_delay))
+                self.delays += 1
+                return ((FATE_DELIVER, delay + extra),)
+            break  # in an active window but untouched; stop at first match
+        return ((FATE_DELIVER, delay),)
+
+    # -- post-run summary ---------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Flat counters for reports and the ``chaos_run`` record."""
+        return {
+            "node_kills": self.node_kills,
+            "link_kills": self.link_kills,
+            "tampered": self.tampered,
+            "chaos_drops": self.drops,
+            "chaos_delays": self.delays,
+            "chaos_duplicates": self.duplicates,
+        }

@@ -1,0 +1,112 @@
+"""Run-level invariants every chaos scenario must satisfy.
+
+These are the safety properties of the resilient delivery protocol —
+checked on *every* chaos run (the driver asserts them before returning),
+not just in tests, because a chaos harness that can silently lose or
+duplicate a message cannot distinguish protocol bugs from injected
+faults.
+
+The checked contract:
+
+* **No silent loss** — a run terminates ``delivered`` or
+  ``failed-detected``; there is no third state.
+* **At-most-once delivery** — the destination accepts the payload at
+  most once; duplicates are suppressed and counted, never surfaced.
+* **Path validity** — every attempt starts at the source, walks only
+  topology links, and never visits a statically-faulty node.
+* **No loop** — non-DFS attempts (the paper's Section 3.2 walks) visit
+  each node at most once.
+* **Bounded attempts** — each optimal/suboptimal attempt traverses at
+  most ``H + 2`` links (Theorem 3); only the DFS-backtrack fallback is
+  exempt.
+
+Violations raise :class:`InvariantViolation`, an :class:`AssertionError`
+subclass so harness code and pytest both treat one as a hard failure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core.faults import FaultSet
+from ..core.topology import Topology
+
+__all__ = ["InvariantViolation", "check_chaos_invariants"]
+
+#: Theorem 3 slack: optimal attempts use H hops, suboptimal H + 2.
+MAX_EXTRA_HOPS = 2
+
+
+class InvariantViolation(AssertionError):
+    """A chaos run broke the resilient-delivery safety contract."""
+
+
+def _fail(result: Any, what: str) -> None:
+    raise InvariantViolation(
+        f"{what} (source={result.source}, dest={result.dest}, "
+        f"status={result.status!r}, stage={result.stage!r})"
+    )
+
+
+def check_chaos_invariants(
+    result: Any,
+    topo: Topology,
+    faults: Optional[FaultSet] = None,
+) -> Any:
+    """Validate one resilient run; returns ``result`` for chaining.
+
+    ``result`` is duck-typed (any
+    :class:`repro.routing.resilient.ResilientResult`-shaped object) so
+    the chaos layer stays importable without the routing package.
+    ``faults`` is the *static* fault set — mid-run kills may legally
+    appear in a prefix of a path, since a node can forward and then die.
+    """
+    if result.status not in ("delivered", "failed-detected"):
+        _fail(result, f"terminal status {result.status!r} is neither "
+                      "delivered nor failed-detected")
+    expected = 1 if result.status == "delivered" else 0
+    if result.deliveries != expected:
+        _fail(result, f"{result.deliveries} deliveries accepted at the "
+                      f"destination; expected exactly {expected}")
+    if result.duplicates < 0:
+        _fail(result, "negative duplicate count")
+    if result.status == "delivered" and not result.attempts:
+        _fail(result, "delivered with no recorded attempt")
+
+    hamming = topo.distance(result.source, result.dest)
+    for i, attempt in enumerate(result.attempts):
+        path = attempt.path
+        tag = f"attempt {i} ({attempt.stage})"
+        if not path or path[0] != result.source:
+            _fail(result, f"{tag} does not start at the source: {path}")
+        if attempt.hops != len(path) - 1:
+            _fail(result, f"{tag} hops={attempt.hops} but path has "
+                          f"{len(path) - 1} links")
+        for u, v in zip(path, path[1:]):
+            if v not in topo.neighbors(u):
+                _fail(result, f"{tag} uses non-link "
+                              f"{topo.format_node(u)}-{topo.format_node(v)}")
+        if faults is not None:
+            for node in path:
+                if faults.is_node_faulty(node):
+                    _fail(result, f"{tag} visits statically-faulty "
+                                  f"{topo.format_node(node)}")
+        if attempt.stage != "dfs":
+            if len(set(path)) != len(path):
+                _fail(result, f"{tag} revisits a node: {path}")
+            if attempt.hops > hamming + MAX_EXTRA_HOPS:
+                _fail(result, f"{tag} took {attempt.hops} hops; "
+                              f"Theorem 3 allows at most "
+                              f"H + {MAX_EXTRA_HOPS} = "
+                              f"{hamming + MAX_EXTRA_HOPS}")
+        if attempt.outcome == "delivered" and path[-1] != result.dest:
+            _fail(result, f"{tag} claims delivery but ends at "
+                          f"{topo.format_node(path[-1])}")
+    # Exactly one attempt may carry the delivery (a retry launched after
+    # a lost confirmation is legal; its copy must have been suppressed).
+    delivered_attempts = sum(
+        1 for a in result.attempts if a.outcome == "delivered")
+    if delivered_attempts != (1 if result.status == "delivered" else 0):
+        _fail(result, f"{delivered_attempts} attempts marked delivered "
+                      f"under status {result.status!r}")
+    return result

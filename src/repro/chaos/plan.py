@@ -1,0 +1,290 @@
+"""Declarative, seeded chaos plans.
+
+A :class:`ChaosPlan` is pure data: *what* goes wrong and *when*, with no
+reference to any live simulator object.  That split is what makes chaos
+runs reproducible — the same plan compiled onto the same network (see
+:class:`repro.chaos.controller.ChaosController`) produces byte-identical
+runs, because every randomized choice is either fixed in the plan (kill
+targets and times) or drawn from the plan's own seed in deterministic
+submit order (message tampering).
+
+Four ingredient types, mirroring the paper's dynamic fault regime
+(Section 2.2) plus the link-fault extension (Section 4.1):
+
+* :class:`NodeKill` — fail-stop a healthy node at a tick;
+* :class:`LinkKill` — sever a healthy link at a tick;
+* :class:`MessageTamper` — a window in which in-flight messages are
+  dropped, delayed, or duplicated with plan-seeded probabilities;
+* :class:`StalenessWindow` — a window in which safety levels must *not*
+  be reconverged, so re-routes decide on stale information.
+
+:func:`random_chaos_plan` draws a plan from a seeded rng — the unit the
+chaos experiment and the guarantee sweep generate per trial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Tuple
+
+from ..core.fault_models import RngLike, as_rng
+from ..core.faults import FaultSet, normalize_link
+from ..core.topology import Topology
+from ..simcore.errors import InjectionError
+
+__all__ = [
+    "NodeKill",
+    "LinkKill",
+    "MessageTamper",
+    "StalenessWindow",
+    "ChaosPlan",
+    "random_chaos_plan",
+]
+
+
+@dataclass(frozen=True)
+class NodeKill:
+    """Fail-stop ``node`` at absolute tick ``time`` (must be healthy)."""
+
+    node: int
+    time: int
+
+
+@dataclass(frozen=True)
+class LinkKill:
+    """Sever the ``u``–``v`` link at absolute tick ``time``."""
+
+    u: int
+    v: int
+    time: int
+
+    @property
+    def link(self) -> Tuple[int, int]:
+        return normalize_link(self.u, self.v)
+
+
+@dataclass(frozen=True)
+class MessageTamper:
+    """A tampering window over the wire.
+
+    While ``start <= now < stop`` each submitted message (of a matching
+    ``kind``, or any kind when ``kinds`` is None) is independently
+    dropped with probability ``drop_p``, duplicated with ``dup_p``, or
+    delayed by 1..``max_extra_delay`` extra ticks with ``delay_p``.
+    Draws come from the plan seed in submit order, so tampering is
+    deterministic per (plan, network) pair.  Drops are *accounted*
+    losses — the network records them with reason ``"chaos-drop"`` —
+    never silent ones.
+    """
+
+    start: int = 0
+    stop: Optional[int] = None  # None = until the run ends
+    drop_p: float = 0.0
+    dup_p: float = 0.0
+    delay_p: float = 0.0
+    max_extra_delay: int = 3
+    kinds: Optional[Tuple[str, ...]] = None
+
+    def validate(self) -> None:
+        for name in ("drop_p", "dup_p", "delay_p"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise InjectionError(f"tamper {name}={p} not a probability")
+        if self.drop_p + self.dup_p + self.delay_p > 1.0 + 1e-12:
+            raise InjectionError(
+                "tamper probabilities sum past 1.0; fates are exclusive"
+            )
+        if self.delay_p > 0.0 and self.max_extra_delay < 1:
+            raise InjectionError(
+                f"max_extra_delay={self.max_extra_delay} but delay_p > 0"
+            )
+        if self.stop is not None and self.stop <= self.start:
+            raise InjectionError(
+                f"tamper window [{self.start}, {self.stop}) is empty"
+            )
+
+    def active(self, time: int, kind: str) -> bool:
+        if time < self.start:
+            return False
+        if self.stop is not None and time >= self.stop:
+            return False
+        return self.kinds is None or kind in self.kinds
+
+
+@dataclass(frozen=True)
+class StalenessWindow:
+    """Ticks ``[start, stop)`` during which level reconvergence is held
+    back: a re-route decided inside the window runs on whatever safety
+    levels the nodes last converged to, modeling the paper's "levels lag
+    the fault pattern" regime between GS rounds."""
+
+    start: int
+    stop: int
+
+    def validate(self) -> None:
+        if self.stop <= self.start:
+            raise InjectionError(
+                f"staleness window [{self.start}, {self.stop}) is empty"
+            )
+
+    def contains(self, time: int) -> bool:
+        return self.start <= time < self.stop
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A full seeded fault scenario, ready to compile onto a network.
+
+    ``seed`` feeds the tamper rng only; kill targets and times are fixed
+    in the plan itself, so two compilations of one plan inject the exact
+    same faults.
+    """
+
+    seed: int = 0
+    node_kills: Tuple[NodeKill, ...] = field(default_factory=tuple)
+    link_kills: Tuple[LinkKill, ...] = field(default_factory=tuple)
+    tampers: Tuple[MessageTamper, ...] = field(default_factory=tuple)
+    staleness: Tuple[StalenessWindow, ...] = field(default_factory=tuple)
+
+    @property
+    def total_faults(self) -> int:
+        """Faults this plan *adds* (the quantity Property 2 bounds)."""
+        return len(self.node_kills) + len(self.link_kills)
+
+    def is_stale(self, time: int) -> bool:
+        return any(w.contains(time) for w in self.staleness)
+
+    def validate(self, topo: Topology, faults: FaultSet) -> None:
+        """Reject ill-formed plans up front with :class:`InjectionError`.
+
+        Checks are against the *static* picture (topology + declared
+        faults): kill targets must exist and start healthy, and no
+        target may be killed twice.
+        """
+        seen_nodes = set()
+        for kill in self.node_kills:
+            topo.validate_node(kill.node)
+            if faults.is_node_faulty(kill.node):
+                raise InjectionError(
+                    f"plan kills {topo.format_node(kill.node)}, "
+                    "which is already statically faulty"
+                )
+            if kill.node in seen_nodes:
+                raise InjectionError(
+                    f"plan kills {topo.format_node(kill.node)} twice"
+                )
+            if kill.time < 0:
+                raise InjectionError(f"node kill at negative tick {kill.time}")
+            seen_nodes.add(kill.node)
+        seen_links = set()
+        for lk in self.link_kills:
+            topo.validate_node(lk.u)
+            topo.validate_node(lk.v)
+            if lk.v not in topo.neighbors(lk.u):
+                raise InjectionError(
+                    f"plan kills non-link ({topo.format_node(lk.u)}, "
+                    f"{topo.format_node(lk.v)})"
+                )
+            if faults.is_link_faulty(lk.u, lk.v):
+                raise InjectionError(
+                    f"plan kills link {topo.format_node(lk.u)}-"
+                    f"{topo.format_node(lk.v)}, already statically faulty"
+                )
+            if lk.link in seen_links:
+                raise InjectionError(
+                    f"plan kills link {topo.format_node(lk.u)}-"
+                    f"{topo.format_node(lk.v)} twice"
+                )
+            if lk.time < 0:
+                raise InjectionError(f"link kill at negative tick {lk.time}")
+            seen_links.add(lk.link)
+        for tamper in self.tampers:
+            tamper.validate()
+        for window in self.staleness:
+            window.validate()
+
+    def describe(self) -> str:
+        parts = [
+            f"{len(self.node_kills)} node kill(s)",
+            f"{len(self.link_kills)} link kill(s)",
+        ]
+        if self.tampers:
+            parts.append(f"{len(self.tampers)} tamper window(s)")
+        if self.staleness:
+            parts.append(f"{len(self.staleness)} staleness window(s)")
+        return f"ChaosPlan(seed={self.seed}: " + ", ".join(parts) + ")"
+
+
+def random_chaos_plan(
+    topo: Topology,
+    faults: FaultSet,
+    rng: RngLike = None,
+    *,
+    node_kills: int = 0,
+    link_kills: int = 0,
+    horizon: int = 32,
+    exclude: Iterable[int] = (),
+    tamper: Optional[MessageTamper] = None,
+    staleness_windows: int = 0,
+    staleness_width: int = 8,
+) -> ChaosPlan:
+    """Draw a seeded plan: ``node_kills``/``link_kills`` distinct healthy
+    targets with kill times uniform on ``[1, horizon]``.
+
+    ``exclude`` shields nodes (typically source and destination — the
+    paper assumes both stay alive) from node kills; links incident to
+    excluded nodes remain killable, which is exactly the interesting
+    case for link-level rerouting.  ``staleness_windows`` adds that many
+    ``staleness_width``-tick windows starting uniformly in the horizon.
+    The plan's tamper seed is drawn from ``rng`` too, so one rng stream
+    fully determines the scenario.
+    """
+    gen = as_rng(rng)
+    excluded = set(exclude)
+    healthy = [
+        node for node in topo.iter_nodes()
+        if not faults.is_node_faulty(node) and node not in excluded
+    ]
+    if node_kills > len(healthy):
+        raise InjectionError(
+            f"cannot kill {node_kills} of {len(healthy)} eligible nodes"
+        )
+    live_links = [
+        (u, v) for u, v in topo.edges()
+        if not faults.is_link_faulty(u, v)
+        and not faults.is_node_faulty(u) and not faults.is_node_faulty(v)
+    ]
+    if link_kills > len(live_links):
+        raise InjectionError(
+            f"cannot kill {link_kills} of {len(live_links)} live links"
+        )
+    kill_nodes = [
+        healthy[i]
+        for i in gen.choice(len(healthy), size=node_kills, replace=False)
+    ] if node_kills else []
+    kill_links = [
+        live_links[i]
+        for i in gen.choice(len(live_links), size=link_kills, replace=False)
+    ] if link_kills else []
+    horizon = max(1, horizon)
+    plan = ChaosPlan(
+        seed=int(gen.integers(0, 2**63)),
+        node_kills=tuple(
+            NodeKill(node=node, time=int(gen.integers(1, horizon + 1)))
+            for node in kill_nodes
+        ),
+        link_kills=tuple(
+            LinkKill(u=u, v=v, time=int(gen.integers(1, horizon + 1)))
+            for u, v in kill_links
+        ),
+        tampers=(tamper,) if tamper is not None else (),
+        staleness=tuple(
+            StalenessWindow(start=start, stop=start + staleness_width)
+            for start in (
+                int(gen.integers(1, horizon + 1))
+                for _ in range(staleness_windows)
+            )
+        ),
+    )
+    plan.validate(topo, faults)
+    return plan

@@ -275,6 +275,13 @@ def _connectivity(ctx: RunContext) -> str:
         trials=ctx.trials).render()
 
 
+@register("chaos", "resilient delivery under mid-flight faults (E21)",
+          quick=25, full=120)
+def _chaos(ctx: RunContext) -> str:
+    n = 4 if ctx.quick else 5
+    return analysis.chaos_table(trials=ctx.trials, n=n).render()
+
+
 @register("scorecard", "one-pass PASS/FAIL check of every headline claim")
 def _scorecard(ctx: RunContext) -> str:
     return analysis.render_scorecard(analysis.scorecard())

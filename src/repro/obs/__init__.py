@@ -35,8 +35,10 @@ from .instruments import (
     enable_metrics,
     metrics,
     observed,
+    record_chaos_run,
     record_gs_batch,
     record_route_attempt,
+    record_sim_drop,
     record_sweep,
     set_recorder,
 )
@@ -79,4 +81,6 @@ __all__ = [
     "record_route_attempt",
     "record_gs_batch",
     "record_sweep",
+    "record_sim_drop",
+    "record_chaos_run",
 ]

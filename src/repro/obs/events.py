@@ -80,6 +80,24 @@ EVENT_TYPES: Dict[str, Dict[str, bool]] = {
         "conditions": True,    # {C1/C2/C3/none -> route count}
         "hops_sum": True,      # total links traversed across the batch
     },
+    # One resilient unicast delivered (or detected-failed) under a chaos
+    # plan: the per-scenario record of the robustness harness.
+    "chaos_run": {
+        "n": True,             # cube dimension
+        "hamming": True,       # H(source, dest)
+        "status": True,        # "delivered" | "failed-detected"
+        "stage": True,         # ladder stage that ended the run:
+                               #   optimal / suboptimal / dfs / none
+        "attempts": True,      # delivery attempts launched (>= 1)
+        "retries": True,       # attempts - 1
+        "node_kills": True,    # mid-run node failures injected
+        "link_kills": True,    # mid-run link failures injected
+        "tampered": True,      # messages dropped/delayed/duplicated by chaos
+        "duplicates": True,    # duplicate deliveries suppressed at the dest
+        "stale_reroutes": True,  # re-routes decided on stale levels
+        "hops": True,          # data-message links traversed, all attempts
+        "latency": False,      # ticks to first delivery (absent on failure)
+    },
     # One run_sweep() execution (one Monte-Carlo cell).
     "sweep": {
         "master_seed": True,

@@ -8,7 +8,11 @@ plus one ``record_*`` hook per instrumented subsystem:
 * :func:`record_route_attempt` — the Section 3.2 unicast router;
 * :func:`record_routing_batch` — the batched routing kernel;
 * :func:`record_gs_batch` — the batched safety-level kernel;
-* :func:`record_sweep` — the Monte-Carlo sweep engine.
+* :func:`record_sweep` — the Monte-Carlo sweep engine;
+* :func:`record_sim_drop` — per-cause message-loss accounting from the
+  simulator network (``sim.dropped.<reason>`` counters);
+* :func:`record_chaos_run` — one resilient delivery under chaos
+  (``chaos_run`` events + ``chaos.*`` counters).
 
 Hooks follow one discipline: **bail out on the first line when nothing is
 observing**.  With the default state each hook costs a couple of global
@@ -43,6 +47,8 @@ __all__ = [
     "record_routing_batch",
     "record_gs_batch",
     "record_sweep",
+    "record_sim_drop",
+    "record_chaos_run",
 ]
 
 #: Counters guaranteed present (value 0 if never fired) in every snapshot
@@ -66,6 +72,18 @@ STANDARD_COUNTERS: Tuple[str, ...] = (
     "sweep.runs",
     "sweep.trials",
     "sweep.chunks",
+    "sim.dropped.faulty_node",
+    "sim.dropped.faulty_link",
+    "sim.dropped.link_down",
+    "sim.dropped.chaos_drop",
+    "chaos.runs",
+    "chaos.delivered",
+    "chaos.failed_detected",
+    "chaos.retries",
+    "chaos.node_kills",
+    "chaos.link_kills",
+    "chaos.tampered",
+    "chaos.duplicates",
 )
 
 _METRICS = MetricsRegistry(enabled=False)
@@ -243,6 +261,48 @@ def record_gs_batch(n: int, batch: int, kernel: str, rounds: Any) -> None:
             rounds_max=int(max(hist)) if hist else 0,
             rounds_sum=int(sum(r * c for r, c in hist.items())),
         )
+
+
+def record_sim_drop(reason: str) -> None:
+    """One message lost by the simulator network, by cause.
+
+    Fired from ``Network._drop`` for every refused delivery, so lost
+    messages show up in ``repro stats`` as ``sim.dropped.<reason>``
+    counters instead of vanishing into the (usually disabled) trace.
+    Counter-only: per-message stream events would swamp chaos runs.
+    """
+    reg = _METRICS
+    if not reg.enabled:
+        return
+    reg.counter("sim.dropped." + reason.replace("-", "_")).inc()
+
+
+def record_chaos_run(record: Dict[str, Any]) -> None:
+    """One resilient delivery under a chaos plan.
+
+    ``record`` is the flat dict a
+    :class:`repro.routing.resilient.ResilientResult` reduces to (see
+    ``chaos_record()``) — already JSON-primitive, matching the
+    ``chaos_run`` event schema.
+    """
+    reg, rec = _METRICS, _RECORDER
+    if not reg.enabled and rec is None:
+        return
+    delivered = record["status"] == "delivered"
+    if reg.enabled:
+        reg.counter("chaos.runs").inc()
+        reg.counter("chaos.delivered" if delivered
+                    else "chaos.failed_detected").inc()
+        reg.counter("chaos.retries").inc(record["retries"])
+        reg.counter("chaos.node_kills").inc(record["node_kills"])
+        reg.counter("chaos.link_kills").inc(record["link_kills"])
+        reg.counter("chaos.tampered").inc(record["tampered"])
+        reg.counter("chaos.duplicates").inc(record["duplicates"])
+        reg.histogram("chaos.attempts").observe(record["attempts"])
+        if record.get("latency") is not None:
+            reg.histogram("chaos.latency").observe(record["latency"])
+    if rec is not None:
+        rec.emit("chaos_run", **record)
 
 
 def record_sweep(

@@ -53,6 +53,19 @@ class RunStats:
     sweep_chunks: int = 0
     sweep_elapsed_s: float = 0.0
     sweep_jobs_max: int = 0
+    #: chaos_run aggregates: resilient deliveries under fault injection.
+    chaos_runs: int = 0
+    chaos_delivered: int = 0
+    chaos_stages: Dict[str, int] = field(default_factory=dict)
+    chaos_retries: int = 0
+    chaos_node_kills: int = 0
+    chaos_link_kills: int = 0
+    chaos_tampered: int = 0
+    chaos_duplicates: int = 0
+    chaos_stale_reroutes: int = 0
+    chaos_hops_sum: int = 0
+    chaos_latency_sum: int = 0
+    chaos_latency_count: int = 0
     experiments: List[Dict[str, Any]] = field(default_factory=list)
     metrics_snapshot: Optional[Dict[str, Any]] = None
 
@@ -88,6 +101,18 @@ class RunStats:
         if not attempts:
             return 0.0
         return self.route_conditions.get(condition, 0) / attempts
+
+    @property
+    def chaos_delivery_rate(self) -> float:
+        if not self.chaos_runs:
+            return 0.0
+        return self.chaos_delivered / self.chaos_runs
+
+    @property
+    def chaos_latency_mean(self) -> float:
+        if not self.chaos_latency_count:
+            return 0.0
+        return self.chaos_latency_sum / self.chaos_latency_count
 
 
 def summarize_run(path: Union[str, Path]) -> RunStats:
@@ -127,6 +152,22 @@ def summarize_run(path: Union[str, Path]) -> RunStats:
             for r, c in rec["rounds_hist"].items():
                 r = int(r)  # JSON object keys arrive as strings
                 stats.gs_rounds_hist[r] = stats.gs_rounds_hist.get(r, 0) + c
+        elif etype == "chaos_run":
+            stats.chaos_runs += 1
+            if rec["status"] == "delivered":
+                stats.chaos_delivered += 1
+            stats.chaos_stages[rec["stage"]] = (
+                stats.chaos_stages.get(rec["stage"], 0) + 1)
+            stats.chaos_retries += rec["retries"]
+            stats.chaos_node_kills += rec["node_kills"]
+            stats.chaos_link_kills += rec["link_kills"]
+            stats.chaos_tampered += rec["tampered"]
+            stats.chaos_duplicates += rec["duplicates"]
+            stats.chaos_stale_reroutes += rec["stale_reroutes"]
+            stats.chaos_hops_sum += rec["hops"]
+            if "latency" in rec:
+                stats.chaos_latency_sum += rec["latency"]
+                stats.chaos_latency_count += 1
         elif etype == "sweep":
             stats.sweep_trials += rec["trials"]
             stats.sweep_chunks += rec["chunks"]
@@ -191,6 +232,30 @@ def render_stats(stats: RunStats) -> str:
         lines.append(f"  rounds: mean={stats.gs_rounds_mean:.4f}  "
                      f"max={stats.gs_rounds_max}  "
                      f"hist={dict(sorted(stats.gs_rounds_hist.items()))}")
+    if stats.chaos_runs:
+        lines.append(
+            f"chaos: {stats.chaos_runs} runs  "
+            f"delivered={stats.chaos_delivered} "
+            f"({100.0 * stats.chaos_delivery_rate:.1f}%)"
+        )
+        lines.append("  stages:     "
+                     + _fmt_counts(stats.chaos_stages, stats.chaos_runs))
+        lines.append(
+            f"  injected:   node_kills={stats.chaos_node_kills}  "
+            f"link_kills={stats.chaos_link_kills}  "
+            f"tampered={stats.chaos_tampered}"
+        )
+        lines.append(
+            f"  recovery:   retries={stats.chaos_retries}  "
+            f"duplicates={stats.chaos_duplicates}  "
+            f"stale_reroutes={stats.chaos_stale_reroutes}  "
+            f"hops_sum={stats.chaos_hops_sum}"
+        )
+        if stats.chaos_latency_count:
+            lines.append(
+                f"  latency:    mean={stats.chaos_latency_mean:.3f} ticks "
+                f"over {stats.chaos_latency_count} deliveries"
+            )
     if stats.sweep_trials:
         lines.append(
             f"sweeps: {stats.sweep_trials} trials / {stats.sweep_chunks} "

@@ -10,6 +10,9 @@ Entry points:
 * :func:`route_unicast_batch` / :func:`check_feasibility_batch` — the same
   algorithm vectorized over whole (trials × pairs) route matrices,
   bit-identical to the scalar walk (see :mod:`repro.routing.batch`).
+* :func:`route_unicast_resilient` — the distributed protocol hardened
+  with hop ACKs, retries, and reconvergence for mid-flight faults (see
+  :mod:`repro.routing.resilient` and the chaos harness).
 * :func:`route_unicast_with_links` — the Section 4.1 variant over EGS.
 * :func:`route_gh_unicast` — the Section 4.2 variant for generalized cubes.
 * :mod:`repro.routing.baselines` — oracle, sidetracking, DFS, progressive,
@@ -42,6 +45,12 @@ from .multicast import (
     multicast_greedy_tree,
     multicast_separate,
 )
+from .resilient import (
+    AttemptRecord,
+    ResilientResult,
+    ResilientUnicastProcess,
+    route_unicast_resilient,
+)
 from .result import RouteResult, RouteStatus, SourceCondition
 from .safety_unicast import Feasibility, check_feasibility, route_unicast
 from .validation import assert_compliant, audit_route, audit_theorem3
@@ -58,6 +67,10 @@ __all__ = [
     "route_sidetrack",
     "UnicastProcess",
     "route_unicast_distributed",
+    "AttemptRecord",
+    "ResilientResult",
+    "ResilientUnicastProcess",
+    "route_unicast_resilient",
     "route_gh_unicast",
     "route_gh_unicast_distributed",
     "route_unicast_with_links",

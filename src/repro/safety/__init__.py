@@ -19,6 +19,12 @@ from .generalized import (
     compute_gh_safety_levels,
     gh_levels_with_rounds,
 )
+from .dynamic import (
+    DynamicLevelTracker,
+    DynamicRunResult,
+    IncrementalLevelView,
+    recompute_incremental,
+)
 from .egs_distributed import EgsProcess, EgsRun, run_egs
 from .gh_distributed import GhGsRun, GhStatusProcess, run_gh_gs
 from .gs_async import AsyncGsProcess, AsyncGsRun, run_gs_async
@@ -51,6 +57,10 @@ from .properties import (
 from .safe_nodes import SafeNodeResult, lee_hayes_safe, wu_fernandez_safe
 
 __all__ = [
+    "DynamicLevelTracker",
+    "DynamicRunResult",
+    "IncrementalLevelView",
+    "recompute_incremental",
     "EgsProcess",
     "EgsRun",
     "run_egs",

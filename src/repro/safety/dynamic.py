@@ -35,6 +35,7 @@ from .levels import _sweep
 
 __all__ = [
     "recompute_incremental",
+    "IncrementalLevelView",
     "TickRecord",
     "DynamicRunResult",
     "DynamicLevelTracker",
@@ -90,6 +91,54 @@ def recompute_incremental(
     """
     start = None if (previous is None or had_recovery) else previous
     return _gs_message_cost(topo, faults, start)
+
+
+class IncrementalLevelView:
+    """A safety assignment kept current across a failures-only fault
+    sequence, with warm-started reconvergence.
+
+    This is the demand-driven maintenance policy as a reusable object:
+    callers (the resilient unicast driver, chiefly) hold one view and
+    call :meth:`refresh` with the fault set as of *now* whenever routing
+    is about to decide.  Failures-only refreshes warm-start from the
+    previous assignment (monotone, see :func:`recompute_incremental`);
+    the view also accumulates the GS rounds/messages each reconvergence
+    would have cost on the wire, so harness-level refreshes stay honest
+    about the protocol traffic they stand in for.
+
+    Link faults in the supplied fault set are ignored — node safety
+    levels (Definition 1) do not model them; Section 4.1's extended
+    levels are a separate assignment.
+    """
+
+    def __init__(self, topo: Hypercube, faults: FaultSet) -> None:
+        from .levels import SafetyLevels
+
+        self.topo = topo
+        self._sl_cls = SafetyLevels
+        self.gs_rounds = 0
+        self.gs_messages = 0
+        self.refreshes = 0
+        levels, _rounds, _messages = recompute_incremental(
+            topo, faults, None, had_recovery=False)
+        self._levels = levels
+        self.view = self._wrap(faults)
+
+    def _wrap(self, faults: FaultSet):
+        levels = self._levels.copy()
+        levels.setflags(write=False)
+        return self._sl_cls(topo=self.topo, faults=faults, levels=levels)
+
+    def refresh(self, faults: FaultSet, had_recovery: bool = False):
+        """Reconverge on ``faults`` and return the new
+        :class:`~repro.safety.levels.SafetyLevels` view."""
+        self._levels, rounds, messages = recompute_incremental(
+            self.topo, faults, self._levels, had_recovery)
+        self.gs_rounds += rounds
+        self.gs_messages += messages
+        self.refreshes += 1
+        self.view = self._wrap(faults)
+        return self.view
 
 
 @dataclass(frozen=True)

@@ -9,9 +9,22 @@ fault model, and the :class:`RoundExecutor` provides the synchronous
 
 from .contention import NextHopPolicy, Packet, TrafficResult, simulate_traffic
 from .engine import Engine
-from .errors import DeliveryError, ProtocolError, SimError
-from .message import DROP_FAULTY_LINK, DROP_FAULTY_NODE, DroppedMessage, Message
-from .network import LINK_LATENCY, Network
+from .errors import (
+    DeliveryError,
+    DeliveryTimeout,
+    InjectionError,
+    ProtocolError,
+    SimError,
+)
+from .message import (
+    DROP_CHAOS,
+    DROP_FAULTY_LINK,
+    DROP_FAULTY_NODE,
+    DROP_LINK_DOWN,
+    DroppedMessage,
+    Message,
+)
+from .network import FATE_DELIVER, FATE_DROP, LINK_LATENCY, Network
 from .node import NodeContext, NodeProcess
 from .stats import NetworkStats
 from .sync import BspProcess, RoundExecutor, RoundsResult
@@ -24,12 +37,18 @@ __all__ = [
     "simulate_traffic",
     "Engine",
     "DeliveryError",
+    "DeliveryTimeout",
+    "InjectionError",
     "ProtocolError",
     "SimError",
+    "DROP_CHAOS",
     "DROP_FAULTY_LINK",
     "DROP_FAULTY_NODE",
+    "DROP_LINK_DOWN",
     "DroppedMessage",
     "Message",
+    "FATE_DELIVER",
+    "FATE_DROP",
     "LINK_LATENCY",
     "Network",
     "NodeContext",

@@ -1,8 +1,27 @@
-"""Exception types raised by the simulator substrate."""
+"""Exception types raised by the simulator substrate.
+
+The taxonomy separates three failure families so callers can react
+differently to each:
+
+* harness misuse — :class:`SimError` directly, or :class:`ProtocolError`
+  and :class:`InjectionError` for, respectively, protocol bugs and
+  ill-formed fault injection (a chaos plan naming a nonexistent link,
+  an interceptor returning no fates);
+* modeled protocol failure — :class:`DeliveryError` and
+  :class:`DeliveryTimeout`: the run itself was legal, the *protocol*
+  failed to deliver.  These are the only members a resilience layer may
+  legitimately catch and degrade on.
+"""
 
 from __future__ import annotations
 
-__all__ = ["SimError", "ProtocolError", "DeliveryError"]
+__all__ = [
+    "SimError",
+    "ProtocolError",
+    "InjectionError",
+    "DeliveryError",
+    "DeliveryTimeout",
+]
 
 
 class SimError(RuntimeError):
@@ -17,5 +36,27 @@ class ProtocolError(SimError):
     """
 
 
+class InjectionError(SimError):
+    """A fault-injection request is ill-formed (harness misuse).
+
+    Raised when a chaos plan or interceptor asks for something the fault
+    model cannot express: killing a node that is already statically
+    faulty, failing a pair that is not a link, out-of-range probabilities,
+    or an interceptor that silently discards a message instead of
+    returning an explicit drop fate.  Distinct from
+    :class:`DeliveryTimeout` so callers can tell "you drove the harness
+    wrong" from "the protocol lost the race".
+    """
+
+
 class DeliveryError(SimError):
     """Raised when a test asks for strict delivery and a message was lost."""
+
+
+class DeliveryTimeout(DeliveryError):
+    """A resilient delivery exhausted its retry budget without an ACK.
+
+    This is a *detected* protocol failure (the graceful end of the
+    degradation ladder), never a harness bug — raised only when a caller
+    opts into strict mode instead of inspecting the returned result.
+    """

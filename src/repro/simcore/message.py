@@ -12,11 +12,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping, Optional
 
-__all__ = ["Message", "DROP_FAULTY_NODE", "DROP_FAULTY_LINK"]
+__all__ = [
+    "Message",
+    "DROP_FAULTY_NODE",
+    "DROP_FAULTY_LINK",
+    "DROP_LINK_DOWN",
+    "DROP_CHAOS",
+]
 
 #: Drop reasons recorded by the network when traffic hits a fault.
-DROP_FAULTY_NODE = "faulty-node"
-DROP_FAULTY_LINK = "faulty-link"
+DROP_FAULTY_NODE = "faulty-node"    # destination node in the static fault set
+DROP_FAULTY_LINK = "faulty-link"    # link in the static fault set
+DROP_LINK_DOWN = "link_down"        # link killed mid-run (schedule_link_failure)
+DROP_CHAOS = "chaos-drop"           # discarded by a chaos interceptor
 
 
 @dataclass(frozen=True)

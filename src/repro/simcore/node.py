@@ -15,7 +15,7 @@ process state *after* a run (that is measurement, not protocol input).
 from __future__ import annotations
 
 import abc
-from typing import Any, List, Protocol, Sequence
+from typing import Any, Callable, List, Protocol, Sequence
 
 from .errors import ProtocolError
 from .message import Message
@@ -34,6 +34,15 @@ class NodeContext(Protocol):
 
     def send(self, msg: Message, payload_units: int = 0) -> None:
         """Enqueue a single-hop message."""
+
+    def schedule(self, node: int, delay: int,
+                 callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` ticks unless ``node`` has died.
+
+        This is a node's *local timer* — the only clock capability the
+        paper's model grants a processor.  The liveness guard belongs to
+        the network so a fail-stopped node can never act posthumously.
+        """
 
     def trace(self, event: str, node: int, detail: Any = None) -> None:
         """Append to the run trace."""
@@ -97,6 +106,12 @@ class NodeProcess(abc.ABC):
             payload_units=payload_units,
         )
 
+    def after(self, delay: int, callback: Callable[[], None]) -> None:
+        """Arm a local timer: ``callback`` fires ``delay`` ticks from now,
+        silently cancelled if this node fail-stops first.  Timeout-based
+        protocols (ACK retransmission, failure suspicion) build on this."""
+        self.ctx.schedule(self.node_id, delay, callback)
+
     def trace(self, event: str, detail: Any = None) -> None:
         """Record a protocol-level trace event attributed to this node."""
         self.ctx.trace(event, self.node_id, detail)
@@ -116,6 +131,12 @@ class NodeProcess(abc.ABC):
     def on_neighbor_failure(self, neighbor: int) -> None:
         """Local fault detection (paper assumption 2): invoked when an
         adjacent node fails mid-run.  Default: ignore."""
+
+    def on_link_failure(self, neighbor: int) -> None:
+        """Local *link*-fault detection (Section 4.1): invoked when the
+        link to ``neighbor`` fails mid-run while both endpoints live.
+        Distinguishable from :meth:`on_neighbor_failure` — the neighbor
+        is still up, just unreachable directly.  Default: ignore."""
 
     def on_round(self, round_no: int, inbox: Sequence[Message]) -> bool:
         """BSP hook: consume last round's inbox, send this round's traffic.

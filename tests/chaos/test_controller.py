@@ -1,0 +1,142 @@
+"""ChaosController: compiling plans onto networks, tamper determinism."""
+
+import pytest
+
+from repro.chaos import ChaosController, ChaosPlan, LinkKill, MessageTamper, NodeKill
+from repro.core import FaultSet
+from repro.simcore import DROP_CHAOS, InjectionError, Network, NodeProcess
+
+
+class Flood(NodeProcess):
+    """Sends ``count`` pings to one neighbor, one per tick."""
+
+    def __init__(self, target=None, count=0):
+        super().__init__()
+        self.target = target
+        self.count = count
+        self.inbox = []
+
+    def on_start(self):
+        for tick in range(self.count):
+            self.after(tick, self._ping)
+
+    def _ping(self):
+        self.send(self.target, "ping")
+
+    def on_message(self, msg):
+        self.inbox.append(msg)
+
+
+def flood_net(topo, sender, target, count, faults=None):
+    def factory(node):
+        if node == sender:
+            return Flood(target=target, count=count)
+        return Flood()
+    return Network(topo, faults or FaultSet.empty(), factory)
+
+
+class TestArming:
+    def test_kills_fire_at_planned_ticks(self, q3):
+        net = flood_net(q3, 0, 1, 1)
+        plan = ChaosPlan(node_kills=(NodeKill(6, 2),),
+                         link_kills=(LinkKill(2, 3, 3),))
+        ctl = ChaosController(net, plan).arm()
+        net.run(until=10)
+        assert net.dead_nodes == {6}
+        assert net.is_link_down(2, 3)
+        assert ctl.node_kills == 1 and ctl.link_kills == 1
+
+    def test_arm_twice_rejected(self, q3):
+        net = flood_net(q3, 0, 1, 1)
+        ctl = ChaosController(net, ChaosPlan())
+        ctl.arm()
+        with pytest.raises(InjectionError):
+            ctl.arm()
+
+    def test_invalid_plan_rejected_at_construction(self, q3):
+        net = flood_net(q3, 0, 1, 1, faults=FaultSet(nodes=[5]))
+        plan = ChaosPlan(node_kills=(NodeKill(5, 1),))
+        with pytest.raises(InjectionError):
+            ChaosController(net, plan)
+
+    def test_no_tampers_no_interceptor(self, q3):
+        net = flood_net(q3, 0, 1, 2)
+        ChaosController(net, ChaosPlan()).arm()
+        net.run()
+        assert len(net.process(1).inbox) == 2
+        assert net.dropped == []
+
+
+class TestTampering:
+    def test_certain_drop_loses_everything_accountably(self, q3):
+        net = flood_net(q3, 0, 1, 5)
+        plan = ChaosPlan(seed=9, tampers=(MessageTamper(drop_p=1.0),))
+        ctl = ChaosController(net, plan).arm()
+        net.run()
+        assert net.process(1).inbox == []
+        assert ctl.drops == 5 and ctl.tampered == 5
+        assert [d.reason for d in net.dropped] == [DROP_CHAOS] * 5
+        net.stats.check_conserved()
+
+    def test_certain_duplication_doubles_arrivals(self, q3):
+        net = flood_net(q3, 0, 1, 4)
+        plan = ChaosPlan(seed=9, tampers=(MessageTamper(dup_p=1.0),))
+        ctl = ChaosController(net, plan).arm()
+        net.run()
+        assert len(net.process(1).inbox) == 8
+        assert ctl.duplicates == 4
+
+    def test_certain_delay_defers_arrivals(self, q3):
+        net = flood_net(q3, 0, 1, 3)
+        plan = ChaosPlan(
+            seed=9, tampers=(MessageTamper(delay_p=1.0, max_extra_delay=2),))
+        ctl = ChaosController(net, plan).arm()
+        net.run()
+        arrivals = net.process(1).inbox
+        assert len(arrivals) == 3
+        assert ctl.delays == 3
+        for msg in arrivals:
+            extra = msg.deliver_time - msg.send_time - 1
+            assert 1 <= extra <= 2
+
+    def test_window_limits_tampering(self, q3):
+        net = flood_net(q3, 0, 1, 6)
+        plan = ChaosPlan(
+            seed=9, tampers=(MessageTamper(start=2, stop=4, drop_p=1.0),))
+        ctl = ChaosController(net, plan).arm()
+        net.run()
+        assert len(net.process(1).inbox) == 4  # ticks 0,1,4,5 get through
+        assert ctl.drops == 2
+
+    def test_kind_filter_spares_other_traffic(self, q3):
+        net = flood_net(q3, 0, 1, 4)
+        plan = ChaosPlan(
+            seed=9, tampers=(MessageTamper(drop_p=1.0, kinds=("other",)),))
+        ChaosController(net, plan).arm()
+        net.run()
+        assert len(net.process(1).inbox) == 4
+
+    def test_same_plan_same_fates(self, q3):
+        outcomes = []
+        for _ in range(2):
+            net = flood_net(q3, 0, 1, 30)
+            plan = ChaosPlan(
+                seed=1234,
+                tampers=(MessageTamper(drop_p=0.3, dup_p=0.2, delay_p=0.3),))
+            ctl = ChaosController(net, plan).arm()
+            net.run()
+            outcomes.append((
+                ctl.summary(),
+                sorted(m.deliver_time for m in net.process(1).inbox),
+                [d.reason for d in net.dropped],
+            ))
+        assert outcomes[0] == outcomes[1]
+
+    def test_summary_shape(self, q3):
+        net = flood_net(q3, 0, 1, 1)
+        ctl = ChaosController(net, ChaosPlan()).arm()
+        net.run()
+        assert ctl.summary() == {
+            "node_kills": 0, "link_kills": 0, "tampered": 0,
+            "chaos_drops": 0, "chaos_delays": 0, "chaos_duplicates": 0,
+        }

@@ -1,0 +1,94 @@
+"""The robustness guarantee sweep (ISSUE acceptance criterion).
+
+Over 500+ seeded scenarios whose total fault count (static + injected)
+stays below ``n`` and which each inject at least one mid-flight fault,
+the resilient protocol must show
+
+* **zero silent losses** — every run ends ``delivered`` or
+  ``failed-detected``, and the destination accepted the payload exactly
+  when the run says so;
+* **zero duplicate deliveries** — at-most-once acceptance, duplicates
+  suppressed and counted;
+* **bounded attempts** — every non-DFS attempt traverses at most
+  ``H + 2`` links (Theorem 3's slack) and never revisits a node.
+
+The sweep also byte-compares its record stream across worker counts:
+chaos scenarios are bit-reproducible under ``--jobs``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import chaos_records
+from repro.chaos import check_chaos_invariants, random_chaos_plan
+from repro.core import FaultSet, Hypercube, uniform_node_faults
+from repro.routing import route_unicast_resilient
+from repro.safety import SafetyLevels
+
+#: (n, static_faults, node_kills, link_kills, scenarios) — every row keeps
+#: static + kills < n and injects at least one mid-flight fault.
+BATCHES = [
+    (4, 0, 1, 0, 90),
+    (4, 1, 1, 0, 90),
+    (4, 0, 0, 2, 90),
+    (4, 1, 1, 1, 90),
+    (5, 1, 2, 0, 60),
+    (5, 0, 2, 2, 60),
+    (5, 2, 1, 1, 60),
+]
+
+
+def _run_scenario(n, static_faults, node_kills, link_kills, seed):
+    topo = Hypercube(n)
+    rng = np.random.default_rng(seed)
+    source = int(rng.integers(topo.num_nodes))
+    dest = int(rng.integers(topo.num_nodes - 1))
+    if dest >= source:
+        dest += 1
+    faults = uniform_node_faults(topo, static_faults, rng,
+                                 exclude=(source, dest))
+    sl = SafetyLevels.compute(topo, faults)
+    plan = random_chaos_plan(topo, faults, rng,
+                             node_kills=node_kills, link_kills=link_kills,
+                             horizon=n + 2, exclude=(source, dest))
+    result, _net = route_unicast_resilient(sl, source, dest,
+                                           plan=plan, rng=rng)
+    return result, topo, faults
+
+
+class TestGuarantee:
+    def test_500_scenarios_no_silent_loss_no_dup_bounded(self):
+        total = runs_with_retries = delivered = 0
+        for n, static, nk, lk, scenarios in BATCHES:
+            assert static + nk + lk < n, "batch breaks the < n budget"
+            assert nk + lk >= 1, "batch injects no mid-flight fault"
+            for seed in range(scenarios):
+                result, topo, faults = _run_scenario(
+                    n, static, nk, lk, seed=100_000 * n + seed)
+                # the full contract, re-checked independently of the driver
+                check_chaos_invariants(result, topo, faults)
+                assert result.status in ("delivered", "failed-detected")
+                assert result.deliveries == (
+                    1 if result.status == "delivered" else 0)
+                hamming = topo.distance(result.source, result.dest)
+                for attempt in result.attempts:
+                    if attempt.stage != "dfs":
+                        assert attempt.hops <= hamming + 2
+                        assert len(set(attempt.path)) == len(attempt.path)
+                delivered += result.status == "delivered"
+                runs_with_retries += result.retries > 0
+                total += 1
+        assert total >= 500
+        # mid-flight faults must actually have bitten: a sweep where no
+        # run ever retried would mean the kills all landed post-delivery.
+        assert runs_with_retries >= total // 20
+        assert delivered >= total * 9 // 10
+
+    @pytest.mark.parametrize("profile,kills", [("node", 2), ("mixed", 2)])
+    def test_records_byte_identical_serial_vs_jobs(self, profile, kills):
+        kw = dict(n=4, profile=profile, kills=kills, static_faults=1, seed=42)
+        serial = chaos_records(24, jobs=1, **kw)
+        parallel = chaos_records(24, jobs=3, **kw)
+        assert json.dumps(serial) == json.dumps(parallel)

@@ -1,0 +1,137 @@
+"""Chaos plans: validation, seeded drawing, staleness windows."""
+
+import numpy as np
+import pytest
+
+from repro.chaos import (
+    ChaosPlan,
+    LinkKill,
+    MessageTamper,
+    NodeKill,
+    StalenessWindow,
+    random_chaos_plan,
+)
+from repro.core import FaultSet
+from repro.simcore import InjectionError
+
+
+class TestValidation:
+    def test_empty_plan_is_valid(self, q3):
+        ChaosPlan().validate(q3, FaultSet.empty())
+
+    def test_double_node_kill_rejected(self, q3):
+        plan = ChaosPlan(node_kills=(NodeKill(2, 1), NodeKill(2, 5)))
+        with pytest.raises(InjectionError):
+            plan.validate(q3, FaultSet.empty())
+
+    def test_statically_faulty_node_kill_rejected(self, q3):
+        plan = ChaosPlan(node_kills=(NodeKill(2, 1),))
+        with pytest.raises(InjectionError):
+            plan.validate(q3, FaultSet(nodes=[2]))
+
+    def test_non_link_kill_rejected(self, q3):
+        plan = ChaosPlan(link_kills=(LinkKill(0, 3, 1),))
+        with pytest.raises(InjectionError):
+            plan.validate(q3, FaultSet.empty())
+
+    def test_double_link_kill_rejected_across_orientations(self, q3):
+        plan = ChaosPlan(link_kills=(LinkKill(0, 1, 1), LinkKill(1, 0, 4)))
+        with pytest.raises(InjectionError):
+            plan.validate(q3, FaultSet.empty())
+
+    def test_link_with_faulty_endpoint_rejected(self, q3):
+        plan = ChaosPlan(link_kills=(LinkKill(0, 1, 1),))
+        with pytest.raises(InjectionError):
+            plan.validate(q3, FaultSet(nodes=[1]))
+
+    def test_negative_kill_time_rejected(self, q3):
+        plan = ChaosPlan(node_kills=(NodeKill(2, -1),))
+        with pytest.raises(InjectionError):
+            plan.validate(q3, FaultSet.empty())
+
+    @pytest.mark.parametrize("bad", [
+        MessageTamper(drop_p=1.5),
+        MessageTamper(drop_p=0.6, dup_p=0.6),
+        MessageTamper(delay_p=0.5, max_extra_delay=0),
+        MessageTamper(start=5, stop=5),
+    ])
+    def test_bad_tampers_rejected(self, q3, bad):
+        plan = ChaosPlan(tampers=(bad,))
+        with pytest.raises(InjectionError):
+            plan.validate(q3, FaultSet.empty())
+
+    def test_empty_staleness_window_rejected(self, q3):
+        plan = ChaosPlan(staleness=(StalenessWindow(4, 4),))
+        with pytest.raises(InjectionError):
+            plan.validate(q3, FaultSet.empty())
+
+
+class TestWindows:
+    def test_tamper_activity_window(self):
+        tamper = MessageTamper(start=2, stop=6, drop_p=0.5)
+        assert not tamper.active(1, "x")
+        assert tamper.active(2, "x") and tamper.active(5, "x")
+        assert not tamper.active(6, "x")
+
+    def test_tamper_kind_filter(self):
+        tamper = MessageTamper(drop_p=0.5, kinds=("runi-data",))
+        assert tamper.active(0, "runi-data")
+        assert not tamper.active(0, "runi-ack")
+
+    def test_plan_staleness(self):
+        plan = ChaosPlan(staleness=(StalenessWindow(3, 5),
+                                    StalenessWindow(9, 10)))
+        assert [plan.is_stale(t) for t in range(11)] == [
+            False, False, False, True, True, False,
+            False, False, False, True, False,
+        ]
+
+
+class TestRandomPlan:
+    def test_counts_and_time_bounds(self, q4):
+        rng = np.random.default_rng(11)
+        plan = random_chaos_plan(q4, FaultSet.empty(), rng,
+                                 node_kills=3, link_kills=2, horizon=10)
+        assert len(plan.node_kills) == 3
+        assert len(plan.link_kills) == 2
+        assert plan.total_faults == 5
+        for kill in plan.node_kills + plan.link_kills:
+            assert 1 <= kill.time <= 10
+
+    def test_exclude_shields_nodes(self, q4):
+        for seed in range(20):
+            plan = random_chaos_plan(
+                q4, FaultSet.empty(), np.random.default_rng(seed),
+                node_kills=5, exclude=(0, 15))
+            assert not {k.node for k in plan.node_kills} & {0, 15}
+
+    def test_targets_avoid_static_faults(self, q4):
+        faults = FaultSet(nodes=[1, 2])
+        for seed in range(20):
+            plan = random_chaos_plan(
+                q4, faults, np.random.default_rng(seed),
+                node_kills=3, link_kills=3)
+            assert not {k.node for k in plan.node_kills} & {1, 2}
+            for lk in plan.link_kills:
+                assert not faults.is_link_faulty(lk.u, lk.v)
+
+    def test_same_stream_same_plan(self, q4):
+        kw = dict(node_kills=2, link_kills=2, staleness_windows=1,
+                  tamper=MessageTamper(drop_p=0.1))
+        a = random_chaos_plan(q4, FaultSet.empty(),
+                              np.random.default_rng(77), **kw)
+        b = random_chaos_plan(q4, FaultSet.empty(),
+                              np.random.default_rng(77), **kw)
+        assert a == b
+
+    def test_overdrawn_kills_rejected(self, q3):
+        with pytest.raises(InjectionError):
+            random_chaos_plan(q3, FaultSet.empty(),
+                              np.random.default_rng(0), node_kills=9)
+
+    def test_describe_mentions_ingredients(self, q3):
+        plan = random_chaos_plan(q3, FaultSet.empty(),
+                                 np.random.default_rng(0), node_kills=1,
+                                 staleness_windows=2)
+        text = plan.describe()
+        assert "1 node kill" in text and "2 staleness window" in text
