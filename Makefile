@@ -2,7 +2,7 @@
 
 PY ?= python3
 
-.PHONY: install test bench bench-sweep bench-routing chaos experiments artifacts scorecard stats-demo examples clean
+.PHONY: install test bench bench-sweep bench-routing bench-levels chaos experiments artifacts scorecard stats-demo examples clean
 
 install:
 	$(PY) -m pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -21,6 +21,13 @@ bench-sweep:
 # and asserts the >= 10x speedup floor plus scalar equivalence.
 bench-routing:
 	PYTHONPATH=src $(PY) benchmarks/bench_routing_throughput.py
+
+# Incremental maintenance vs full GS + packed level-kernel tier; writes
+# BENCH_levels_incremental.json at the root and asserts the >= 10x
+# single-fault-delta floor (Q12+) plus bit-identity to the full fixed
+# point.
+bench-levels:
+	PYTHONPATH=src $(PY) benchmarks/bench_levels_incremental.py
 
 # Chaos-harness reproducibility smoke: seeded 3x-repeated injection
 # matrix (Q4/Q6, node/link/mixed) asserting byte-identical records plus

@@ -24,7 +24,8 @@ from ..core.faults import FaultSet
 from ..core.hypercube import Hypercube
 from ..routing import navigation as nav
 from ..routing.result import RouteStatus
-from ..safety.dynamic import DynamicLevelTracker, recompute_incremental
+from ..safety.dynamic import DynamicLevelTracker
+from ..safety.incremental import IncrementalLevelEngine
 from .montecarlo import iter_trial_rngs
 from .tables import Table
 
@@ -163,16 +164,17 @@ def dynamic_policy_table(
             recomputes += run.recomputations
             stale += run.stale_ticks
             total_ticks += len(run.ticks)
-            # Sample unicasts at each tick with the tracker's knowledge.
-            known, _r, _m = recompute_incremental(
-                topo, schedule.at(0), None, False)
+            # Sample unicasts at each tick with the tracker's knowledge;
+            # the engine replays the recomputed ticks as fault deltas
+            # (same fixed point as a cold recompute, Theorem 1).
+            known = IncrementalLevelEngine(topo, schedule.at(0),
+                                           _boot=False)
             for tick in run.ticks[1:]:
                 faults_now = schedule.at(tick.time)
                 if tick.recomputed:
-                    known, _r, _m = recompute_incremental(
-                        topo, faults_now, None, False)
-                d, l, a = _sample_outcomes(topo, known, faults_now, rng,
-                                           unicasts_per_tick)
+                    known.set_faults(faults_now)
+                d, l, a = _sample_outcomes(topo, known.levels, faults_now,
+                                           rng, unicasts_per_tick)
                 delivered += d
                 lost += l
                 aborted += a

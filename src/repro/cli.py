@@ -37,6 +37,7 @@ from typing import Callable, Dict, Iterator, List, Optional
 from . import analysis, obs
 from .analysis.sweep import JOBS_ENV_VAR
 from .routing.batch import KERNEL_ENV_VAR, KERNELS
+from .safety.levels import LEVEL_KERNEL_ENV_VAR, LEVEL_KERNELS
 
 __all__ = ["main", "RunContext", "Experiment", "REGISTRY", "EXPERIMENTS",
            "register"]
@@ -368,6 +369,12 @@ def main(argv: List[str] | None = None) -> int:
                              f"(default: ${KERNEL_ENV_VAR} or vectorized); "
                              "'scalar' forces the per-route reference walk "
                              "— outputs are identical either way")
+    parser.add_argument("--level-kernel", choices=list(LEVEL_KERNELS),
+                        default=None,
+                        help="kernel for batched safety-level computation "
+                             f"(default: ${LEVEL_KERNEL_ENV_VAR} or auto); "
+                             "'auto' picks swar (n<=9) or packed (n>=10) — "
+                             "outputs are identical for every choice")
     parser.add_argument("--save", metavar="DIR", default=None,
                         help="also write each experiment's output to "
                              "DIR/<name>.txt")
@@ -397,6 +404,11 @@ def main(argv: List[str] | None = None) -> int:
         # covers every batched routing dispatch.
         os.environ[KERNEL_ENV_VAR] = args.route_kernel
 
+    if args.level_kernel is not None:
+        # Same pattern for compute_safety_levels_batch: resolved at every
+        # call through the shared dispatch helper.
+        os.environ[LEVEL_KERNEL_ENV_VAR] = args.level_kernel
+
     if args.command == "list":
         return _cmd_list()
 
@@ -404,7 +416,8 @@ def main(argv: List[str] | None = None) -> int:
     if args.metrics_out:
         config = {"command": args.command, "quick": args.quick,
                   "trials": args.trials, "jobs": args.jobs,
-                  "route_kernel": args.route_kernel}
+                  "route_kernel": args.route_kernel,
+                  "level_kernel": args.level_kernel}
         with obs.observed(args.metrics_out, tool="repro.cli",
                           config=config) as (_registry, recorder):
             _run_experiments(names, args, recorder)

@@ -1,0 +1,57 @@
+"""Kernel-selection plumbing shared by every dispatch seam.
+
+Two hot paths ship multiple interchangeable kernels: the batched routing
+walk (``REPRO_ROUTE_KERNEL`` / ``--route-kernel``) and the batched
+safety-level fixed point (``REPRO_LEVEL_KERNEL`` / ``--level-kernel``).
+Both resolve a kernel name the same way —
+
+1. an explicit ``kernel=`` argument wins,
+2. else the seam's environment variable,
+3. else the seam's default —
+
+and both must reject unknown names with an error that says which knob was
+consulted and what the valid choices are.  This helper is that one rule;
+the seams layer their own semantics (e.g. ``tie_break="random"`` forcing
+the scalar routing kernel, ``auto`` level-kernel shape selection) on top
+of the validated name it returns.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence
+
+__all__ = ["resolve_kernel_name"]
+
+
+def resolve_kernel_name(
+    env_var: str,
+    valid: Sequence[str],
+    explicit: Optional[str],
+    default: str,
+    what: str = "kernel",
+) -> str:
+    """The kernel name a dispatch seam should use, validated.
+
+    ``explicit`` (a caller's ``kernel=`` argument) takes precedence over
+    the ``env_var`` environment variable, which takes precedence over
+    ``default``.  Raises :class:`ValueError` naming the seam (``what``),
+    the offending source, the unknown name, and the recognized choices —
+    the "informative error for unknown kernel names" contract shared by
+    every seam.
+    """
+    source = "kernel argument"
+    name = explicit
+    if name is None:
+        env = os.environ.get(env_var, "").strip()
+        if env:
+            source = f"${env_var}"
+            name = env
+        else:
+            name = default
+    if name not in valid:
+        raise ValueError(
+            f"unknown {what} {name!r} from {source} "
+            f"(expected one of {tuple(valid)})"
+        )
+    return name

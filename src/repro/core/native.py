@@ -1,0 +1,79 @@
+"""Optional native-compilation support (numba), gated at import time.
+
+The packed-bitset kernel tier (see :mod:`repro.safety.packed` and the
+``"packed"`` routing kernel in :mod:`repro.routing.batch`) has two
+implementations of identical semantics:
+
+* a **numba** ``@njit`` variant — loop-fused native code, used when the
+  optional ``numba`` package imports cleanly;
+* a **pure-numpy SWAR** variant — word-parallel array expressions, always
+  available.
+
+This module owns the gate.  ``HAVE_NUMBA`` is the single source of truth
+consulted by every dispatch site, and tests monkeypatch it (or set the
+``REPRO_DISABLE_NUMBA`` environment variable before import) to pin the
+fallback path.  When numba is absent, :func:`njit` degrades to a
+decorator that returns the function unchanged, so a module may decorate
+its kernels unconditionally — they just run as plain Python, which the
+dispatch sites never select.
+
+No module outside this one may ``import numba`` directly: the repository
+must keep working, bit-identically, on a bare numpy install (asserted by
+the no-numba CI leg and the fallback-equivalence tests).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable
+
+__all__ = ["HAVE_NUMBA", "NUMBA_DISABLED_ENV_VAR", "njit", "numba_available"]
+
+#: Set (to any non-empty value) to force the pure-numpy fallback even when
+#: numba is importable — the switch the no-numba CI leg flips without
+#: uninstalling anything.
+NUMBA_DISABLED_ENV_VAR = "REPRO_DISABLE_NUMBA"
+
+
+def _numba_disabled() -> bool:
+    return bool(os.environ.get(NUMBA_DISABLED_ENV_VAR, "").strip())
+
+
+HAVE_NUMBA = False
+if not _numba_disabled():
+    try:
+        from numba import njit as _numba_njit  # type: ignore
+
+        HAVE_NUMBA = True
+    except ImportError:  # pragma: no cover - exercised on numba installs
+        _numba_njit = None
+else:  # pragma: no cover - exercised by the no-numba CI leg
+    _numba_njit = None
+
+
+def njit(*args: Any, **kwargs: Any) -> Callable:
+    """``numba.njit`` when available, identity decorator otherwise.
+
+    Supports both ``@njit`` and ``@njit(cache=True, ...)`` forms.  The
+    undecorated fallback is never *dispatched to* (callers check
+    :data:`HAVE_NUMBA` first); it exists so kernels compile lazily and
+    module import never depends on numba.
+    """
+    if HAVE_NUMBA:
+        return _numba_njit(*args, **kwargs)
+    if len(args) == 1 and callable(args[0]) and not kwargs:
+        return args[0]
+
+    def deco(fn: Callable) -> Callable:
+        return fn
+
+    return deco
+
+
+def numba_available() -> bool:
+    """Live check used by dispatch sites (monkeypatchable via module attr).
+
+    Reads :data:`HAVE_NUMBA` at call time so tests can flip the module
+    attribute to pin the pure-numpy path without reloading modules.
+    """
+    return HAVE_NUMBA and not _numba_disabled()

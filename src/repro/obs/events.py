@@ -62,10 +62,22 @@ EVENT_TYPES: Dict[str, Dict[str, bool]] = {
     "gs_batch": {
         "n": True,             # cube dimension
         "batch": True,         # trials in this call
-        "kernel": True,        # "swar" | "sorted"
+        "kernel": True,        # "swar" | "sorted" | "packed"
         "rounds_hist": True,   # {stabilization round -> trial count}
         "rounds_max": True,
         "rounds_sum": True,
+    },
+    # One fault delta applied by the incremental level engine.
+    "incremental_update": {
+        "n": True,             # cube dimension
+        "added": True,         # node faults added by this delta
+        "removed": True,       # node faults removed (recoveries)
+        "dirty_seed": True,    # nodes seeded dirty by the toggles
+        "dirty_total": True,   # node evaluations across all waves
+        "changed": True,       # level assignments that changed
+        "rounds": True,        # change-bearing waves == GS rounds
+        "messages": True,      # on-change protocol messages
+        "fallback": True,      # True when whole-array sweeps ran instead
     },
     # One route_unicast_batch() kernel call: a (trials, pairs) matrix of
     # unicast attempts summarized as counts, not per-attempt events.
@@ -75,7 +87,7 @@ EVENT_TYPES: Dict[str, Dict[str, bool]] = {
         "pairs": True,         # routes per trial
         "routes": True,        # trials * pairs
         "tie_break": True,     # lowest-dim / highest-dim / random
-        "kernel": True,        # "vectorized" | "scalar"
+        "kernel": True,        # "vectorized" | "scalar" | "packed"
         "statuses": True,      # {RouteStatus value -> route count}
         "conditions": True,    # {C1/C2/C3/none -> route count}
         "hops_sum": True,      # total links traversed across the batch

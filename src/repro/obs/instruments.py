@@ -8,6 +8,9 @@ plus one ``record_*`` hook per instrumented subsystem:
 * :func:`record_route_attempt` — the Section 3.2 unicast router;
 * :func:`record_routing_batch` — the batched routing kernel;
 * :func:`record_gs_batch` — the batched safety-level kernel;
+* :func:`record_incremental_update` — one fault delta applied by the
+  incremental level engine (``safety.incremental_*`` counters, dirty-set
+  and wave histograms, ``incremental_update`` events);
 * :func:`record_sweep` — the Monte-Carlo sweep engine;
 * :func:`record_sim_drop` — per-cause message-loss accounting from the
   simulator network (``sim.dropped.<reason>`` counters);
@@ -46,6 +49,7 @@ __all__ = [
     "record_route_attempt",
     "record_routing_batch",
     "record_gs_batch",
+    "record_incremental_update",
     "record_sweep",
     "record_sim_drop",
     "record_chaos_run",
@@ -69,6 +73,10 @@ STANDARD_COUNTERS: Tuple[str, ...] = (
     "gs.trials",
     "gs.kernel.swar",
     "gs.kernel.sorted",
+    "gs.kernel.packed",
+    "safety.incremental_updates",
+    "safety.incremental_fallbacks",
+    "safety.incremental_messages",
     "sweep.runs",
     "sweep.trials",
     "sweep.chunks",
@@ -260,6 +268,40 @@ def record_gs_batch(n: int, batch: int, kernel: str, rounds: Any) -> None:
             rounds_hist=hist,
             rounds_max=int(max(hist)) if hist else 0,
             rounds_sum=int(sum(r * c for r, c in hist.items())),
+        )
+
+
+def record_incremental_update(n: int, stats: Any) -> None:
+    """One fault delta applied by the incremental level engine.
+
+    ``stats`` is a :class:`repro.safety.incremental.DeltaStats`.  Besides
+    the update/fallback counters, the dirty-seed and wave histograms are
+    what make the engine's central claim auditable from ``repro stats``:
+    dirty sets stay small (bounded neighborhoods) while the message
+    accounting matches the full protocol.
+    """
+    reg, rec = _METRICS, _RECORDER
+    if not reg.enabled and rec is None:
+        return
+    if reg.enabled:
+        reg.counter("safety.incremental_updates").inc()
+        reg.counter("safety.incremental_messages").inc(stats.messages)
+        if stats.fallback:
+            reg.counter("safety.incremental_fallbacks").inc()
+        reg.histogram("safety.incremental_dirty").observe(stats.dirty_seed)
+        reg.histogram("safety.incremental_waves").observe(stats.rounds)
+    if rec is not None:
+        rec.emit(
+            "incremental_update",
+            n=n,
+            added=stats.added,
+            removed=stats.removed,
+            dirty_seed=stats.dirty_seed,
+            dirty_total=stats.dirty_total,
+            changed=stats.changed,
+            rounds=stats.rounds,
+            messages=stats.messages,
+            fallback=stats.fallback,
         )
 
 

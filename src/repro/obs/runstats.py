@@ -49,6 +49,15 @@ class RunStats:
     gs_rounds_hist: Dict[int, int] = field(default_factory=dict)
     gs_kernels: Dict[str, int] = field(default_factory=dict)
     gs_batches: int = 0
+    #: incremental_update aggregates: fault deltas the level engine
+    #: absorbed without a full recompute.
+    incr_updates: int = 0
+    incr_fallbacks: int = 0
+    incr_dirty_seed_sum: int = 0
+    incr_dirty_total_sum: int = 0
+    incr_changed_sum: int = 0
+    incr_rounds_sum: int = 0
+    incr_messages_sum: int = 0
     sweep_trials: int = 0
     sweep_chunks: int = 0
     sweep_elapsed_s: float = 0.0
@@ -95,6 +104,12 @@ class RunStats:
         if self.sweep_elapsed_s <= 0:
             return 0.0
         return self.sweep_trials / self.sweep_elapsed_s
+
+    @property
+    def incr_dirty_seed_mean(self) -> float:
+        if not self.incr_updates:
+            return 0.0
+        return self.incr_dirty_seed_sum / self.incr_updates
 
     def condition_rate(self, condition: str) -> float:
         attempts = self.route_attempts
@@ -152,6 +167,15 @@ def summarize_run(path: Union[str, Path]) -> RunStats:
             for r, c in rec["rounds_hist"].items():
                 r = int(r)  # JSON object keys arrive as strings
                 stats.gs_rounds_hist[r] = stats.gs_rounds_hist.get(r, 0) + c
+        elif etype == "incremental_update":
+            stats.incr_updates += 1
+            if rec["fallback"]:
+                stats.incr_fallbacks += 1
+            stats.incr_dirty_seed_sum += rec["dirty_seed"]
+            stats.incr_dirty_total_sum += rec["dirty_total"]
+            stats.incr_changed_sum += rec["changed"]
+            stats.incr_rounds_sum += rec["rounds"]
+            stats.incr_messages_sum += rec["messages"]
         elif etype == "chaos_run":
             stats.chaos_runs += 1
             if rec["status"] == "delivered":
@@ -232,6 +256,20 @@ def render_stats(stats: RunStats) -> str:
         lines.append(f"  rounds: mean={stats.gs_rounds_mean:.4f}  "
                      f"max={stats.gs_rounds_max}  "
                      f"hist={dict(sorted(stats.gs_rounds_hist.items()))}")
+    if stats.incr_updates:
+        lines.append(
+            f"incremental levels: {stats.incr_updates} updates "
+            f"({stats.incr_fallbacks} fallbacks)"
+        )
+        lines.append(
+            f"  dirty:      seed_mean={stats.incr_dirty_seed_mean:.2f}  "
+            f"evaluated={stats.incr_dirty_total_sum}  "
+            f"changed={stats.incr_changed_sum}"
+        )
+        lines.append(
+            f"  protocol:   rounds={stats.incr_rounds_sum}  "
+            f"messages={stats.incr_messages_sum}"
+        )
     if stats.chaos_runs:
         lines.append(
             f"chaos: {stats.chaos_runs} runs  "

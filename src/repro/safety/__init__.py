@@ -36,7 +36,10 @@ from .gs import (
     stabilization_rounds_batch,
     stabilization_rounds_fast,
 )
+from .incremental import DeltaStats, IncrementalLevelEngine
 from .levels import (
+    LEVEL_KERNEL_ENV_VAR,
+    LEVEL_KERNELS,
     LevelsWorkspace,
     SafetyLevels,
     compute_safety_levels,
@@ -44,6 +47,7 @@ from .levels import (
     compute_safety_levels_batch,
     level_from_sorted,
     level_of_node,
+    resolve_level_kernel,
     verify_fixed_point,
 )
 from .link_faults import ExtendedSafetyLevels, compute_extended_levels
@@ -79,8 +83,13 @@ __all__ = [
     "run_gs",
     "stabilization_rounds_batch",
     "stabilization_rounds_fast",
+    "DeltaStats",
+    "IncrementalLevelEngine",
+    "LEVEL_KERNEL_ENV_VAR",
+    "LEVEL_KERNELS",
     "LevelsWorkspace",
     "SafetyLevels",
+    "resolve_level_kernel",
     "compute_safety_levels",
     "compute_safety_levels_async",
     "compute_safety_levels_batch",

@@ -15,9 +15,14 @@ FaultSchedule` tick by tick under a policy and accounts for
 * **staleness** — ticks during which the routing layer acts on levels
   that no longer match the true fixed point.
 
-Incremental recomputation exploits monotonicity: failures only can resume
-from the previous assignment (the new fixed point is pointwise lower);
-any recovery restarts from the all-``n`` state, exactly like a fresh GS.
+Incremental recomputation exploits locality and monotonicity.  The
+conservative helper :func:`recompute_incremental` warm-starts from the
+previous assignment when only failures occurred (the new fixed point is
+pointwise lower) and restarts cold after any recovery; the view and the
+tracker instead ride :class:`~repro.safety.incremental.
+IncrementalLevelEngine`, which handles failures *and* recoveries as
+dirty-set deltas with accounting bit-identical to the warm-started
+whole-cube iteration (see that module for the argument).
 """
 
 from __future__ import annotations
@@ -94,48 +99,67 @@ def recompute_incremental(
 
 
 class IncrementalLevelView:
-    """A safety assignment kept current across a failures-only fault
-    sequence, with warm-started reconvergence.
+    """A safety assignment kept current across an arbitrary fault
+    sequence by the incremental wave engine.
 
     This is the demand-driven maintenance policy as a reusable object:
     callers (the resilient unicast driver, chiefly) hold one view and
     call :meth:`refresh` with the fault set as of *now* whenever routing
-    is about to decide.  Failures-only refreshes warm-start from the
-    previous assignment (monotone, see :func:`recompute_incremental`);
-    the view also accumulates the GS rounds/messages each reconvergence
-    would have cost on the wire, so harness-level refreshes stay honest
-    about the protocol traffic they stand in for.
+    is about to decide.  Each refresh diffs the supplied fault set
+    against the previous one and hands the delta to an
+    :class:`~repro.safety.incremental.IncrementalLevelEngine`, which
+    re-stabilizes only the perturbed region — recoveries included
+    (recovered nodes re-enter at ``n``, the warm-start convention of
+    :func:`_gs_message_cost`), so no refresh silently degrades to a full
+    recompute.  The accumulated GS rounds/messages are bit-identical to
+    what the full warm-started protocol run would have cost on the wire,
+    so harness-level refreshes stay honest about the traffic they stand
+    in for.
 
-    Link faults in the supplied fault set are ignored — node safety
-    levels (Definition 1) do not model them; Section 4.1's extended
-    levels are a separate assignment.
+    Link faults in the supplied fault set are carried on the wrapped
+    :class:`~repro.safety.levels.SafetyLevels` but ignored by the level
+    update — node safety levels (Definition 1) do not model them;
+    Section 4.1's extended levels are a separate assignment.
     """
 
     def __init__(self, topo: Hypercube, faults: FaultSet) -> None:
+        from .incremental import IncrementalLevelEngine
         from .levels import SafetyLevels
 
         self.topo = topo
         self._sl_cls = SafetyLevels
-        self.gs_rounds = 0
-        self.gs_messages = 0
+        self._engine = IncrementalLevelEngine(topo, faults, _boot=False)
         self.refreshes = 0
-        levels, _rounds, _messages = recompute_incremental(
-            topo, faults, None, had_recovery=False)
-        self._levels = levels
         self.view = self._wrap(faults)
 
+    @property
+    def gs_rounds(self) -> int:
+        return self._engine.gs_rounds
+
+    @property
+    def gs_messages(self) -> int:
+        return self._engine.gs_messages
+
+    @property
+    def engine(self):
+        """The underlying :class:`IncrementalLevelEngine` (shared state)."""
+        return self._engine
+
     def _wrap(self, faults: FaultSet):
-        levels = self._levels.copy()
+        levels = self._engine.levels.copy()
         levels.setflags(write=False)
         return self._sl_cls(topo=self.topo, faults=faults, levels=levels)
 
     def refresh(self, faults: FaultSet, had_recovery: bool = False):
         """Reconverge on ``faults`` and return the new
-        :class:`~repro.safety.levels.SafetyLevels` view."""
-        self._levels, rounds, messages = recompute_incremental(
-            self.topo, faults, self._levels, had_recovery)
-        self.gs_rounds += rounds
-        self.gs_messages += messages
+        :class:`~repro.safety.levels.SafetyLevels` view.
+
+        ``had_recovery`` is retained for API compatibility but no longer
+        forces a cold restart — the engine handles recoveries
+        incrementally.
+        """
+        del had_recovery  # the engine derives recoveries from the diff
+        self._engine.set_faults(faults)
         self.refreshes += 1
         self.view = self._wrap(faults)
         return self.view
@@ -232,13 +256,20 @@ class DynamicLevelTracker:
         self.period = period
 
     def run(self) -> DynamicRunResult:
+        from .incremental import IncrementalLevelEngine
+
         result = DynamicRunResult(policy=self.policy)
         topo = self.topo
-        known_levels, _r, boot_msgs = recompute_incremental(
-            topo, self.schedule.at(0), None, had_recovery=False)
+        # ``known`` is what the routing layer sees (updated only when the
+        # policy says so); ``truth`` tracks the real fixed point every
+        # tick.  Both ride the incremental engine — the truth engine is
+        # the staleness oracle, so its traffic is not charged anywhere.
+        known = IncrementalLevelEngine(topo, self.schedule.at(0))
+        truth = IncrementalLevelEngine(topo, self.schedule.at(0),
+                                       _boot=False)
         result.ticks.append(TickRecord(
             time=0, fault_events=0, recomputed=True, gs_rounds=0,
-            gs_messages=boot_msgs, levels_current=True,
+            gs_messages=known.gs_messages, levels_current=True,
         ))
         events_by_time: dict = {}
         for ev in self.schedule.events:
@@ -253,19 +284,18 @@ class DynamicLevelTracker:
             )
             rounds = messages = 0
             if due:
-                had_recovery = any(not ev.fails for ev in events) \
-                    or self.policy == "periodic"
-                known_levels, rounds, messages = recompute_incremental(
-                    topo, faults_now, known_levels, had_recovery)
-            true_levels, _tr, _tm = recompute_incremental(
-                topo, faults_now, None, had_recovery=False)
+                # The engine diffs the absolute fault set, so ticks the
+                # policy skipped are folded into the next due delta.
+                stats = known.set_faults(faults_now)
+                rounds, messages = stats.rounds, stats.messages
+            truth.set_faults(faults_now)
             result.ticks.append(TickRecord(
                 time=t,
                 fault_events=len(events),
                 recomputed=due,
                 gs_rounds=rounds,
                 gs_messages=messages,
-                levels_current=bool(np.array_equal(known_levels,
-                                                   true_levels)),
+                levels_current=bool(np.array_equal(known.levels,
+                                                   truth.levels)),
             ))
         return result

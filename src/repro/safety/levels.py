@@ -29,10 +29,22 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.dispatch import resolve_kernel_name
 from ..core.fault_models import RngLike, as_rng
 from ..core.faults import FaultSet
 from ..core.hypercube import Hypercube, neighbor_table
 from ..obs.instruments import record_gs_batch
+
+#: Environment variable consulted by :func:`resolve_level_kernel` when no
+#: explicit ``kernel=`` argument is given — the level-side mirror of
+#: ``REPRO_ROUTE_KERNEL``.
+LEVEL_KERNEL_ENV_VAR = "REPRO_LEVEL_KERNEL"
+
+#: Recognized batch level-kernel names.  ``"auto"`` picks by cube shape:
+#: the 7-bit-lane SWAR kernel for ``n <= 9``, the packed-bitset tier
+#: (:mod:`repro.safety.packed`) for larger cubes; ``"sorted"`` is the
+#: generic gather+sort formulation that works for any topology.
+LEVEL_KERNELS = ("auto", "swar", "sorted", "packed")
 
 __all__ = [
     "level_from_sorted",
@@ -355,11 +367,46 @@ def _batch_block_sorted(
     return levels, rounds
 
 
+def resolve_level_kernel(
+    n: int, num_nodes: int, kernel: Optional[str] = None
+) -> str:
+    """The concrete batch level kernel to run for an ``n``-cube.
+
+    Resolution order (via :func:`repro.core.dispatch.resolve_kernel_name`,
+    the same helper behind ``REPRO_ROUTE_KERNEL``): an explicit ``kernel=``
+    argument, else ``$REPRO_LEVEL_KERNEL``, else ``"auto"``.  ``"auto"``
+    maps to the shape-appropriate fast tier — ``"swar"`` for ``n <= 9``
+    (where its 7-bit uint64 lanes fit), ``"packed"`` above — and both fast
+    tiers require a full ``2**n``-node cube; requesting one outside its
+    envelope is an error rather than a silent substitution.
+    """
+    name = resolve_kernel_name(LEVEL_KERNEL_ENV_VAR, LEVEL_KERNELS,
+                               kernel, "auto", what="level kernel")
+    full_cube = num_nodes == (1 << n)
+    if name == "auto":
+        if not full_cube:
+            return "sorted"
+        return "swar" if n <= 9 else "packed"
+    if name == "swar" and (n > 9 or not full_cube):
+        raise ValueError(
+            f"level kernel 'swar' supports full cubes with n <= 9 only "
+            f"(got n={n}, {num_nodes} nodes); use 'packed', 'sorted', or "
+            f"'auto'"
+        )
+    if name == "packed" and not full_cube:
+        raise ValueError(
+            f"level kernel 'packed' needs a full 2**n-node cube, got "
+            f"{num_nodes} nodes for n={n}; use 'sorted' or 'auto'"
+        )
+    return name
+
+
 def compute_safety_levels_batch(
     topo: Hypercube,
     fault_masks: np.ndarray,
     workspace: Optional[LevelsWorkspace] = None,
     return_rounds: bool = False,
+    kernel: Optional[str] = None,
 ) -> np.ndarray | Tuple[np.ndarray, np.ndarray]:
     """Safety levels of ``B`` independent fault sets in one kernel.
 
@@ -368,10 +415,12 @@ def compute_safety_levels_batch(
     over every still-unstable trial at once, so a whole Monte-Carlo cell
     amortizes numpy dispatch that the per-trial kernel pays ``B`` times;
     rows that reach their fixed point drop out of subsequent sweeps, and
-    large batches are processed in cache-sized row blocks.  For ``n <= 9``
-    the sweep uses the SWAR threshold-counting kernel
-    (:func:`_batch_block_swar`); larger cubes fall back to the gather+sort
-    formulation.
+    large batches are processed in cache-sized row blocks.  The sweep
+    kernel is chosen by :func:`resolve_level_kernel` (``kernel=`` argument
+    > ``$REPRO_LEVEL_KERNEL`` > ``auto``): the SWAR threshold-counting
+    kernel (:func:`_batch_block_swar`) for ``n <= 9``, the packed-bitset
+    tier (:func:`repro.safety.packed.batch_block_packed`) for larger
+    cubes, with the gather+sort formulation as the generic fallback.
 
     Returns the ``(B, 2**n)`` int64 level matrix; with ``return_rounds``
     also the ``(B,)`` per-trial stabilization round (the count of
@@ -389,21 +438,25 @@ def compute_safety_levels_batch(
     num_nodes = topo.num_nodes
     batch = masks.shape[0]
     ws = workspace if workspace is not None else _DEFAULT_WORKSPACE
-    use_swar = n <= 9 and num_nodes == (1 << n)
-    table = None if use_swar else neighbor_table(n)
+    chosen = resolve_level_kernel(n, num_nodes, kernel)
+    table = None if chosen in ("swar", "packed") else neighbor_table(n)
     levels = np.empty((batch, num_nodes), dtype=np.int64)
     rounds = np.empty(batch, dtype=np.int64)
     for lo in range(0, batch, _BATCH_BLOCK):
         hi = min(lo + _BATCH_BLOCK, batch)
-        if use_swar:
+        if chosen == "swar":
             blk_levels, blk_rounds = _batch_block_swar(n, masks[lo:hi], ws)
+        elif chosen == "packed":
+            from .packed import batch_block_packed
+
+            blk_levels, blk_rounds = batch_block_packed(n, masks[lo:hi])
         else:
             blk_levels, blk_rounds = _batch_block_sorted(
                 n, num_nodes, table, masks[lo:hi], ws
             )
         levels[lo:hi] = blk_levels
         rounds[lo:hi] = blk_rounds
-    record_gs_batch(n, batch, "swar" if use_swar else "sorted", rounds)
+    record_gs_batch(n, batch, chosen, rounds)
     return (levels, rounds) if return_rounds else levels
 
 

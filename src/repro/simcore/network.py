@@ -102,11 +102,25 @@ class Network:
         #: Links killed mid-run via schedule_link_failure (normalized pairs).
         self.dead_links: Set[Tuple[int, int]] = set()
         self._started = False
+        self._fault_listeners: List[Callable[[int, int], None]] = []
         for node in topo.iter_nodes():
             if not faults.is_node_faulty(node):
                 proc = process_factory(node)
                 proc.attach(node, _Context(self))
                 self.processes[node] = proc
+
+    def add_fault_listener(self, listener: Callable[[int, int], None]) -> None:
+        """Register ``listener(node, time)`` for mid-run node failures.
+
+        Fired from the kill path *after* the node is dead and its
+        neighbors' ``on_neighbor_failure`` hooks ran, in registration
+        order.  This is the fault-delta feed for incremental level
+        maintenance: a listener can push the single-node delta straight
+        into an :class:`~repro.safety.incremental.IncrementalLevelEngine`
+        instead of diffing whole fault sets after the fact.  Link
+        failures do not fire it — node safety levels do not model them.
+        """
+        self._fault_listeners.append(listener)
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -182,6 +196,8 @@ class Network:
             neighbor_proc = self.processes.get(w)
             if neighbor_proc is not None:
                 neighbor_proc.on_neighbor_failure(node)
+        for listener in self._fault_listeners:
+            listener(node, self.engine.now)
 
     def _kill_link(self, u: int, v: int) -> None:
         link = normalize_link(u, v)

@@ -1,0 +1,159 @@
+"""The level-kernel dispatch seam and the packed-bitset tier.
+
+Three claims under test:
+
+* every kernel (swar, sorted, packed — numba or pure-numpy) computes the
+  same Definition-1 fixed point and the same per-trial stabilization
+  rounds, bit for bit;
+* ``REPRO_LEVEL_KERNEL`` / ``kernel=`` resolve through the shared
+  dispatch helper with routing-kernel precedence semantics and
+  informative errors;
+* telemetry records the kernel actually dispatched.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Hypercube
+from repro.core import native
+from repro.obs import instruments as obs
+from repro.safety.levels import (
+    LEVEL_KERNEL_ENV_VAR,
+    LEVEL_KERNELS,
+    compute_safety_levels_batch,
+    resolve_level_kernel,
+)
+from repro.safety.packed import batch_block_packed
+
+
+def _random_masks(n, batch, seed, p=0.2):
+    rng = np.random.default_rng(seed)
+    return rng.random((batch, 1 << n)) < p
+
+
+class TestPackedEquivalence:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 7, 9])
+    def test_matches_swar_small_cubes(self, n):
+        topo = Hypercube(n)
+        masks = _random_masks(n, 70, seed=n)
+        ref, ref_rounds = compute_safety_levels_batch(
+            topo, masks, return_rounds=True, kernel="swar")
+        got, got_rounds = compute_safety_levels_batch(
+            topo, masks, return_rounds=True, kernel="packed")
+        assert np.array_equal(got, ref)
+        assert np.array_equal(got_rounds, ref_rounds)
+
+    @pytest.mark.parametrize("n", [10, 12])
+    def test_matches_sorted_large_cubes(self, n):
+        topo = Hypercube(n)
+        masks = _random_masks(n, 17, seed=n, p=0.15)
+        ref, ref_rounds = compute_safety_levels_batch(
+            topo, masks, return_rounds=True, kernel="sorted")
+        got, got_rounds = compute_safety_levels_batch(
+            topo, masks, return_rounds=True, kernel="packed")
+        assert np.array_equal(got, ref)
+        assert np.array_equal(got_rounds, ref_rounds)
+
+    @pytest.mark.parametrize("n", [3, 6])
+    def test_njit_body_matches_numpy_words(self, n):
+        """The loop-fused njit kernel and the word-parallel numpy kernel
+        implement the same bit algebra (the njit body runs as plain
+        Python when numba is absent, so this holds on every install)."""
+        masks = _random_masks(n, 130, seed=31 + n, p=0.3)
+        lv_np, rd_np = batch_block_packed(n, masks, use_numba=False)
+        lv_jit, rd_jit = batch_block_packed(n, masks, use_numba=True)
+        assert np.array_equal(lv_np, lv_jit)
+        assert np.array_equal(rd_np, rd_jit)
+
+    def test_numpy_fallback_forced_without_numba(self, monkeypatch):
+        """With numba gated off, dispatch lands on the pure-numpy SWAR
+        fallback and stays bit-identical to the sorted reference."""
+        monkeypatch.setattr(native, "HAVE_NUMBA", False)
+        assert not native.numba_available()
+        topo = Hypercube(10)
+        masks = _random_masks(10, 9, seed=99)
+        ref = compute_safety_levels_batch(topo, masks, kernel="sorted")
+        got = compute_safety_levels_batch(topo, masks, kernel="packed")
+        assert np.array_equal(got, ref)
+
+    def test_disable_env_var_gates_numba(self, monkeypatch):
+        monkeypatch.setenv(native.NUMBA_DISABLED_ENV_VAR, "1")
+        assert not native.numba_available()
+
+    def test_lane_boundaries(self):
+        """Batches straddling the 64-trial word boundary round-trip."""
+        n = 4
+        topo = Hypercube(n)
+        for batch in (1, 63, 64, 65, 128, 129):
+            masks = _random_masks(n, batch, seed=batch)
+            ref, ref_rounds = compute_safety_levels_batch(
+                topo, masks, return_rounds=True, kernel="sorted")
+            got, got_rounds = batch_block_packed(n, masks)
+            assert np.array_equal(got, ref), batch
+            assert np.array_equal(got_rounds, ref_rounds), batch
+
+    def test_all_faulty_and_fault_free(self):
+        n = 5
+        topo = Hypercube(n)
+        masks = np.zeros((2, 1 << n), dtype=bool)
+        masks[1] = True
+        levels, rounds = batch_block_packed(n, masks)
+        assert (levels[0] == n).all()
+        assert (levels[1] == 0).all()
+        assert rounds[0] == 0 and rounds[1] == 0
+
+
+class TestDispatch:
+    def test_resolver_precedence(self, monkeypatch):
+        monkeypatch.delenv(LEVEL_KERNEL_ENV_VAR, raising=False)
+        assert resolve_level_kernel(5, 32) == "swar"
+        assert resolve_level_kernel(10, 1024) == "packed"
+        assert resolve_level_kernel(5, 32, "sorted") == "sorted"
+        monkeypatch.setenv(LEVEL_KERNEL_ENV_VAR, "sorted")
+        assert resolve_level_kernel(5, 32) == "sorted"
+        # explicit argument beats the environment
+        assert resolve_level_kernel(5, 32, "packed") == "packed"
+
+    def test_unknown_kernel_names_are_informative(self, monkeypatch):
+        monkeypatch.delenv(LEVEL_KERNEL_ENV_VAR, raising=False)
+        with pytest.raises(ValueError, match="unknown level kernel"):
+            resolve_level_kernel(5, 32, "simd")
+        monkeypatch.setenv(LEVEL_KERNEL_ENV_VAR, "avx512")
+        with pytest.raises(ValueError) as exc:
+            resolve_level_kernel(5, 32)
+        assert LEVEL_KERNEL_ENV_VAR in str(exc.value)
+        for name in LEVEL_KERNELS:
+            assert name in str(exc.value)
+
+    def test_swar_rejected_outside_envelope(self, monkeypatch):
+        monkeypatch.delenv(LEVEL_KERNEL_ENV_VAR, raising=False)
+        with pytest.raises(ValueError, match="swar"):
+            resolve_level_kernel(10, 1024, "swar")
+        with pytest.raises(ValueError, match="swar"):
+            resolve_level_kernel(5, 30, "swar")  # not a full cube
+
+    def test_packed_requires_full_cube(self, monkeypatch):
+        monkeypatch.delenv(LEVEL_KERNEL_ENV_VAR, raising=False)
+        with pytest.raises(ValueError, match="packed"):
+            resolve_level_kernel(5, 30, "packed")
+        assert resolve_level_kernel(5, 30) == "sorted"  # auto degrades
+
+    def test_env_var_drives_batch_calls(self, monkeypatch):
+        monkeypatch.setenv(LEVEL_KERNEL_ENV_VAR, "packed")
+        topo = Hypercube(4)
+        masks = _random_masks(4, 6, seed=1)
+        ref = compute_safety_levels_batch(topo, masks, kernel="swar")
+        got = compute_safety_levels_batch(topo, masks)
+        assert np.array_equal(got, ref)
+
+    def test_telemetry_records_dispatched_kernel(self, monkeypatch):
+        monkeypatch.delenv(LEVEL_KERNEL_ENV_VAR, raising=False)
+        topo = Hypercube(4)
+        masks = _random_masks(4, 5, seed=2)
+        with obs.observed() as (registry, _rec):
+            compute_safety_levels_batch(topo, masks, kernel="packed")
+            compute_safety_levels_batch(topo, masks)  # auto -> swar
+            counters = registry.counter_values()
+        obs.metrics().reset()
+        assert counters["gs.kernel.packed"] == 1
+        assert counters["gs.kernel.swar"] == 1
