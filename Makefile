@@ -2,7 +2,7 @@
 
 PY ?= python3
 
-.PHONY: install test bench bench-sweep bench-routing bench-levels chaos experiments artifacts scorecard stats-demo examples clean
+.PHONY: install test bench bench-sweep bench-routing bench-levels bench-service chaos experiments artifacts scorecard stats-demo examples clean
 
 install:
 	$(PY) -m pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -28,6 +28,13 @@ bench-routing:
 # point.
 bench-levels:
 	PYTHONPATH=src $(PY) benchmarks/bench_levels_incremental.py
+
+# Routing-as-a-service: micro-batched vs one-call-per-request throughput,
+# open-loop latency, and an offline-cross-checked fault-churn run; writes
+# BENCH_service.json at the root and asserts the >= 5x aggregation floor
+# plus zero torn reads / zero drops.
+bench-service:
+	PYTHONPATH=src $(PY) benchmarks/bench_service.py
 
 # Chaos-harness reproducibility smoke: seeded 3x-repeated injection
 # matrix (Q4/Q6, node/link/mixed) asserting byte-identical records plus

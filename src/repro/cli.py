@@ -8,6 +8,8 @@ Usage::
     python -m repro.cli fig2 --jobs 4 --metrics-out run.jsonl
     python -m repro.cli stats run.jsonl
     python -m repro.cli all --quick
+    python -m repro.cli serve --dim 8 --faults 20 --port 7429
+    python -m repro.cli bench-service --quick
 
 Every experiment is seeded; rerunning a command reproduces its output
 bit-for-bit.  ``--quick`` shrinks trial counts for smoke runs.  ``--jobs``
@@ -342,7 +344,135 @@ def _run_experiments(names: List[str], args: argparse.Namespace,
             (out_dir / f"{name}.txt").write_text(output + "\n")
 
 
+def _cmd_serve(argv: List[str]) -> int:
+    """``repro serve``: bind the routing service's TCP line protocol."""
+    import asyncio
+    import signal
+
+    import numpy as np
+
+    from .core.faults import FaultSet
+    from .service import RoutingService, ServiceConfig
+    from .service.server import serve_forever
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve micro-batched unicast routing over TCP "
+                    "(one '<src> <dst>' request per line, JSON replies; "
+                    "'fault add <node>...' bumps the epoch live).",
+    )
+    parser.add_argument("--dim", type=int, default=8,
+                        help="hypercube dimension (default 8)")
+    parser.add_argument("--faults", type=int, default=0,
+                        help="seed this many random faulty nodes at start")
+    parser.add_argument("--fault-nodes", type=int, nargs="*", default=None,
+                        help="explicit initial faulty node ids "
+                             "(overrides --faults)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="rng seed for --faults (default 0)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7429)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="routing worker processes attaching the "
+                             "shared-memory tables (0 = inline backend)")
+    parser.add_argument("--max-batch", type=int, default=256)
+    parser.add_argument("--window-us", type=int, default=500)
+    parser.add_argument("--duration", type=float, default=None,
+                        help="serve for this many seconds, then exit "
+                             "cleanly (default: until SIGINT/SIGTERM)")
+    args = parser.parse_args(argv)
+
+    if args.fault_nodes is not None:
+        faults = FaultSet(nodes=args.fault_nodes)
+    elif args.faults:
+        rng = np.random.default_rng(args.seed)
+        faults = FaultSet(nodes=rng.choice(
+            1 << args.dim, size=args.faults, replace=False).tolist())
+    else:
+        faults = FaultSet()
+
+    config = ServiceConfig(dimension=args.dim, max_batch=args.max_batch,
+                           window_us=args.window_us, workers=args.workers)
+
+    async def run() -> None:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        async with RoutingService(config, faults=faults) as svc:
+            ready = asyncio.Event()
+            server = asyncio.ensure_future(serve_forever(
+                svc, host=args.host, port=args.port, ready=ready,
+                duration_s=args.duration))
+            await ready.wait()
+            print(f"repro serve: Q{args.dim} with "
+                  f"{len(faults.nodes)} faults on "
+                  f"{args.host}:{args.port} "
+                  f"(backend={'pool' if args.workers else 'inline'}, "
+                  f"epoch {svc.epochs.current.epoch})", flush=True)
+            stopper = asyncio.ensure_future(stop.wait())
+            await asyncio.wait({server, stopper},
+                               return_when=asyncio.FIRST_COMPLETED)
+            server.cancel()
+            stopper.cancel()
+            for task in (server, stopper):
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+        # async-with close() drained and unlinked every epoch segment.
+
+    asyncio.run(run())
+    print("repro serve: shut down cleanly (all epoch segments unlinked)",
+          flush=True)
+    return 0
+
+
+def _cmd_bench_service(argv: List[str]) -> int:
+    """``repro bench-service``: run the service harness, write the report."""
+    import json
+    from pathlib import Path
+
+    from .service.bench import MIN_BATCHED_SPEEDUP, run_service_bench
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench-service",
+        description="Benchmark micro-batched routing-as-a-service against "
+                    "one-kernel-call-per-request, with open-loop latency "
+                    "and an offline-cross-checked fault-churn run.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller request counts; skips the "
+                             f"{MIN_BATCHED_SPEEDUP:.0f}x speedup floor "
+                             "(correctness asserts always run)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="routing worker processes (0 = inline backend)")
+    parser.add_argument("--output", type=Path,
+                        default=Path("BENCH_service.json"),
+                        help="report path (default ./BENCH_service.json)")
+    args = parser.parse_args(argv)
+
+    report = run_service_bench(quick=args.quick, workers=args.workers)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {args.output}")
+    print(f"speedup (batched vs naive): {report['speedup_batched']:.2f}x; "
+          f"latency p50 {report['latency']['p50_ms']:.2f} ms / "
+          f"p99 {report['latency']['p99_ms']:.2f} ms; churn torn reads "
+          f"{report['churn']['torn_reads']}, dropped "
+          f"{report['churn']['dropped']}")
+    return 0
+
+
 def main(argv: List[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # Service commands take their own flag sets, so they dispatch before
+    # the experiment parser (whose positional 'command' stays closed).
+    if argv and argv[0] == "serve":
+        return _cmd_serve(list(argv[1:]))
+    if argv and argv[0] == "bench-service":
+        return _cmd_bench_service(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
@@ -351,7 +481,8 @@ def main(argv: List[str] | None = None) -> int:
         "command",
         choices=sorted(REGISTRY) + ["all", "list", "stats"],
         help="experiment id (see DESIGN.md), 'all', 'list', or "
-             "'stats RUN.jsonl'",
+             "'stats RUN.jsonl' ('serve' and 'bench-service' run the "
+             "routing service; see 'repro serve --help')",
     )
     parser.add_argument("path", nargs="?", default=None,
                         help="run file for the stats command")

@@ -18,10 +18,13 @@ of the validated name it returns.
 
 from __future__ import annotations
 
+import logging
 import os
 from typing import Optional, Sequence
 
 __all__ = ["resolve_kernel_name"]
+
+logger = logging.getLogger("repro.dispatch")
 
 
 def resolve_kernel_name(
@@ -35,23 +38,36 @@ def resolve_kernel_name(
 
     ``explicit`` (a caller's ``kernel=`` argument) takes precedence over
     the ``env_var`` environment variable, which takes precedence over
-    ``default``.  Raises :class:`ValueError` naming the seam (``what``),
-    the offending source, the unknown name, and the recognized choices —
-    the "informative error for unknown kernel names" contract shared by
-    every seam.
+    ``default``.  When *both* are set to different names the explicit
+    argument wins regardless of either value's validity — the environment
+    value is never consulted, not even as a fallback for an unknown
+    explicit name — and the losing source is reported: a debug log line
+    on the happy path, a clause in the :class:`ValueError` on the error
+    path.  Errors name the seam (``what``), the offending source, the
+    unknown name, and the recognized choices — the "informative error for
+    unknown kernel names" contract shared by every seam.
     """
     source = "kernel argument"
+    ignored = ""
     name = explicit
+    env = os.environ.get(env_var, "").strip()
     if name is None:
-        env = os.environ.get(env_var, "").strip()
         if env:
             source = f"${env_var}"
             name = env
         else:
             name = default
+    elif env and env != explicit:
+        # Both knobs set and disagreeing: the argument wins, but say so —
+        # silently shadowed environment values are how A/B runs go wrong.
+        ignored = f"; ignoring ${env_var}={env!r} (kernel argument wins)"
+        logger.debug(
+            "%s resolution: kernel argument %r overrides $%s=%r",
+            what, explicit, env_var, env,
+        )
     if name not in valid:
         raise ValueError(
             f"unknown {what} {name!r} from {source} "
-            f"(expected one of {tuple(valid)})"
+            f"(expected one of {tuple(valid)}){ignored}"
         )
     return name

@@ -110,6 +110,28 @@ EVENT_TYPES: Dict[str, Dict[str, bool]] = {
         "hops": True,          # data-message links traversed, all attempts
         "latency": False,      # ticks to first delivery (absent on failure)
     },
+    # One micro-batch flushed by the routing service: many concurrent
+    # route requests aggregated into a single kernel call.
+    "service_batch": {
+        "n": True,             # cube dimension
+        "epoch": True,         # fault epoch the batch was routed against
+        "routes": True,        # requests routed through the kernel
+        "rejected": True,      # requests refused (faulty endpoint) pre-kernel
+        "backend": True,       # "inline" | "pool"
+        "queue_us": True,      # oldest request's wait in the batch window
+        "exec_us": True,       # kernel + demux wall time
+    },
+    # One fault epoch swap: the epoch manager re-stabilized the level
+    # table (incrementally) and published a fresh shared-memory segment.
+    "epoch_swap": {
+        "n": True,             # cube dimension
+        "epoch": True,         # the *new* epoch number
+        "added": True,         # node faults added by the triggering event
+        "removed": True,       # node faults removed (recoveries)
+        "faults": True,        # total faulty nodes in the new epoch
+        "publish_us": True,    # re-stabilize + publish wall time
+        "fallback": True,      # incremental engine fell back to full sweeps
+    },
     # One run_sweep() execution (one Monte-Carlo cell).
     "sweep": {
         "master_seed": True,

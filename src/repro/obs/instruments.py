@@ -11,6 +11,11 @@ plus one ``record_*`` hook per instrumented subsystem:
 * :func:`record_incremental_update` — one fault delta applied by the
   incremental level engine (``safety.incremental_*`` counters, dirty-set
   and wave histograms, ``incremental_update`` events);
+* :func:`record_service_batch` — one micro-batch flushed by the routing
+  service (``service.*`` counters, batch-size and latency histograms,
+  ``service_batch`` events);
+* :func:`record_epoch_swap` — one fault-epoch swap published by the
+  service's epoch manager (``epoch_swap`` events);
 * :func:`record_sweep` — the Monte-Carlo sweep engine;
 * :func:`record_sim_drop` — per-cause message-loss accounting from the
   simulator network (``sim.dropped.<reason>`` counters);
@@ -50,6 +55,8 @@ __all__ = [
     "record_routing_batch",
     "record_gs_batch",
     "record_incremental_update",
+    "record_service_batch",
+    "record_epoch_swap",
     "record_sweep",
     "record_sim_drop",
     "record_chaos_run",
@@ -77,6 +84,12 @@ STANDARD_COUNTERS: Tuple[str, ...] = (
     "safety.incremental_updates",
     "safety.incremental_fallbacks",
     "safety.incremental_messages",
+    "service.requests",
+    "service.batches",
+    "service.batch_routes",
+    "service.rejected",
+    "service.epoch_swaps",
+    "service.torn_reads",
     "sweep.runs",
     "sweep.trials",
     "sweep.chunks",
@@ -302,6 +315,85 @@ def record_incremental_update(n: int, stats: Any) -> None:
             rounds=stats.rounds,
             messages=stats.messages,
             fallback=stats.fallback,
+        )
+
+
+def record_service_batch(
+    n: int,
+    epoch: int,
+    routes: int,
+    rejected: int,
+    backend: str,
+    queue_us: int,
+    exec_us: int,
+) -> None:
+    """One micro-batch flushed by the routing service.
+
+    ``routes`` requests went through the kernel, ``rejected`` were
+    refused pre-kernel (faulty endpoint at this epoch — still answered,
+    never dropped).  ``queue_us`` is the oldest request's wait inside the
+    batching window, ``exec_us`` the kernel-plus-demux wall time; the two
+    histograms are what make the size/deadline window tunable from
+    ``repro stats`` output instead of guesswork.
+    """
+    reg, rec = _METRICS, _RECORDER
+    if not reg.enabled and rec is None:
+        return
+    if reg.enabled:
+        reg.counter("service.batches").inc()
+        reg.counter("service.batch_routes").inc(routes)
+        reg.counter("service.requests").inc(routes + rejected)
+        reg.counter("service.rejected").inc(rejected)
+        reg.histogram("service.batch_size").observe(routes + rejected)
+        reg.histogram("service.queue_us").observe(queue_us)
+        reg.histogram("service.exec_us").observe(exec_us)
+    if rec is not None:
+        rec.emit(
+            "service_batch",
+            n=n,
+            epoch=epoch,
+            routes=routes,
+            rejected=rejected,
+            backend=backend,
+            queue_us=queue_us,
+            exec_us=exec_us,
+        )
+
+
+def record_epoch_swap(
+    n: int,
+    epoch: int,
+    added: int,
+    removed: int,
+    faults: int,
+    publish_us: int,
+    fallback: bool,
+) -> None:
+    """One fault-epoch swap published by the service's epoch manager.
+
+    Fired after the new shared-memory table is sealed and the service
+    reference has swapped — every batch flushed from this point routes
+    against epoch ``epoch``.  The delta bookkeeping itself (dirty sets,
+    waves, protocol messages) is already covered by the engine's
+    ``incremental_update`` event; this one records the *service-level*
+    transition and its publish latency.
+    """
+    reg, rec = _METRICS, _RECORDER
+    if not reg.enabled and rec is None:
+        return
+    if reg.enabled:
+        reg.counter("service.epoch_swaps").inc()
+        reg.histogram("service.publish_us").observe(publish_us)
+    if rec is not None:
+        rec.emit(
+            "epoch_swap",
+            n=n,
+            epoch=epoch,
+            added=added,
+            removed=removed,
+            faults=faults,
+            publish_us=publish_us,
+            fallback=fallback,
         )
 
 

@@ -58,6 +58,20 @@ class RunStats:
     incr_changed_sum: int = 0
     incr_rounds_sum: int = 0
     incr_messages_sum: int = 0
+    #: service_batch / epoch_swap aggregates: the routing service's
+    #: micro-batched request flow and its fault-epoch transitions.
+    service_batches: int = 0
+    service_routes: int = 0
+    service_rejected: int = 0
+    service_backends: Dict[str, int] = field(default_factory=dict)
+    service_queue_us_sum: int = 0
+    service_exec_us_sum: int = 0
+    epoch_swaps: int = 0
+    epoch_swap_fallbacks: int = 0
+    epoch_faults_added: int = 0
+    epoch_faults_removed: int = 0
+    epoch_publish_us_sum: int = 0
+    epoch_last: int = 0
     sweep_trials: int = 0
     sweep_chunks: int = 0
     sweep_elapsed_s: float = 0.0
@@ -118,6 +132,22 @@ class RunStats:
         return self.route_conditions.get(condition, 0) / attempts
 
     @property
+    def service_requests(self) -> int:
+        return self.service_routes + self.service_rejected
+
+    @property
+    def service_queue_us_mean(self) -> float:
+        if not self.service_batches:
+            return 0.0
+        return self.service_queue_us_sum / self.service_batches
+
+    @property
+    def service_batch_size_mean(self) -> float:
+        if not self.service_batches:
+            return 0.0
+        return self.service_requests / self.service_batches
+
+    @property
     def chaos_delivery_rate(self) -> float:
         if not self.chaos_runs:
             return 0.0
@@ -176,6 +206,22 @@ def summarize_run(path: Union[str, Path]) -> RunStats:
             stats.incr_changed_sum += rec["changed"]
             stats.incr_rounds_sum += rec["rounds"]
             stats.incr_messages_sum += rec["messages"]
+        elif etype == "service_batch":
+            stats.service_batches += 1
+            stats.service_routes += rec["routes"]
+            stats.service_rejected += rec["rejected"]
+            stats.service_backends[rec["backend"]] = (
+                stats.service_backends.get(rec["backend"], 0) + 1)
+            stats.service_queue_us_sum += rec["queue_us"]
+            stats.service_exec_us_sum += rec["exec_us"]
+        elif etype == "epoch_swap":
+            stats.epoch_swaps += 1
+            if rec["fallback"]:
+                stats.epoch_swap_fallbacks += 1
+            stats.epoch_faults_added += rec["added"]
+            stats.epoch_faults_removed += rec["removed"]
+            stats.epoch_publish_us_sum += rec["publish_us"]
+            stats.epoch_last = max(stats.epoch_last, rec["epoch"])
         elif etype == "chaos_run":
             stats.chaos_runs += 1
             if rec["status"] == "delivered":
@@ -269,6 +315,28 @@ def render_stats(stats: RunStats) -> str:
         lines.append(
             f"  protocol:   rounds={stats.incr_rounds_sum}  "
             f"messages={stats.incr_messages_sum}"
+        )
+    if stats.service_batches or stats.epoch_swaps:
+        lines.append(
+            f"service: {stats.service_requests} requests in "
+            f"{stats.service_batches} micro-batches "
+            f"(mean size {stats.service_batch_size_mean:.1f}; "
+            f"{_fmt_counts(stats.service_backends, stats.service_batches)})"
+        )
+        lines.append(
+            f"  outcomes:   routed={stats.service_routes}  "
+            f"rejected={stats.service_rejected}"
+        )
+        lines.append(
+            f"  latency:    queue_us_mean={stats.service_queue_us_mean:.0f}  "
+            f"exec_us_sum={stats.service_exec_us_sum}"
+        )
+        lines.append(
+            f"  epochs:     swaps={stats.epoch_swaps} "
+            f"(fallbacks={stats.epoch_swap_fallbacks})  "
+            f"last_epoch={stats.epoch_last}  "
+            f"faults +{stats.epoch_faults_added}/-{stats.epoch_faults_removed}  "
+            f"publish_us_sum={stats.epoch_publish_us_sum}"
         )
     if stats.chaos_runs:
         lines.append(

@@ -60,7 +60,9 @@ __all__ = [
     "BatchFeasibility",
     "BatchRouteResult",
     "check_feasibility_batch",
+    "pack_neighbor_levels",
     "route_unicast_batch",
+    "route_with_table",
 ]
 
 #: Environment knob consulted when no explicit ``kernel`` is passed.
@@ -374,6 +376,30 @@ def _pack_neighbor_levels(
 def _unpack_words(words: np.ndarray, shifts: np.ndarray) -> np.ndarray:
     """``(R,)`` packed words -> ``(R, n)`` int8 neighbor-level matrix."""
     return ((words[:, None] >> shifts) & 0xF).astype(np.int8)
+
+
+def pack_neighbor_levels(levels: np.ndarray, n: int) -> np.ndarray:
+    """One epoch's ``(2**n,)`` level vector -> packed neighbor words.
+
+    The precompute-once half of the packed-word walk: node ``v``'s word
+    holds neighbor ``j``'s level in nibble ``j``, so a route step reads a
+    single int64 instead of gathering ``n`` levels.  The routing service
+    publishes exactly this array (alongside the raw levels) into each
+    epoch's shared-memory table, paying the ``n`` full-cube gathers once
+    per *fault epoch* rather than once per batch call.  Requires
+    ``n <= 15`` (4-bit nibbles).
+    """
+    if n > _PACKED_MAX_DIMENSION:
+        raise ValueError(
+            f"packed neighbor words need n <= {_PACKED_MAX_DIMENSION} "
+            f"(4-bit level nibbles), got n={n}"
+        )
+    lv = np.asarray(levels)
+    if lv.ndim != 1 or lv.shape[0] != (1 << n):
+        raise ValueError(
+            f"levels must be one ({1 << n},) epoch vector, got {lv.shape}"
+        )
+    return _pack_neighbor_levels(lv[None, :], neighbor_table(n), n)
 
 
 # -- the vectorized source rule ---------------------------------------------
@@ -858,6 +884,56 @@ def route_unicast_batch(
                                     return_paths)
     result = BatchRouteResult(
         topo=topo, tie_break=tie_break, kernel=chosen,
+        sources=src, dests=dst, hamming=hamming, status=status,
+        condition=condition, first_dim=first_dim, hops=hops, paths=paths,
+    )
+    record_routing_batch(result)
+    return result
+
+
+def route_with_table(
+    topo: Hypercube,
+    levels: np.ndarray,
+    packed: Optional[np.ndarray],
+    sources, dests,
+    tie_break: nav.TieBreak = "lowest-dim",
+    return_paths: bool = False,
+) -> BatchRouteResult:
+    """Route one epoch's request vector against a precomputed table.
+
+    The routing service's hot path: ``levels`` is a single ``(2**n,)``
+    epoch level vector and ``packed`` the matching
+    :func:`pack_neighbor_levels` words (or ``None`` to gather through the
+    neighbor table instead — the only option for ``n > 15``).  Semantics
+    are exactly ``route_unicast_batch(topo, levels, sources, dests)``
+    with the vectorized kernel — same statuses, conditions, hop counts,
+    and paths, bit for bit — but the per-call neighbor packing is skipped
+    because the table already carries it, which is what makes serving
+    thousands of micro-batches per epoch off one table cheap.
+
+    Endpoint liveness is validated like the batch entry point (a level-0
+    endpoint raises) — service callers pre-filter those requests into
+    rejections rather than letting one poison a whole batch.
+    """
+    lv, src, dst = _normalize_batch(topo, levels, sources, dests)
+    if src.shape[0] != 1:
+        raise ValueError(
+            f"route_with_table serves one epoch at a time; got "
+            f"{src.shape[0]} trial rows"
+        )
+    pn_flat = None
+    if packed is not None:
+        pn_flat = np.ascontiguousarray(packed, dtype=np.int64).reshape(-1)
+        if pn_flat.shape[0] != topo.num_nodes:
+            raise ValueError(
+                f"packed words must be ({topo.num_nodes},), got "
+                f"{np.asarray(packed).shape}"
+            )
+    hamming, status, condition, first_dim, hops, paths = \
+        _route_batch_vectorized(topo, lv, src, dst, tie_break,
+                                return_paths, pn_flat=pn_flat)
+    result = BatchRouteResult(
+        topo=topo, tie_break=tie_break, kernel="vectorized",
         sources=src, dests=dst, hamming=hamming, status=status,
         condition=condition, first_dim=first_dim, hops=hops, paths=paths,
     )

@@ -1,0 +1,35 @@
+"""Routing-as-a-service: epochal level caching over the batched kernels.
+
+The paper's argument — safety levels are cheap to maintain and make each
+route decision nearly free — has the exact shape of a high-throughput
+service, and this package is that service:
+
+* :mod:`repro.service.shm` — immutable, seqlock-tagged shared-memory
+  table segments, one per fault epoch;
+* :mod:`repro.service.epoch` — :class:`EpochManager`: incremental
+  re-stabilization on fault events, publish, atomic swap, pin-counted
+  retirement of old segments;
+* :mod:`repro.service.batcher` — :class:`MicroBatcher`: size/deadline
+  aggregation of concurrent requests into single kernel calls;
+* :mod:`repro.service.workers` — the flat per-batch routing task both
+  backends (inline executor and process pool) execute;
+* :mod:`repro.service.service` — :class:`RoutingService`, the façade;
+* :mod:`repro.service.server` — the ``repro serve`` TCP line protocol;
+* :mod:`repro.service.bench` — the ``BENCH_service.json`` harness.
+"""
+
+from .epoch import EpochManager, EpochSwap, EpochView
+from .service import RoutingService, ServiceConfig, ServiceResponse
+from .shm import EpochTable, TornTableError, attach_epoch_table
+
+__all__ = [
+    "EpochManager",
+    "EpochSwap",
+    "EpochView",
+    "EpochTable",
+    "TornTableError",
+    "attach_epoch_table",
+    "RoutingService",
+    "ServiceConfig",
+    "ServiceResponse",
+]

@@ -1,0 +1,168 @@
+"""Micro-batched request aggregation for the routing service.
+
+One route request is a terrible unit of work for the batched kernels: the
+vectorized walk amortizes numpy dispatch over thousands of routes, so
+answering requests one call at a time pays full per-call overhead for a
+single row.  The :class:`MicroBatcher` closes that gap by aggregating
+concurrent requests inside a **size/deadline window**:
+
+* the first request of a window starts a deadline clock
+  (``window_us``);
+* further requests join the window until either the deadline fires or
+  ``max_batch`` requests are waiting — whichever comes first flushes;
+* a flush hands the whole batch to the service's executor as *one*
+  kernel call and immediately starts collecting the next window, so
+  batching and kernel execution overlap instead of serializing.
+
+Backpressure is a bounded admission semaphore: at most ``max_pending``
+requests may be in flight (queued or executing); ``submit`` awaits
+admission, so an overloaded service makes producers wait rather than
+growing an unbounded queue.  Requests are never dropped — every admitted
+request is resolved with a response or an exception, including during
+shutdown (:meth:`drain` flushes stragglers before the service closes).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, List, Optional
+
+__all__ = ["PendingRequest", "MicroBatcher"]
+
+
+@dataclass
+class PendingRequest:
+    """One admitted route request waiting for (or in) a flush."""
+
+    src: int
+    dst: int
+    enqueued_ns: int
+    future: "asyncio.Future" = field(repr=False, default=None)
+
+
+#: A flush callback: takes the batch, resolves every request's future.
+FlushFn = Callable[[List[PendingRequest]], Awaitable[None]]
+
+
+class MicroBatcher:
+    """Size/deadline aggregation in front of an async flush callback.
+
+    ``flush`` receives each batch exactly once and owns resolving the
+    futures; the batcher guarantees ordering *within* a batch matches
+    submission order (the kernel's row order is the arrival order), and
+    that no admitted request is ever abandoned.
+    """
+
+    def __init__(
+        self,
+        flush: FlushFn,
+        max_batch: int = 256,
+        window_us: int = 500,
+        max_pending: int = 32_768,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if window_us < 0:
+            raise ValueError(f"window_us must be >= 0, got {window_us}")
+        self.max_batch = max_batch
+        self.window_us = window_us
+        self._queue: List[PendingRequest] = []
+        self._admission = asyncio.Semaphore(max_pending)
+        self._wakeup = asyncio.Event()
+        self._closed = False
+        self._flush = flush
+        self._inflight: set = set()
+        self._collector: Optional[asyncio.Task] = None
+        #: Lifetime count of dispatched batches (benchmark batch-size math).
+        self.flushes = 0
+
+    # -- intake --------------------------------------------------------------
+
+    async def submit(self, src: int, dst: int) -> object:
+        """Admit one request and await its response.
+
+        Raises :class:`RuntimeError` after :meth:`drain` — a closed
+        batcher admits nothing, it only finishes what it already holds.
+        """
+        if self._closed:
+            raise RuntimeError("batcher is closed")
+        await self._admission.acquire()
+        if self._closed:  # closed while waiting for admission
+            self._admission.release()
+            raise RuntimeError("batcher is closed")
+        loop = asyncio.get_running_loop()
+        req = PendingRequest(src=int(src), dst=int(dst),
+                             enqueued_ns=time.perf_counter_ns(),
+                             future=loop.create_future())
+        self._queue.append(req)
+        if self._collector is None or self._collector.done():
+            self._collector = loop.create_task(self._collect())
+        elif len(self._queue) >= self.max_batch:
+            self._wakeup.set()
+        try:
+            return await req.future
+        finally:
+            self._admission.release()
+
+    # -- the window ----------------------------------------------------------
+
+    async def _collect(self) -> None:
+        """Run one window: wait for deadline/size, then dispatch the batch.
+
+        A fresh collector task starts with each window's first request,
+        so an idle batcher costs nothing and the deadline clock always
+        measures from *this* window's opening request.
+        """
+        if self.window_us and len(self._queue) < self.max_batch:
+            self._wakeup.clear()
+            try:
+                await asyncio.wait_for(self._wakeup.wait(),
+                                       timeout=self.window_us / 1e6)
+            except asyncio.TimeoutError:
+                pass
+        batch, self._queue = self._queue[:self.max_batch], \
+            self._queue[self.max_batch:]
+        if self._queue:
+            # Overflow beyond max_batch opens the next window immediately.
+            self._collector = asyncio.get_running_loop().create_task(
+                self._collect())
+        if not batch:
+            return
+        task = asyncio.get_running_loop().create_task(
+            self._run_flush(batch))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _run_flush(self, batch: List[PendingRequest]) -> None:
+        self.flushes += 1
+        try:
+            await self._flush(batch)
+        except Exception as exc:
+            for req in batch:
+                if not req.future.done():
+                    req.future.set_exception(exc)
+        else:
+            # The flush owns resolution; an unresolved future here is a
+            # service bug, and surfacing it beats hanging the caller.
+            for req in batch:
+                if not req.future.done():  # pragma: no cover - defensive
+                    req.future.set_exception(
+                        RuntimeError("flush left a request unresolved"))
+
+    # -- shutdown ------------------------------------------------------------
+
+    async def drain(self) -> None:
+        """Stop admitting, flush stragglers, await in-flight batches."""
+        self._closed = True
+        self._wakeup.set()
+        if self._collector is not None and not self._collector.done():
+            await self._collector
+        while self._queue:
+            batch, self._queue = self._queue[:self.max_batch], \
+                self._queue[self.max_batch:]
+            await self._run_flush(batch)
+        while self._inflight:
+            await asyncio.gather(*tuple(self._inflight),
+                                 return_exceptions=True)

@@ -1,0 +1,305 @@
+"""Service benchmark harness: throughput, latency, and churn correctness.
+
+Three measurements over one faulty cube, all through the real
+:class:`~repro.service.RoutingService` request path:
+
+* **Aggregation speedup.**  The same closed-loop concurrent client swarm
+  is driven against a *naive* service (``max_batch=1, window_us=0`` —
+  one kernel call per request, the RPC-per-route strawman) and against
+  the micro-batched service.  The batched/naive routes-per-second ratio
+  is the headline number; the full run asserts it clears
+  :data:`MIN_BATCHED_SPEEDUP`.
+* **Open-loop latency.**  Requests arrive on a fixed schedule (a
+  fraction of the measured batched throughput) regardless of
+  completions, so queueing shows up honestly; per-request latency p50
+  and p99 are reported in milliseconds.
+* **Fault churn.**  Request waves overlap with fault injections, so
+  batches land on both sides of every epoch swap.  Every response is
+  then re-derived *offline*: group responses by their epoch tag,
+  recompute that epoch's Definition-1 levels from its recorded fault
+  set, route through ``route_unicast_batch``, and require bit-identical
+  status/condition/hops (rejected responses must have a level-0 endpoint
+  at their epoch).  Dropped responses and torn-table reads must both be
+  zero.
+
+The harness lives in the package (not ``benchmarks/``) so the CLI
+(``repro bench-service``), the benchmark script, and the CI smoke job
+share one implementation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.faults import FaultSet
+from ..core.hypercube import Hypercube
+from ..routing.batch import _CONDITION_BY_CODE, _STATUS_BY_CODE, \
+    route_unicast_batch
+from ..safety.levels import compute_safety_levels
+from .service import REJECTED, RoutingService, ServiceConfig, ServiceResponse
+from .shm import TornTableError
+
+__all__ = ["run_service_bench", "MIN_BATCHED_SPEEDUP"]
+
+#: Full-run acceptance floor: micro-batched vs one-call-per-request.
+MIN_BATCHED_SPEEDUP = 5.0
+
+SEED = 7429
+DIMENSION = 8
+FAULTS = 20
+
+# (requests, naive_requests, clients, latency_requests,
+#  churn_requests, churn_swaps)
+_SCALE_FULL = (30_000, 2_000, 64, 5_000, 8_000, 6)
+_SCALE_QUICK = (3_000, 400, 32, 800, 1_500, 3)
+
+
+def _draw_workload(
+    topo: Hypercube, faults: FaultSet, count: int, rng: np.random.Generator
+) -> List[Tuple[int, int]]:
+    """``count`` (src, dst) pairs with distinct endpoints healthy at epoch 1."""
+    healthy = np.array(
+        [v for v in range(topo.num_nodes) if not faults.is_node_faulty(v)],
+        dtype=np.int64)
+    srcs = healthy[rng.integers(0, healthy.size, size=count)]
+    dsts = healthy[rng.integers(0, healthy.size, size=count)]
+    same = srcs == dsts
+    while same.any():
+        dsts[same] = healthy[rng.integers(0, healthy.size,
+                                          size=int(same.sum()))]
+        same = srcs == dsts
+    return list(zip(srcs.tolist(), dsts.tolist()))
+
+
+async def _closed_loop(
+    svc: RoutingService,
+    pairs: Sequence[Tuple[int, int]],
+    clients: int,
+) -> Tuple[float, List[ServiceResponse]]:
+    """``clients`` concurrent sessions drain ``pairs``; returns (rps, resps)."""
+    queue: List[Tuple[int, int]] = list(pairs)
+    responses: List[ServiceResponse] = []
+
+    async def client() -> None:
+        while queue:
+            src, dst = queue.pop()
+            responses.append(await svc.route(src, dst))
+
+    start = time.perf_counter()
+    await asyncio.gather(*(client() for _ in range(clients)))
+    elapsed = time.perf_counter() - start
+    return len(pairs) / elapsed, responses
+
+
+async def _open_loop(
+    svc: RoutingService,
+    pairs: Sequence[Tuple[int, int]],
+    rate_rps: float,
+) -> Dict:
+    """Fixed-schedule arrivals at ``rate_rps``; per-request latency stats."""
+    latencies: List[float] = []
+
+    async def one(src: int, dst: int) -> None:
+        t0 = time.perf_counter()
+        await svc.route(src, dst)
+        latencies.append(time.perf_counter() - t0)
+
+    interval = 1.0 / rate_rps
+    start = time.perf_counter()
+    tasks = []
+    for i, (src, dst) in enumerate(pairs):
+        due = start + i * interval
+        delay = due - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(asyncio.ensure_future(one(src, dst)))
+    await asyncio.gather(*tasks)
+    elapsed = time.perf_counter() - start
+    lat_ms = np.asarray(latencies) * 1e3
+    return {
+        "offered_rps": round(rate_rps, 1),
+        "achieved_rps": round(len(pairs) / elapsed, 1),
+        "p50_ms": round(float(np.percentile(lat_ms, 50)), 3),
+        "p99_ms": round(float(np.percentile(lat_ms, 99)), 3),
+        "max_ms": round(float(lat_ms.max()), 3),
+        "requests": len(pairs),
+    }
+
+
+async def _churn_run(
+    config: ServiceConfig,
+    faults: FaultSet,
+    pairs: Sequence[Tuple[int, int]],
+    swaps: int,
+    rng: np.random.Generator,
+) -> Tuple[List[ServiceResponse], Dict[int, frozenset], int]:
+    """Route ``pairs`` in waves overlapping ``swaps`` fault injections.
+
+    Each injection fires while the wave before it is still in flight, so
+    batches straddle the swap and responses carry both epoch tags.
+    Returns (responses, epoch -> fault-node set, torn-read count).
+    """
+    torn = 0
+    epoch_faults: Dict[int, frozenset] = {}
+    responses: List[ServiceResponse] = []
+    async with RoutingService(config, faults=faults) as svc:
+        epoch_faults[1] = frozenset(svc.epochs.current.faults.nodes)
+        waves = np.array_split(np.arange(len(pairs)), swaps + 1)
+        for w, wave in enumerate(waves):
+            tasks = [asyncio.ensure_future(svc.route(*pairs[i]))
+                     for i in wave]
+            if w < swaps:
+                victim = _pick_victim(svc.epochs.current.faults, config, rng)
+                swap = await svc.inject_faults(add=[victim])
+                epoch_faults[swap.epoch] = frozenset(
+                    svc.epochs.current.faults.nodes)
+            for task in tasks:
+                try:
+                    responses.append(await task)
+                except TornTableError:
+                    torn += 1
+    return responses, epoch_faults, torn
+
+
+def _pick_victim(
+    faults: FaultSet, config: ServiceConfig, rng: np.random.Generator
+) -> int:
+    healthy = [v for v in range(1 << config.dimension)
+               if not faults.is_node_faulty(v)]
+    return healthy[int(rng.integers(0, len(healthy)))]
+
+
+def _cross_check(
+    topo: Hypercube,
+    responses: Sequence[ServiceResponse],
+    epoch_faults: Dict[int, frozenset],
+) -> Dict:
+    """Re-derive every response offline; raises AssertionError on any drift."""
+    by_epoch: Dict[int, List[ServiceResponse]] = {}
+    for resp in responses:
+        by_epoch.setdefault(resp.epoch, []).append(resp)
+
+    checked = rejected = 0
+    for epoch, group in sorted(by_epoch.items()):
+        assert epoch in epoch_faults, (
+            f"response tagged unknown epoch {epoch}")
+        levels = compute_safety_levels(
+            topo, FaultSet(nodes=epoch_faults[epoch]))
+        routed = [r for r in group if r.status != REJECTED]
+        for r in group:
+            if r.status == REJECTED:
+                assert levels[r.source] == 0 or levels[r.dest] == 0, (
+                    f"epoch {epoch}: ({r.source},{r.dest}) rejected but "
+                    f"both endpoints are healthy at that epoch")
+                rejected += 1
+        if routed:
+            srcs = np.array([r.source for r in routed], dtype=np.int64)
+            dsts = np.array([r.dest for r in routed], dtype=np.int64)
+            ref = route_unicast_batch(topo, levels, srcs, dsts)
+            for k, r in enumerate(routed):
+                assert (r.status, r.condition, r.hops) == (
+                    _STATUS_BY_CODE[int(ref.status[0, k])].value,
+                    _CONDITION_BY_CODE[int(ref.condition[0, k])].value,
+                    int(ref.hops[0, k]),
+                ), (f"epoch {epoch}: service response for "
+                    f"({r.source},{r.dest}) diverged from offline "
+                    f"route_unicast_batch")
+        checked += len(group)
+    return {
+        "responses_checked": checked,
+        "rejected": rejected,
+        "epochs_observed": sorted(by_epoch),
+        "bit_identical_to_offline": True,
+    }
+
+
+async def _run(quick: bool, workers: int) -> Dict:
+    (total, naive_total, clients, lat_total,
+     churn_total, churn_swaps) = _SCALE_QUICK if quick else _SCALE_FULL
+    topo = Hypercube(DIMENSION)
+    rng = np.random.default_rng(SEED)
+    faults = FaultSet(nodes=rng.choice(
+        topo.num_nodes, size=FAULTS, replace=False).tolist())
+    pairs = _draw_workload(topo, faults, total, rng)
+
+    batched_cfg = ServiceConfig(dimension=DIMENSION, workers=workers)
+    naive_cfg = ServiceConfig(dimension=DIMENSION, max_batch=1,
+                              window_us=0, workers=workers)
+
+    # Naive strawman: identical machinery, one kernel call per request.
+    async with RoutingService(naive_cfg, faults=faults) as svc:
+        naive_rps, naive_resps = await _closed_loop(
+            svc, pairs[:naive_total], clients)
+
+    async with RoutingService(batched_cfg, faults=faults) as svc:
+        batched_rps, batched_resps = await _closed_loop(svc, pairs, clients)
+        batches = svc.batcher.flushes
+
+    assert len(naive_resps) == naive_total, "naive run dropped responses"
+    assert len(batched_resps) == total, "batched run dropped responses"
+    _cross_check(topo, batched_resps[:2_000], {1: frozenset(faults.nodes)})
+
+    lat_rate = max(200.0, 0.6 * batched_rps)
+    async with RoutingService(batched_cfg, faults=faults) as svc:
+        latency = await _open_loop(svc, pairs[:lat_total], lat_rate)
+
+    churn_pairs = _draw_workload(topo, faults, churn_total, rng)
+    churn_resps, epoch_faults, torn = await _churn_run(
+        batched_cfg, faults, churn_pairs, churn_swaps, rng)
+    assert torn == 0, f"{torn} torn-table reads under churn"
+    assert len(churn_resps) == churn_total, (
+        f"churn dropped {churn_total - len(churn_resps)} responses")
+    churn_check = _cross_check(topo, churn_resps, epoch_faults)
+
+    speedup = round(batched_rps / naive_rps, 2)
+    return {
+        "benchmark": "service_microbatch_vs_naive",
+        "quick": quick,
+        "dimension": DIMENSION,
+        "faults": FAULTS,
+        "workers": workers,
+        "clients": clients,
+        "max_batch": batched_cfg.max_batch,
+        "window_us": batched_cfg.window_us,
+        "naive": {"requests": naive_total,
+                  "routes_per_second": round(naive_rps, 1)},
+        "batched": {"requests": total,
+                    "routes_per_second": round(batched_rps, 1),
+                    "micro_batches": batches,
+                    "mean_batch_size": round(total / max(1, batches), 1)},
+        "speedup_batched": speedup,
+        "latency": latency,
+        "churn": {
+            "requests": churn_total,
+            "epoch_swaps": churn_swaps,
+            "torn_reads": torn,
+            "dropped": churn_total - len(churn_resps),
+            **churn_check,
+        },
+    }
+
+
+def run_service_bench(
+    quick: bool = False,
+    workers: int = 0,
+    enforce_floors: Optional[bool] = None,
+) -> Dict:
+    """Run the full harness; returns the ``BENCH_service.json`` payload.
+
+    ``enforce_floors`` defaults to ``not quick``: full runs assert the
+    :data:`MIN_BATCHED_SPEEDUP` ratio, quick (CI smoke) runs only the
+    correctness invariants — which are always asserted regardless.
+    """
+    report = asyncio.run(_run(quick, workers))
+    if enforce_floors is None:
+        enforce_floors = not quick
+    if enforce_floors:
+        assert report["speedup_batched"] >= MIN_BATCHED_SPEEDUP, (
+            f"micro-batching only {report['speedup_batched']:.2f}x over "
+            f"one-call-per-request; the acceptance floor is "
+            f"{MIN_BATCHED_SPEEDUP:.0f}x")
+    return report

@@ -1,0 +1,253 @@
+"""Fault-epoch lifecycle: one stabilized level table per epoch, swapped atomically.
+
+An *epoch* is a maximal interval during which the fault set — and
+therefore the Definition-1 level assignment — does not change.  The
+:class:`EpochManager` owns that assignment through an
+:class:`~repro.safety.incremental.IncrementalLevelEngine` and turns every
+fault event into the cheapest possible transition:
+
+1. the event's delta re-stabilizes the engine *incrementally* (frontier
+   waves over the perturbed neighborhood, not a cold recompute);
+2. the new table — raw levels plus the packed neighbor words the routing
+   kernel walks on — is published into a fresh shared-memory segment and
+   sealed (:func:`repro.service.shm.publish_epoch_table`);
+3. the manager's ``current`` reference swaps to the new epoch in one
+   atomic assignment.
+
+Batches dispatched before the swap keep routing against the old epoch's
+segment, which stays mapped (and therefore consistent) until every
+in-flight batch pinned to it completes — the pin/unpin refcount below is
+what lets the manager ``unlink`` retired segments without ever yanking a
+table out from under a worker.  Readers can always tell which table
+served them: every response carries the epoch tag.
+
+The manager is thread-safe: fault events serialize on an internal lock
+(they mutate the engine), while ``current`` reads are lock-free attribute
+loads.  The service calls :meth:`apply_fault_event` from an executor
+thread so the asyncio loop — and request intake — never stalls on a
+re-stabilization.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Set
+
+import numpy as np
+
+from ..core.faults import FaultSet
+from ..core.hypercube import Hypercube
+from ..obs.instruments import record_epoch_swap
+from ..routing.batch import pack_neighbor_levels
+from ..safety.incremental import DeltaStats, IncrementalLevelEngine
+from .shm import publish_epoch_table, unlink_segment
+
+__all__ = ["EpochView", "EpochSwap", "EpochManager"]
+
+#: Packed neighbor words need 4-bit level nibbles, hence n <= 15.
+_PACKED_MAX_DIMENSION = 15
+
+
+@dataclass(frozen=True)
+class EpochView:
+    """An immutable handle to one published epoch.
+
+    ``levels``/``packed`` are the publisher's own arrays (not the shm
+    views) — in-process backends route straight off them, worker
+    processes attach ``segment`` instead and get byte-identical content
+    (the publish path wrote one from the other).
+    """
+
+    epoch: int
+    segment: str
+    n: int
+    faults: FaultSet
+    levels: np.ndarray
+    packed: Optional[np.ndarray]
+
+
+@dataclass(frozen=True)
+class EpochSwap:
+    """What one fault event cost: the engine delta plus publish latency."""
+
+    epoch: int
+    stats: DeltaStats
+    publish_us: int
+
+
+class EpochManager:
+    """Owns the epoch sequence: engine, published segments, and the swap.
+
+    ``name_token`` namespaces the shared-memory segments
+    (``repro_svc_<token>_e<epoch>``) so concurrent services never
+    collide; by default a fresh random token per manager.
+    """
+
+    def __init__(
+        self,
+        topo: Hypercube,
+        faults: Optional[FaultSet] = None,
+        name_token: Optional[str] = None,
+    ) -> None:
+        self.topo = topo
+        self.token = name_token if name_token is not None \
+            else os.urandom(6).hex()
+        self._engine = IncrementalLevelEngine(topo, faults)
+        self._lock = threading.Lock()
+        self._segments: Dict[int, object] = {}   # epoch -> SharedMemory
+        self._pins: Dict[int, int] = {}
+        self._retired: Set[int] = set()
+        self._closed = False
+        self._current = self._publish(epoch=1)
+        # Last-resort leak guard: normal interpreter exit (including the
+        # SIGTERM handler's sys.exit) unlinks whatever is still published
+        # even if the owner forgot to close.
+        self._atexit_cb = self.close
+        atexit.register(self._atexit_cb)
+
+    # -- naming & state ------------------------------------------------------
+
+    def segment_name(self, epoch: int) -> str:
+        return f"repro_svc_{self.token}_e{epoch}"
+
+    @property
+    def current(self) -> EpochView:
+        """The serving epoch (atomic read; no lock)."""
+        return self._current
+
+    @property
+    def engine(self) -> IncrementalLevelEngine:
+        return self._engine
+
+    def live_segments(self) -> Dict[int, str]:
+        """epoch -> segment name for every not-yet-unlinked epoch."""
+        with self._lock:
+            return {e: self.segment_name(e) for e in self._segments}
+
+    # -- publish / swap ------------------------------------------------------
+
+    def _publish(self, epoch: int) -> EpochView:
+        levels = np.asarray(self._engine.levels, dtype=np.int8).copy()
+        n = self.topo.dimension
+        packed = pack_neighbor_levels(levels, n) \
+            if n <= _PACKED_MAX_DIMENSION else None
+        faults = self._engine.faults
+        shm = publish_epoch_table(
+            self.segment_name(epoch), epoch, n, levels, packed,
+            faults=len(faults.nodes),
+        )
+        self._segments[epoch] = shm
+        self._pins.setdefault(epoch, 0)
+        return EpochView(epoch=epoch, segment=self.segment_name(epoch),
+                         n=n, faults=faults, levels=levels, packed=packed)
+
+    def apply_fault_event(
+        self, add: Iterable[int] = (), remove: Iterable[int] = ()
+    ) -> EpochSwap:
+        """One fault event -> incremental re-stabilize -> publish -> swap.
+
+        Returns after the swap: every batch flushed from now on routes
+        against the new epoch, while batches already pinned to the old
+        one finish undisturbed on its (still-mapped) segment.  The old
+        epoch is retired — its segment is unlinked as soon as its pin
+        count drains to zero.
+        """
+        start = time.perf_counter()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("epoch manager is closed")
+            old = self._current
+            stats = self._engine.apply_delta(add=add, remove=remove)
+            epoch = old.epoch + 1
+            view = self._publish(epoch)
+            self._current = view
+            self._retired.add(old.epoch)
+            self._maybe_unlink(old.epoch)
+            publish_us = int((time.perf_counter() - start) * 1e6)
+        record_epoch_swap(
+            n=self.topo.dimension, epoch=epoch, added=stats.added,
+            removed=stats.removed, faults=len(view.faults.nodes),
+            publish_us=publish_us, fallback=stats.fallback,
+        )
+        return EpochSwap(epoch=epoch, stats=stats, publish_us=publish_us)
+
+    def set_faults(self, faults: FaultSet) -> EpochSwap:
+        """Absolute-fault-set variant of :meth:`apply_fault_event`."""
+        cur = set(self._engine.faults.nodes)
+        new = {v for v in faults.nodes if v < self.topo.num_nodes}
+        return self.apply_fault_event(add=new - cur, remove=cur - new)
+
+    # -- pinning (in-flight batch refcounts) ---------------------------------
+
+    def acquire(self) -> EpochView:
+        """The serving epoch, pinned, in one atomic step.
+
+        Reading ``current`` and then pinning separately would race a
+        concurrent swap (read epoch ``e``, swap retires-and-unlinks
+        ``e``, pin fails); taking both under the lock means an acquired
+        view's segment is guaranteed mapped until the matching
+        :meth:`unpin`.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("epoch manager is closed")
+            view = self._current
+            self._pins[view.epoch] += 1
+            return view
+
+    def pin(self, epoch: int) -> None:
+        """Mark one in-flight batch routing against ``epoch``."""
+        with self._lock:
+            if epoch not in self._pins:
+                raise RuntimeError(f"epoch {epoch} is gone; cannot pin")
+            self._pins[epoch] += 1
+
+    def unpin(self, epoch: int) -> None:
+        """Drop one in-flight batch; may unlink a retired epoch's segment."""
+        with self._lock:
+            self._pins[epoch] -= 1
+            self._maybe_unlink(epoch)
+
+    def _maybe_unlink(self, epoch: int) -> None:
+        """Unlink ``epoch``'s segment once retired and pin-free (lock held)."""
+        if (epoch in self._retired and self._pins.get(epoch, 0) == 0
+                and epoch in self._segments):
+            shm = self._segments.pop(epoch)
+            self._pins.pop(epoch, None)
+            self._retired.discard(epoch)
+            shm.close()
+            unlink_segment(shm)
+
+    # -- shutdown ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Unlink every remaining segment (idempotent).
+
+        Callers must have drained in-flight batches first; close is the
+        service-shutdown path (including the SIGTERM handler), so it
+        unlinks unconditionally rather than waiting on pins.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                atexit.unregister(self._atexit_cb)
+            except Exception:  # pragma: no cover - interpreter teardown
+                pass
+            for epoch, shm in sorted(self._segments.items()):
+                shm.close()
+                unlink_segment(shm)
+            self._segments.clear()
+            self._pins.clear()
+            self._retired.clear()
+
+    def __enter__(self) -> "EpochManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,115 @@
+"""TCP front-end for the routing service: a line protocol over asyncio.
+
+``repro serve`` binds this server in front of a
+:class:`~repro.service.RoutingService`.  The protocol is deliberately
+trivial — one request per line, one JSON object per response line — so
+load generators and humans (``nc localhost 7429``) can drive it alike:
+
+``<src> <dst>``
+    Route a unicast; the reply is the
+    :meth:`~repro.service.service.ServiceResponse.to_dict` JSON (always
+    tagged with the serving fault epoch).
+``fault add <node> [<node> ...]`` / ``fault remove <node> ...``
+    Inject a fault event; replies with the epoch-swap summary.  This is
+    the operational path that makes epochs observable end to end: the
+    next route replies carry the bumped epoch tag.
+``epoch``
+    The current epoch number and fault count.
+``quit``
+    Close this connection (the service keeps running).
+
+Concurrent connections share one service, so their requests micro-batch
+together — the whole point of fronting the batcher with a socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from .service import RoutingService
+
+__all__ = ["serve_forever", "handle_connection"]
+
+
+async def handle_connection(
+    svc: RoutingService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """One client session: parse lines, answer JSON lines."""
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            text = line.decode("utf-8", "replace").strip()
+            if not text:
+                continue
+            reply = await _dispatch(svc, text)
+            if reply is None:
+                break
+            writer.write((json.dumps(reply) + "\n").encode())
+            await writer.drain()
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def _dispatch(svc: RoutingService, text: str) -> Optional[dict]:
+    parts = text.split()
+    try:
+        if parts[0] == "quit":
+            return None
+        if parts[0] == "epoch":
+            view = svc.epochs.current
+            return {"epoch": view.epoch,
+                    "faults": len(view.faults.nodes),
+                    "segment": view.segment}
+        if parts[0] == "fault":
+            nodes = [int(v) for v in parts[2:]]
+            if parts[1] == "add":
+                swap = await svc.inject_faults(add=nodes)
+            elif parts[1] == "remove":
+                swap = await svc.inject_faults(remove=nodes)
+            else:
+                raise ValueError(f"unknown fault action {parts[1]!r}")
+            return {"epoch": swap.epoch,
+                    "rounds": swap.stats.rounds,
+                    "messages": swap.stats.messages,
+                    "dirty_seed": swap.stats.dirty_seed,
+                    "fallback": swap.stats.fallback,
+                    "publish_us": swap.publish_us}
+        src, dst = int(parts[0]), int(parts[1])
+        resp = await svc.route(src, dst)
+        return resp.to_dict()
+    except (IndexError, ValueError) as exc:
+        return {"error": str(exc) or "bad request", "input": text}
+
+
+async def serve_forever(
+    svc: RoutingService,
+    host: str = "127.0.0.1",
+    port: int = 7429,
+    ready: Optional[asyncio.Event] = None,
+    duration_s: Optional[float] = None,
+) -> None:
+    """Bind and serve until cancelled (or ``duration_s`` elapses)."""
+    server = await asyncio.start_server(
+        lambda r, w: handle_connection(svc, r, w), host, port)
+    if ready is not None:
+        ready.set()
+    async with server:
+        if duration_s is None:
+            await server.serve_forever()
+        else:
+            try:
+                await asyncio.wait_for(server.serve_forever(), duration_s)
+            except asyncio.TimeoutError:
+                pass

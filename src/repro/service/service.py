@@ -1,0 +1,268 @@
+"""Routing-as-a-service: epochal tables + micro-batched kernel calls.
+
+:class:`RoutingService` is the façade that assembles the pieces:
+
+* an :class:`~repro.service.epoch.EpochManager` owning the safety-level
+  table of the current fault epoch, published read-only through shared
+  memory and re-stabilized *incrementally* on fault events;
+* a :class:`~repro.service.batcher.MicroBatcher` aggregating concurrent
+  ``route()`` calls into single batched-kernel executions within a
+  size/deadline window;
+* an execution backend — the asyncio loop's thread executor
+  (``workers=0``; the kernel releases the GIL inside numpy, so one
+  thread suffices until epoch tables stop fitting in cache) or a
+  ``ProcessPoolExecutor`` whose workers attach the epoch segments by
+  name (:mod:`repro.service.workers`).
+
+The per-request guarantees, each enforced by the test suite:
+
+* **Bit-identity.**  A response equals the offline
+  ``route_unicast_batch`` outcome on (epoch fault set, src, dst) —
+  status, admitting condition, hop count.
+* **Epoch integrity.**  Every response carries the epoch it was computed
+  against, and that epoch's table was sealed (seqlock-verified) before
+  any batch read it: no response is ever derived from a torn or
+  mixed-epoch table.
+* **No drops.**  Every admitted request gets exactly one response, even
+  across epoch swaps and shutdown; requests whose endpoint is faulty *at
+  their batch's epoch* are answered with ``status="rejected"`` rather
+  than poisoning the batch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.faults import FaultSet
+from ..core.hypercube import Hypercube
+from ..obs.instruments import metrics, record_service_batch
+from ..routing.batch import _CONDITION_BY_CODE, _STATUS_BY_CODE
+from .batcher import MicroBatcher, PendingRequest
+from .epoch import EpochManager, EpochSwap
+from .shm import TornTableError
+from .workers import clear_table_cache, route_task
+
+__all__ = ["ServiceConfig", "ServiceResponse", "RoutingService"]
+
+#: Responses for requests refused before the kernel (faulty endpoint at
+#: the batch's epoch) — the graceful per-request failure mode.
+REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables for one :class:`RoutingService` instance."""
+
+    dimension: int
+    max_batch: int = 256
+    window_us: int = 500
+    workers: int = 0
+    tie_break: str = "lowest-dim"
+    max_pending: int = 32_768
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """One answered route request, tagged with its fault epoch."""
+
+    source: int
+    dest: int
+    epoch: int
+    #: RouteStatus value string, or ``"rejected"`` (faulty endpoint).
+    status: str
+    condition: str
+    hops: int
+    hamming: int
+
+    @property
+    def delivered(self) -> bool:
+        return self.status == "delivered"
+
+    def to_dict(self) -> dict:
+        return {
+            "source": self.source, "dest": self.dest, "epoch": self.epoch,
+            "status": self.status, "condition": self.condition,
+            "hops": self.hops, "hamming": self.hamming,
+        }
+
+
+class RoutingService:
+    """Long-running unicast route service over one faulty hypercube.
+
+    Use as an async context manager::
+
+        async with RoutingService(ServiceConfig(dimension=8),
+                                  faults=faults) as svc:
+            resp = await svc.route(src, dst)
+            await svc.inject_faults(add=[victim])   # epoch bump
+            many = await svc.route_many(pairs)
+
+    ``route`` may be called from any number of concurrent tasks; that
+    concurrency is exactly what the micro-batcher converts into batched
+    kernel throughput.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        faults: Optional[FaultSet] = None,
+        name_token: Optional[str] = None,
+    ) -> None:
+        self.config = config
+        self.topo = Hypercube(config.dimension)
+        self.epochs = EpochManager(self.topo, faults,
+                                   name_token=name_token)
+        self.batcher = MicroBatcher(
+            self._flush, max_batch=config.max_batch,
+            window_us=config.window_us, max_pending=config.max_pending,
+        )
+        self._backend = "pool" if config.workers > 0 else "inline"
+        self._pool = None
+        self._threads = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-svc")
+        self._closed = False
+        #: Responses issued / requests rejected, service lifetime totals.
+        self.responses = 0
+        self.rejected = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def __aenter__(self) -> "RoutingService":
+        if self.config.workers > 0:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.config.workers)
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        """Drain in-flight batches, stop workers, unlink every segment."""
+        if self._closed:
+            return
+        self._closed = True
+        await self.batcher.drain()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._threads.shutdown(wait=True)
+        # The inline backend attaches segments in this process; drop those
+        # mappings before the manager unlinks so nothing lingers.
+        clear_table_cache()
+        self.epochs.close()
+
+    def terminate(self) -> None:
+        """Synchronous last-resort cleanup (signal handlers, atexit).
+
+        Skips draining — callers on this path are exiting *now* — but
+        releases what the OS will not: the published segments.
+        """
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        clear_table_cache()
+        self.epochs.close()
+
+    # -- the request path ----------------------------------------------------
+
+    async def route(self, src: int, dst: int) -> ServiceResponse:
+        """Answer one unicast route query (micro-batched under the hood)."""
+        return await self.batcher.submit(src, dst)
+
+    async def route_many(
+        self, pairs: Iterable[Tuple[int, int]]
+    ) -> List[ServiceResponse]:
+        """Submit many queries concurrently; responses in input order."""
+        return list(await asyncio.gather(
+            *(self.route(s, d) for s, d in pairs)))
+
+    async def inject_faults(
+        self, add: Sequence[int] = (), remove: Sequence[int] = ()
+    ) -> EpochSwap:
+        """One fault event: bump the epoch without stalling the loop.
+
+        The incremental re-stabilization and segment publish run on the
+        service's executor thread; request intake continues against the
+        old epoch until the swap lands.
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._threads, self.epochs.apply_fault_event, tuple(add),
+            tuple(remove))
+
+    # -- batch execution -----------------------------------------------------
+
+    async def _flush(self, batch: List[PendingRequest]) -> None:
+        """Route one micro-batch against the pinned current epoch."""
+        start_ns = time.perf_counter_ns()
+        queue_us = (start_ns - min(r.enqueued_ns for r in batch)) // 1000
+        view = self.epochs.acquire()
+        try:
+            srcs = np.fromiter((r.src for r in batch), dtype=np.int64,
+                               count=len(batch))
+            dsts = np.fromiter((r.dst for r in batch), dtype=np.int64,
+                               count=len(batch))
+            bad = ((srcs < 0) | (srcs >= self.topo.num_nodes)
+                   | (dsts < 0) | (dsts >= self.topo.num_nodes))
+            live = ~bad
+            live[live] &= ((view.levels[srcs[live]] > 0)
+                           & (view.levels[dsts[live]] > 0))
+            keep = np.flatnonzero(live)
+            if keep.size:
+                loop = asyncio.get_running_loop()
+                executor = self._pool if self._pool is not None \
+                    else self._threads
+                try:
+                    epoch, status, condition, hops, hamming = \
+                        await loop.run_in_executor(
+                            executor, route_task, view.segment, view.epoch,
+                            self.topo.dimension, srcs[keep], dsts[keep],
+                            self.config.tie_break)
+                except TornTableError:
+                    # Cannot happen with sealed immutable segments — the
+                    # counter existing (and staying 0) is the audit trail
+                    # the benchmark and smoke job assert on.
+                    reg = metrics()
+                    if reg.enabled:
+                        reg.counter("service.torn_reads").inc()
+                    raise
+            else:
+                epoch = view.epoch
+                status = condition = hops = hamming = None
+        finally:
+            self.epochs.unpin(view.epoch)
+
+        rejected = len(batch) - keep.size
+        pos = {int(row): k for k, row in enumerate(keep)}
+        for i, req in enumerate(batch):
+            k = pos.get(i)
+            if k is None:
+                resp = ServiceResponse(
+                    source=req.src, dest=req.dst, epoch=view.epoch,
+                    status=REJECTED, condition="none", hops=0,
+                    hamming=int(bin(req.src ^ req.dst).count("1")),
+                )
+            else:
+                resp = ServiceResponse(
+                    source=req.src, dest=req.dst, epoch=epoch,
+                    status=_STATUS_BY_CODE[int(status[k])].value,
+                    condition=_CONDITION_BY_CODE[int(condition[k])].value,
+                    hops=int(hops[k]), hamming=int(hamming[k]),
+                )
+            if not req.future.done():
+                req.future.set_result(resp)
+        self.responses += len(batch)
+        self.rejected += rejected
+        exec_us = (time.perf_counter_ns() - start_ns) // 1000
+        record_service_batch(
+            n=self.topo.dimension, epoch=view.epoch, routes=int(keep.size),
+            rejected=rejected, backend=self._backend,
+            queue_us=int(queue_us), exec_us=int(exec_us),
+        )

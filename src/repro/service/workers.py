@@ -1,0 +1,97 @@
+"""Worker-side routing: attach the epoch's shared table, run the kernel.
+
+This module is the *entire* code a routing worker runs — deliberately
+flat, following the block-level-autonomy principle: the coordinator hands
+a worker a fully-specified plan (segment name, expected epoch, request
+vectors) and the worker needs no further coordination to execute it.
+Workers never see the epoch manager, the batcher, or the engine; their
+only shared state is the read-only epoch table, reached through
+:func:`repro.service.shm.attach_epoch_table` and cached per process.
+
+The same entry point (:func:`route_task`) serves both backends: the
+in-process thread executor (``workers=0`` — the table attach path is
+still exercised, so one code path is tested everywhere) and the
+``ProcessPoolExecutor`` fan-out, whose workers import this module fresh
+and therefore run with observability disabled (no IPC on the hot path —
+the coordinator records service telemetry from the demux side).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..core.hypercube import Hypercube
+from ..routing.batch import route_with_table
+from .shm import EpochTable, attach_epoch_table
+
+__all__ = ["route_task", "clear_table_cache", "cached_tables"]
+
+#: Attached tables kept per process; two suffice in steady state (the
+#: serving epoch plus the one draining), the slack covers churny tests.
+_CACHE_CAPACITY = 4
+
+_TABLES: "OrderedDict[str, EpochTable]" = OrderedDict()
+
+
+def _attach_cached(segment: str, epoch: int) -> EpochTable:
+    table = _TABLES.get(segment)
+    if table is None:
+        table = attach_epoch_table(segment, expect_epoch=epoch)
+        _TABLES[segment] = table
+        while len(_TABLES) > _CACHE_CAPACITY:
+            _, old = _TABLES.popitem(last=False)
+            old.close()
+    return table
+
+
+def route_task(
+    segment: str,
+    epoch: int,
+    n: int,
+    sources: np.ndarray,
+    dests: np.ndarray,
+    tie_break: str = "lowest-dim",
+) -> Tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Route one micro-batch against one epoch's shared table.
+
+    Returns ``(epoch, status, condition, hops, hamming)`` flat arrays in
+    request order — plain numpy, cheap to pickle back from a pool
+    worker.  The epoch check happens twice: at attach (the seqlock
+    verification) and here against the coordinator's expectation, so a
+    response tagged ``epoch`` is *guaranteed* to have been computed from
+    that epoch's sealed table — the no-torn-reads contract.
+    """
+    table = _attach_cached(segment, epoch)
+    if table.epoch != epoch or table.n != n:
+        raise RuntimeError(
+            f"table mismatch on {segment!r}: have epoch {table.epoch} "
+            f"n={table.n}, batch wants epoch {epoch} n={n}"
+        )
+    res = route_with_table(
+        Hypercube(n), table.levels, table.packed,
+        np.asarray(sources, dtype=np.int64)[None, :],
+        np.asarray(dests, dtype=np.int64)[None, :],
+        tie_break=tie_break,
+    )
+    return (
+        epoch,
+        res.status.reshape(-1).copy(),
+        res.condition.reshape(-1).copy(),
+        res.hops.reshape(-1).copy(),
+        res.hamming.reshape(-1).copy(),
+    )
+
+
+def clear_table_cache() -> None:
+    """Close and forget every cached attachment (test/shutdown hygiene)."""
+    while _TABLES:
+        _, table = _TABLES.popitem()
+        table.close()
+
+
+def cached_tables() -> Dict[str, int]:
+    """segment name -> epoch of the current cache (introspection)."""
+    return {name: t.epoch for name, t in _TABLES.items()}

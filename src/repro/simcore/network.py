@@ -196,7 +196,11 @@ class Network:
             neighbor_proc = self.processes.get(w)
             if neighbor_proc is not None:
                 neighbor_proc.on_neighbor_failure(node)
-        for listener in self._fault_listeners:
+        # Snapshot before dispatch: a listener may register further
+        # listeners while handling the event (the resilient router
+        # re-arming is the canonical case), and those must not mutate
+        # this iteration — they see the *next* failure, not this one.
+        for listener in tuple(self._fault_listeners):
             listener(node, self.engine.now)
 
     def _kill_link(self, u: int, v: int) -> None:

@@ -146,6 +146,50 @@ class TestDispatch:
         got = compute_safety_levels_batch(topo, masks)
         assert np.array_equal(got, ref)
 
+    def test_explicit_beats_env_and_reports_loser(self, monkeypatch, caplog):
+        monkeypatch.setenv(LEVEL_KERNEL_ENV_VAR, "sorted")
+        with caplog.at_level("DEBUG", logger="repro.dispatch"):
+            assert resolve_level_kernel(5, 32, "swar") == "swar"
+        # the losing source is reported on the debug path
+        messages = [rec.getMessage() for rec in caplog.records]
+        assert any(LEVEL_KERNEL_ENV_VAR in m for m in messages), messages
+        msg = next(m for m in messages if LEVEL_KERNEL_ENV_VAR in m)
+        assert "'swar'" in msg and "'sorted'" in msg
+
+    def test_explicit_agreeing_with_env_is_silent(self, monkeypatch, caplog):
+        monkeypatch.setenv(LEVEL_KERNEL_ENV_VAR, "sorted")
+        with caplog.at_level("DEBUG", logger="repro.dispatch"):
+            assert resolve_level_kernel(5, 32, "sorted") == "sorted"
+        assert not caplog.records
+
+    def test_explicit_wins_over_unknown_env_name(self, monkeypatch):
+        # a garbage environment value must not break explicit callers —
+        # the env var is never consulted once kernel= is given
+        monkeypatch.setenv(LEVEL_KERNEL_ENV_VAR, "avx512")
+        assert resolve_level_kernel(5, 32, "swar") == "swar"
+        assert resolve_level_kernel(10, 1024, "packed") == "packed"
+
+    def test_unknown_explicit_never_falls_back_to_env(self, monkeypatch):
+        # explicit wins even when it is the invalid one: the error blames
+        # the kernel argument and names the shadowed environment value
+        monkeypatch.setenv(LEVEL_KERNEL_ENV_VAR, "sorted")
+        with pytest.raises(ValueError) as exc:
+            resolve_level_kernel(5, 32, "simd")
+        msg = str(exc.value)
+        assert "kernel argument" in msg
+        assert "'simd'" in msg
+        assert f"ignoring ${LEVEL_KERNEL_ENV_VAR}='sorted'" in msg
+
+    def test_both_sources_unknown_blames_explicit(self, monkeypatch):
+        monkeypatch.setenv(LEVEL_KERNEL_ENV_VAR, "avx512")
+        with pytest.raises(ValueError) as exc:
+            resolve_level_kernel(5, 32, "simd")
+        msg = str(exc.value)
+        assert "'simd'" in msg and "kernel argument" in msg
+        assert f"ignoring ${LEVEL_KERNEL_ENV_VAR}='avx512'" in msg
+        for name in LEVEL_KERNELS:
+            assert name in msg
+
     def test_telemetry_records_dispatched_kernel(self, monkeypatch):
         monkeypatch.delenv(LEVEL_KERNEL_ENV_VAR, raising=False)
         topo = Hypercube(4)

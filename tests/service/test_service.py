@@ -1,0 +1,248 @@
+"""End-to-end routing service tests: identity, epochs, batching, cleanup.
+
+The load-bearing claim is **bit-identity**: a response from the service —
+through the batcher, the shared-memory table, and either backend — equals
+the offline ``route_unicast_batch`` outcome for (epoch fault set, src,
+dst), for every epoch a churn run touches.  Around it: batching window
+semantics, rejection of bad endpoints, ``repro stats`` aggregation of the
+service telemetry, and segment hygiene at shutdown.
+"""
+
+import asyncio
+import os
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import FaultSet, Hypercube
+from repro.routing.batch import (
+    _CONDITION_BY_CODE,
+    _STATUS_BY_CODE,
+    route_unicast_batch,
+)
+from repro.safety.levels import compute_safety_levels
+from repro.service import RoutingService, ServiceConfig
+from repro.service.bench import _cross_check
+from repro.service.shm import segment_exists
+
+N = 5
+FAULTS = FaultSet(nodes=[0, 7, 21])
+
+
+def _workload(count, seed=0, dimension=N, faults=FAULTS):
+    rng = np.random.default_rng(seed)
+    healthy = [v for v in range(1 << dimension)
+               if not faults.is_node_faulty(v)]
+    return [tuple(rng.choice(healthy, size=2, replace=False).tolist())
+            for _ in range(count)]
+
+
+def _offline(topo, faults, pairs):
+    levels = compute_safety_levels(topo, faults)
+    srcs = np.array([s for s, _ in pairs], dtype=np.int64)
+    dsts = np.array([d for _, d in pairs], dtype=np.int64)
+    return levels, route_unicast_batch(topo, levels, srcs, dsts)
+
+
+class TestBitIdentity:
+    def test_responses_match_offline_batch_router(self):
+        pairs = _workload(300)
+
+        async def run():
+            config = ServiceConfig(dimension=N, window_us=200)
+            async with RoutingService(config, faults=FAULTS) as svc:
+                return await svc.route_many(pairs)
+
+        responses = asyncio.run(run())
+        topo = Hypercube(N)
+        _levels, ref = _offline(topo, FAULTS, pairs)
+        assert len(responses) == len(pairs)
+        for k, resp in enumerate(responses):
+            assert resp.epoch == 1
+            assert (resp.source, resp.dest) == pairs[k]
+            assert resp.status == _STATUS_BY_CODE[int(ref.status[0, k])].value
+            assert resp.condition == \
+                _CONDITION_BY_CODE[int(ref.condition[0, k])].value
+            assert resp.hops == int(ref.hops[0, k])
+            assert resp.hamming == int(ref.hamming[0, k])
+
+    def test_worker_pool_backend_matches_offline(self):
+        pairs = _workload(120, seed=3)
+
+        async def run():
+            config = ServiceConfig(dimension=N, window_us=200, workers=1)
+            async with RoutingService(config, faults=FAULTS) as svc:
+                return await svc.route_many(pairs)
+
+        responses = asyncio.run(run())
+        _levels, ref = _offline(Hypercube(N), FAULTS, pairs)
+        for k, resp in enumerate(responses):
+            assert resp.status == _STATUS_BY_CODE[int(ref.status[0, k])].value
+            assert resp.hops == int(ref.hops[0, k])
+
+
+class TestEpochChurn:
+    def test_every_epoch_bit_identical_and_nothing_dropped(self):
+        pairs = _workload(400, seed=7)
+        epoch_faults = {}
+
+        async def run():
+            config = ServiceConfig(dimension=N, window_us=150)
+            async with RoutingService(config, faults=FAULTS) as svc:
+                epoch_faults[1] = frozenset(svc.epochs.current.faults.nodes)
+                responses = []
+                waves = np.array_split(np.arange(len(pairs)), 4)
+                for w, wave in enumerate(waves):
+                    tasks = [asyncio.ensure_future(svc.route(*pairs[i]))
+                             for i in wave]
+                    if w < 3:
+                        victim = sorted(
+                            v for v in range(1 << N)
+                            if v not in epoch_faults[w + 1])[w]
+                        swap = await svc.inject_faults(add=[victim])
+                        epoch_faults[swap.epoch] = frozenset(
+                            svc.epochs.current.faults.nodes)
+                    responses.extend(await asyncio.gather(*tasks))
+                return responses
+
+        responses = asyncio.run(run())
+        assert len(responses) == len(pairs)  # zero dropped
+        check = _cross_check(Hypercube(N), responses, epoch_faults)
+        assert check["bit_identical_to_offline"]
+        assert check["responses_checked"] == len(pairs)
+        # the run actually straddled swaps: multiple epochs answered
+        assert len(check["epochs_observed"]) >= 2
+
+    def test_request_with_newly_faulty_endpoint_is_rejected(self):
+        async def run():
+            config = ServiceConfig(dimension=N, window_us=100)
+            async with RoutingService(config, faults=FAULTS) as svc:
+                before = await svc.route(1, 9)
+                await svc.inject_faults(add=[9])
+                after = await svc.route(1, 9)
+                return before, after
+
+        before, after = asyncio.run(run())
+        assert before.epoch == 1 and before.status != "rejected"
+        assert after.epoch == 2 and after.status == "rejected"
+        assert after.hamming == bin(1 ^ 9).count("1")
+
+    def test_out_of_range_endpoints_rejected_not_fatal(self):
+        async def run():
+            config = ServiceConfig(dimension=N, window_us=100)
+            async with RoutingService(config, faults=FAULTS) as svc:
+                good = asyncio.ensure_future(svc.route(1, 2))
+                bad = asyncio.ensure_future(svc.route(5, 1 << N))
+                return await asyncio.gather(good, bad)
+
+        good, bad = asyncio.run(run())
+        # a garbage request in the window must not poison its batch
+        assert good.status != "rejected"
+        assert bad.status == "rejected"
+
+
+class TestBatchingSemantics:
+    def test_concurrent_requests_aggregate_into_one_flush(self):
+        async def run():
+            config = ServiceConfig(dimension=N, window_us=20_000)
+            async with RoutingService(config, faults=FAULTS) as svc:
+                await svc.route_many(_workload(50, seed=1))
+                return svc.batcher.flushes
+
+        assert asyncio.run(run()) == 1
+
+    def test_max_batch_splits_oversized_windows(self):
+        async def run():
+            config = ServiceConfig(dimension=N, max_batch=16,
+                                   window_us=20_000)
+            async with RoutingService(config, faults=FAULTS) as svc:
+                await svc.route_many(_workload(64, seed=2))
+                return svc.batcher.flushes
+
+        assert asyncio.run(run()) == 64 // 16
+
+    def test_naive_config_is_one_flush_per_request(self):
+        async def run():
+            config = ServiceConfig(dimension=N, max_batch=1, window_us=0)
+            async with RoutingService(config, faults=FAULTS) as svc:
+                await svc.route_many(_workload(20, seed=4))
+                return svc.batcher.flushes
+
+        assert asyncio.run(run()) == 20
+
+    def test_closed_service_refuses_new_requests(self):
+        async def run():
+            config = ServiceConfig(dimension=N)
+            svc = RoutingService(config, faults=FAULTS)
+            async with svc:
+                await svc.route(1, 2)
+            with pytest.raises(RuntimeError, match="closed"):
+                await svc.route(1, 2)
+
+        asyncio.run(run())
+
+
+class TestTelemetry:
+    def test_repro_stats_aggregates_service_counters(self, tmp_path):
+        out = tmp_path / "svc.jsonl"
+        pairs = _workload(60, seed=5)
+
+        async def run():
+            config = ServiceConfig(dimension=N, window_us=200)
+            async with RoutingService(config, faults=FAULTS) as svc:
+                await svc.route_many(pairs[:30])
+                await svc.inject_faults(add=[30])
+                await svc.route_many(pairs[30:])
+
+        with obs.observed(out) as (registry, _rec):
+            asyncio.run(run())
+            counters = registry.counter_values()
+        obs.metrics().reset()
+
+        assert counters["service.requests"] == 60
+        assert counters["service.batches"] >= 2
+        assert counters["service.epoch_swaps"] == 1
+        assert counters["service.torn_reads"] == 0
+
+        stats = obs.summarize_run(out)
+        assert stats.service_requests == 60
+        assert stats.service_batches == counters["service.batches"]
+        assert stats.epoch_swaps == 1
+        rendered = obs.render_stats(stats)
+        assert "service:" in rendered
+        assert "micro-batches" in rendered
+
+
+class TestShutdownHygiene:
+    def test_close_unlinks_every_segment(self):
+        names = []
+
+        async def run():
+            config = ServiceConfig(dimension=N, window_us=100)
+            async with RoutingService(config, faults=FAULTS) as svc:
+                await svc.route(1, 2)
+                await svc.inject_faults(add=[12])
+                await svc.route(1, 2)
+                names.extend(svc.epochs.live_segments().values())
+                assert all(segment_exists(v) for v in names)
+
+        asyncio.run(run())
+        assert names
+        assert not any(segment_exists(v) for v in names)
+
+    def test_no_stray_service_segments_after_pool_run(self):
+        token = f"pooltest{os.getpid()}"
+
+        async def run():
+            config = ServiceConfig(dimension=N, window_us=100, workers=1)
+            async with RoutingService(config, faults=FAULTS,
+                                      name_token=token) as svc:
+                await svc.route_many(_workload(40, seed=6))
+                await svc.inject_faults(add=[18])
+                await svc.route_many(_workload(40, seed=8))
+
+        asyncio.run(run())
+        stray = [p for p in os.listdir("/dev/shm")
+                 if p.startswith(f"repro_svc_{token}")]
+        assert stray == []

@@ -1,0 +1,236 @@
+"""Shared-memory epoch table lifecycle: publish, attach, bump, unlink.
+
+The guarantees under test are the service's consistency substrate:
+
+* a sealed segment round-trips bit-identically (levels, packed words,
+  metadata) and attaches read-only;
+* unsealed / corrupted / wrong-epoch segments are rejected as
+  :class:`TornTableError` — a reader can never observe a torn or
+  mixed-epoch table;
+* epoch bumps retire old segments only after their pin count drains, and
+  teardown (explicit close, process exit, SIGTERM) leaks nothing.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.core import FaultSet, Hypercube
+from repro.routing.batch import pack_neighbor_levels
+from repro.safety.levels import compute_safety_levels
+from repro.service import EpochManager, TornTableError, attach_epoch_table
+from repro.service.shm import (
+    _untracked,
+    publish_epoch_table,
+    segment_exists,
+    unlink_segment,
+)
+
+
+def _table(n=4, fault_nodes=(0, 5)):
+    topo = Hypercube(n)
+    levels = compute_safety_levels(topo, FaultSet(nodes=fault_nodes))
+    packed = pack_neighbor_levels(levels, n)
+    return topo, np.asarray(levels, dtype=np.int8), packed
+
+
+class TestPublishAttach:
+    def test_round_trip_is_bit_identical(self):
+        _topo, levels, packed = _table()
+        name = f"repro_test_{os.getpid()}_rt"
+        shm = publish_epoch_table(name, epoch=3, n=4, levels=levels,
+                                  packed=packed, faults=2)
+        try:
+            table = attach_epoch_table(name, expect_epoch=3)
+            assert table.epoch == 3
+            assert table.n == 4
+            assert table.faults == 2
+            assert np.array_equal(table.levels, levels)
+            assert np.array_equal(table.packed, packed)
+            table.close()
+        finally:
+            shm.close()
+            unlink_segment(shm)
+
+    def test_attached_views_are_read_only(self):
+        _topo, levels, packed = _table()
+        name = f"repro_test_{os.getpid()}_ro"
+        shm = publish_epoch_table(name, 1, 4, levels, packed, faults=2)
+        try:
+            table = attach_epoch_table(name)
+            with pytest.raises((ValueError, RuntimeError)):
+                table.levels[0] = 9
+            with pytest.raises((ValueError, RuntimeError)):
+                table.packed[0] = 9
+            table.close()
+        finally:
+            shm.close()
+            unlink_segment(shm)
+
+    def test_packed_none_round_trips_as_none(self):
+        # n > 15 epochs publish without packed words; readers must see
+        # packed=None, not a bogus all-zero table
+        _topo, levels, _packed = _table()
+        name = f"repro_test_{os.getpid()}_np"
+        shm = publish_epoch_table(name, 1, 4, levels, packed=None, faults=2)
+        try:
+            table = attach_epoch_table(name)
+            assert table.packed is None
+            assert np.array_equal(table.levels, levels)
+            table.close()
+        finally:
+            shm.close()
+            unlink_segment(shm)
+
+    def test_epoch_zero_is_rejected_at_publish(self):
+        _topo, levels, packed = _table()
+        with pytest.raises(ValueError, match="epochs start at 1"):
+            publish_epoch_table("repro_test_bad", 0, 4, levels, packed,
+                                faults=2)
+
+
+class TestTornDetection:
+    def test_unsealed_segment_is_torn(self):
+        # raw zeroed segment = what an attacher sees mid-publish, before
+        # the tags are written
+        name = f"repro_test_{os.getpid()}_unsealed"
+        with _untracked():
+            shm = shared_memory.SharedMemory(name=name, create=True,
+                                             size=4096)
+        try:
+            with pytest.raises(TornTableError, match="never sealed"):
+                attach_epoch_table(name, retries=3, retry_sleep_s=0.001)
+        finally:
+            shm.close()
+            unlink_segment(shm)
+
+    def test_wrong_epoch_fails_fast(self):
+        _topo, levels, packed = _table()
+        name = f"repro_test_{os.getpid()}_we"
+        shm = publish_epoch_table(name, 2, 4, levels, packed, faults=2)
+        try:
+            start = time.perf_counter()
+            with pytest.raises(TornTableError, match="carries epoch 2"):
+                attach_epoch_table(name, expect_epoch=5, retries=500,
+                                   retry_sleep_s=0.01)
+            # wrong epoch must not burn the retry budget — waiting cannot
+            # turn the wrong table into the right one
+            assert time.perf_counter() - start < 1.0
+        finally:
+            shm.close()
+            unlink_segment(shm)
+
+    def test_body_corruption_fails_checksum(self):
+        _topo, levels, packed = _table()
+        name = f"repro_test_{os.getpid()}_cc"
+        shm = publish_epoch_table(name, 1, 4, levels, packed, faults=2)
+        try:
+            with _untracked():
+                raw = shared_memory.SharedMemory(name=name)
+            body = np.frombuffer(raw.buf, dtype=np.int8, count=16, offset=40)
+            body[3] += 1  # flip one level byte; header checksum is stale now
+            del body
+            raw.close()
+            with pytest.raises(TornTableError, match="checksum"):
+                attach_epoch_table(name)
+        finally:
+            shm.close()
+            unlink_segment(shm)
+
+
+class TestEpochManagerLifecycle:
+    def test_bump_retires_and_unlinks_old_epoch(self):
+        topo = Hypercube(4)
+        with EpochManager(topo, FaultSet(nodes=[0])) as mgr:
+            e1_name = mgr.segment_name(1)
+            assert segment_exists(e1_name)
+            swap = mgr.apply_fault_event(add=[9])
+            assert swap.epoch == 2
+            assert mgr.current.epoch == 2
+            # no pins: the old segment is unlinked at the swap
+            assert not segment_exists(e1_name)
+            assert segment_exists(mgr.segment_name(2))
+        assert not segment_exists(mgr.segment_name(2))
+
+    def test_pinned_epoch_survives_bump_until_unpin(self):
+        topo = Hypercube(4)
+        with EpochManager(topo, FaultSet(nodes=[0])) as mgr:
+            view = mgr.acquire()          # an in-flight batch holds e1
+            mgr.apply_fault_event(add=[9])
+            e1_name = mgr.segment_name(1)
+            assert segment_exists(e1_name)
+            # the pinned epoch's table is still attachable and consistent
+            table = attach_epoch_table(e1_name, expect_epoch=1)
+            assert np.array_equal(table.levels, view.levels)
+            table.close()
+            mgr.unpin(view.epoch)         # batch completes -> unlink
+            assert not segment_exists(e1_name)
+
+    def test_no_mixed_epoch_reads_across_bump(self):
+        # every attach observes exactly one epoch's sealed content: the
+        # levels it returns must match the publisher's copy for that tag,
+        # never a blend of adjacent epochs
+        topo = Hypercube(4)
+        with EpochManager(topo, FaultSet(nodes=[0])) as mgr:
+            published = {1: mgr.current.levels.copy()}
+            for victim in (3, 9, 12):
+                swap = mgr.apply_fault_event(add=[victim])
+                published[swap.epoch] = mgr.current.levels.copy()
+                table = attach_epoch_table(mgr.segment_name(swap.epoch),
+                                           expect_epoch=swap.epoch)
+                assert table.epoch == swap.epoch
+                assert np.array_equal(table.levels, published[swap.epoch])
+                assert not np.array_equal(table.levels,
+                                          published[swap.epoch - 1])
+                table.close()
+
+    def test_close_unlinks_everything_even_with_pins(self):
+        topo = Hypercube(4)
+        mgr = EpochManager(topo, FaultSet(nodes=[0]))
+        mgr.acquire()
+        mgr.apply_fault_event(add=[9])
+        names = list(mgr.live_segments().values())
+        assert names and all(segment_exists(v) for v in names)
+        mgr.close()
+        assert not any(segment_exists(v) for v in names)
+        mgr.close()  # idempotent
+
+    def test_sigterm_leaves_no_segments(self, tmp_path):
+        """A SIGTERM'd service process unlinks its segments on the way out."""
+        token = f"sigterm{os.getpid()}"
+        script = textwrap.dedent(f"""
+            import signal, sys
+            from repro.core import FaultSet, Hypercube
+            from repro.service import EpochManager
+
+            signal.signal(signal.SIGTERM, lambda *a: sys.exit(0))
+            mgr = EpochManager(Hypercube(4), FaultSet(nodes=[0]),
+                               name_token={token!r})
+            mgr.apply_fault_event(add=[9])
+            print("ready", flush=True)
+            signal.pause()
+        """)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(p) for p in sys.path if p] )
+        proc = subprocess.Popen([sys.executable, "-c", script], env=env,
+                                stdout=subprocess.PIPE, text=True)
+        try:
+            assert proc.stdout.readline().strip() == "ready"
+            live = f"repro_svc_{token}_e2"
+            assert segment_exists(live)
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=10)
+            assert proc.returncode == 0
+            assert not segment_exists(live)
+            assert not segment_exists(f"repro_svc_{token}_e1")
+        finally:
+            if proc.poll() is None:
+                proc.kill()

@@ -1,0 +1,81 @@
+"""Fault-listener dispatch semantics: snapshot isolation during a kill.
+
+The kill path must iterate a *snapshot* of the listener list: a listener
+that registers another listener while handling a failure (the resilient
+router re-arming itself is the canonical case) must not mutate the
+in-progress dispatch — the new listener sees the *next* failure, not the
+one being delivered.
+"""
+
+from repro.core import FaultSet, Hypercube
+from repro.simcore import Network, NodeProcess
+
+
+def make_net(topo, faults=None):
+    return Network(topo, faults or FaultSet.empty(),
+                   lambda node: NodeProcess())
+
+
+class TestFaultListenerSnapshot:
+    def test_listener_fires_with_node_and_time(self, q3):
+        net = make_net(q3)
+        seen = []
+        net.add_fault_listener(lambda node, time: seen.append((node, time)))
+        net.schedule_node_failure(5, time=7)
+        net.run()
+        assert seen == [(5, 7)]
+
+    def test_listeners_fire_in_registration_order(self, q3):
+        net = make_net(q3)
+        order = []
+        net.add_fault_listener(lambda node, time: order.append("first"))
+        net.add_fault_listener(lambda node, time: order.append("second"))
+        net.schedule_node_failure(1, time=3)
+        net.run()
+        assert order == ["first", "second"]
+
+    def test_listener_registered_mid_dispatch_skips_current_event(self, q3):
+        """A listener added during dispatch sees the next failure only."""
+        net = make_net(q3)
+        late_calls = []
+
+        def late(node, time):
+            late_calls.append((node, time))
+
+        def rearming(node, time):
+            # Re-arm during dispatch — the canonical resilient-router
+            # pattern.  Must NOT extend the iteration in progress.
+            net.add_fault_listener(late)
+
+        net.add_fault_listener(rearming)
+        net.schedule_node_failure(2, time=5)
+        net.schedule_node_failure(6, time=9)
+        net.run()
+        # `late` missed the failure that registered it, saw the next one
+        # (and was registered once per dispatch of `rearming`).
+        assert (2, 5) not in late_calls
+        assert (6, 9) in late_calls
+
+    def test_every_mid_dispatch_registration_is_durable(self, q3):
+        """Listeners added during one event all fire on later events."""
+        net = make_net(q3)
+        counts = {"base": 0, "late": 0}
+
+        def late(node, time):
+            counts["late"] += 1
+
+        registered = []
+
+        def base(node, time):
+            counts["base"] += 1
+            if not registered:
+                registered.append(True)
+                net.add_fault_listener(late)
+
+        net.add_fault_listener(base)
+        for tick, node in enumerate([0, 3, 7], start=1):
+            net.schedule_node_failure(node, time=tick)
+        net.run()
+        assert counts["base"] == 3
+        # late was registered during failure #1, so it saw #2 and #3
+        assert counts["late"] == 2
