@@ -2,7 +2,7 @@
 
 PY ?= python3
 
-.PHONY: install test bench bench-sweep bench-routing bench-levels bench-service chaos experiments artifacts scorecard stats-demo examples clean
+.PHONY: install test bench bench-sweep bench-routing bench-levels bench-service chaos campaign experiments artifacts scorecard stats-demo examples clean
 
 install:
 	$(PY) -m pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -42,6 +42,13 @@ bench-service:
 chaos:
 	PYTHONPATH=src $(PY) benchmarks/chaos_smoke.py
 	PYTHONPATH=src $(PY) -m repro.cli chaos --quick
+
+# Campaign-engine smoke: tiny Q4 DSE run three ways (uninterrupted,
+# interrupted+resumed, resumed with --jobs 2) asserting byte-identical
+# results + report, then the Q6 adversarial C1-C3 break (E22).
+campaign:
+	PYTHONPATH=src $(PY) benchmarks/campaign_smoke.py
+	PYTHONPATH=src $(PY) -m repro.cli campaign adversarial --dim 6
 
 # Regenerate every table/figure at full scale into ./artifacts
 artifacts:

@@ -1,0 +1,111 @@
+"""Campaign-engine smoke: resume-and-compare byte-identity on a tiny DSE.
+
+Runs a small 2-factor campaign on Q4 (fault count x routing policy)
+three ways — uninterrupted serial, interrupted-after-N-cells then
+resumed, and resumed with a multi-worker pool — and asserts the merged
+``results.jsonl`` and rendered ``report.md`` are **byte-identical**
+across all three.  This is the determinism contract of the campaign
+runner: a checkpointed design-space exploration that cannot be replayed
+exactly cannot be trusted as decision support.
+
+Also runs the Q6 adversarial search and asserts it finds a confirmed
+<= n-fault set that defeats C1–C3 routability (the Property 2 boundary).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/campaign_smoke.py [--quick]
+
+Exit status is nonzero on any mismatch, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.campaign import (
+    CampaignSpec,
+    adversarial_search,
+    build_design,
+    resume_campaign,
+    run_campaign,
+)
+
+SEED = 20260808
+INTERRUPT_AFTER = 3
+
+
+def smoke_spec(quick: bool) -> CampaignSpec:
+    return CampaignSpec(
+        name="ci-smoke",
+        dims=(4,),
+        fault_models=("node",),
+        fault_counts=(0, 1, 2, 3),
+        chaos_profiles=("none",),
+        policies=("safety", "oracle"),
+        trials=10 if quick else 40,
+        seed=SEED,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced trials for CI")
+    args = parser.parse_args(argv)
+
+    spec = smoke_spec(args.quick)
+    cells = len(build_design(spec))
+    print(f"campaign smoke: {cells} cells x {spec.trials} trials, "
+          f"seed {spec.seed}")
+
+    root = Path(tempfile.mkdtemp(prefix="campaign_smoke_"))
+    try:
+        t0 = time.time()
+        whole = run_campaign(spec, out_dir=root / "whole")
+        assert whole.complete, "uninterrupted run did not complete"
+        results = whole.results_path.read_bytes()
+        report = whole.report_path.read_bytes()
+        print(f"  uninterrupted: {cells} cells in {time.time() - t0:.2f}s")
+
+        partial = run_campaign(spec, out_dir=root / "resumed",
+                               max_cells=INTERRUPT_AFTER)
+        assert not partial.complete
+        assert partial.cells_run == INTERRUPT_AFTER
+        resumed = resume_campaign(root / "resumed")
+        assert resumed.complete
+        assert resumed.cells_skipped == INTERRUPT_AFTER
+        assert resumed.results_path.read_bytes() == results, \
+            "resumed results.jsonl differs from uninterrupted run"
+        assert resumed.report_path.read_bytes() == report, \
+            "resumed report.md differs from uninterrupted run"
+        print(f"  interrupted@{INTERRUPT_AFTER} + resume: byte-identical")
+
+        run_campaign(spec, out_dir=root / "jobs", max_cells=INTERRUPT_AFTER)
+        parallel = resume_campaign(root / "jobs", jobs=2)
+        assert parallel.complete
+        assert parallel.results_path.read_bytes() == results, \
+            "--jobs 2 results.jsonl differs from serial run"
+        assert parallel.report_path.read_bytes() == report, \
+            "--jobs 2 report.md differs from serial run"
+        print("  resume with --jobs 2: byte-identical")
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    t0 = time.time()
+    found = adversarial_search(6, seed=0)
+    assert found.confirmed, found.describe()
+    assert len(found.faults) <= 6, found.describe()
+    print(f"  adversarial Q6: confirmed {len(found.faults)}-fault break "
+          f"({found.breaking_pairs} pairs) in {time.time() - t0:.2f}s")
+
+    print("campaign smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

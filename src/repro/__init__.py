@@ -16,7 +16,13 @@ A full reproduction of Jie Wu's safety-level unicasting system
 * :mod:`repro.chaos` — seeded mid-flight fault injection (chaos plans,
   controller, run invariants) for the resilient unicast harness;
 * :mod:`repro.analysis` — experiment harness regenerating each paper
-  table/figure;
+  table/figure, behind one :class:`~repro.analysis.ExperimentSpec`
+  registry;
+* :mod:`repro.campaign` — declarative fault-campaign DSE: factorial
+  designs, resumable checkpointed runs, response-surface fits, and
+  adversarial search for routability-breaking fault sets (the top-level
+  name ``repro.campaign`` is the facade *verb* running one; the
+  subpackage stays importable as ``from repro.campaign import ...``);
 * :mod:`repro.obs` — metrics + structured JSONL run telemetry;
 * :mod:`repro.results` — the result protocol every outcome object shares;
 * :mod:`repro.api` — the one-stop facade over all of the above;
@@ -43,6 +49,12 @@ from . import (
     analysis,
     api,
     broadcast,
+    # The campaign subpackage is imported eagerly so it lands in
+    # sys.modules *before* the facade rebinds the top-level name
+    # ``repro.campaign`` to the callable verb below — after this,
+    # ``from repro.campaign import CampaignSpec`` and
+    # ``repro.campaign(spec)`` both work.
+    campaign,
     chaos,
     core,
     instances,
@@ -54,8 +66,12 @@ from . import (
     viz,
 )
 from .api import (
+    campaign,
+    campaign_report,
     compute_levels,
+    confirm_break,
     record_run,
+    resume_campaign,
     route,
     route_batch,
     route_resilient,
@@ -118,6 +134,10 @@ __all__ = [
     "sweep",
     "record_run",
     "stats",
+    "campaign",
+    "resume_campaign",
+    "campaign_report",
+    "confirm_break",
     "check_feasibility",
     "route_unicast",
     "__version__",

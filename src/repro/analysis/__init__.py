@@ -54,11 +54,17 @@ from .disconnected import (
     disconnected_table,
 )
 from .experiments import (
+    REGISTRY,
+    ExperimentSpec,
+    RunContext,
     broadcast_table,
     fig1_report,
     fig3_report,
     fig4_report,
     fig5_report,
+    get_experiment,
+    iter_experiments,
+    register,
 )
 from .montecarlo import Summary, iter_trial_rngs, summarize, trial_rngs
 from .sweep import (
@@ -129,6 +135,12 @@ __all__ = [
     "disconnected_sweep",
     "disconnected_table",
     "broadcast_table",
+    "REGISTRY",
+    "ExperimentSpec",
+    "RunContext",
+    "register",
+    "get_experiment",
+    "iter_experiments",
     "fig1_report",
     "fig3_report",
     "fig4_report",

@@ -34,7 +34,9 @@ from .safety.levels import SafetyLevels
 from .analysis.sweep import map_trials
 
 __all__ = ["compute_levels", "route", "route_batch", "route_resilient",
-           "sweep", "record_run", "stats"]
+           "sweep", "record_run", "stats",
+           "campaign", "resume_campaign", "campaign_report",
+           "confirm_break"]
 
 NodeSpec = Union[int, str]
 FaultSpec = Union[FaultSet, Iterable[Union[int, str]], None]
@@ -142,3 +144,65 @@ def record_run(path: Union[str, Path], tool: str = "repro.api",
 def stats(path: Union[str, Path]) -> RunStats:
     """Validate and aggregate a recorded run (see ``repro stats``)."""
     return summarize_run(path)
+
+
+CampaignSpecLike = Union["CampaignSpec", dict, str, Path]
+
+
+def _as_campaign_spec(spec: CampaignSpecLike) -> "CampaignSpec":
+    """Coerce a spec object, plain dict, or TOML/JSON path into a spec —
+    the :data:`FaultSpec`-style convention applied to campaigns."""
+    from .campaign import CampaignSpec, load_spec
+
+    if isinstance(spec, CampaignSpec):
+        return spec
+    if isinstance(spec, dict):
+        return CampaignSpec.from_dict(spec)
+    return load_spec(spec)
+
+
+def campaign(spec: CampaignSpecLike, **kwargs: Any):
+    """Run a fault campaign (factorial DSE over the routing suite).
+
+    ``spec`` is a :class:`~repro.campaign.CampaignSpec`, a plain dict of
+    its fields, or the path to a TOML/JSON spec file.  Keyword arguments
+    (``out_dir``, ``jobs``, ``recorder``, ``max_cells``) pass through to
+    :func:`repro.campaign.run_campaign`; returns its
+    :class:`~repro.campaign.CampaignResult`.
+    """
+    from .campaign import run_campaign
+
+    return run_campaign(_as_campaign_spec(spec), **kwargs)
+
+
+def resume_campaign(path: Union[str, Path], **kwargs: Any):
+    """Continue the interrupted campaign checkpointed in ``path``.
+
+    Finished cells are skipped; the merged results and report are
+    byte-identical to an uninterrupted run.
+    """
+    from .campaign import resume_campaign as _resume
+
+    return _resume(path, **kwargs)
+
+
+def campaign_report(path: Union[str, Path]) -> str:
+    """Render a campaign directory's Markdown decision-support report."""
+    from .campaign import render_report
+
+    return render_report(path)
+
+
+def confirm_break(topo: Union[Hypercube, int], faults: FaultSpec,
+                  source: NodeSpec, dest: NodeSpec):
+    """Check a claimed C1–C3-breaking (faults, source, dest) instance.
+
+    Accepts the facade's usual coercions (dimension or cube, address
+    strings or ints); returns ``(confirmed, issues)`` from
+    :func:`repro.campaign.confirm_break`.
+    """
+    from .campaign import confirm_break as _confirm
+
+    cube = _as_topo(topo)
+    return _confirm(cube, _as_faults(cube, faults),
+                    _as_node(cube, source), _as_node(cube, dest))

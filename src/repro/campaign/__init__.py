@@ -1,0 +1,53 @@
+"""Fault-campaign design-space exploration (DAVOS-style DSE).
+
+One declarative :class:`CampaignSpec` expands into a factorial (or
+seeded-fractional) design over cube dimension, fault model, fault count,
+chaos profile, and routing policy; the resumable runner evaluates every
+cell through the unified experiment interface with per-cell checkpoints;
+the analysis stage fits response surfaces and renders a ranked
+decision-support report; and the adversarial module evolves minimal
+fault sets that defeat the paper's C1–C3 routability ladder.
+
+See DESIGN.md §9 and EXPERIMENTS.md E22 for the full contract.
+"""
+
+from .adversarial import BreakInstance, adversarial_search, confirm_break
+from .design import Cell, build_design, fractional_design, full_factorial
+from .report import POLICY_SCORE_WEIGHTS, rank_policies, render_report
+from .runner import CampaignResult, resume_campaign, run_campaign
+from .spec import (
+    CHAOS_PROFILES,
+    DESIGNS,
+    FAULT_MODELS,
+    POLICIES,
+    CampaignSpec,
+    load_spec,
+    spec_digest,
+)
+from .surface import RESPONSES, SurfaceFit, fit_surfaces
+
+__all__ = [
+    "BreakInstance",
+    "adversarial_search",
+    "confirm_break",
+    "Cell",
+    "build_design",
+    "fractional_design",
+    "full_factorial",
+    "POLICY_SCORE_WEIGHTS",
+    "rank_policies",
+    "render_report",
+    "CampaignResult",
+    "resume_campaign",
+    "run_campaign",
+    "CHAOS_PROFILES",
+    "DESIGNS",
+    "FAULT_MODELS",
+    "POLICIES",
+    "CampaignSpec",
+    "load_spec",
+    "spec_digest",
+    "RESPONSES",
+    "SurfaceFit",
+    "fit_surfaces",
+]

@@ -1,0 +1,313 @@
+"""Adversarial fault-set search: minimal patterns that defeat C1–C3.
+
+The paper's Property 2 guarantees routability below ``n`` faults; at
+exactly ``n`` faults the guarantee lapses, and specific *structured*
+patterns make the safety-level ladder abort even though the cube stays
+connected.  This module searches for such patterns with a small seeded
+evolutionary loop:
+
+* the population is seeded with **distance-2 ring candidates** — faults
+  at ``s ⊕ e_i ⊕ e_{i+1 mod n}`` give every neighbor of ``s`` two faulty
+  neighbors, collapsing their levels below ``H−1`` for the antipodal
+  destination while leaving the cube connected — plus uniform random
+  sets;
+* fitness of a fault set is its number of **breaking pairs**: alive,
+  connected (source, dest) pairs for which none of C1/C2/C3 holds, so
+  the safety-level unicast aborts at the source while a BFS oracle still
+  delivers;
+* the best breaking set is **greedily minimized** (drop any fault whose
+  removal keeps the set breaking), then **confirmed** against the real
+  router stack: ``check_feasibility`` must report NONE, ``route_unicast``
+  must abort, ``route_oracle`` must deliver, and the Theorem-3 invariant
+  checker (:func:`repro.routing.validation.audit_theorem3`) must find no
+  violation in either result.
+
+Everything is deterministic given ``seed``; the fitness evaluation uses
+an integer-only reimplementation of the C1/C2/C3 tests so a Q6 search
+stays well under a second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from ..core.fault_models import as_rng
+from ..core.faults import FaultSet
+from ..core.hypercube import Hypercube
+from ..routing.baselines.oracle import route_oracle
+from ..routing.result import RouteStatus
+from ..routing.safety_unicast import check_feasibility, route_unicast
+from ..routing.validation import audit_theorem3
+from ..safety.levels import SafetyLevels
+
+__all__ = ["BreakInstance", "adversarial_search", "confirm_break"]
+
+
+# -- fast fitness -------------------------------------------------------------
+
+def _breaking_pairs(topo: Hypercube,
+                    faults: FaultSet) -> List[Tuple[int, int]]:
+    """All alive, connected (s, d) pairs with no C1/C2/C3 condition.
+
+    Integer reimplementation of the source-side tests (levels come from
+    the real kernel); connectivity is one BFS component sweep, so each
+    candidate costs O(N²·n) cheap operations.
+    """
+    n = topo.dimension
+    num = topo.num_nodes
+    faulty = set(faults.nodes)
+    alive = [v for v in range(num) if v not in faulty]
+    if len(alive) < 2:
+        return []
+
+    sl = SafetyLevels.compute(topo, faults)
+    level = [int(sl.level(v)) for v in range(num)]
+
+    # Connected components over the surviving subgraph.
+    component = {}
+    for start in alive:
+        if start in component:
+            continue
+        stack = [start]
+        component[start] = start
+        while stack:
+            u = stack.pop()
+            for dim in range(n):
+                w = u ^ (1 << dim)
+                if w not in faulty and w not in component:
+                    component[w] = start
+                    stack.append(w)
+
+    pairs: List[Tuple[int, int]] = []
+    for s in alive:
+        neighbor_level = [level[s ^ (1 << dim)] for dim in range(n)]
+        own = level[s]
+        for d in alive:
+            if d == s or component[d] != component[s]:
+                continue
+            vector = s ^ d
+            h = vector.bit_count()
+            if own >= h:                                   # C1
+                continue
+            best_pref = max(neighbor_level[dim] for dim in range(n)
+                            if vector >> dim & 1)
+            if best_pref >= h - 1:                         # C2
+                continue
+            if h < n:                                      # C3 needs a spare
+                best_spare = max(neighbor_level[dim] for dim in range(n)
+                                 if not vector >> dim & 1)
+                if best_spare >= h + 1:
+                    continue
+            pairs.append((s, d))
+    return pairs
+
+
+def _ring_candidate(n: int, source: int, rotation: int) -> FrozenSet[int]:
+    """The structured seed: ``source ⊕ e_i ⊕ e_{i+1}`` around the ring."""
+    return frozenset(
+        source ^ (1 << ((i + rotation) % n)) ^ (1 << ((i + rotation + 1) % n))
+        for i in range(n))
+
+
+# -- confirmation -------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BreakInstance:
+    """A counterexample: the fault set, one broken pair, and its audit."""
+
+    dim: int
+    faults: Tuple[int, ...]
+    source: Optional[int]
+    dest: Optional[int]
+    breaking_pairs: int
+    confirmed: bool
+    generations: int
+    evaluations: int
+    issues: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        topo = Hypercube(self.dim)
+        fault_list = ", ".join(topo.format_node(v) for v in self.faults)
+        lines = [
+            f"Q{self.dim} adversarial search: "
+            f"{len(self.faults)} faults [{fault_list}]",
+            f"  breaking pairs: {self.breaking_pairs} "
+            f"({self.generations} generation(s), "
+            f"{self.evaluations} evaluations)",
+        ]
+        if self.source is not None and self.dest is not None:
+            lines.append(
+                f"  witness: {topo.format_node(self.source)} -> "
+                f"{topo.format_node(self.dest)} "
+                f"(H={bin(self.source ^ self.dest).count('1')}) "
+                "aborts at source; BFS oracle delivers")
+        lines.append("  confirmed by invariant checker: "
+                     + ("yes" if self.confirmed else "NO"))
+        for issue in self.issues:
+            lines.append(f"    violation: {issue}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "dim": self.dim,
+            "faults": list(self.faults),
+            "source": self.source,
+            "dest": self.dest,
+            "breaking_pairs": self.breaking_pairs,
+            "confirmed": self.confirmed,
+            "generations": self.generations,
+            "evaluations": self.evaluations,
+            "issues": list(self.issues),
+        }
+
+
+def confirm_break(
+    topo: Hypercube,
+    faults: FaultSet,
+    source: int,
+    dest: int,
+) -> Tuple[bool, List[str]]:
+    """Check one claimed breaking pair against the real router stack.
+
+    Returns ``(confirmed, issues)``: confirmed means the safety-level
+    unicast aborts at the source with no condition, the oracle proves the
+    pair is connected, and :func:`audit_theorem3` certifies both results
+    (an abort *with* a recorded condition, or a non-compliant oracle
+    path, would disprove the counterexample).
+    """
+    issues: List[str] = []
+    sl = SafetyLevels.compute(topo, faults)
+    feasibility = check_feasibility(sl, source, dest)
+    if feasibility.feasible:
+        issues.append(
+            f"{feasibility.condition.value} holds at the source")
+    result = route_unicast(sl, source, dest)
+    if result.status is not RouteStatus.ABORTED_AT_SOURCE:
+        issues.append(f"unicast ended {result.status.value}, not aborted")
+    issues.extend(audit_theorem3(topo, faults, result))
+    oracle = route_oracle(topo, faults, source, dest)
+    if not oracle.delivered:
+        issues.append("oracle could not deliver: the pair is disconnected")
+    issues.extend(audit_theorem3(topo, faults, oracle))
+    return not issues, issues
+
+
+# -- the search ---------------------------------------------------------------
+
+def adversarial_search(
+    dim: int = 6,
+    max_faults: Optional[int] = None,
+    *,
+    seed: int = 0,
+    generations: int = 40,
+    population: int = 24,
+) -> BreakInstance:
+    """Evolve a fault set of at most ``max_faults`` (default ``dim``)
+    faults that defeats C1–C3 routability, then minimize and confirm it.
+
+    Returns the best instance found; ``confirmed`` is False when the
+    budget found nothing (e.g. ``max_faults < dim - 1``, inside the
+    Property 2 guarantee).
+    """
+    topo = Hypercube(dim)
+    n = topo.dimension
+    budget = max_faults if max_faults is not None else n
+    budget = min(budget, topo.num_nodes - 2)
+    rng = as_rng(seed)
+
+    def random_set() -> FrozenSet[int]:
+        return frozenset(
+            int(v) for v in rng.choice(topo.num_nodes,
+                                       size=min(budget, topo.num_nodes),
+                                       replace=False))
+
+    # Seeded structured candidates first (trimmed to the budget), random
+    # sets after; dedup keeps the population diverse.
+    pool: List[FrozenSet[int]] = []
+    seen = set()
+    for source in range(topo.num_nodes):
+        for rotation in range(n):
+            candidate = _ring_candidate(n, source, rotation)
+            candidate = frozenset(sorted(candidate)[:budget])
+            if candidate not in seen:
+                seen.add(candidate)
+                pool.append(candidate)
+            if len(pool) >= population:
+                break
+        if len(pool) >= population:
+            break
+    while len(pool) < population:
+        candidate = random_set()
+        if candidate not in seen:
+            seen.add(candidate)
+            pool.append(candidate)
+
+    evaluations = 0
+    cache: Dict[FrozenSet[int], int] = {}
+
+    def fitness(candidate: FrozenSet[int]) -> int:
+        nonlocal evaluations
+        if candidate not in cache:
+            evaluations += 1
+            cache[candidate] = len(
+                _breaking_pairs(topo, FaultSet(nodes=candidate)))
+        return cache[candidate]
+
+    best: FrozenSet[int] = pool[0]
+    best_fit = 0
+    generation = 0
+    for generation in range(1, generations + 1):
+        scored = sorted(pool, key=lambda c: (-fitness(c), sorted(c)))
+        if fitness(scored[0]) > best_fit:
+            best, best_fit = scored[0], fitness(scored[0])
+        if best_fit > 0:
+            break
+        # Elitist quarter survives; children mutate one fault or cross
+        # two parents by sampling from their union.
+        elite = scored[:max(2, population // 4)]
+        children: List[FrozenSet[int]] = list(elite)
+        while len(children) < population:
+            if rng.random() < 0.5 or len(elite) < 2:
+                parent = elite[int(rng.integers(len(elite)))]
+                outside = [v for v in range(topo.num_nodes)
+                           if v not in parent]
+                mutated = set(parent)
+                if mutated and outside:
+                    mutated.discard(sorted(mutated)[
+                        int(rng.integers(len(mutated)))])
+                    mutated.add(outside[int(rng.integers(len(outside)))])
+                child = frozenset(mutated)
+            else:
+                a, b = (elite[int(rng.integers(len(elite)))]
+                        for _ in range(2))
+                union = sorted(a | b)
+                size = min(budget, len(union))
+                pick = rng.choice(len(union), size=size, replace=False)
+                child = frozenset(union[int(i)] for i in pick)
+            children.append(child)
+        pool = children
+
+    if best_fit == 0:
+        return BreakInstance(
+            dim=dim, faults=tuple(sorted(best)), source=None, dest=None,
+            breaking_pairs=0, confirmed=False, generations=generation,
+            evaluations=evaluations,
+            issues=("no breaking fault set within the budget",))
+
+    # Greedy minimization: drop any fault whose removal keeps breaking.
+    minimal = set(best)
+    for node in sorted(best):
+        trimmed = frozenset(minimal - {node})
+        if trimmed and fitness(trimmed) > 0:
+            minimal.discard(node)
+    final = frozenset(minimal)
+    fault_set = FaultSet(nodes=final)
+    pairs = _breaking_pairs(topo, fault_set)
+    source, dest = min(pairs)
+    confirmed, issues = confirm_break(topo, fault_set, source, dest)
+    return BreakInstance(
+        dim=dim, faults=tuple(sorted(final)), source=source, dest=dest,
+        breaking_pairs=len(pairs), confirmed=confirmed,
+        generations=generation, evaluations=evaluations,
+        issues=tuple(issues))

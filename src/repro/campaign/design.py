@@ -1,0 +1,100 @@
+"""Factorial design expansion: spec -> ordered list of cells.
+
+The full factorial crosses every factor level in a fixed, documented
+order (dims, then fault models, then fault counts, then chaos profiles,
+then policies — rightmost factor fastest, like an odometer), so a cell's
+``index`` is stable across runs and versions of the spec with identical
+factor lists.  Fractional designs keep a seeded-permutation subset of the
+full factorial — always a strict subset, in full-factorial order — which
+is the property the hypothesis suite pins down.
+
+Each :class:`Cell` also derives its own sweep seed from the campaign
+seed and its full-factorial index, so adding or removing *other* cells
+(fractional vs full) never changes a cell's trial stream.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from .spec import CampaignSpec
+
+__all__ = ["Cell", "full_factorial", "fractional_design", "build_design"]
+
+#: Multiplier folding the campaign seed with a cell index (prime, so
+#: neighboring campaigns' cell streams do not collide).
+_SEED_STRIDE = 1_000_003
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One point of the design: a factor assignment plus its identity."""
+
+    index: int          # position in the *full* factorial
+    dim: int
+    fault_model: str
+    faults: int
+    chaos: str
+    policy: str
+
+    @property
+    def cell_id(self) -> str:
+        """Human-readable stable id, e.g. ``q6-node-f3-chaos.none-safety``."""
+        return (f"q{self.dim}-{self.fault_model}-f{self.faults}"
+                f"-chaos.{self.chaos}-{self.policy}")
+
+    def seed(self, campaign_seed: int) -> int:
+        """The cell's sweep master seed (stable under design changes)."""
+        return campaign_seed * _SEED_STRIDE + self.index
+
+    def factors(self) -> Dict[str, object]:
+        """The factor assignment as a JSON-friendly mapping."""
+        return {
+            "dim": self.dim,
+            "fault_model": self.fault_model,
+            "faults": self.faults,
+            "chaos": self.chaos,
+            "policy": self.policy,
+        }
+
+
+def full_factorial(spec: CampaignSpec) -> List[Cell]:
+    """Every factor combination, odometer order, indexed 0..N-1."""
+    return [
+        Cell(index=i, dim=dim, fault_model=model, faults=faults,
+             chaos=chaos, policy=policy)
+        for i, (dim, model, faults, chaos, policy) in enumerate(
+            itertools.product(spec.dims, spec.fault_models,
+                              spec.fault_counts, spec.chaos_profiles,
+                              spec.policies))
+    ]
+
+
+def fractional_design(spec: CampaignSpec) -> List[Cell]:
+    """A seeded ``fraction`` of the full factorial, in factorial order.
+
+    At least one cell always survives; with ``fraction == 1.0`` the
+    fractional design *is* the full factorial.  Selection permutes cell
+    indices with the campaign seed and keeps a prefix, so the kept set is
+    deterministic and independent of trial execution.
+    """
+    cells = full_factorial(spec)
+    keep = max(1, round(spec.fraction * len(cells)))
+    if keep >= len(cells):
+        return cells
+    order = np.random.default_rng(spec.seed).permutation(len(cells))
+    kept = sorted(int(i) for i in order[:keep])
+    return [cells[i] for i in kept]
+
+
+def build_design(spec: CampaignSpec) -> List[Cell]:
+    """Expand a spec into its ordered cell list."""
+    if spec.design == "full":
+        return full_factorial(spec)
+    if spec.design == "fractional":
+        return fractional_design(spec)
+    raise ValueError(f"unknown design {spec.design!r}")

@@ -1,0 +1,222 @@
+"""Declarative campaign specs: the *what* of a fault campaign.
+
+A :class:`CampaignSpec` names the factors of a design-space exploration
+over the routing suite — cube dimension, fault model, fault count, chaos
+profile, routing policy — plus the execution knobs (trials per cell,
+master seed, full vs fractional design).  It is pure data: the same spec
+always expands to the same design (:mod:`repro.campaign.design`) and,
+through the seeded sweep engine, to byte-identical results for any
+worker count.
+
+Specs load from TOML or JSON files (``load_spec``) or plain dicts
+(``CampaignSpec.from_dict``); unknown keys and out-of-vocabulary factor
+levels fail loudly at load time, not mid-campaign.  ``spec_digest`` is
+the canonical-JSON SHA-256 a campaign directory pins itself to, so
+``resume`` can refuse to mix results from different specs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+from typing import Any, Dict, Mapping, Tuple, Union
+
+__all__ = [
+    "FAULT_MODELS",
+    "CHAOS_PROFILES",
+    "POLICIES",
+    "DESIGNS",
+    "CampaignSpec",
+    "load_spec",
+    "spec_digest",
+]
+
+#: Static fault placement per cell: node kills, link kills, or half/half.
+FAULT_MODELS: Tuple[str, ...] = ("node", "link", "mixed")
+
+#: Mid-flight injection profile (resilient policy only; "none" disables).
+CHAOS_PROFILES: Tuple[str, ...] = ("none", "node", "link", "mixed")
+
+#: Routing policies a cell can exercise: the paper's C1/C2/C3 ladder
+#: ("safety", which switches to the Section 4.1 EGS ladder for cells with
+#: link faults), the hardened ACK/retry protocol, the Chen–Shin
+#: DFS-backtrack baseline, and the global-information BFS oracle.
+POLICIES: Tuple[str, ...] = ("safety", "resilient", "dfs", "oracle")
+
+#: Design expansions over the factor grid.
+DESIGNS: Tuple[str, ...] = ("full", "fractional")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One declarative campaign: factors x execution knobs.
+
+    Factor fields hold the *levels* each factor sweeps; the design stage
+    crosses them.  ``trials`` Monte-Carlo trials run per cell, seeded by
+    ``seed`` and the cell's index, so every cell is independently
+    reproducible.  ``fraction`` applies only to fractional designs: the
+    kept share of the full factorial, selected by a seeded permutation
+    (always a subset of the full design).  ``chaos_kills`` is the
+    mid-flight kill budget a non-``"none"`` chaos profile injects per
+    trial.  ``out_dir`` is where ``repro campaign run`` checkpoints and
+    reports unless overridden on the command line.
+    """
+
+    name: str = "campaign"
+    dims: Tuple[int, ...] = (4,)
+    fault_models: Tuple[str, ...] = ("node",)
+    fault_counts: Tuple[int, ...] = (0, 1, 2, 3)
+    chaos_profiles: Tuple[str, ...] = ("none",)
+    policies: Tuple[str, ...] = ("safety", "oracle")
+    trials: int = 50
+    seed: int = 0
+    design: str = "full"
+    fraction: float = 0.5
+    chaos_kills: int = 1
+    out_dir: str = ""
+
+    def __post_init__(self) -> None:
+        coerced = {
+            "dims": tuple(int(d) for d in _as_tuple(self.dims)),
+            "fault_models": tuple(str(m) for m in _as_tuple(self.fault_models)),
+            "fault_counts": tuple(int(f) for f in _as_tuple(self.fault_counts)),
+            "chaos_profiles": tuple(str(c) for c in _as_tuple(self.chaos_profiles)),
+            "policies": tuple(str(p) for p in _as_tuple(self.policies)),
+        }
+        for key, value in coerced.items():
+            object.__setattr__(self, key, value)
+        self._validate()
+
+    def _validate(self) -> None:
+        def check_levels(label: str, levels: Tuple[str, ...],
+                         vocab: Tuple[str, ...]) -> None:
+            unknown = [x for x in levels if x not in vocab]
+            if unknown:
+                raise ValueError(
+                    f"unknown {label} {unknown!r}; expected from {vocab}")
+
+        if not self.name or "/" in self.name:
+            raise ValueError(f"campaign name must be a non-empty path-safe "
+                             f"string, got {self.name!r}")
+        for label, levels in (("dims", self.dims),
+                              ("fault_models", self.fault_models),
+                              ("fault_counts", self.fault_counts),
+                              ("chaos_profiles", self.chaos_profiles),
+                              ("policies", self.policies)):
+            if not levels:
+                raise ValueError(f"{label} must name at least one level")
+        if any(d < 2 for d in self.dims):
+            raise ValueError(f"dims must all be >= 2, got {self.dims}")
+        if any(f < 0 for f in self.fault_counts):
+            raise ValueError(
+                f"fault_counts must be nonnegative, got {self.fault_counts}")
+        check_levels("fault model", self.fault_models, FAULT_MODELS)
+        check_levels("chaos profile", self.chaos_profiles, CHAOS_PROFILES)
+        check_levels("policy", self.policies, POLICIES)
+        if self.design not in DESIGNS:
+            raise ValueError(
+                f"design must be one of {DESIGNS}, got {self.design!r}")
+        if self.trials < 1:
+            raise ValueError(f"trials must be >= 1, got {self.trials}")
+        if not (0.0 < self.fraction <= 1.0):
+            raise ValueError(
+                f"fraction must be in (0, 1], got {self.fraction}")
+        if self.chaos_kills < 0:
+            raise ValueError(
+                f"chaos_kills must be >= 0, got {self.chaos_kills}")
+        # A cell cannot place more faults than the cube has spare nodes
+        # (two endpoints stay alive); catch it at spec time.
+        max_faults = max(self.fault_counts)
+        min_nodes = 1 << min(self.dims)
+        if max_faults > min_nodes - 2:
+            raise ValueError(
+                f"{max_faults} faults do not fit in Q{min(self.dims)} "
+                f"with two live endpoints")
+
+    # -- serialization -------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        """Build a spec from a plain mapping (TOML/JSON payload shape)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown campaign spec keys {sorted(unknown)}; "
+                f"expected from {sorted(known)}")
+        return cls(**dict(data))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "dims": list(self.dims),
+            "fault_models": list(self.fault_models),
+            "fault_counts": list(self.fault_counts),
+            "chaos_profiles": list(self.chaos_profiles),
+            "policies": list(self.policies),
+            "trials": self.trials,
+            "seed": self.seed,
+            "design": self.design,
+            "fraction": self.fraction,
+            "chaos_kills": self.chaos_kills,
+            "out_dir": self.out_dir,
+        }
+
+    def canonical_json(self) -> str:
+        """The canonical serialized form (sorted keys, no whitespace)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def with_updates(self, **changes: Any) -> "CampaignSpec":
+        """A copy with fields replaced (re-validated)."""
+        return replace(self, **changes)
+
+    @property
+    def resolved_out_dir(self) -> str:
+        return self.out_dir or f"campaign_{self.name}"
+
+
+def spec_digest(spec: CampaignSpec) -> str:
+    """SHA-256 of the canonical form — the resume-compatibility key.
+
+    ``out_dir`` is excluded: where a campaign writes does not change what
+    it computes, so moving a directory never invalidates its checkpoint.
+    """
+    payload = spec.to_dict()
+    payload.pop("out_dir")
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+def load_spec(path: Union[str, Path]) -> CampaignSpec:
+    """Load a spec from a ``.toml`` or ``.json`` file.
+
+    TOML files may nest everything under a ``[campaign]`` table (the
+    documented layout) or keep the keys top-level; JSON files hold the
+    ``to_dict`` shape.
+    """
+    p = Path(path)
+    text = p.read_text(encoding="utf-8")
+    if p.suffix.lower() == ".toml":
+        import tomllib
+
+        data = tomllib.loads(text)
+        if "campaign" in data and isinstance(data["campaign"], dict):
+            data = data["campaign"]
+    elif p.suffix.lower() == ".json":
+        data = json.loads(text)
+    else:
+        raise ValueError(
+            f"campaign specs are .toml or .json files, got {p.name!r}")
+    if not isinstance(data, dict):
+        raise ValueError(f"{p}: spec must be a table/object")
+    return CampaignSpec.from_dict(data)
+
+
+def _as_tuple(value: Any) -> Tuple[Any, ...]:
+    """Coerce scalars and lists into level tuples (TOML convenience)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(value)
+    return (value,)

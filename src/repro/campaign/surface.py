@@ -1,0 +1,157 @@
+"""Response-surface fits over campaign results (the DSE analysis stage).
+
+Each (dim, fault_model, chaos, policy) group of cells traces a response
+against the fault-count axis — the campaign's intensity factor.  Two
+model families cover the responses the runner aggregates:
+
+* ``delivery_rate`` is a probability, so it gets a **logistic** surface
+  ``p(f) = 1 / (1 + exp(-(a + b f)))`` fitted by least squares on the
+  logit-transformed (clipped) rates — no SciPy required, deterministic.
+* ``mean_hops`` / ``mean_detour`` / ``mean_retries`` / ``mean_latency``
+  get **polynomial** surfaces (degree <= 2, clamped to the number of
+  distinct fault counts minus one) via ``numpy.polyfit``.
+
+Goodness of fit (``r2``) is always computed back in the original
+response space, so logistic and polynomial surfaces rank comparably.
+Coefficients are rounded before serialization; the report renderer and
+the ``campaign_fit`` telemetry event both consume :meth:`SurfaceFit.to_dict`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["SurfaceFit", "fit_surfaces", "RESPONSES"]
+
+#: Responses fitted per cell group, in report order.
+RESPONSES: Tuple[str, ...] = (
+    "delivery_rate",
+    "mean_hops",
+    "mean_detour",
+    "mean_retries",
+    "mean_latency",
+)
+
+#: Clip for the logit transform: rates of exactly 0/1 stay finite.
+_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class SurfaceFit:
+    """One fitted response surface for one factor group."""
+
+    dim: int
+    fault_model: str
+    chaos: str
+    policy: str
+    response: str
+    kind: str                    # "logistic" | "poly"
+    coeffs: Tuple[float, ...]    # low order first: (a, b, [c])
+    r2: float
+    points: int
+
+    def predict(self, faults: float) -> float:
+        """The surface's value at a fault count."""
+        acc = sum(c * faults ** k for k, c in enumerate(self.coeffs))
+        if self.kind == "logistic":
+            return 1.0 / (1.0 + math.exp(-acc))
+        return acc
+
+    def equation(self) -> str:
+        """Human-readable model string for the report."""
+        terms = []
+        for k, c in enumerate(self.coeffs):
+            if k == 0:
+                terms.append(f"{c:+.4g}")
+            elif k == 1:
+                terms.append(f"{c:+.4g}·f")
+            else:
+                terms.append(f"{c:+.4g}·f^{k}")
+        body = " ".join(terms)
+        if self.kind == "logistic":
+            return f"p = logistic({body})"
+        return f"y = {body}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "dim": self.dim,
+            "fault_model": self.fault_model,
+            "chaos": self.chaos,
+            "policy": self.policy,
+            "response": self.response,
+            "kind": self.kind,
+            "coeffs": list(self.coeffs),
+            "r2": self.r2,
+            "points": self.points,
+        }
+
+
+def _r2(actual: np.ndarray, predicted: np.ndarray) -> float:
+    ss_res = float(np.sum((actual - predicted) ** 2))
+    ss_tot = float(np.sum((actual - np.mean(actual)) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def _fit_logistic(x: np.ndarray, y: np.ndarray) -> Tuple[Tuple[float, ...],
+                                                         float]:
+    clipped = np.clip(y, _EPS, 1.0 - _EPS)
+    logits = np.log(clipped / (1.0 - clipped))
+    slope, intercept = np.polyfit(x, logits, 1)
+    coeffs = (round(float(intercept), 8), round(float(slope), 8))
+    predicted = 1.0 / (1.0 + np.exp(-(coeffs[0] + coeffs[1] * x)))
+    return coeffs, round(_r2(y, predicted), 6)
+
+
+def _fit_poly(x: np.ndarray, y: np.ndarray,
+              degree: int) -> Tuple[Tuple[float, ...], float]:
+    fitted = np.polyfit(x, y, degree)          # high order first
+    coeffs = tuple(round(float(c), 8) for c in fitted[::-1])
+    predicted = sum(c * x ** k for k, c in enumerate(coeffs))
+    return coeffs, round(_r2(y, np.asarray(predicted)), 6)
+
+
+def fit_surfaces(lines: Sequence[Dict[str, Any]]) -> List[SurfaceFit]:
+    """Fit every response of every factor group with >= 2 fault counts.
+
+    ``lines`` are checkpoint/results payloads (``factors`` + ``responses``
+    keys).  Groups and fits come back in deterministic (sorted-group,
+    canonical-response) order.
+    """
+    groups: Dict[Tuple[int, str, str, str],
+                 List[Tuple[int, Dict[str, Any]]]] = {}
+    for line in lines:
+        f = line["factors"]
+        key = (int(f["dim"]), str(f["fault_model"]), str(f["chaos"]),
+               str(f["policy"]))
+        groups.setdefault(key, []).append((int(f["faults"]),
+                                           line["responses"]))
+
+    fits: List[SurfaceFit] = []
+    for key in sorted(groups):
+        dim, fault_model, chaos, policy = key
+        cells = sorted(groups[key], key=lambda item: item[0])
+        for response in RESPONSES:
+            pairs = [(faults, resp.get(response)) for faults, resp in cells
+                     if resp.get(response) is not None]
+            if len({faults for faults, _ in pairs}) < 2:
+                continue
+            x = np.array([p[0] for p in pairs], dtype=float)
+            y = np.array([p[1] for p in pairs], dtype=float)
+            if response == "delivery_rate":
+                kind = "logistic"
+                coeffs, r2 = _fit_logistic(x, y)
+            else:
+                kind = "poly"
+                degree = min(2, len(set(x.tolist())) - 1)
+                coeffs, r2 = _fit_poly(x, y, degree)
+            fits.append(SurfaceFit(
+                dim=dim, fault_model=fault_model, chaos=chaos,
+                policy=policy, response=response, kind=kind,
+                coeffs=coeffs, r2=r2, points=len(pairs)))
+    return fits

@@ -10,6 +10,9 @@ Usage::
     python -m repro.cli all --quick
     python -m repro.cli serve --dim 8 --faults 20 --port 7429
     python -m repro.cli bench-service --quick
+    python -m repro.cli campaign run spec.toml --out runs/c1 --jobs 4
+    python -m repro.cli campaign resume runs/c1
+    python -m repro.cli campaign report runs/c1
 
 Every experiment is seeded; rerunning a command reproduces its output
 bit-for-bit.  ``--quick`` shrinks trial counts for smoke runs.  ``--jobs``
@@ -21,9 +24,13 @@ throughput and a final counter snapshot — as schema-versioned JSONL
 (see :mod:`repro.obs`); ``stats PATH`` folds such a file back into the
 run's headline numbers offline.
 
-Experiments live in a declarative registry: each entry binds a name to a
-description, a runner and its default trial counts, and every entry
-shares the flags above.  ``list`` enumerates the registry.
+Experiments live in the declarative registry of
+:mod:`repro.analysis.experiments`: each entry binds a name to a
+description, a runner and its default trial counts, and every entry runs
+through the one ``ExperimentSpec.run(*, trials, seed, jobs, recorder,
+quick)`` signature.  ``list`` enumerates the registry with each entry's
+description and accepted flags.  ``campaign`` drives the fault-campaign
+DSE engine (:mod:`repro.campaign`) over that same interface.
 """
 
 from __future__ import annotations
@@ -32,277 +39,46 @@ import argparse
 import os
 import sys
 import time
-import warnings
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import List
 
-from . import analysis, obs
+from . import obs
+from .analysis import experiments as _experiments
+from .analysis.experiments import (
+    ExperimentSpec,
+    REGISTRY,
+    RunContext,
+    register,
+)
 from .analysis.sweep import JOBS_ENV_VAR
 from .routing.batch import KERNEL_ENV_VAR, KERNELS
 from .safety.levels import LEVEL_KERNEL_ENV_VAR, LEVEL_KERNELS
 
-__all__ = ["main", "RunContext", "Experiment", "REGISTRY", "EXPERIMENTS",
-           "register"]
+__all__ = ["main", "RunContext", "Experiment", "ExperimentSpec",
+           "REGISTRY", "EXPERIMENTS", "register"]
 
-
-@dataclass(frozen=True)
-class RunContext:
-    """What a runner receives: the shared flags, with trials resolved.
-
-    ``trials`` is the explicit ``--trials`` override if given, else the
-    experiment's declared quick/full default (``None`` for experiments
-    without a trial knob).
-    """
-
-    quick: bool = False
-    trials: Optional[int] = None
-
-
-@dataclass(frozen=True)
-class Experiment:
-    """One registry entry: name -> runner -> default trial counts."""
-
-    name: str
-    description: str
-    runner: Callable[[RunContext], str]
-    quick_trials: Optional[int] = None
-    full_trials: Optional[int] = None
-
-    def resolve_trials(self, quick: bool,
-                       trials: Optional[int]) -> Optional[int]:
-        if trials is not None:
-            return trials
-        return self.quick_trials if quick else self.full_trials
-
-    def run(self, quick: bool = False, trials: Optional[int] = None) -> str:
-        """Execute the runner under the shared-flag contract."""
-        ctx = RunContext(quick=quick,
-                         trials=self.resolve_trials(quick, trials))
-        return self.runner(ctx)
-
-    def __iter__(self) -> Iterator:
-        """Deprecated: unpack as the legacy ``(description, runner)`` tuple.
-
-        Early versions kept ``EXPERIMENTS`` as ``name -> (description,
-        runner(quick, trials))``; this shim keeps that shape working while
-        steering callers to ``.description`` / ``.run``.
-        """
-        warnings.warn(
-            "unpacking an Experiment as (description, runner) is "
-            "deprecated; use experiment.description and experiment.run()",
-            DeprecationWarning, stacklevel=2,
-        )
-        yield self.description
-        yield lambda quick, trials: self.run(quick=quick, trials=trials)
-
-
-#: The experiment registry: name -> :class:`Experiment`.
-REGISTRY: Dict[str, Experiment] = {}
-
-#: Back-compat alias (the dict used to map name -> (description, runner);
-#: entries now unpack that way only through the deprecation shim above).
+#: Back-compat aliases: the registry (and its entry class) used to live
+#: here; both names keep working.  Entries still unpack as the legacy
+#: ``(description, runner)`` tuple through the deprecation shim on
+#: :class:`ExperimentSpec`.
+Experiment = ExperimentSpec
 EXPERIMENTS = REGISTRY
-
-
-def register(name: str, description: str, quick: Optional[int] = None,
-             full: Optional[int] = None):
-    """Declare one experiment; decorates a ``runner(ctx) -> str``."""
-
-    def deco(fn: Callable[[RunContext], str]) -> Callable[[RunContext], str]:
-        if name in REGISTRY:
-            raise ValueError(f"experiment {name!r} registered twice")
-        REGISTRY[name] = Experiment(name=name, description=description,
-                                    runner=fn, quick_trials=quick,
-                                    full_trials=full)
-        return fn
-
-    return deco
-
-
-# -- the experiments --------------------------------------------------------
-
-
-@register("fig1", "Fig. 1 safety levels + Section 3.2 unicasts (E1)")
-def _fig1(ctx: RunContext) -> str:
-    return analysis.fig1_report()
-
-
-@register("fig2", "Fig. 2 average GS rounds vs faults, 7-cubes (E2)",
-          quick=100, full=1000)
-def _fig2(ctx: RunContext) -> str:
-    counts = list(range(1, 15 if ctx.quick else 41))
-    return analysis.fig2_series(trials=ctx.trials, fault_counts=counts).render(
-        extra_labels=["max_rounds"]
-    )
-
-
-@register("fig3", "Fig. 3 disconnected cube + Theorem 4 (E4)")
-def _fig3(ctx: RunContext) -> str:
-    return analysis.fig3_report()
-
-
-@register("fig4", "Fig. 4 node+link faults, EGS routing (E5)")
-def _fig4(ctx: RunContext) -> str:
-    return analysis.fig4_report()
-
-
-@register("fig5", "Fig. 5 generalized hypercube routing (E6)")
-def _fig5(ctx: RunContext) -> str:
-    return analysis.fig5_report()
-
-
-@register("safesets", "Section 2.3 safe-set comparison (E3)",
-          quick=50, full=200)
-def _safesets(ctx: RunContext) -> str:
-    return "\n\n".join([
-        analysis.section23_table().render(),
-        analysis.safe_set_sweep_table(trials=ctx.trials).render(),
-    ])
-
-
-@register("routability", "unicast guarantee sweep (E7)", quick=40, full=200)
-def _routability(ctx: RunContext) -> str:
-    return analysis.routability_table(trials=ctx.trials).render()
-
-
-@register("rounds-compare", "GS vs LH vs WF rounds (E8)", quick=60, full=300)
-def _rounds_compare(ctx: RunContext) -> str:
-    dims = (4, 5, 6) if ctx.quick else (4, 5, 6, 7, 8)
-    return analysis.rounds_comparison_table(dims=dims,
-                                            trials=ctx.trials).render()
-
-
-@register("compare", "router shoot-out (E9)", quick=15, full=60)
-def _compare(ctx: RunContext) -> str:
-    tables = analysis.comparison_table(trials=ctx.trials)
-    return "\n\n".join(tbl.render() for tbl in tables)
-
-
-@register("disconnected", "disconnected-cube sweep (E10)", quick=40, full=150)
-def _disconnected(ctx: RunContext) -> str:
-    dims = (4, 5) if ctx.quick else (4, 5, 6, 7)
-    return analysis.disconnected_table(dims=dims, trials=ctx.trials).render()
-
-
-@register("broadcast", "broadcast extension (E11)", quick=20, full=60)
-def _broadcast(ctx: RunContext) -> str:
-    return analysis.broadcast_table(trials=ctx.trials).render()
-
-
-@register("ablation", "tie-break + GS policy ablations (E12)",
-          quick=20, full=60)
-def _ablation(ctx: RunContext) -> str:
-    return "\n\n".join([
-        analysis.tie_break_table(trials=ctx.trials).render(),
-        analysis.gs_policy_table(trials=max(5, ctx.trials // 3)).render(),
-    ])
-
-
-@register("dynamic", "dynamic fault maintenance policies (E13)",
-          quick=4, full=10)
-def _dynamic(ctx: RunContext) -> str:
-    horizon = 15 if ctx.quick else 40
-    return analysis.dynamic_policy_table(trials=ctx.trials,
-                                         horizon=horizon).render()
-
-
-@register("conservatism", "safety level vs exact reach radius (E14)",
-          quick=10, full=40)
-def _conservatism(ctx: RunContext) -> str:
-    return analysis.conservatism_table(trials=ctx.trials).render()
-
-
-@register("traffic", "link-load distribution across schemes (E15)",
-          quick=3, full=10)
-def _traffic(ctx: RunContext) -> str:
-    return analysis.traffic_table(batches=ctx.trials).render()
-
-
-@register("contention", "latency under link contention (E16)",
-          quick=3, full=6)
-def _contention(ctx: RunContext) -> str:
-    loads = (16, 64) if ctx.quick else (16, 64, 256)
-    return analysis.contention_table(trials=ctx.trials, loads=loads).render()
-
-
-@register("sensitivity", "fault-distribution sensitivity (E17)",
-          quick=20, full=60)
-def _sensitivity(ctx: RunContext) -> str:
-    return analysis.sensitivity_table(trials=ctx.trials).render()
-
-
-@register("multicast", "multicast tree vs separate unicasts (E18)",
-          quick=10, full=30)
-def _multicast(ctx: RunContext) -> str:
-    return analysis.multicast_table(trials=ctx.trials).render()
-
-
-@register("worstcase", "tightness of the n-1 round bound (E19)")
-def _worstcase(ctx: RunContext) -> str:
-    from .analysis import Table, find_slow_instance, isolation_cascade_instance
-    from .safety import stabilization_rounds_fast
-
-    table = Table(
-        caption="E19 — Property 1's n-1 bound is tight: the isolation "
-                "cascade meets it exactly; hill-climbing search approaches "
-                "it from random starts",
-        headers=["n", "bound n-1", "cascade rounds", "search rounds"],
-    )
-    dims = (4, 5, 6) if ctx.quick else (4, 5, 6, 7, 8)
-    restarts = 2 if ctx.quick else 4
-    for n in dims:
-        topo, faults = isolation_cascade_instance(n)
-        cascade = stabilization_rounds_fast(topo, faults)
-        _f, searched = find_slow_instance(n, n, rng=n, restarts=restarts,
-                                          steps_per_restart=120)
-        table.add_row(n, n - 1, cascade, searched)
-    return table.render()
-
-
-@register("significance", "paired significance tests for E9 (E9b)",
-          quick=15, full=40)
-def _significance(ctx: RunContext) -> str:
-    return analysis.significance_table(trials=ctx.trials).render()
-
-
-@register("volume", "message volume: the history tax (E9c)",
-          quick=15, full=40)
-def _volume(ctx: RunContext) -> str:
-    return analysis.volume_table(trials=ctx.trials).render()
-
-
-@register("connectivity", "disconnection probability vs fault count (E20)",
-          quick=60, full=300)
-def _connectivity(ctx: RunContext) -> str:
-    return analysis.disconnection_probability_table(
-        trials=ctx.trials).render()
-
-
-@register("chaos", "resilient delivery under mid-flight faults (E21)",
-          quick=25, full=120)
-def _chaos(ctx: RunContext) -> str:
-    n = 4 if ctx.quick else 5
-    return analysis.chaos_table(trials=ctx.trials, n=n).render()
-
-
-@register("scorecard", "one-pass PASS/FAIL check of every headline claim")
-def _scorecard(ctx: RunContext) -> str:
-    return analysis.render_scorecard(analysis.scorecard())
 
 
 # -- commands ---------------------------------------------------------------
 
 
 def _cmd_list() -> int:
+    """Enumerate the unified registry: description + accepted flags."""
     try:
         width = max(len(name) for name in REGISTRY)
-        for name in sorted(REGISTRY):
-            exp = REGISTRY[name]
+        for exp in _experiments.iter_experiments():
+            print(f"{exp.name:<{width}}  {exp.description}")
             trials = (
-                f"trials {exp.quick_trials}/{exp.full_trials} (quick/full)"
-                if exp.full_trials is not None else "no trial knob"
+                f"trials default {exp.full_trials} "
+                f"(quick {exp.quick_trials}); "
+                if exp.full_trials is not None else ""
             )
-            print(f"{name:<{width}}  {exp.description}  [{trials}]")
+            print(f"{'':<{width}}  {trials}flags: {', '.join(exp.flags)}")
     except BrokenPipeError:  # piped into head/less that quit early
         pass
     return 0
@@ -327,7 +103,8 @@ def _run_experiments(names: List[str], args: argparse.Namespace,
     for name in names:
         exp = REGISTRY[name]
         start = time.perf_counter()
-        output = exp.run(quick=args.quick, trials=args.trials)
+        output = exp.run(quick=args.quick, trials=args.trials,
+                         seed=args.seed, recorder=recorder)
         elapsed = time.perf_counter() - start
         if recorder is not None:
             recorder.emit("experiment", name=name,
@@ -464,6 +241,104 @@ def _cmd_bench_service(argv: List[str]) -> int:
     return 0
 
 
+def _cmd_campaign(argv: List[str]) -> int:
+    """``repro campaign``: the fault-campaign DSE engine.
+
+    Subcommands: ``run SPEC --out DIR`` executes a declarative campaign
+    (TOML/JSON spec) cell by cell with per-cell checkpointing; ``resume
+    DIR`` continues an interrupted campaign, skipping finished cells (the
+    merged output is byte-identical to an uninterrupted run); ``report
+    DIR`` re-renders the decision-support report; ``adversarial`` runs
+    the evolutionary search for a minimal fault set that breaks C1–C3
+    routability.
+    """
+    from .campaign import (
+        adversarial_search,
+        load_spec,
+        render_report,
+        resume_campaign,
+        run_campaign,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro campaign",
+        description="Declarative fault-campaign design-space exploration "
+                    "(factorial designs over fault model x intensity x "
+                    "chaos profile x routing policy).",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    p_run = sub.add_parser("run", help="execute a campaign spec")
+    p_run.add_argument("spec", help="TOML or JSON campaign spec file")
+    p_run.add_argument("--out", default=None,
+                       help="campaign directory (default: the spec's "
+                            "out_dir, else campaign_<name>)")
+    p_run.add_argument("--jobs", type=int, default=None)
+    p_run.add_argument("--metrics-out", default=None,
+                       help="record campaign telemetry (JSONL) to PATH")
+    p_run.add_argument("--max-cells", type=int, default=None,
+                       help="stop after this many cells (for testing "
+                            "resume; the checkpoint keeps the rest)")
+
+    p_resume = sub.add_parser("resume", help="continue an interrupted run")
+    p_resume.add_argument("dir", help="campaign directory")
+    p_resume.add_argument("--jobs", type=int, default=None)
+    p_resume.add_argument("--metrics-out", default=None)
+
+    p_report = sub.add_parser("report", help="re-render the report")
+    p_report.add_argument("dir", help="campaign directory")
+
+    p_adv = sub.add_parser("adversarial",
+                           help="evolve a minimal routability-breaking "
+                                "fault set")
+    p_adv.add_argument("--dim", type=int, default=6)
+    p_adv.add_argument("--max-faults", type=int, default=None,
+                       help="fault budget (default: the dimension)")
+    p_adv.add_argument("--seed", type=int, default=0)
+    p_adv.add_argument("--generations", type=int, default=40)
+
+    args = parser.parse_args(argv)
+
+    if args.action == "run":
+        spec = load_spec(args.spec)
+        if args.metrics_out:
+            config = {"command": "campaign run", "spec": spec.to_dict(),
+                      "jobs": args.jobs, "max_cells": args.max_cells}
+            with obs.observed(args.metrics_out, tool="repro.cli",
+                              config=config) as (_registry, recorder):
+                result = run_campaign(spec, out_dir=args.out,
+                                      jobs=args.jobs, recorder=recorder,
+                                      max_cells=args.max_cells)
+        else:
+            result = run_campaign(spec, out_dir=args.out, jobs=args.jobs,
+                                  max_cells=args.max_cells)
+        print(result.summary())
+        return 0 if result.complete else 3
+    if args.action == "resume":
+        if args.metrics_out:
+            config = {"command": "campaign resume", "dir": args.dir,
+                      "jobs": args.jobs}
+            with obs.observed(args.metrics_out, tool="repro.cli",
+                              config=config) as (_registry, recorder):
+                result = resume_campaign(args.dir, jobs=args.jobs,
+                                         recorder=recorder)
+        else:
+            result = resume_campaign(args.dir, jobs=args.jobs)
+        print(result.summary())
+        return 0 if result.complete else 3
+    if args.action == "report":
+        print(render_report(args.dir))
+        return 0
+    if args.action == "adversarial":
+        found = adversarial_search(args.dim, max_faults=args.max_faults,
+                                   seed=args.seed,
+                                   generations=args.generations)
+        print(found.describe())
+        return 0 if found.confirmed else 1
+    parser.error(f"unknown campaign action {args.action!r}")
+    return 2
+
+
 def main(argv: List[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -473,6 +348,8 @@ def main(argv: List[str] | None = None) -> int:
         return _cmd_serve(list(argv[1:]))
     if argv and argv[0] == "bench-service":
         return _cmd_bench_service(list(argv[1:]))
+    if argv and argv[0] == "campaign":
+        return _cmd_campaign(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
@@ -482,7 +359,8 @@ def main(argv: List[str] | None = None) -> int:
         choices=sorted(REGISTRY) + ["all", "list", "stats"],
         help="experiment id (see DESIGN.md), 'all', 'list', or "
              "'stats RUN.jsonl' ('serve' and 'bench-service' run the "
-             "routing service; see 'repro serve --help')",
+             "routing service, 'campaign' the DSE engine; see "
+             "'repro campaign --help')",
     )
     parser.add_argument("path", nargs="?", default=None,
                         help="run file for the stats command")
@@ -494,6 +372,10 @@ def main(argv: List[str] | None = None) -> int:
                         help="worker processes for Monte-Carlo sweeps "
                              f"(default: ${JOBS_ENV_VAR} or serial); "
                              "results are identical for any value")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override an experiment's canonical seed "
+                             "(experiments that ignore it keep their "
+                             "published numbers)")
     parser.add_argument("--route-kernel", choices=list(KERNELS),
                         default=None,
                         help="routing kernel for batched unicast calls "

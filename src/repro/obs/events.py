@@ -141,6 +141,38 @@ EVENT_TYPES: Dict[str, Dict[str, bool]] = {
         "elapsed_s": True,
         "trials_per_s": True,
     },
+    # One completed campaign cell: a design point's aggregate responses.
+    "campaign_cell": {
+        "campaign": True,      # campaign name from the spec
+        "cell_id": True,       # stable human-readable cell identity
+        "index": True,         # position in the full factorial
+        "dim": True,           # cube dimension factor
+        "fault_model": True,   # node / link / mixed
+        "faults": True,        # static fault count factor
+        "chaos": True,         # chaos profile factor (none disables)
+        "policy": True,        # safety / resilient / dfs / oracle
+        "trials": True,        # Monte-Carlo trials evaluated
+        "delivered": True,     # trials that delivered
+        "delivery_rate": True,
+        "mean_hops": False,    # absent when nothing delivered
+        "mean_detour": False,
+        "mean_retries": True,
+        "mean_latency": False,
+        "conditions": True,    # {condition-or-stage -> trial count}
+    },
+    # One fitted response surface from the campaign analysis stage.
+    "campaign_fit": {
+        "campaign": True,      # campaign name from the spec
+        "dim": True,           # factor group the fit covers
+        "fault_model": True,
+        "chaos": True,
+        "policy": True,
+        "response": True,      # delivery_rate / mean_hops / ...
+        "kind": True,          # "logistic" | "poly"
+        "coeffs": True,        # fitted coefficients, low order first
+        "r2": True,            # goodness of fit in response space
+        "points": True,        # design points behind the fit
+    },
     # One CLI experiment finishing.
     "experiment": {
         "name": True,

@@ -60,6 +60,8 @@ __all__ = [
     "record_sweep",
     "record_sim_drop",
     "record_chaos_run",
+    "record_campaign_cell",
+    "record_campaign_fit",
 ]
 
 #: Counters guaranteed present (value 0 if never fired) in every snapshot
@@ -105,6 +107,10 @@ STANDARD_COUNTERS: Tuple[str, ...] = (
     "chaos.link_kills",
     "chaos.tampered",
     "chaos.duplicates",
+    "campaign.cells",
+    "campaign.trials",
+    "campaign.delivered",
+    "campaign.fits",
 )
 
 _METRICS = MetricsRegistry(enabled=False)
@@ -437,6 +443,37 @@ def record_chaos_run(record: Dict[str, Any]) -> None:
             reg.histogram("chaos.latency").observe(record["latency"])
     if rec is not None:
         rec.emit("chaos_run", **record)
+
+
+def record_campaign_cell(record: Dict[str, Any]) -> None:
+    """One completed campaign design point (aggregate cell responses).
+
+    ``record`` is the flat payload of the ``campaign_cell`` event: the
+    cell's identity and factor levels plus its aggregated responses, all
+    JSON primitives (the ``conditions`` histogram is a plain dict).
+    """
+    reg, rec = _METRICS, _RECORDER
+    if not reg.enabled and rec is None:
+        return
+    if reg.enabled:
+        reg.counter("campaign.cells").inc()
+        reg.counter("campaign.trials").inc(record["trials"])
+        reg.counter("campaign.delivered").inc(record["delivered"])
+        reg.histogram("campaign.delivery_rate").observe(
+            record["delivery_rate"])
+    if rec is not None:
+        rec.emit("campaign_cell", **record)
+
+
+def record_campaign_fit(record: Dict[str, Any]) -> None:
+    """One fitted response surface from the campaign analysis stage."""
+    reg, rec = _METRICS, _RECORDER
+    if not reg.enabled and rec is None:
+        return
+    if reg.enabled:
+        reg.counter("campaign.fits").inc()
+    if rec is not None:
+        rec.emit("campaign_fit", **record)
 
 
 def record_sweep(

@@ -77,7 +77,8 @@ def route_dfs(
         nxt = None
         for dim in preferred + spares:
             cand = topo.neighbor_along(current, dim)
-            if cand in visited or faults.is_node_faulty(cand):
+            if cand in visited or faults.is_node_faulty(cand) \
+                    or faults.is_link_faulty(current, cand):
                 continue
             nxt = cand
             break

@@ -1,0 +1,13 @@
+"""Campaign-suite fixtures."""
+
+import pytest
+
+from repro.obs import metrics
+
+
+@pytest.fixture(autouse=True)
+def _clean_ambient_metrics():
+    """observed() enables the ambient registry; leave it empty and
+    disabled for whatever test runs next."""
+    yield
+    metrics().reset()

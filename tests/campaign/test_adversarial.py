@@ -1,0 +1,102 @@
+"""Adversarial search: minimal fault sets defeating C1–C3 routability."""
+
+import pytest
+
+from repro.campaign import adversarial_search, confirm_break
+from repro.campaign.adversarial import _breaking_pairs, _ring_candidate
+from repro.core import FaultSet, Hypercube
+from repro.routing import RouteStatus
+from repro.routing.baselines.dfs_backtrack import route_dfs
+from repro.routing.safety_unicast import check_feasibility, route_unicast
+from repro.routing.validation import audit_route
+from repro.safety import SafetyLevels
+
+
+class TestSearch:
+    def test_q6_break_within_n_faults_confirmed(self):
+        """The acceptance criterion: <= n faults break C1 routability on
+        Q6, and the invariant checker confirms the counterexample."""
+        found = adversarial_search(6, seed=0)
+        assert found.confirmed, found.describe()
+        assert len(found.faults) <= 6
+        assert found.breaking_pairs > 0
+        assert found.source is not None and found.dest is not None
+
+    def test_search_is_deterministic(self):
+        a = adversarial_search(5, seed=3, generations=5)
+        b = adversarial_search(5, seed=3, generations=5)
+        assert a == b
+
+    def test_below_the_property2_guarantee_nothing_breaks(self):
+        # Property 2: with fewer than n faults every pair stays routable,
+        # so a budget of n-1 faults cannot produce a counterexample.
+        found = adversarial_search(4, max_faults=3, seed=0,
+                                   generations=4, population=12)
+        assert not found.confirmed
+        assert found.breaking_pairs == 0
+
+    def test_ring_candidate_breaks_the_antipodal_pair(self):
+        n = 6
+        topo = Hypercube(n)
+        faults = FaultSet(nodes=_ring_candidate(n, 0, 0))
+        pairs = _breaking_pairs(topo, faults)
+        assert (0, topo.num_nodes - 1) in pairs
+
+
+class TestConfirm:
+    def test_confirmed_instance_survives_the_real_router_stack(self):
+        found = adversarial_search(6, seed=0)
+        topo = Hypercube(found.dim)
+        faults = FaultSet(nodes=found.faults)
+        sl = SafetyLevels.compute(topo, faults)
+        assert not check_feasibility(sl, found.source, found.dest).feasible
+        result = route_unicast(sl, found.source, found.dest)
+        assert result.status is RouteStatus.ABORTED_AT_SOURCE
+
+    def test_feasible_pair_is_rejected(self):
+        topo = Hypercube(4)
+        ok, issues = confirm_break(topo, FaultSet(), 0, 15)
+        assert not ok
+        assert any("holds at the source" in issue for issue in issues)
+
+    def test_fast_fitness_agrees_with_check_feasibility(self):
+        topo = Hypercube(4)
+        faults = FaultSet(nodes=_ring_candidate(4, 0, 0))
+        sl = SafetyLevels.compute(topo, faults)
+        pairs = set(_breaking_pairs(topo, faults))
+        alive = [v for v in range(topo.num_nodes)
+                 if not faults.is_node_faulty(v)]
+        for s in alive:
+            for d in alive:
+                if s == d:
+                    continue
+                feasible = check_feasibility(sl, s, d).feasible
+                if (s, d) in pairs:
+                    assert not feasible
+                elif feasible:
+                    pass  # fast path only collects infeasible pairs
+        # Every collected pair must also be oracle-connected (checked via
+        # the real confirm path for one witness).
+        s, d = min(pairs)
+        ok, issues = confirm_break(topo, faults, s, d)
+        assert ok, issues
+
+
+class TestDfsLinkAwareness:
+    """The runner routes link/mixed cells through route_dfs too; the DFS
+    baseline must therefore respect link faults."""
+
+    def test_dfs_detours_around_a_faulty_direct_link(self):
+        topo = Hypercube(3)
+        faults = FaultSet(links=[(0, 1)])
+        result = route_dfs(topo, faults, 0, 1)
+        assert result.delivered
+        assert result.hops > 1
+        assert audit_route(topo, faults, result) == []
+
+    def test_dfs_node_only_behavior_unchanged(self):
+        topo = Hypercube(4)
+        faults = FaultSet(nodes=[3, 5])
+        with_links = route_dfs(topo, faults, 0, 15)
+        assert with_links.delivered
+        assert audit_route(topo, faults, with_links) == []

@@ -1,0 +1,87 @@
+"""Design expansion: factorial order, seeding, fractional subsetting."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.campaign import CampaignSpec, build_design, full_factorial
+from repro.campaign.design import fractional_design
+
+
+def _spec(**kwargs):
+    base = dict(dims=(3, 4), fault_models=("node", "link"),
+                fault_counts=(0, 1, 2), chaos_profiles=("none",),
+                policies=("safety", "oracle"), trials=5)
+    base.update(kwargs)
+    return CampaignSpec(**base)
+
+
+class TestFullFactorial:
+    def test_size_is_the_factor_product(self):
+        spec = _spec()
+        assert len(full_factorial(spec)) == 2 * 2 * 3 * 1 * 2
+
+    def test_odometer_order_and_indices(self):
+        spec = _spec()
+        cells = full_factorial(spec)
+        expected = list(itertools.product(
+            spec.dims, spec.fault_models, spec.fault_counts,
+            spec.chaos_profiles, spec.policies))
+        assert [(c.dim, c.fault_model, c.faults, c.chaos, c.policy)
+                for c in cells] == expected
+        assert [c.index for c in cells] == list(range(len(cells)))
+
+    def test_cell_ids_are_unique_and_stable(self):
+        cells = full_factorial(_spec())
+        ids = [c.cell_id for c in cells]
+        assert len(set(ids)) == len(ids)
+        assert ids[0] == "q3-node-f0-chaos.none-safety"
+
+    def test_cell_seed_depends_only_on_index_and_campaign_seed(self):
+        cells = full_factorial(_spec())
+        assert cells[3].seed(7) == cells[3].seed(7)
+        assert cells[3].seed(7) != cells[4].seed(7)
+        assert cells[3].seed(7) != cells[3].seed(8)
+
+
+class TestFractional:
+    def test_fraction_one_is_the_full_factorial(self):
+        spec = _spec(design="fractional", fraction=1.0)
+        assert fractional_design(spec) == full_factorial(spec)
+
+    def test_at_least_one_cell_survives(self):
+        spec = _spec(design="fractional", fraction=1e-9)
+        assert len(fractional_design(spec)) == 1
+
+    def test_build_design_dispatches(self):
+        assert build_design(_spec()) == full_factorial(_spec())
+        frac = _spec(design="fractional", fraction=0.5)
+        assert build_design(frac) == fractional_design(frac)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        dims=st.lists(st.integers(3, 6), min_size=1, max_size=3,
+                      unique=True),
+        counts=st.lists(st.integers(0, 4), min_size=1, max_size=4,
+                        unique=True),
+        policies=st.lists(st.sampled_from(["safety", "resilient", "dfs",
+                                           "oracle"]),
+                          min_size=1, max_size=4, unique=True),
+        fraction=st.floats(0.01, 1.0, allow_nan=False),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_fractional_is_a_subset_in_factorial_order(
+            self, dims, counts, policies, fraction, seed):
+        spec = CampaignSpec(dims=tuple(dims), fault_counts=tuple(counts),
+                            policies=tuple(policies), trials=1, seed=seed,
+                            design="fractional", fraction=fraction)
+        full = full_factorial(spec)
+        frac = fractional_design(spec)
+        # Strict subset property: every fractional cell IS a full-design
+        # cell (same index, same factors, same derived seed)...
+        assert set(frac) <= set(full)
+        # ...kept in full-factorial order, with no duplicates.
+        indices = [c.index for c in frac]
+        assert indices == sorted(set(indices))
+        # Deterministic given (spec, seed).
+        assert fractional_design(spec) == frac

@@ -1,0 +1,173 @@
+"""Resumable runner: checkpointing, byte-identity, telemetry."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    build_design,
+    render_report,
+    resume_campaign,
+    run_campaign,
+)
+from repro.campaign.runner import CHECKPOINT_FILE, RESULTS_FILE
+from repro.obs import summarize_run, validate_stream
+from repro.obs.instruments import observed
+
+
+def _spec(**kwargs):
+    base = dict(name="t", dims=(3,), fault_models=("node", "mixed"),
+                fault_counts=(0, 2), chaos_profiles=("none",),
+                policies=("safety", "resilient", "dfs", "oracle"),
+                trials=5, seed=11)
+    base.update(kwargs)
+    return CampaignSpec(**base)
+
+
+def _bytes(path):
+    return path.read_bytes()
+
+
+class TestRun:
+    def test_complete_run_writes_ordered_results_and_report(self, tmp_path):
+        spec = _spec()
+        result = run_campaign(spec, out_dir=tmp_path / "c")
+        assert result.complete
+        assert result.cells_total == len(build_design(spec))
+        lines = [json.loads(line) for line in
+                 _bytes(result.results_path).decode().splitlines()]
+        assert [l["index"] for l in lines] == list(range(len(lines)))
+        for line in lines:
+            assert line["responses"]["trials"] == spec.trials
+        assert result.report_path.exists()
+        assert "# Campaign report: t" in result.report_path.read_text()
+
+    def test_every_policy_delivers_on_the_fault_free_cells(self, tmp_path):
+        result = run_campaign(_spec(), out_dir=tmp_path / "c")
+        for line in map(json.loads,
+                        _bytes(result.results_path).decode().splitlines()):
+            if line["factors"]["faults"] == 0:
+                assert line["responses"]["delivery_rate"] == 1.0
+
+    def test_summary_mentions_resume_when_incomplete(self, tmp_path):
+        result = run_campaign(_spec(), out_dir=tmp_path / "c", max_cells=1)
+        assert not result.complete
+        assert "resume" in result.summary()
+
+    def test_digest_mismatch_refused(self, tmp_path):
+        run_campaign(_spec(), out_dir=tmp_path / "c", max_cells=1)
+        with pytest.raises(ValueError, match="refusing to mix"):
+            run_campaign(_spec(seed=99), out_dir=tmp_path / "c")
+
+    def test_resume_requires_a_campaign_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            resume_campaign(tmp_path)
+
+
+class TestResumeByteIdentity:
+    """The acceptance criterion: interrupt after N cells, resume, and the
+    merged results + report are byte-identical to an uninterrupted run —
+    serially and with workers."""
+
+    def test_interrupted_then_resumed_matches_uninterrupted(self, tmp_path):
+        spec = _spec()
+        whole = run_campaign(spec, out_dir=tmp_path / "whole")
+        partial = run_campaign(spec, out_dir=tmp_path / "parts",
+                               max_cells=3)
+        assert not partial.complete and partial.cells_run == 3
+        resumed = resume_campaign(tmp_path / "parts")
+        assert resumed.complete
+        assert resumed.cells_skipped == 3
+        assert (_bytes(resumed.results_path)
+                == _bytes(whole.results_path))
+        assert _bytes(resumed.report_path) == _bytes(whole.report_path)
+
+    def test_parallel_resume_matches_serial(self, tmp_path):
+        spec = _spec()
+        serial = run_campaign(spec, out_dir=tmp_path / "serial")
+        run_campaign(spec, out_dir=tmp_path / "jobs", max_cells=2)
+        resumed = resume_campaign(tmp_path / "jobs", jobs=2)
+        assert resumed.complete
+        assert (_bytes(resumed.results_path)
+                == _bytes(serial.results_path))
+        assert _bytes(resumed.report_path) == _bytes(serial.report_path)
+
+    def test_torn_checkpoint_tail_is_ignored(self, tmp_path):
+        spec = _spec()
+        whole = run_campaign(spec, out_dir=tmp_path / "whole")
+        partial = run_campaign(spec, out_dir=tmp_path / "torn", max_cells=2)
+        with open(partial.out_dir / CHECKPOINT_FILE, "a",
+                  encoding="utf-8") as f:
+            f.write('{"index": 2, "cell_id": "tor')  # killed mid-write
+        resumed = resume_campaign(tmp_path / "torn")
+        assert resumed.complete
+        assert (_bytes(resumed.results_path)
+                == _bytes(whole.results_path))
+
+    def test_corrupt_interior_checkpoint_line_is_loud(self, tmp_path):
+        run_campaign(_spec(), out_dir=tmp_path / "c", max_cells=2)
+        path = tmp_path / "c" / CHECKPOINT_FILE
+        lines = path.read_text().splitlines()
+        lines[0] = '{"broken'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="corrupt checkpoint"):
+            resume_campaign(tmp_path / "c")
+
+
+class TestFractionalRun:
+    def test_fractional_campaign_completes(self, tmp_path):
+        spec = _spec(design="fractional", fraction=0.5)
+        result = run_campaign(spec, out_dir=tmp_path / "c")
+        assert result.complete
+        assert result.cells_total == len(build_design(spec))
+        assert 0 < result.cells_total < len(build_design(
+            spec.with_updates(design="full")))
+
+
+class TestReport:
+    def test_report_is_a_pure_function_of_the_directory(self, tmp_path):
+        result = run_campaign(_spec(), out_dir=tmp_path / "c")
+        again = render_report(result.out_dir)
+        assert again == result.report_path.read_text()
+
+    def test_incomplete_report_carries_a_banner(self, tmp_path):
+        result = run_campaign(_spec(), out_dir=tmp_path / "c", max_cells=2)
+        text = render_report(result.out_dir)
+        assert "INCOMPLETE" in text
+
+    def test_report_ranks_policies_per_scenario(self, tmp_path):
+        result = run_campaign(_spec(), out_dir=tmp_path / "c")
+        text = result.report_path.read_text()
+        assert "## Decision support: policy ranking" in text
+        assert "## Response surfaces (vs fault count)" in text
+        assert "**Recommendation:**" in text
+
+
+class TestTelemetry:
+    def test_campaign_cells_emit_schema_valid_events(self, tmp_path):
+        spec = _spec(policies=("safety", "oracle"))
+        run_path = tmp_path / "run.jsonl"
+        with observed(run_path, tool="test") as (_registry, recorder):
+            run_campaign(spec, out_dir=tmp_path / "c", recorder=recorder)
+        records = [json.loads(line)
+                   for line in run_path.read_text().splitlines()]
+        validate_stream(records)
+        cells = [r for r in records if r["type"] == "campaign_cell"]
+        assert len(cells) == len(build_design(spec))
+        assert {c["policy"] for c in cells} == {"safety", "oracle"}
+        fits = [r for r in records if r["type"] == "campaign_fit"]
+        assert fits and all(f["campaign"] == "t" for f in fits)
+        stats = summarize_run(run_path)
+        assert stats is not None
+
+    def test_telemetry_does_not_change_the_artifacts(self, tmp_path):
+        spec = _spec(policies=("safety",))
+        bare = run_campaign(spec, out_dir=tmp_path / "bare")
+        with observed(tmp_path / "run.jsonl",
+                      tool="test") as (_registry, recorder):
+            observed_run = run_campaign(spec, out_dir=tmp_path / "obs",
+                                        recorder=recorder)
+        assert (_bytes(bare.results_path)
+                == _bytes(observed_run.results_path))
+        assert _bytes(bare.report_path) == _bytes(observed_run.report_path)

@@ -1,0 +1,105 @@
+"""CampaignSpec: validation, coercion, serialization, digests."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignSpec, load_spec, spec_digest
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        spec = CampaignSpec()
+        assert spec.design == "full"
+        assert spec.dims == (4,)
+
+    def test_scalars_coerce_to_level_tuples(self):
+        spec = CampaignSpec(dims=4, fault_models="node", fault_counts=2,
+                            policies="oracle", chaos_profiles="none")
+        assert spec.dims == (4,)
+        assert spec.fault_models == ("node",)
+        assert spec.fault_counts == (2,)
+        assert spec.policies == ("oracle",)
+
+    @pytest.mark.parametrize("bad", [
+        dict(fault_models=("gamma-ray",)),
+        dict(policies=("teleport",)),
+        dict(chaos_profiles=("often",)),
+        dict(design="taguchi"),
+        dict(trials=0),
+        dict(fraction=0.0),
+        dict(fraction=1.5),
+        dict(dims=(1,)),
+        dict(fault_counts=(-1,)),
+        dict(chaos_kills=-1),
+        dict(name=""),
+        dict(name="a/b"),
+        dict(dims=()),
+    ])
+    def test_bad_values_rejected(self, bad):
+        with pytest.raises(ValueError):
+            CampaignSpec(**bad)
+
+    def test_faults_must_fit_smallest_cube(self):
+        # Q2 has 4 nodes; 3 faults leave only one endpoint alive.
+        with pytest.raises(ValueError, match="do not fit"):
+            CampaignSpec(dims=(2, 6), fault_counts=(0, 3))
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown campaign spec keys"):
+            CampaignSpec.from_dict({"dims": [4], "color": "red"})
+
+    def test_with_updates_revalidates(self):
+        spec = CampaignSpec()
+        assert spec.with_updates(trials=9).trials == 9
+        with pytest.raises(ValueError):
+            spec.with_updates(trials=0)
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        spec = CampaignSpec(dims=(3, 4), policies=("safety", "dfs"),
+                            trials=11, seed=5, design="fractional",
+                            fraction=0.25)
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+    def test_canonical_json_is_sorted_and_stable(self):
+        spec = CampaignSpec()
+        canon = spec.canonical_json()
+        assert canon == spec.canonical_json()
+        keys = list(json.loads(canon))
+        assert keys == sorted(keys)
+
+    def test_digest_ignores_out_dir(self):
+        a = CampaignSpec(out_dir="here")
+        b = CampaignSpec(out_dir="there")
+        assert spec_digest(a) == spec_digest(b)
+        assert spec_digest(a) != spec_digest(CampaignSpec(seed=1))
+
+
+class TestLoadSpec:
+    def test_toml_with_campaign_table(self, tmp_path):
+        path = tmp_path / "c.toml"
+        path.write_text(
+            '[campaign]\nname = "t"\ndims = [3]\n'
+            'fault_counts = [0, 1]\npolicies = ["safety"]\ntrials = 4\n')
+        spec = load_spec(path)
+        assert spec.name == "t"
+        assert spec.dims == (3,)
+        assert spec.trials == 4
+
+    def test_toml_top_level_keys(self, tmp_path):
+        path = tmp_path / "c.toml"
+        path.write_text('name = "flat"\ndims = 4\n')
+        assert load_spec(path).name == "flat"
+
+    def test_json(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps(CampaignSpec(name="j").to_dict()))
+        assert load_spec(path).name == "j"
+
+    def test_unknown_suffix_rejected(self, tmp_path):
+        path = tmp_path / "c.yaml"
+        path.write_text("name: nope\n")
+        with pytest.raises(ValueError, match=r"\.toml or \.json"):
+            load_spec(path)
