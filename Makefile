@@ -2,7 +2,7 @@
 
 PY ?= python3
 
-.PHONY: install test bench bench-sweep bench-routing bench-levels bench-service chaos campaign experiments artifacts scorecard stats-demo examples clean
+.PHONY: install test bench bench-sweep bench-routing bench-levels bench-service shard-smoke chaos campaign experiments artifacts scorecard stats-demo examples clean
 
 install:
 	$(PY) -m pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -29,12 +29,20 @@ bench-routing:
 bench-levels:
 	PYTHONPATH=src $(PY) benchmarks/bench_levels_incremental.py
 
-# Routing-as-a-service: micro-batched vs one-call-per-request throughput,
-# open-loop latency, and an offline-cross-checked fault-churn run; writes
-# BENCH_service.json at the root and asserts the >= 5x aggregation floor
-# plus zero torn reads / zero drops.
+# Routing-as-a-service: naive vs micro-batched vs sharded-block
+# throughput, steady/churn open-loop latency percentiles, and an
+# offline-cross-checked fault-churn run; writes BENCH_service.json at
+# the root and asserts the >= 5x aggregation floor, the >= 2x sharded
+# floor, the churn-p99 <= 1.5x-steady ceiling, and zero torn reads /
+# zero drops.
 bench-service:
 	PYTHONPATH=src $(PY) benchmarks/bench_service.py
+
+# Sharded serving end-to-end over real sockets: 2 shards / 2 tenants,
+# binary BLOCK bit-identity, line-protocol compat, kill-one-shard
+# degradation.
+shard-smoke:
+	PYTHONPATH=src $(PY) benchmarks/shard_smoke.py
 
 # Chaos-harness reproducibility smoke: seeded 3x-repeated injection
 # matrix (Q4/Q6, node/link/mixed) asserting byte-identical records plus

@@ -122,21 +122,30 @@ def _run_experiments(names: List[str], args: argparse.Namespace,
 
 
 def _cmd_serve(argv: List[str]) -> int:
-    """``repro serve``: bind the routing service's TCP line protocol."""
+    """``repro serve``: bind the routing service's TCP front-end.
+
+    Single-service mode (default) serves one cube.  With ``--shards N``
+    and one or more ``--tenant name:dim[:faults]`` specs, it serves a
+    :class:`~repro.service.ShardRouter` instead — clients bind a tenant
+    first (a ``TENANT`` frame, or a ``tenant <name>`` line).  Both modes
+    speak the binary wire protocol and the line protocol on one port,
+    auto-detected per connection from its first byte.
+    """
     import asyncio
     import signal
 
     import numpy as np
 
     from .core.faults import FaultSet
-    from .service import RoutingService, ServiceConfig
+    from .service import RoutingService, ServiceConfig, ShardRouter
     from .service.server import serve_forever
 
     parser = argparse.ArgumentParser(
         prog="repro serve",
         description="Serve micro-batched unicast routing over TCP "
-                    "(one '<src> <dst>' request per line, JSON replies; "
-                    "'fault add <node>...' bumps the epoch live).",
+                    "(binary wire frames or '<src> <dst>' lines, "
+                    "auto-detected; 'fault add <node>...' bumps the "
+                    "epoch live).",
     )
     parser.add_argument("--dim", type=int, default=8,
                         help="hypercube dimension (default 8)")
@@ -154,52 +163,97 @@ def _cmd_serve(argv: List[str]) -> int:
                              "shared-memory tables (0 = inline backend)")
     parser.add_argument("--max-batch", type=int, default=256)
     parser.add_argument("--window-us", type=int, default=500)
+    parser.add_argument("--shards", type=int, default=0,
+                        help="serve a shard router with this many shards "
+                             "instead of a single service (requires "
+                             "--tenant)")
+    parser.add_argument("--tenant", action="append", default=[],
+                        metavar="NAME:DIM[:FAULTS]",
+                        help="register a tenant cube on the shard router "
+                             "(repeatable); FAULTS random faulty nodes "
+                             "are seeded from --seed")
     parser.add_argument("--duration", type=float, default=None,
                         help="serve for this many seconds, then exit "
                              "cleanly (default: until SIGINT/SIGTERM)")
     args = parser.parse_args(argv)
 
+    def _seeded_faults(dim: int, count: int, salt: int) -> FaultSet:
+        if not count:
+            return FaultSet()
+        rng = np.random.default_rng(args.seed + salt)
+        return FaultSet(nodes=rng.choice(
+            1 << dim, size=count, replace=False).tolist())
+
+    if args.shards and not args.tenant:
+        parser.error("--shards requires at least one --tenant spec")
+    if args.tenant and not args.shards:
+        parser.error("--tenant requires --shards")
+
+    tenant_specs = []
+    for spec in args.tenant:
+        fields = spec.split(":")
+        if len(fields) not in (2, 3):
+            parser.error(f"bad --tenant spec {spec!r} "
+                         "(want NAME:DIM[:FAULTS])")
+        tenant_specs.append((fields[0], int(fields[1]),
+                             int(fields[2]) if len(fields) == 3 else 0))
+
     if args.fault_nodes is not None:
         faults = FaultSet(nodes=args.fault_nodes)
-    elif args.faults:
-        rng = np.random.default_rng(args.seed)
-        faults = FaultSet(nodes=rng.choice(
-            1 << args.dim, size=args.faults, replace=False).tolist())
     else:
-        faults = FaultSet()
+        faults = _seeded_faults(args.dim, args.faults, salt=0)
 
-    config = ServiceConfig(dimension=args.dim, max_batch=args.max_batch,
-                           window_us=args.window_us, workers=args.workers)
-
-    async def run() -> None:
+    async def _serve_target(target, banner: str) -> None:
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGINT, signal.SIGTERM):
             loop.add_signal_handler(sig, stop.set)
+        ready = asyncio.Event()
+        server = asyncio.ensure_future(serve_forever(
+            target, host=args.host, port=args.port, ready=ready,
+            duration_s=args.duration))
+        await ready.wait()
+        print(banner, flush=True)
+        stopper = asyncio.ensure_future(stop.wait())
+        await asyncio.wait({server, stopper},
+                           return_when=asyncio.FIRST_COMPLETED)
+        server.cancel()
+        stopper.cancel()
+        for task in (server, stopper):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+
+    async def run_single() -> None:
+        config = ServiceConfig(dimension=args.dim, max_batch=args.max_batch,
+                               window_us=args.window_us,
+                               workers=args.workers)
         async with RoutingService(config, faults=faults) as svc:
-            ready = asyncio.Event()
-            server = asyncio.ensure_future(serve_forever(
-                svc, host=args.host, port=args.port, ready=ready,
-                duration_s=args.duration))
-            await ready.wait()
-            print(f"repro serve: Q{args.dim} with "
-                  f"{len(faults.nodes)} faults on "
-                  f"{args.host}:{args.port} "
-                  f"(backend={'pool' if args.workers else 'inline'}, "
-                  f"epoch {svc.epochs.current.epoch})", flush=True)
-            stopper = asyncio.ensure_future(stop.wait())
-            await asyncio.wait({server, stopper},
-                               return_when=asyncio.FIRST_COMPLETED)
-            server.cancel()
-            stopper.cancel()
-            for task in (server, stopper):
-                try:
-                    await task
-                except (asyncio.CancelledError, Exception):
-                    pass
+            await _serve_target(svc, (
+                f"repro serve: Q{args.dim} with "
+                f"{len(faults.nodes)} faults on "
+                f"{args.host}:{args.port} "
+                f"(backend={'pool' if args.workers else 'inline'}, "
+                f"epoch {svc.epochs.current.epoch})"))
         # async-with close() drained and unlinked every epoch segment.
 
-    asyncio.run(run())
+    async def run_sharded() -> None:
+        async with ShardRouter(shards=args.shards, workers=args.workers,
+                               max_batch=args.max_batch,
+                               window_us=args.window_us) as router:
+            for i, (name, dim, n_faults) in enumerate(tenant_specs):
+                sid = await router.add_tenant(
+                    name, dimension=dim,
+                    faults=_seeded_faults(dim, n_faults, salt=i + 1))
+                print(f"repro serve: tenant {name!r} (Q{dim}, "
+                      f"{n_faults} faults) -> shard {sid}", flush=True)
+            await _serve_target(router, (
+                f"repro serve: {len(tenant_specs)} tenants over "
+                f"{args.shards} shards on {args.host}:{args.port} "
+                f"(backend={'pool' if args.workers else 'inline'})"))
+
+    asyncio.run(run_sharded() if args.shards else run_single())
     print("repro serve: shut down cleanly (all epoch segments unlinked)",
           flush=True)
     return 0
@@ -233,9 +287,17 @@ def _cmd_bench_service(argv: List[str]) -> int:
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
     print(f"\nwrote {args.output}")
+    latency = report["latency"]
     print(f"speedup (batched vs naive): {report['speedup_batched']:.2f}x; "
-          f"latency p50 {report['latency']['p50_ms']:.2f} ms / "
-          f"p99 {report['latency']['p99_ms']:.2f} ms; churn torn reads "
+          f"sharded blocks {report['sharded']['routes_per_second']:,.0f} "
+          f"routes/s ({report['sharded']['speedup_vs_batched']:.1f}x "
+          f"batched)")
+    print(f"latency steady p50/p95/p99 "
+          f"{latency['steady']['p50_ms']:.2f}/"
+          f"{latency['steady']['p95_ms']:.2f}/"
+          f"{latency['steady']['p99_ms']:.2f} ms; churn p99 "
+          f"{latency['churn']['p99_ms']:.2f} ms "
+          f"({latency['p99_ratio']:.2f}x steady); churn torn reads "
           f"{report['churn']['torn_reads']}, dropped "
           f"{report['churn']['dropped']}")
     return 0

@@ -120,6 +120,8 @@ EVENT_TYPES: Dict[str, Dict[str, bool]] = {
         "backend": True,       # "inline" | "pool"
         "queue_us": True,      # oldest request's wait in the batch window
         "exec_us": True,       # kernel + demux wall time
+        "entries": False,      # batcher entries aggregated (block
+                               # submissions carry many routes per entry)
     },
     # One fault epoch swap: the epoch manager re-stabilized the level
     # table (incrementally) and published a fresh shared-memory segment.
@@ -131,6 +133,8 @@ EVENT_TYPES: Dict[str, Dict[str, bool]] = {
         "faults": True,        # total faulty nodes in the new epoch
         "publish_us": True,    # re-stabilize + publish wall time
         "fallback": True,      # incremental engine fell back to full sweeps
+        "spare": False,        # table sealed into a warm-spare segment
+        "flip_us": False,      # pointer-flip slice visible to requests
     },
     # One run_sweep() execution (one Monte-Carlo cell).
     "sweep": {

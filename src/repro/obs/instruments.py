@@ -56,6 +56,9 @@ __all__ = [
     "record_gs_batch",
     "record_incremental_update",
     "record_service_batch",
+    "record_block_submission",
+    "record_wire_frame",
+    "record_shard_request",
     "record_epoch_swap",
     "record_sweep",
     "record_sim_drop",
@@ -92,6 +95,13 @@ STANDARD_COUNTERS: Tuple[str, ...] = (
     "service.rejected",
     "service.epoch_swaps",
     "service.torn_reads",
+    "service.blocks",
+    "service.spare_hits",
+    "service.spare_misses",
+    "service.wire_frames",
+    "service.wire_errors",
+    "shard.requests",
+    "shard.errors",
     "sweep.runs",
     "sweep.trials",
     "sweep.chunks",
@@ -332,6 +342,7 @@ def record_service_batch(
     backend: str,
     queue_us: int,
     exec_us: int,
+    entries: Optional[int] = None,
 ) -> None:
     """One micro-batch flushed by the routing service.
 
@@ -340,7 +351,9 @@ def record_service_batch(
     never dropped).  ``queue_us`` is the oldest request's wait inside the
     batching window, ``exec_us`` the kernel-plus-demux wall time; the two
     histograms are what make the size/deadline window tunable from
-    ``repro stats`` output instead of guesswork.
+    ``repro stats`` output instead of guesswork.  ``entries`` counts the
+    batcher entries the flush aggregated (block submissions carry many
+    routes per entry; omitted when every entry is a single pair).
     """
     reg, rec = _METRICS, _RECORDER
     if not reg.enabled and rec is None:
@@ -354,8 +367,7 @@ def record_service_batch(
         reg.histogram("service.queue_us").observe(queue_us)
         reg.histogram("service.exec_us").observe(exec_us)
     if rec is not None:
-        rec.emit(
-            "service_batch",
+        payload = dict(
             n=n,
             epoch=epoch,
             routes=routes,
@@ -364,6 +376,44 @@ def record_service_batch(
             queue_us=queue_us,
             exec_us=exec_us,
         )
+        if entries is not None:
+            payload["entries"] = entries
+        rec.emit("service_batch", **payload)
+
+
+def record_block_submission(pairs: int) -> None:
+    """One block submission (many pairs, one future) entering a batcher."""
+    reg = _METRICS
+    if not reg.enabled:
+        return
+    reg.counter("service.blocks").inc()
+    reg.histogram("service.block_pairs").observe(pairs)
+
+
+def record_wire_frame(op: int, payload_len: int, error: bool = False) -> None:
+    """One binary RPC frame decoded (or rejected) by the server.
+
+    Counter-only — per-frame stream events would swamp the recorder at
+    wire rates.  ``error`` covers both framing violations and dispatch
+    failures answered with an error frame.
+    """
+    reg = _METRICS
+    if not reg.enabled:
+        return
+    reg.counter("service.wire_frames").inc()
+    if error:
+        reg.counter("service.wire_errors").inc()
+    reg.histogram("service.wire_payload").observe(payload_len)
+
+
+def record_shard_request(tenant: str, routes: int, error: bool = False) -> None:
+    """One request resolved through the shard router, by tenant outcome."""
+    reg = _METRICS
+    if not reg.enabled:
+        return
+    reg.counter("shard.requests").inc(routes)
+    if error:
+        reg.counter("shard.errors").inc()
 
 
 def record_epoch_swap(
@@ -374,22 +424,30 @@ def record_epoch_swap(
     faults: int,
     publish_us: int,
     fallback: bool,
+    spare: bool = True,
+    flip_us: int = 0,
 ) -> None:
     """One fault-epoch swap published by the service's epoch manager.
 
     Fired after the new shared-memory table is sealed and the service
     reference has swapped — every batch flushed from this point routes
-    against epoch ``epoch``.  The delta bookkeeping itself (dirty sets,
-    waves, protocol messages) is already covered by the engine's
-    ``incremental_update`` event; this one records the *service-level*
-    transition and its publish latency.
+    against epoch ``epoch``.  ``publish_us`` is the off-request-path cost
+    (re-stabilize + seal), ``flip_us`` the only slice the request path
+    can contend with, and ``spare`` says whether the table landed in a
+    warm-spare segment (hit) or an overflow allocation (miss).  The delta
+    bookkeeping itself (dirty sets, waves, protocol messages) is already
+    covered by the engine's ``incremental_update`` event; this one
+    records the *service-level* transition and its latency split.
     """
     reg, rec = _METRICS, _RECORDER
     if not reg.enabled and rec is None:
         return
     if reg.enabled:
         reg.counter("service.epoch_swaps").inc()
+        reg.counter("service.spare_hits" if spare
+                    else "service.spare_misses").inc()
         reg.histogram("service.publish_us").observe(publish_us)
+        reg.histogram("service.flip_us").observe(flip_us)
     if rec is not None:
         rec.emit(
             "epoch_swap",
@@ -400,6 +458,8 @@ def record_epoch_swap(
             faults=faults,
             publish_us=publish_us,
             fallback=fallback,
+            spare=spare,
+            flip_us=flip_us,
         )
 
 

@@ -83,11 +83,20 @@ class Histogram:
     """Streaming summary of an observed distribution.
 
     Keeps count / sum / min / max / sum-of-squares (for the variance) in
-    O(1) memory — enough for mean, spread and extremes without retaining
-    samples.  Values are plain floats; observing is five arithmetic ops.
+    O(1) memory, plus a bounded uniform reservoir of raw samples for
+    percentile estimates (p50/p95/p99 in the snapshot).  The reservoir is
+    Vitter's algorithm R driven by a private LCG, so sampling is
+    deterministic for a given observation sequence — snapshots never
+    change across reruns of the same workload — and costs a few integer
+    ops per observation on top of the running sums.
     """
 
-    __slots__ = ("count", "total", "sq_total", "minimum", "maximum")
+    __slots__ = ("count", "total", "sq_total", "minimum", "maximum",
+                 "_reservoir", "_rng_state")
+
+    #: Reservoir capacity: 2048 samples bounds the p99 estimate's error
+    #: to well under the 3% CI regression band at realistic counts.
+    RESERVOIR_SIZE = 2048
 
     def __init__(self) -> None:
         self.count = 0
@@ -95,6 +104,8 @@ class Histogram:
         self.sq_total = 0.0
         self.minimum = math.inf
         self.maximum = -math.inf
+        self._reservoir: List[float] = []
+        self._rng_state = 0x9E3779B97F4A7C15
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -105,6 +116,18 @@ class Histogram:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+        res = self._reservoir
+        if len(res) < self.RESERVOIR_SIZE:
+            res.append(value)
+        else:
+            # 64-bit LCG (MMIX constants): cheap, deterministic, and
+            # plenty for reservoir index selection.
+            self._rng_state = (
+                self._rng_state * 6364136223846793005 + 1442695040888963407
+            ) & 0xFFFFFFFFFFFFFFFF
+            slot = self._rng_state % self.count
+            if slot < self.RESERVOIR_SIZE:
+                res[slot] = value
 
     def observe_many(self, values: Iterable[float]) -> None:
         for v in values:
@@ -121,8 +144,25 @@ class Histogram:
         var = self.sq_total / self.count - self.mean ** 2
         return math.sqrt(max(0.0, var))
 
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-th percentile (0..100) from the reservoir.
+
+        Exact while the sample count is within the reservoir capacity;
+        a uniform-subsample estimate beyond it.  Returns 0.0 when empty.
+        """
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        if len(ordered) == 1:
+            return ordered[0]
+        pos = (q / 100.0) * (len(ordered) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
     def snapshot(self) -> Dict[str, float]:
-        return {
+        snap = {
             "count": self.count,
             "sum": self.total,
             "mean": self.mean,
@@ -130,6 +170,17 @@ class Histogram:
             "min": self.minimum if self.count else 0.0,
             "max": self.maximum if self.count else 0.0,
         }
+        # Percentile keys only when there is data: empty snapshots keep
+        # the historical six-key shape consumers already depend on.
+        if self.count:
+            ordered = sorted(self._reservoir)
+            for q, key in ((50.0, "p50"), (95.0, "p95"), (99.0, "p99")):
+                pos = (q / 100.0) * (len(ordered) - 1)
+                lo = int(pos)
+                hi = min(lo + 1, len(ordered) - 1)
+                frac = pos - lo
+                snap[key] = ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+        return snap
 
 
 class Timer:

@@ -63,14 +63,21 @@ class RunStats:
     service_batches: int = 0
     service_routes: int = 0
     service_rejected: int = 0
+    #: batcher *entries* folded into those batches — a block submission
+    #: is one entry covering many rows, so entries < requests measures
+    #: how much the wire's BLOCK op amortized (omitted in the event when
+    #: every entry was a single, i.e. entries == requests).
+    service_entries: int = 0
     service_backends: Dict[str, int] = field(default_factory=dict)
     service_queue_us_sum: int = 0
     service_exec_us_sum: int = 0
     epoch_swaps: int = 0
     epoch_swap_fallbacks: int = 0
+    epoch_spare_hits: int = 0
     epoch_faults_added: int = 0
     epoch_faults_removed: int = 0
     epoch_publish_us_sum: int = 0
+    epoch_flip_us_sum: int = 0
     epoch_last: int = 0
     sweep_trials: int = 0
     sweep_chunks: int = 0
@@ -210,6 +217,8 @@ def summarize_run(path: Union[str, Path]) -> RunStats:
             stats.service_batches += 1
             stats.service_routes += rec["routes"]
             stats.service_rejected += rec["rejected"]
+            stats.service_entries += rec.get(
+                "entries", rec["routes"] + rec["rejected"])
             stats.service_backends[rec["backend"]] = (
                 stats.service_backends.get(rec["backend"], 0) + 1)
             stats.service_queue_us_sum += rec["queue_us"]
@@ -218,9 +227,12 @@ def summarize_run(path: Union[str, Path]) -> RunStats:
             stats.epoch_swaps += 1
             if rec["fallback"]:
                 stats.epoch_swap_fallbacks += 1
+            if rec.get("spare", True):
+                stats.epoch_spare_hits += 1
             stats.epoch_faults_added += rec["added"]
             stats.epoch_faults_removed += rec["removed"]
             stats.epoch_publish_us_sum += rec["publish_us"]
+            stats.epoch_flip_us_sum += rec.get("flip_us", 0)
             stats.epoch_last = max(stats.epoch_last, rec["epoch"])
         elif etype == "chaos_run":
             stats.chaos_runs += 1
@@ -327,16 +339,26 @@ def render_stats(stats: RunStats) -> str:
             f"  outcomes:   routed={stats.service_routes}  "
             f"rejected={stats.service_rejected}"
         )
+        if stats.service_entries and \
+                stats.service_entries != stats.service_requests:
+            lines.append(
+                f"  blocks:     {stats.service_requests} rows in "
+                f"{stats.service_entries} entries "
+                f"(x{stats.service_requests / stats.service_entries:.1f} "
+                f"wire amortization)"
+            )
         lines.append(
             f"  latency:    queue_us_mean={stats.service_queue_us_mean:.0f}  "
             f"exec_us_sum={stats.service_exec_us_sum}"
         )
         lines.append(
             f"  epochs:     swaps={stats.epoch_swaps} "
-            f"(fallbacks={stats.epoch_swap_fallbacks})  "
+            f"(fallbacks={stats.epoch_swap_fallbacks}, "
+            f"warm_spares={stats.epoch_spare_hits})  "
             f"last_epoch={stats.epoch_last}  "
             f"faults +{stats.epoch_faults_added}/-{stats.epoch_faults_removed}  "
-            f"publish_us_sum={stats.epoch_publish_us_sum}"
+            f"publish_us_sum={stats.epoch_publish_us_sum}  "
+            f"flip_us_sum={stats.epoch_flip_us_sum}"
         )
     if stats.chaos_runs:
         lines.append(

@@ -5,22 +5,32 @@ route decision nearly free — has the exact shape of a high-throughput
 service, and this package is that service:
 
 * :mod:`repro.service.shm` — immutable, seqlock-tagged shared-memory
-  table segments, one per fault epoch;
+  table segments, reseal-able for the warm-spare ring;
 * :mod:`repro.service.epoch` — :class:`EpochManager`: incremental
-  re-stabilization on fault events, publish, atomic swap, pin-counted
-  retirement of old segments;
+  re-stabilization on fault events, warm-spare sealing off the request
+  path, pointer-flip swap, pin-counted ring recycling;
 * :mod:`repro.service.batcher` — :class:`MicroBatcher`: size/deadline
-  aggregation of concurrent requests into single kernel calls;
+  aggregation of concurrent requests (and whole blocks) into single
+  kernel calls;
 * :mod:`repro.service.workers` — the flat per-batch routing task both
   backends (inline executor and process pool) execute;
 * :mod:`repro.service.service` — :class:`RoutingService`, the façade;
-* :mod:`repro.service.server` — the ``repro serve`` TCP line protocol;
+* :mod:`repro.service.shard` — :class:`ShardRouter`: many tenant cubes
+  multiplexed over a shard pool with consistent-hash placement;
+* :mod:`repro.service.wire` — the length-prefixed binary RPC framing
+  and its pipelined :class:`WireClient`;
+* :mod:`repro.service.server` — the ``repro serve`` TCP front-end
+  (binary frames, line-protocol compat shim);
 * :mod:`repro.service.bench` — the ``BENCH_service.json`` harness.
 """
 
 from .epoch import EpochManager, EpochSwap, EpochView
-from .service import RoutingService, ServiceConfig, ServiceResponse
+from .service import BlockResponse, RoutingService, ServiceConfig, \
+    ServiceResponse
+from .shard import HashRing, Shard, ShardDownError, ShardRouter, \
+    UnknownTenantError
 from .shm import EpochTable, TornTableError, attach_epoch_table
+from .wire import WireClient, WireError
 
 __all__ = [
     "EpochManager",
@@ -32,4 +42,12 @@ __all__ = [
     "RoutingService",
     "ServiceConfig",
     "ServiceResponse",
+    "BlockResponse",
+    "ShardRouter",
+    "Shard",
+    "HashRing",
+    "ShardDownError",
+    "UnknownTenantError",
+    "WireClient",
+    "WireError",
 ]

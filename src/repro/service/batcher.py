@@ -9,41 +9,117 @@ concurrent requests inside a **size/deadline window**:
 * the first request of a window starts a deadline clock
   (``window_us``);
 * further requests join the window until either the deadline fires or
-  ``max_batch`` requests are waiting — whichever comes first flushes;
+  ``max_batch`` *rows* are waiting — whichever comes first flushes;
 * a flush hands the whole batch to the service's executor as *one*
   kernel call and immediately starts collecting the next window, so
   batching and kernel execution overlap instead of serializing.
 
-Backpressure is a bounded admission semaphore: at most ``max_pending``
-requests may be in flight (queued or executing); ``submit`` awaits
+Entries come in two shapes.  A **single** is one ``(src, dst)`` pair —
+the interactive path.  A **block** is a whole vector of pairs submitted
+as one entry with one future (:meth:`submit_block`) — the wire path's
+unit, which is what lets a pipelined client push thousands of routes
+through the event loop while paying per-*entry* (not per-route) asyncio
+overhead.  The window accounting is row-based: a block counts as its row
+count, and entries are never split across flushes — a block's response
+always comes from exactly one kernel call against exactly one epoch.
+
+Backpressure is a bounded row gate: at most ``max_pending`` rows may be
+in flight (queued or executing); ``submit``/``submit_block`` await
 admission, so an overloaded service makes producers wait rather than
-growing an unbounded queue.  Requests are never dropped — every admitted
-request is resolved with a response or an exception, including during
-shutdown (:meth:`drain` flushes stragglers before the service closes).
+growing an unbounded queue.  A block larger than the whole gate is
+admitted at full-gate cost instead of deadlocking.  Requests are never
+dropped — every admitted entry is resolved with a response or an
+exception, including during shutdown (:meth:`drain` flushes stragglers
+before the service closes) and forced teardown (:meth:`abort` fails
+everything still queued, loudly).
 """
 
 from __future__ import annotations
 
 import asyncio
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Awaitable, Callable, List, Optional
+from typing import Awaitable, Callable, Deque, List, Optional
 
-__all__ = ["PendingRequest", "MicroBatcher"]
+import numpy as np
+
+__all__ = ["PendingRequest", "PendingBlock", "MicroBatcher"]
 
 
 @dataclass
 class PendingRequest:
-    """One admitted route request waiting for (or in) a flush."""
+    """One admitted single-pair request waiting for (or in) a flush."""
 
     src: int
     dst: int
     enqueued_ns: int
     future: "asyncio.Future" = field(repr=False, default=None)
 
+    @property
+    def rows(self) -> int:
+        return 1
 
-#: A flush callback: takes the batch, resolves every request's future.
-FlushFn = Callable[[List[PendingRequest]], Awaitable[None]]
+
+@dataclass
+class PendingBlock:
+    """One admitted block of pairs: many rows, one entry, one future."""
+
+    srcs: np.ndarray
+    dsts: np.ndarray
+    enqueued_ns: int
+    future: "asyncio.Future" = field(repr=False, default=None)
+
+    @property
+    def rows(self) -> int:
+        return len(self.srcs)
+
+
+#: A flush callback: takes the batch entries, resolves every future.
+FlushFn = Callable[[List[object]], Awaitable[None]]
+
+
+class _RowGate:
+    """Bounded counting admission: FIFO waiters, row-denominated.
+
+    ``asyncio.Semaphore`` admits one unit per acquire; blocks need
+    many-at-once admission without an O(rows) acquire loop.  Waiters
+    park on futures in arrival order and re-check on every release; an
+    entry wider than the whole gate is clamped to capacity so it admits
+    (alone) rather than deadlocking.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._used = 0
+        self._waiters: Deque["asyncio.Future"] = deque()
+
+    async def acquire(self, rows: int) -> int:
+        """Admit ``rows`` (clamped to capacity); returns the debt to release."""
+        rows = min(rows, self.capacity)
+        loop = asyncio.get_running_loop()
+        while self._used + rows > self.capacity:
+            fut = loop.create_future()
+            self._waiters.append(fut)
+            try:
+                await fut
+            except asyncio.CancelledError:
+                if fut in self._waiters:
+                    self._waiters.remove(fut)
+                raise
+        self._used += rows
+        return rows
+
+    def release(self, rows: int) -> None:
+        self._used -= rows
+        self.wake_all()
+
+    def wake_all(self) -> None:
+        """Recheck every waiter (capacity freed, or the batcher closed)."""
+        while self._waiters:
+            fut = self._waiters.popleft()
+            if not fut.done():
+                fut.set_result(None)
 
 
 class MicroBatcher:
@@ -52,7 +128,7 @@ class MicroBatcher:
     ``flush`` receives each batch exactly once and owns resolving the
     futures; the batcher guarantees ordering *within* a batch matches
     submission order (the kernel's row order is the arrival order), and
-    that no admitted request is ever abandoned.
+    that no admitted entry is ever abandoned.
     """
 
     def __init__(
@@ -68,8 +144,9 @@ class MicroBatcher:
             raise ValueError(f"window_us must be >= 0, got {window_us}")
         self.max_batch = max_batch
         self.window_us = window_us
-        self._queue: List[PendingRequest] = []
-        self._admission = asyncio.Semaphore(max_pending)
+        self._queue: List[object] = []
+        self._queued_rows = 0
+        self._gate = _RowGate(max_pending)
         self._wakeup = asyncio.Event()
         self._closed = False
         self._flush = flush
@@ -80,6 +157,24 @@ class MicroBatcher:
 
     # -- intake --------------------------------------------------------------
 
+    async def _enqueue(self, entry, rows: int) -> object:
+        debt = await self._gate.acquire(rows)
+        if self._closed:  # closed while waiting for admission
+            self._gate.release(debt)
+            raise RuntimeError("batcher is closed")
+        loop = asyncio.get_running_loop()
+        entry.future = loop.create_future()
+        self._queue.append(entry)
+        self._queued_rows += rows
+        if self._collector is None or self._collector.done():
+            self._collector = loop.create_task(self._collect())
+        elif self._queued_rows >= self.max_batch:
+            self._wakeup.set()
+        try:
+            return await entry.future
+        finally:
+            self._gate.release(debt)
+
     async def submit(self, src: int, dst: int) -> object:
         """Admit one request and await its response.
 
@@ -88,42 +183,67 @@ class MicroBatcher:
         """
         if self._closed:
             raise RuntimeError("batcher is closed")
-        await self._admission.acquire()
-        if self._closed:  # closed while waiting for admission
-            self._admission.release()
+        return await self._enqueue(
+            PendingRequest(src=int(src), dst=int(dst),
+                           enqueued_ns=time.perf_counter_ns()),
+            rows=1,
+        )
+
+    async def submit_block(self, srcs: np.ndarray, dsts: np.ndarray) -> object:
+        """Admit a whole vector of pairs as one entry; await one response.
+
+        ``srcs``/``dsts`` must be equal-length 1-D vectors; empty blocks
+        are rejected (nothing to route, and a zero-row entry would admit
+        for free).  The flush resolves the block's single future with a
+        block-shaped response covering every row.
+        """
+        if self._closed:
             raise RuntimeError("batcher is closed")
-        loop = asyncio.get_running_loop()
-        req = PendingRequest(src=int(src), dst=int(dst),
-                             enqueued_ns=time.perf_counter_ns(),
-                             future=loop.create_future())
-        self._queue.append(req)
-        if self._collector is None or self._collector.done():
-            self._collector = loop.create_task(self._collect())
-        elif len(self._queue) >= self.max_batch:
-            self._wakeup.set()
-        try:
-            return await req.future
-        finally:
-            self._admission.release()
+        srcs = np.ascontiguousarray(np.asarray(srcs, dtype=np.int64).ravel())
+        dsts = np.ascontiguousarray(np.asarray(dsts, dtype=np.int64).ravel())
+        if len(srcs) != len(dsts):
+            raise ValueError(
+                f"block vectors differ: {len(srcs)} sources, "
+                f"{len(dsts)} destinations"
+            )
+        if len(srcs) == 0:
+            raise ValueError("empty block")
+        return await self._enqueue(
+            PendingBlock(srcs=srcs, dsts=dsts,
+                         enqueued_ns=time.perf_counter_ns()),
+            rows=len(srcs),
+        )
 
     # -- the window ----------------------------------------------------------
+
+    def _take_batch(self) -> List[object]:
+        """Pop entries for one flush: greedy by rows, entries never split."""
+        rows = 0
+        count = 0
+        for entry in self._queue:
+            if count and rows >= self.max_batch:
+                break
+            rows += entry.rows
+            count += 1
+        batch, self._queue = self._queue[:count], self._queue[count:]
+        self._queued_rows -= rows
+        return batch
 
     async def _collect(self) -> None:
         """Run one window: wait for deadline/size, then dispatch the batch.
 
-        A fresh collector task starts with each window's first request,
-        so an idle batcher costs nothing and the deadline clock always
-        measures from *this* window's opening request.
+        A fresh collector task starts with each window's first entry, so
+        an idle batcher costs nothing and the deadline clock always
+        measures from *this* window's opening entry.
         """
-        if self.window_us and len(self._queue) < self.max_batch:
+        if self.window_us and self._queued_rows < self.max_batch:
             self._wakeup.clear()
             try:
                 await asyncio.wait_for(self._wakeup.wait(),
                                        timeout=self.window_us / 1e6)
             except asyncio.TimeoutError:
                 pass
-        batch, self._queue = self._queue[:self.max_batch], \
-            self._queue[self.max_batch:]
+        batch = self._take_batch()
         if self._queue:
             # Overflow beyond max_batch opens the next window immediately.
             self._collector = asyncio.get_running_loop().create_task(
@@ -135,7 +255,7 @@ class MicroBatcher:
         self._inflight.add(task)
         task.add_done_callback(self._inflight.discard)
 
-    async def _run_flush(self, batch: List[PendingRequest]) -> None:
+    async def _run_flush(self, batch: List[object]) -> None:
         self.flushes += 1
         try:
             await self._flush(batch)
@@ -157,12 +277,26 @@ class MicroBatcher:
         """Stop admitting, flush stragglers, await in-flight batches."""
         self._closed = True
         self._wakeup.set()
+        self._gate.wake_all()
         if self._collector is not None and not self._collector.done():
             await self._collector
         while self._queue:
-            batch, self._queue = self._queue[:self.max_batch], \
-                self._queue[self.max_batch:]
-            await self._run_flush(batch)
+            await self._run_flush(self._take_batch())
         while self._inflight:
             await asyncio.gather(*tuple(self._inflight),
                                  return_exceptions=True)
+
+    def abort(self, exc: BaseException) -> None:
+        """Forced teardown: fail every queued entry with ``exc``, admit
+        nothing more.  In-flight flushes are left to finish (they hold
+        their own futures); this is the kill-shard path, where queued
+        work must fail *loudly* rather than hang or half-route.
+        """
+        self._closed = True
+        self._wakeup.set()
+        self._gate.wake_all()
+        queue, self._queue = self._queue, []
+        self._queued_rows = 0
+        for entry in queue:
+            if entry.future is not None and not entry.future.done():
+                entry.future.set_exception(exc)

@@ -1,22 +1,38 @@
-"""TCP front-end for the routing service: a line protocol over asyncio.
+"""TCP front-end for the routing service: binary frames + line compat.
 
-``repro serve`` binds this server in front of a
-:class:`~repro.service.RoutingService`.  The protocol is deliberately
-trivial — one request per line, one JSON object per response line — so
-load generators and humans (``nc localhost 7429``) can drive it alike:
+``repro serve`` binds this server in front of a single
+:class:`~repro.service.RoutingService` or a multi-tenant
+:class:`~repro.service.shard.ShardRouter`.  Each connection's protocol
+is auto-detected from its **first byte**:
 
-``<src> <dst>``
-    Route a unicast; the reply is the
-    :meth:`~repro.service.service.ServiceResponse.to_dict` JSON (always
-    tagged with the serving fault epoch).
-``fault add <node> [<node> ...]`` / ``fault remove <node> ...``
-    Inject a fault event; replies with the epoch-swap summary.  This is
-    the operational path that makes epochs observable end to end: the
-    next route replies carry the bumped epoch tag.
-``epoch``
-    The current epoch number and fault count.
-``quit``
-    Close this connection (the service keeps running).
+* ``0xAB`` (the frame magic) — the length-prefixed binary protocol of
+  :mod:`repro.service.wire`: pipelined request/reply frames matched by
+  ``req_id``, block routing, structured error frames.  Every frame is
+  dispatched as its own task, so a pipelined client's requests land in
+  the micro-batcher *concurrently* — which is what lets one connection
+  fill whole kernel batches.
+* anything else — the original line protocol, one request per line, one
+  JSON object per response line, so load generators and humans
+  (``nc localhost 7429``) keep working unchanged:
+
+  ``<src> <dst>``
+      Route a unicast; the reply is the
+      :meth:`~repro.service.service.ServiceResponse.to_dict` JSON.
+  ``tenant <name>``
+      Bind the connection to a tenant (multi-tenant servers only).
+  ``fault add <node> [<node> ...]`` / ``fault remove <node> ...``
+      Inject a fault event; replies with the epoch-swap summary.
+  ``epoch``
+      The current epoch number and fault count.
+  ``quit``
+      Close this connection (the service keeps running).
+
+Error handling is structural on both protocols: malformed input, an
+unknown op, an unknown tenant, or a dispatch failure is answered with an
+error frame (binary) or an ``{"error": ...}`` line (text) **and the
+connection stays alive** — only a framing desync (garbage where a frame
+header should be) or EOF closes a session, because after a desync there
+is no boundary left to resume from.
 
 Concurrent connections share one service, so their requests micro-batch
 together — the whole point of fronting the batcher with a socket.
@@ -26,47 +42,217 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Optional
+from typing import Optional, Union
 
-from .service import RoutingService
+from . import wire
+from ..obs.instruments import record_wire_frame
+from ..routing.batch import _CONDITION_BY_CODE, _STATUS_BY_CODE
+from .service import REJECTED, REJECTED_CODE, RoutingService
+from .shard import ShardDownError, ShardRouter, UnknownTenantError
 
 __all__ = ["serve_forever", "handle_connection"]
 
+Target = Union[RoutingService, ShardRouter]
 
-async def handle_connection(
-    svc: RoutingService,
-    reader: asyncio.StreamReader,
+#: Response string -> wire code (scalar ROUTE replies re-encode the
+#: materialized ServiceResponse; blocks ship codes straight through).
+_STATUS_CODE = {s.value: i for i, s in enumerate(_STATUS_BY_CODE)}
+_STATUS_CODE[REJECTED] = REJECTED_CODE
+_CONDITION_CODE = {c.value: i for i, c in enumerate(_CONDITION_BY_CODE)}
+
+
+def _resolve(target: Target, tenant: Optional[str]) -> RoutingService:
+    """The service a session's requests go to; raises wire-coded errors."""
+    if isinstance(target, RoutingService):
+        return target
+    if tenant is None:
+        raise wire.WireError(
+            wire.E_NO_TENANT,
+            "multi-tenant server: send a TENANT frame (or 'tenant <name>' "
+            "line) before routing")
+    return target.service_of(tenant)
+
+
+# -- binary sessions ---------------------------------------------------------
+
+
+async def _dispatch_frame(
+    target: Target,
+    session: dict,
+    op: int,
+    payload: bytes,
+) -> tuple:
+    """Execute one request frame; returns ``(reply_op, reply_payload)``."""
+    if op == wire.OP_TENANT:
+        name = payload.decode("utf-8", "strict")
+        if isinstance(target, ShardRouter):
+            svc = target.service_of(name)
+        else:
+            svc = target  # single-service mode: any name binds to it
+        session["tenant"] = name
+        view = svc.epochs.current
+        return wire.OP_TENANT_R, wire._TENANT_R.pack(view.epoch, view.n)
+    svc = _resolve(target, session.get("tenant"))
+    if op == wire.OP_ROUTE:
+        src, dst = wire.decode_route(payload)
+        resp = await svc.route(src, dst)
+        return wire.OP_ROUTE_R, wire.encode_route_reply(
+            resp.epoch, _STATUS_CODE[resp.status],
+            _CONDITION_CODE[resp.condition], resp.hops, resp.hamming)
+    if op == wire.OP_BLOCK:
+        srcs, dsts = wire.decode_block(payload)
+        block = await svc.route_block(srcs, dsts)
+        return wire.OP_BLOCK_R, wire.encode_block_reply(
+            block.epoch, block.status, block.condition, block.hops,
+            block.hamming)
+    if op == wire.OP_FAULT:
+        add, remove = wire.decode_fault(payload)
+        swap = await svc.inject_faults(add=[int(v) for v in add],
+                                       remove=[int(v) for v in remove])
+        return wire.OP_FAULT_R, wire.encode_fault_reply(
+            swap.epoch, swap.stats.added, swap.stats.removed, swap.spare,
+            swap.publish_us, swap.flip_us)
+    if op == wire.OP_EPOCH:
+        view = svc.epochs.current
+        return wire.OP_EPOCH_R, wire._EPOCH_R.pack(
+            view.epoch, len(view.faults.nodes))
+    raise wire.WireError(wire.E_UNKNOWN_OP,
+                         f"unknown op code 0x{op:02x}")
+
+
+async def _run_frame(
+    target: Target,
+    session: dict,
+    op: int,
+    req_id: int,
+    payload: bytes,
     writer: asyncio.StreamWriter,
+    write_lock: asyncio.Lock,
 ) -> None:
-    """One client session: parse lines, answer JSON lines."""
+    """One frame's full lifecycle: dispatch, frame the reply, send it.
+
+    Every failure mode maps to an ERROR frame with the request's
+    ``req_id`` — the session survives, and the client's matching call
+    raises a typed :class:`~repro.service.wire.WireError`.
+    """
+    error = False
     try:
-        while True:
-            line = await reader.readline()
-            if not line:
-                break
-            text = line.decode("utf-8", "replace").strip()
-            if not text:
-                continue
-            reply = await _dispatch(svc, text)
-            if reply is None:
-                break
-            writer.write((json.dumps(reply) + "\n").encode())
-            await writer.drain()
-    except (ConnectionResetError, BrokenPipeError):
-        pass
-    finally:
-        writer.close()
+        reply_op, reply = await _dispatch_frame(target, session, op, payload)
+    except wire.WireError as exc:
+        error = True
+        reply_op, reply = wire.OP_ERROR, wire.encode_error(exc.code,
+                                                           exc.message)
+    except UnknownTenantError as exc:
+        error = True
+        reply_op, reply = wire.OP_ERROR, wire.encode_error(
+            wire.E_UNKNOWN_TENANT, str(exc))
+    except ShardDownError as exc:
+        error = True
+        reply_op, reply = wire.OP_ERROR, wire.encode_error(
+            wire.E_SHARD_DOWN, str(exc))
+    except (ValueError, KeyError, IndexError, UnicodeDecodeError) as exc:
+        error = True
+        reply_op, reply = wire.OP_ERROR, wire.encode_error(
+            wire.E_BAD_REQUEST, str(exc) or "bad request")
+    except Exception as exc:  # dispatch must never kill the session
+        error = True
+        reply_op, reply = wire.OP_ERROR, wire.encode_error(
+            wire.E_INTERNAL, f"{type(exc).__name__}: {exc}")
+    record_wire_frame(op, len(payload), error=error)
+    async with write_lock:
         try:
-            await writer.wait_closed()
+            writer.write(wire.encode_frame(reply_op, req_id, reply))
+            await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             pass
 
 
-async def _dispatch(svc: RoutingService, text: str) -> Optional[dict]:
+async def _binary_session(
+    target: Target,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    first_header: bytes,
+) -> None:
+    """Serve one binary connection; ``first_header`` is the peeked magic."""
+    session: dict = {}
+    write_lock = asyncio.Lock()
+    tasks: set = set()
+    pending: Optional[bytes] = first_header
+    try:
+        while True:
+            if pending is not None:
+                try:
+                    header = pending + await reader.readexactly(
+                        wire.HEADER.size - len(pending))
+                except asyncio.IncompleteReadError:
+                    break
+                pending = None
+                magic, op, length, req_id = wire.HEADER.unpack(header)
+                if length > wire.MAX_PAYLOAD:
+                    break  # desync-grade violation; close
+                payload = await reader.readexactly(length) if length else b""
+                frame = (op, req_id, payload)
+            else:
+                try:
+                    frame = await wire.read_frame(reader)
+                except wire.WireError:
+                    break  # framing desync: nothing to resume from
+                if frame is None:
+                    break
+            op, req_id, payload = frame
+            task = asyncio.get_running_loop().create_task(
+                _run_frame(target, session, op, req_id, payload, writer,
+                           write_lock))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+    finally:
+        if tasks:
+            await asyncio.gather(*tuple(tasks), return_exceptions=True)
+
+
+# -- line sessions (compat) --------------------------------------------------
+
+
+async def _line_session(
+    target: Target,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    first_byte: bytes,
+) -> None:
+    """Serve one line-protocol connection (the pre-wire compat path)."""
+    session: dict = {}
+    carried = first_byte
+    while True:
+        line = await reader.readline()
+        if carried:
+            line, carried = carried + line, b""
+        if not line:
+            break
+        text = line.decode("utf-8", "replace").strip()
+        if not text:
+            continue
+        reply = await _dispatch_line(target, session, text)
+        if reply is None:
+            break
+        writer.write((json.dumps(reply) + "\n").encode())
+        await writer.drain()
+
+
+async def _dispatch_line(
+    target: Target, session: dict, text: str
+) -> Optional[dict]:
     parts = text.split()
     try:
         if parts[0] == "quit":
             return None
+        if parts[0] == "tenant":
+            name = parts[1]
+            svc = target.service_of(name) \
+                if isinstance(target, ShardRouter) else target
+            session["tenant"] = name
+            view = svc.epochs.current
+            return {"tenant": name, "epoch": view.epoch, "n": view.n}
+        svc = _resolve(target, session.get("tenant"))
         if parts[0] == "epoch":
             view = svc.epochs.current
             return {"epoch": view.epoch,
@@ -85,16 +271,57 @@ async def _dispatch(svc: RoutingService, text: str) -> Optional[dict]:
                     "messages": swap.stats.messages,
                     "dirty_seed": swap.stats.dirty_seed,
                     "fallback": swap.stats.fallback,
-                    "publish_us": swap.publish_us}
+                    "publish_us": swap.publish_us,
+                    "flip_us": swap.flip_us,
+                    "spare": swap.spare}
         src, dst = int(parts[0]), int(parts[1])
         resp = await svc.route(src, dst)
         return resp.to_dict()
-    except (IndexError, ValueError) as exc:
+    except (ConnectionResetError, BrokenPipeError):
+        raise
+    except wire.WireError as exc:
+        return {"error": exc.message, "code": exc.code, "input": text}
+    except UnknownTenantError as exc:
+        return {"error": str(exc), "code": wire.E_UNKNOWN_TENANT,
+                "input": text}
+    except ShardDownError as exc:
+        return {"error": str(exc), "code": wire.E_SHARD_DOWN, "input": text}
+    except Exception as exc:
+        # Anything else — malformed numbers, bad ops, dispatch failures —
+        # must answer, not kill the connection task (regression-tested).
         return {"error": str(exc) or "bad request", "input": text}
 
 
+# -- connection entry --------------------------------------------------------
+
+
+async def handle_connection(
+    target: Target,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """One client session: sniff the protocol from byte one, then serve."""
+    try:
+        first = await reader.read(1)
+        if not first:
+            return
+        if first[0] == wire.MAGIC:
+            await _binary_session(target, reader, writer, first)
+        else:
+            await _line_session(target, reader, writer, first)
+    except (ConnectionResetError, BrokenPipeError,
+            asyncio.IncompleteReadError):
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
 async def serve_forever(
-    svc: RoutingService,
+    svc: Target,
     host: str = "127.0.0.1",
     port: int = 7429,
     ready: Optional[asyncio.Event] = None,

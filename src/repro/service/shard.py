@@ -1,0 +1,272 @@
+"""Sharded multi-cube serving: many tenants, one front-end, one pool.
+
+One :class:`~repro.service.service.RoutingService` serves one cube under
+one fault history.  Production traffic is many cubes — tenants with
+different dimensions, fault sets, and churn — and giving each its own
+process group wastes the one resource worth pooling (kernel executors).
+The :class:`ShardRouter` multiplexes instead:
+
+* **Tenants** are named cubes, keyed by ``(tenant, n, fault set)`` at
+  registration.  Each tenant gets its own epoch manager (own shared-
+  memory ring, own fault history) and its own micro-batcher — tenants
+  never share epochs, so one tenant's churn cannot tear another's
+  tables.
+* **Shards** are failure domains: a fixed pool of slots, each holding
+  the services of the tenants placed on it.  Placement is a consistent
+  hash (SHA-1 ring with virtual nodes), so adding tenants spreads them
+  stably and the mapping is reproducible across restarts — the same
+  tenant name always lands on the same shard for a given shard count.
+* **Executors are shared.**  All shards route through one thread
+  executor and (when ``workers > 0``) one ``ProcessPoolExecutor`` —
+  worker processes attach whatever epoch segment each task names, so a
+  single pool serves every tenant without per-shard idle workers.
+
+Failure semantics (the CI shard-smoke job's contract): killing a shard
+aborts its queued requests loudly (:class:`ShardDownError`), marks every
+tenant on it down, and leaves all other shards untouched — requests for
+dead tenants fail with a structured error, requests for live tenants
+keep routing.  There is no migration: a killed shard's tenants stay down
+until re-registered, which is the honest behavior for a failure domain.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.faults import FaultSet
+from ..obs.instruments import record_shard_request
+from .epoch import EpochSwap
+from .service import BlockResponse, RoutingService, ServiceConfig, \
+    ServiceResponse
+
+__all__ = ["ShardDownError", "UnknownTenantError", "HashRing", "Shard",
+           "ShardRouter"]
+
+
+class ShardDownError(RuntimeError):
+    """The tenant's shard was killed; its requests fail structurally."""
+
+
+class UnknownTenantError(KeyError):
+    """No tenant with that name is registered with the router."""
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep it readable
+        return self.args[0] if self.args else "unknown tenant"
+
+
+class HashRing:
+    """Consistent-hash placement of string keys onto shard ids.
+
+    ``vnodes`` virtual points per shard smooth the distribution; SHA-1
+    keeps placement stable across processes and Python hash
+    randomization (``hash()`` is salted per process — useless here).
+    """
+
+    def __init__(self, shard_ids: Sequence[int], vnodes: int = 64) -> None:
+        if not shard_ids:
+            raise ValueError("a hash ring needs at least one shard")
+        points: List[Tuple[int, int]] = []
+        for sid in shard_ids:
+            for v in range(vnodes):
+                digest = hashlib.sha1(f"shard{sid}#{v}".encode()).digest()
+                points.append((int.from_bytes(digest[:8], "big"), sid))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._shards = [s for _, s in points]
+
+    def place(self, key: str) -> int:
+        digest = hashlib.sha1(key.encode("utf-8")).digest()
+        point = int.from_bytes(digest[:8], "big")
+        idx = bisect.bisect(self._hashes, point) % len(self._hashes)
+        return self._shards[idx]
+
+
+@dataclass
+class Shard:
+    """One failure domain: its tenants' services, and whether it lives."""
+
+    shard_id: int
+    alive: bool = True
+    tenants: Dict[str, RoutingService] = field(default_factory=dict)
+
+
+class ShardRouter:
+    """Front-end multiplexing many tenant cubes over a shard pool.
+
+    Use as an async context manager::
+
+        async with ShardRouter(shards=2, workers=0) as router:
+            await router.add_tenant("blue", dimension=8, faults=faults)
+            resp = await router.route("blue", src, dst)
+            block = await router.route_block("blue", srcs, dsts)
+            await router.kill_shard(router.shard_of("blue"))   # chaos
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        workers: int = 0,
+        max_batch: int = 256,
+        window_us: int = 500,
+        max_pending: int = 32_768,
+        spares: int = 2,
+        vnodes: int = 64,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        self.workers = workers
+        self._defaults = dict(max_batch=max_batch, window_us=window_us,
+                              max_pending=max_pending, spares=spares)
+        self.shards: Dict[int, Shard] = {
+            sid: Shard(shard_id=sid) for sid in range(shards)}
+        self._ring = HashRing(sorted(self.shards), vnodes=vnodes)
+        self._placement: Dict[str, int] = {}
+        # Shared executors: one thread per shard keeps one tenant's
+        # re-stabilization from stalling another shard's kernel calls;
+        # one process pool serves every tenant (workers attach segments
+        # by name, so tasks from different tenants interleave freely).
+        self._threads = ThreadPoolExecutor(
+            max_workers=shards + 1, thread_name_prefix="repro-shard")
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def __aenter__(self) -> "ShardRouter":
+        if self.workers > 0 and self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        """Drain every live tenant, stop shared executors, unlink segments."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self.shards.values():
+            for svc in shard.tenants.values():
+                if shard.alive:
+                    await svc.close()
+                else:
+                    svc.terminate()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._threads.shutdown(wait=True)
+
+    # -- tenants -------------------------------------------------------------
+
+    async def add_tenant(
+        self,
+        name: str,
+        dimension: int,
+        faults: Optional[FaultSet] = None,
+        tie_break: str = "lowest-dim",
+        name_token: Optional[str] = None,
+    ) -> int:
+        """Register a tenant cube; returns the shard it was placed on."""
+        if self._closed:
+            raise RuntimeError("router is closed")
+        if name in self._placement:
+            raise ValueError(f"tenant {name!r} already registered")
+        sid = self._ring.place(name)
+        shard = self.shards[sid]
+        if not shard.alive:
+            raise ShardDownError(
+                f"tenant {name!r} places on shard {sid}, which is down")
+        config = ServiceConfig(dimension=dimension, tie_break=tie_break,
+                               workers=self.workers, **self._defaults)
+        svc = RoutingService(config, faults=faults, name_token=name_token,
+                             threads=self._threads, pool=self._pool)
+        await svc.__aenter__()
+        shard.tenants[name] = svc
+        self._placement[name] = sid
+        return sid
+
+    def shard_of(self, tenant: str) -> int:
+        """The shard a registered tenant lives on (dead or alive)."""
+        try:
+            return self._placement[tenant]
+        except KeyError:
+            raise UnknownTenantError(
+                f"tenant {tenant!r} is not registered") from None
+
+    def service_of(self, tenant: str) -> RoutingService:
+        """The tenant's service; raises if unknown or its shard is down."""
+        sid = self.shard_of(tenant)
+        shard = self.shards[sid]
+        if not shard.alive:
+            record_shard_request(tenant, routes=0, error=True)
+            raise ShardDownError(
+                f"tenant {tenant!r} is on shard {sid}, which is down")
+        return shard.tenants[tenant]
+
+    def tenants(self) -> Dict[str, int]:
+        """tenant name -> shard id, every registration (dead shards too)."""
+        return dict(self._placement)
+
+    # -- the request path ----------------------------------------------------
+
+    async def route(self, tenant: str, src: int, dst: int) -> ServiceResponse:
+        svc = self.service_of(tenant)
+        resp = await svc.route(src, dst)
+        record_shard_request(tenant, routes=1)
+        return resp
+
+    async def route_block(
+        self, tenant: str, srcs: np.ndarray, dsts: np.ndarray
+    ) -> BlockResponse:
+        svc = self.service_of(tenant)
+        block = await svc.route_block(srcs, dsts)
+        record_shard_request(tenant, routes=len(block))
+        return block
+
+    async def route_many(
+        self, tenant: str, pairs
+    ) -> List[ServiceResponse]:
+        svc = self.service_of(tenant)
+        resps = await svc.route_many(pairs)
+        record_shard_request(tenant, routes=len(resps))
+        return resps
+
+    async def inject_faults(
+        self, tenant: str, add: Sequence[int] = (),
+        remove: Sequence[int] = ()
+    ) -> EpochSwap:
+        return await self.service_of(tenant).inject_faults(add=add,
+                                                           remove=remove)
+
+    # -- failure domains -----------------------------------------------------
+
+    async def kill_shard(self, shard_id: int) -> List[str]:
+        """Kill one failure domain; returns the tenant names taken down.
+
+        Queued requests on the shard's batchers fail immediately with
+        :class:`ShardDownError`; in-flight kernel calls resolve (or fail)
+        on their own, and the shard's shared-memory segments are
+        unlinked.  Other shards never notice.
+        """
+        shard = self.shards[shard_id]
+        if not shard.alive:
+            return sorted(shard.tenants)
+        shard.alive = False
+        downed = sorted(shard.tenants)
+        for name, svc in shard.tenants.items():
+            svc.batcher.abort(ShardDownError(
+                f"shard {shard_id} (tenant {name!r}) was killed"))
+            # Let in-flight flush tasks settle before the segments go.
+            await asyncio.sleep(0)
+            svc.terminate()
+        return downed
+
+    def live_shards(self) -> List[int]:
+        return sorted(s.shard_id for s in self.shards.values() if s.alive)

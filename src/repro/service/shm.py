@@ -62,6 +62,9 @@ __all__ = [
     "TornTableError",
     "EpochTable",
     "publish_epoch_table",
+    "create_unsealed_segment",
+    "seal_epoch_table",
+    "clear_seal",
     "attach_epoch_table",
     "segment_exists",
     "unlink_segment",
@@ -163,6 +166,84 @@ class EpochTable:
             self._shm = None
 
 
+def create_unsealed_segment(
+    name: str, num_nodes: int
+) -> shared_memory.SharedMemory:
+    """Create an empty (unsealed: both tags zero) segment sized for a table.
+
+    This is the warm-spare allocation path: the epoch manager pre-creates
+    ring segments at startup so a fault event never pays segment-creation
+    latency — it only reseals an existing spare.
+    """
+    with _untracked():
+        shm = shared_memory.SharedMemory(
+            name=name, create=True, size=_segment_size(num_nodes))
+    return shm
+
+
+def seal_epoch_table(
+    shm: shared_memory.SharedMemory,
+    epoch: int,
+    n: int,
+    levels: np.ndarray,
+    packed: Optional[np.ndarray],
+    faults: int,
+) -> None:
+    """Write one epoch's table into ``shm`` and seal it (seqlock order).
+
+    Works on a fresh segment *or* on a reused warm spare whose previous
+    seal was cleared (:func:`clear_seal`).  Write order is the whole
+    torn-read story: tags zeroed first (mark unsealed), then body, then
+    metadata, then the end tag, then the begin tag — a reader attaching
+    mid-seal sees ``begin != end`` (or a zero tag) and retries.
+    """
+    if epoch < 1:
+        raise ValueError(f"epochs start at 1, got {epoch}")
+    num_nodes = 1 << n
+    lv = np.ascontiguousarray(np.asarray(levels), dtype=np.int8)
+    if lv.shape != (num_nodes,):
+        raise ValueError(
+            f"levels must be ({num_nodes},) for n={n}, got {lv.shape}"
+        )
+    pk = np.zeros(num_nodes, dtype=np.int64) if packed is None else \
+        np.ascontiguousarray(np.asarray(packed), dtype=np.int64)
+    if pk.shape != (num_nodes,):
+        raise ValueError(
+            f"packed words must be ({num_nodes},), got {pk.shape}"
+        )
+    if shm.size < _segment_size(num_nodes):
+        raise ValueError(
+            f"segment {shm.name!r} holds {shm.size} bytes, a Q{n} table "
+            f"needs {_segment_size(num_nodes)}"
+        )
+    header, lv_view, pk_view = _views(shm.buf, num_nodes)
+    header[_BEGIN] = 0
+    header[_END] = 0
+    lv_view[:] = lv
+    pk_view[:] = pk
+    header[_DIM] = n
+    header[_FAULTS] = faults
+    header[_CHECKSUM] = _checksum(lv, pk)
+    header[_END] = epoch
+    header[_BEGIN] = epoch
+    # Break the local numpy buffer references; the caller's handle keeps
+    # the mapping alive and tests re-attach through attach_epoch_table.
+    del header, lv_view, pk_view
+
+
+def clear_seal(shm: shared_memory.SharedMemory) -> None:
+    """Zero both version tags: the segment reads as unsealed again.
+
+    Called when a retired, pin-free segment returns to the spare ring —
+    a late attacher (there should be none; pins guarantee it) sees an
+    unsealed segment and fails loudly instead of reading a stale epoch.
+    """
+    header = np.frombuffer(shm.buf, dtype=np.int64, count=_HEADER_SLOTS)
+    header[_BEGIN] = 0
+    header[_END] = 0
+    del header
+
+
 def publish_epoch_table(
     name: str,
     epoch: int,
@@ -180,35 +261,8 @@ def publish_epoch_table(
     """
     if epoch < 1:
         raise ValueError(f"epochs start at 1, got {epoch}")
-    num_nodes = 1 << n
-    lv = np.ascontiguousarray(np.asarray(levels), dtype=np.int8)
-    if lv.shape != (num_nodes,):
-        raise ValueError(
-            f"levels must be ({num_nodes},) for n={n}, got {lv.shape}"
-        )
-    pk = np.zeros(num_nodes, dtype=np.int64) if packed is None else \
-        np.ascontiguousarray(np.asarray(packed), dtype=np.int64)
-    if pk.shape != (num_nodes,):
-        raise ValueError(
-            f"packed words must be ({num_nodes},), got {pk.shape}"
-        )
-    with _untracked():
-        shm = shared_memory.SharedMemory(
-            name=name, create=True, size=_segment_size(num_nodes))
-    header, lv_view, pk_view = _views(shm.buf, num_nodes)
-    # Seal order is the whole torn-read story: body, metadata, end tag,
-    # begin tag.  A reader that attaches mid-publish sees begin != end
-    # (or a zero tag) and retries.
-    lv_view[:] = lv
-    pk_view[:] = pk
-    header[_DIM] = n
-    header[_FAULTS] = faults
-    header[_CHECKSUM] = _checksum(lv, pk)
-    header[_END] = epoch
-    header[_BEGIN] = epoch
-    # Break the local numpy buffer references; the caller's handle keeps
-    # the mapping alive and tests re-attach through attach_epoch_table.
-    del header, lv_view, pk_view
+    shm = create_unsealed_segment(name, 1 << n)
+    seal_epoch_table(shm, epoch, n, levels, packed, faults)
     return shm
 
 

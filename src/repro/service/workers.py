@@ -38,6 +38,13 @@ _TABLES: "OrderedDict[str, EpochTable]" = OrderedDict()
 
 def _attach_cached(segment: str, epoch: int) -> EpochTable:
     table = _TABLES.get(segment)
+    if table is not None and table.epoch != epoch:
+        # Segments are ring-recycled: the warm-spare publisher reseals a
+        # retired segment under a new epoch, so a name hit with an epoch
+        # miss means our mapping is stale, not torn — re-attach.
+        _TABLES.pop(segment)
+        table.close()
+        table = None
     if table is None:
         table = attach_epoch_table(segment, expect_epoch=epoch)
         _TABLES[segment] = table

@@ -1,0 +1,132 @@
+"""EpochManager pin accounting under exception paths.
+
+The pin protocol is the only thing standing between a reader and a
+resealed segment, so its failure modes matter more than its happy path:
+every ``acquire`` must be matched by exactly one ``unpin`` on the normal
+path, a reader that *dies* between the two must not wedge retirement
+forever — ``close()`` is the backstop that unlinks everything — and
+stray unpins (double, after-close, unknown epoch) must never corrupt the
+counts that gate recycling.
+"""
+
+import glob
+
+import pytest
+
+from repro.core import FaultSet, Hypercube
+from repro.service import EpochManager
+
+N = 5
+FAULTS = FaultSet(nodes=[0, 7, 21])
+
+
+def _segments(token):
+    return glob.glob(f"/dev/shm/repro_svc_{token}*")
+
+
+def _manager(token, **kwargs):
+    return EpochManager(Hypercube(N), faults=FAULTS, name_token=token,
+                        **kwargs)
+
+
+class TestPinBalance:
+    def test_acquire_unpin_cycle_leaves_counts_at_zero(self):
+        mgr = _manager("pin_cycle")
+        try:
+            for _ in range(5):
+                view = mgr.acquire()
+                mgr.unpin(view.epoch)
+            assert mgr._pins[mgr.current.epoch] == 0
+        finally:
+            mgr.close()
+
+    def test_exception_between_acquire_and_unpin_with_finally(self):
+        """The pattern every reader must use: unpin in a finally block."""
+        mgr = _manager("pin_finally")
+        try:
+            with pytest.raises(RuntimeError):
+                view = mgr.acquire()
+                try:
+                    raise RuntimeError("reader crashed mid-read")
+                finally:
+                    mgr.unpin(view.epoch)
+            assert mgr._pins[mgr.current.epoch] == 0
+            # a swap can now retire epoch 1 immediately
+            mgr.apply_fault_event(add=[9])
+            assert 1 not in mgr.live_segments()
+        finally:
+            mgr.close()
+
+    def test_leaked_pin_defers_retirement_but_not_close(self):
+        """A reader that dies *without* unpinning leaks the pin.  The old
+        epoch must stay resident (a stale pin is indistinguishable from a
+        slow reader), but ``close()`` must still unlink every segment —
+        leaked pins cannot leak shared memory past the manager."""
+        mgr = _manager("pin_leak")
+        mgr.acquire()  # leaked: no unpin, ever
+        mgr.apply_fault_event(add=[9])
+        # the pinned epoch survives the swap...
+        assert 1 in mgr.live_segments()
+        assert mgr._pins[1] == 1
+        mgr.close()
+        # ...but not the close: nothing remains in /dev/shm
+        assert _segments("pin_leak") == []
+
+    def test_many_leaked_pins_across_epochs_all_unlinked_at_close(self):
+        mgr = _manager("pin_multi", spares=1)
+        victims = [9, 18, 27]
+        for node in victims:
+            mgr.acquire()  # leak one pin per epoch
+            mgr.apply_fault_event(add=[node])
+        # every past epoch is pin-wedged and resident
+        assert sorted(mgr.live_segments()) == [1, 2, 3, 4]
+        mgr.close()
+        assert _segments("pin_multi") == []
+
+    def test_unpin_releases_wedged_epoch_for_recycling(self):
+        mgr = _manager("pin_release")
+        try:
+            view = mgr.acquire()
+            mgr.apply_fault_event(add=[9])
+            spares_before = mgr.spare_count()
+            assert 1 in mgr.live_segments()
+            mgr.unpin(view.epoch)  # the slow reader finishes
+            assert 1 not in mgr.live_segments()
+            assert mgr.spare_count() == spares_before + 1
+        finally:
+            mgr.close()
+
+
+class TestStrayUnpins:
+    def test_unpin_after_close_is_a_no_op(self):
+        mgr = _manager("pin_after_close")
+        view = mgr.acquire()
+        mgr.close()
+        mgr.unpin(view.epoch)  # must not raise
+        mgr.close()            # idempotent too
+
+    def test_unpin_unknown_epoch_is_a_no_op(self):
+        mgr = _manager("pin_unknown")
+        try:
+            mgr.unpin(999)  # never acquired, never existed
+            view = mgr.acquire()
+            mgr.unpin(view.epoch)
+            assert mgr._pins[view.epoch] == 0
+        finally:
+            mgr.close()
+
+    def test_double_unpin_cannot_drive_count_negative(self):
+        mgr = _manager("pin_double")
+        try:
+            view = mgr.acquire()
+            mgr.unpin(view.epoch)
+            mgr.unpin(view.epoch)  # stray second unpin
+            assert mgr._pins[view.epoch] >= 0
+            # balance still works afterwards: pin, swap, unpin, recycle
+            view = mgr.acquire()
+            mgr.apply_fault_event(add=[9])
+            assert 1 in mgr.live_segments()
+            mgr.unpin(view.epoch)
+            assert 1 not in mgr.live_segments()
+        finally:
+            mgr.close()

@@ -146,18 +146,29 @@ class TestTornDetection:
 
 
 class TestEpochManagerLifecycle:
-    def test_bump_retires_and_unlinks_old_epoch(self):
+    def test_bump_retires_and_recycles_old_epoch(self):
         topo = Hypercube(4)
         with EpochManager(topo, FaultSet(nodes=[0])) as mgr:
             e1_name = mgr.segment_name(1)
             assert segment_exists(e1_name)
+            spares_before = mgr.spare_count()
             swap = mgr.apply_fault_event(add=[9])
             assert swap.epoch == 2
             assert mgr.current.epoch == 2
-            # no pins: the old segment is unlinked at the swap
-            assert not segment_exists(e1_name)
-            assert segment_exists(mgr.segment_name(2))
-        assert not segment_exists(mgr.segment_name(2))
+            # no pins: the old segment returns to the warm-spare ring at
+            # the swap — unsealed (attach rejects it), not unlinked
+            assert 1 not in mgr.live_segments()
+            with pytest.raises(KeyError):
+                mgr.segment_name(1)
+            assert mgr.spare_count() == spares_before
+            assert segment_exists(e1_name)
+            with pytest.raises(TornTableError, match="never sealed"):
+                attach_epoch_table(e1_name, retries=2, retry_sleep_s=0.001)
+            e2_name = mgr.segment_name(2)
+            assert segment_exists(e2_name)
+        # close unlinks serving epoch AND ring spares
+        assert not segment_exists(e1_name)
+        assert not segment_exists(e2_name)
 
     def test_pinned_epoch_survives_bump_until_unpin(self):
         topo = Hypercube(4)
@@ -170,8 +181,10 @@ class TestEpochManagerLifecycle:
             table = attach_epoch_table(e1_name, expect_epoch=1)
             assert np.array_equal(table.levels, view.levels)
             table.close()
-            mgr.unpin(view.epoch)         # batch completes -> unlink
-            assert not segment_exists(e1_name)
+            spares_before = mgr.spare_count()
+            mgr.unpin(view.epoch)         # batch completes -> recycle
+            assert 1 not in mgr.live_segments()
+            assert mgr.spare_count() == spares_before + 1
 
     def test_no_mixed_epoch_reads_across_bump(self):
         # every attach observes exactly one epoch's sealed content: the
@@ -214,7 +227,7 @@ class TestEpochManagerLifecycle:
             mgr = EpochManager(Hypercube(4), FaultSet(nodes=[0]),
                                name_token={token!r})
             mgr.apply_fault_event(add=[9])
-            print("ready", flush=True)
+            print(mgr.segment_name(mgr.current.epoch), flush=True)
             signal.pause()
         """)
         env = dict(os.environ)
@@ -223,14 +236,17 @@ class TestEpochManagerLifecycle:
         proc = subprocess.Popen([sys.executable, "-c", script], env=env,
                                 stdout=subprocess.PIPE, text=True)
         try:
-            assert proc.stdout.readline().strip() == "ready"
-            live = f"repro_svc_{token}_e2"
+            live = proc.stdout.readline().strip()
+            assert live.startswith(f"repro_svc_{token}_")
             assert segment_exists(live)
             proc.send_signal(signal.SIGTERM)
             proc.wait(timeout=10)
             assert proc.returncode == 0
             assert not segment_exists(live)
-            assert not segment_exists(f"repro_svc_{token}_e1")
+            # ring spares and recycled segments share the token prefix;
+            # none may survive either
+            for k in range(8):
+                assert not segment_exists(f"repro_svc_{token}_r{k}")
         finally:
             if proc.poll() is None:
                 proc.kill()
