@@ -2,7 +2,7 @@
 
 PY ?= python3
 
-.PHONY: install test bench bench-sweep bench-routing bench-levels bench-service shard-smoke chaos campaign experiments artifacts scorecard stats-demo examples clean
+.PHONY: install test bench bench-sweep bench-routing bench-levels bench-service shard-smoke failover-smoke chaos campaign experiments artifacts scorecard stats-demo examples clean
 
 install:
 	$(PY) -m pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -43,6 +43,13 @@ bench-service:
 # degradation.
 shard-smoke:
 	PYTHONPATH=src $(PY) benchmarks/shard_smoke.py
+
+# Self-healing failover end-to-end over real sockets: injected kill and
+# inferred (heartbeat-detected) crash under a streaming ResilientClient,
+# journal-exact epoch recovery, post-failover bit-identity to the
+# offline kernel.
+failover-smoke:
+	PYTHONPATH=src $(PY) benchmarks/failover_smoke.py
 
 # Chaos-harness reproducibility smoke: seeded 3x-repeated injection
 # matrix (Q4/Q6, node/link/mixed) asserting byte-identical records plus

@@ -175,6 +175,24 @@ def _cmd_serve(argv: List[str]) -> int:
     parser.add_argument("--duration", type=float, default=None,
                         help="serve for this many seconds, then exit "
                              "cleanly (default: until SIGINT/SIGTERM)")
+    parser.add_argument("--auto-failover", action="store_true",
+                        help="sharded mode: run a heartbeat failure "
+                             "detector and automatically re-place "
+                             "tenants off dead shards (journal-exact "
+                             "epoch recovery)")
+    parser.add_argument("--probe-interval-ms", type=float, default=50.0,
+                        help="failure-detector heartbeat period "
+                             "(default 50 ms; needs --auto-failover)")
+    parser.add_argument("--suspect-after", type=int, default=2,
+                        help="missed probes before a shard turns "
+                             "SUSPECT (default 2)")
+    parser.add_argument("--dead-after", type=int, default=5,
+                        help="missed probes before a SUSPECT shard is "
+                             "declared DEAD and failed over (default 5)")
+    parser.add_argument("--max-tenant-inflight", type=int, default=0,
+                        help="admission control: shed (E_OVERLOAD) "
+                             "requests past this many in flight per "
+                             "tenant (0 = unlimited)")
     args = parser.parse_args(argv)
 
     def _seeded_faults(dim: int, count: int, salt: int) -> FaultSet:
@@ -188,6 +206,8 @@ def _cmd_serve(argv: List[str]) -> int:
         parser.error("--shards requires at least one --tenant spec")
     if args.tenant and not args.shards:
         parser.error("--tenant requires --shards")
+    if args.auto_failover and not args.shards:
+        parser.error("--auto-failover requires --shards")
 
     tenant_specs = []
     for spec in args.tenant:
@@ -239,19 +259,37 @@ def _cmd_serve(argv: List[str]) -> int:
         # async-with close() drained and unlinked every epoch segment.
 
     async def run_sharded() -> None:
+        from .service import FailureDetector, HealthConfig
+
         async with ShardRouter(shards=args.shards, workers=args.workers,
                                max_batch=args.max_batch,
-                               window_us=args.window_us) as router:
+                               window_us=args.window_us,
+                               auto_failover=args.auto_failover,
+                               max_tenant_inflight=(
+                                   args.max_tenant_inflight or None),
+                               ) as router:
             for i, (name, dim, n_faults) in enumerate(tenant_specs):
                 sid = await router.add_tenant(
                     name, dimension=dim,
                     faults=_seeded_faults(dim, n_faults, salt=i + 1))
                 print(f"repro serve: tenant {name!r} (Q{dim}, "
                       f"{n_faults} faults) -> shard {sid}", flush=True)
-            await _serve_target(router, (
+            banner = (
                 f"repro serve: {len(tenant_specs)} tenants over "
                 f"{args.shards} shards on {args.host}:{args.port} "
-                f"(backend={'pool' if args.workers else 'inline'})"))
+                f"(backend={'pool' if args.workers else 'inline'}"
+                + (f", failover on, probes every "
+                   f"{args.probe_interval_ms:g} ms"
+                   if args.auto_failover else "") + ")")
+            if args.auto_failover:
+                detector = FailureDetector(router, HealthConfig(
+                    interval_s=args.probe_interval_ms / 1e3,
+                    suspect_after=args.suspect_after,
+                    dead_after=args.dead_after))
+                async with detector:
+                    await _serve_target(router, banner)
+            else:
+                await _serve_target(router, banner)
 
     asyncio.run(run_sharded() if args.shards else run_single())
     print("repro serve: shut down cleanly (all epoch segments unlinked)",

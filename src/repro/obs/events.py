@@ -136,6 +136,16 @@ EVENT_TYPES: Dict[str, Dict[str, bool]] = {
         "spare": False,        # table sealed into a warm-spare segment
         "flip_us": False,      # pointer-flip slice visible to requests
     },
+    # One completed shard failover: a dead shard's tenants re-placed on
+    # survivors with their fault journals replayed exactly.
+    "shard_failover": {
+        "shard": True,           # the shard confirmed dead
+        "tenants": True,         # tenants that lived on it
+        "moved": True,           # tenants successfully re-placed
+        "failover_ms": True,     # confirm-death -> every tenant recovered
+        "epochs_replayed": True,  # journal deltas replayed across tenants
+        "detected": True,        # "injected" (kill) | "inferred" (probes)
+    },
     # One run_sweep() execution (one Monte-Carlo cell).
     "sweep": {
         "master_seed": True,

@@ -59,6 +59,9 @@ __all__ = [
     "record_block_submission",
     "record_wire_frame",
     "record_shard_request",
+    "record_shard_down",
+    "record_shard_failover",
+    "record_shed_request",
     "record_epoch_swap",
     "record_sweep",
     "record_sim_drop",
@@ -102,6 +105,9 @@ STANDARD_COUNTERS: Tuple[str, ...] = (
     "service.wire_errors",
     "shard.requests",
     "shard.errors",
+    "service.shard_down",
+    "service.failover_count",
+    "service.shed_requests",
     "sweep.runs",
     "sweep.trials",
     "sweep.chunks",
@@ -414,6 +420,70 @@ def record_shard_request(tenant: str, routes: int, error: bool = False) -> None:
     reg.counter("shard.requests").inc(routes)
     if error:
         reg.counter("shard.errors").inc()
+
+
+def record_shard_down(shard_id: int, tenants: int) -> None:
+    """One shard confirmed dead by the router (injected or inferred).
+
+    Counter-only: the full story (who moved where, how fast) belongs to
+    the ``shard_failover`` event fired by :func:`record_shard_failover`
+    once recovery completes; this counter exists so dashboards can see
+    deaths even when failover is disabled and tenants fail fast.
+    """
+    reg = _METRICS
+    if not reg.enabled:
+        return
+    reg.counter("service.shard_down").inc()
+    reg.histogram("service.shard_down_tenants").observe(tenants)
+
+
+def record_shard_failover(
+    shard_id: int,
+    tenants: int,
+    moved: int,
+    failover_ms: float,
+    epochs_replayed: int,
+    detected: str,
+) -> None:
+    """One completed shard failover: tenants re-placed on survivors.
+
+    ``failover_ms`` spans confirm-death → every tenant re-placed with
+    its fault journal replayed (the recovery-time metric the bench soak
+    gates as p99).  ``detected`` says how death was established:
+    ``"injected"`` (an operator ``kill_shard``) or ``"inferred"`` (the
+    failure detector's probe timeouts) — the paper's oracle-vs-syndrome
+    distinction one layer up.
+    """
+    reg, rec = _METRICS, _RECORDER
+    if not reg.enabled and rec is None:
+        return
+    if reg.enabled:
+        reg.counter("service.failover_count").inc()
+        reg.histogram("service.failover_ms").observe(failover_ms)
+        reg.histogram("service.failover_tenants").observe(moved)
+    if rec is not None:
+        rec.emit(
+            "shard_failover",
+            shard=shard_id,
+            tenants=tenants,
+            moved=moved,
+            failover_ms=round(failover_ms, 3),
+            epochs_replayed=epochs_replayed,
+            detected=detected,
+        )
+
+
+def record_shed_request(tenant: str, rows: int) -> None:
+    """One request refused by admission control (load shed, E_OVERLOAD).
+
+    Counter-only by design: sheds happen exactly when the service is
+    drowning, so the hook must stay as close to free as a counter bump.
+    """
+    reg = _METRICS
+    if not reg.enabled:
+        return
+    reg.counter("service.shed_requests").inc()
+    reg.histogram("service.shed_rows").observe(rows)
 
 
 def record_epoch_swap(

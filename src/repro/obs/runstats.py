@@ -79,6 +79,13 @@ class RunStats:
     epoch_publish_us_sum: int = 0
     epoch_flip_us_sum: int = 0
     epoch_last: int = 0
+    #: shard_failover aggregates: self-healing events at the shard tier.
+    shard_failovers: int = 0
+    failover_tenants_moved: int = 0
+    failover_epochs_replayed: int = 0
+    failover_ms_sum: float = 0.0
+    failover_ms_max: float = 0.0
+    failover_detected: Dict[str, int] = field(default_factory=dict)
     sweep_trials: int = 0
     sweep_chunks: int = 0
     sweep_elapsed_s: float = 0.0
@@ -234,6 +241,15 @@ def summarize_run(path: Union[str, Path]) -> RunStats:
             stats.epoch_publish_us_sum += rec["publish_us"]
             stats.epoch_flip_us_sum += rec.get("flip_us", 0)
             stats.epoch_last = max(stats.epoch_last, rec["epoch"])
+        elif etype == "shard_failover":
+            stats.shard_failovers += 1
+            stats.failover_tenants_moved += rec["moved"]
+            stats.failover_epochs_replayed += rec["epochs_replayed"]
+            stats.failover_ms_sum += rec["failover_ms"]
+            stats.failover_ms_max = max(stats.failover_ms_max,
+                                        rec["failover_ms"])
+            stats.failover_detected[rec["detected"]] = (
+                stats.failover_detected.get(rec["detected"], 0) + 1)
         elif etype == "chaos_run":
             stats.chaos_runs += 1
             if rec["status"] == "delivered":
@@ -359,6 +375,20 @@ def render_stats(stats: RunStats) -> str:
             f"faults +{stats.epoch_faults_added}/-{stats.epoch_faults_removed}  "
             f"publish_us_sum={stats.epoch_publish_us_sum}  "
             f"flip_us_sum={stats.epoch_flip_us_sum}"
+        )
+    if stats.shard_failovers:
+        mean_ms = stats.failover_ms_sum / stats.shard_failovers
+        lines.append(
+            f"failover: {stats.shard_failovers} shard deaths "
+            f"({_fmt_counts(stats.failover_detected, stats.shard_failovers)})"
+        )
+        lines.append(
+            f"  recovered:  tenants_moved={stats.failover_tenants_moved}  "
+            f"epochs_replayed={stats.failover_epochs_replayed}"
+        )
+        lines.append(
+            f"  recovery:   failover_ms_mean={mean_ms:.1f}  "
+            f"failover_ms_max={stats.failover_ms_max:.1f}"
         )
     if stats.chaos_runs:
         lines.append(

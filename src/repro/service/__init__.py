@@ -16,19 +16,31 @@ service, and this package is that service:
   backends (inline executor and process pool) execute;
 * :mod:`repro.service.service` — :class:`RoutingService`, the façade;
 * :mod:`repro.service.shard` — :class:`ShardRouter`: many tenant cubes
-  multiplexed over a shard pool with consistent-hash placement;
+  multiplexed over a shard pool with consistent-hash placement,
+  per-tenant fault journals, admission control, and exact failover of
+  a dead shard's tenants onto survivors;
+* :mod:`repro.service.health` — :class:`FailureDetector`: heartbeat
+  probes driving the alive → suspect → dead state machine, so shard
+  death is *inferred*, not only injected;
 * :mod:`repro.service.wire` — the length-prefixed binary RPC framing
   and its pipelined :class:`WireClient`;
+* :mod:`repro.service.client` — :class:`ResilientClient`: bounded
+  backoff-and-jitter retries over the retryable error codes
+  (``E_RETRY``/``E_MOVED``/``E_OVERLOAD``), reconnect + tenant rebind;
 * :mod:`repro.service.server` — the ``repro serve`` TCP front-end
   (binary frames, line-protocol compat shim);
-* :mod:`repro.service.bench` — the ``BENCH_service.json`` harness.
+* :mod:`repro.service.bench` — the ``BENCH_service.json`` harness,
+  including the chaos-driven failover soak.
 """
 
+from .client import ResilientClient, RetryPolicy
 from .epoch import EpochManager, EpochSwap, EpochView
+from .health import FailureDetector, HealthConfig, ShardHealth
 from .service import BlockResponse, RoutingService, ServiceConfig, \
     ServiceResponse
-from .shard import HashRing, Shard, ShardDownError, ShardRouter, \
-    UnknownTenantError
+from .shard import FailoverReport, HashRing, OverloadError, Shard, \
+    ShardDownError, ShardRetryError, ShardRouter, TenantJournal, \
+    TenantMovedError, UnknownTenantError
 from .shm import EpochTable, TornTableError, attach_epoch_table
 from .wire import WireClient, WireError
 
@@ -46,8 +58,18 @@ __all__ = [
     "ShardRouter",
     "Shard",
     "HashRing",
+    "TenantJournal",
+    "FailoverReport",
     "ShardDownError",
+    "ShardRetryError",
+    "TenantMovedError",
+    "OverloadError",
     "UnknownTenantError",
+    "FailureDetector",
+    "HealthConfig",
+    "ShardHealth",
+    "ResilientClient",
+    "RetryPolicy",
     "WireClient",
     "WireError",
 ]

@@ -149,11 +149,29 @@ class MicroBatcher:
         self._gate = _RowGate(max_pending)
         self._wakeup = asyncio.Event()
         self._closed = False
+        self._abort_exc: Optional[BaseException] = None
         self._flush = flush
         self._inflight: set = set()
         self._collector: Optional[asyncio.Task] = None
         #: Lifetime count of dispatched batches (benchmark batch-size math).
         self.flushes = 0
+
+    @property
+    def closed(self) -> bool:
+        """True once drained or aborted — nothing more is admitted."""
+        return self._closed
+
+    def _refusal(self) -> BaseException:
+        """The exception a post-close submit gets.  After :meth:`abort`
+        it is a fresh instance of the abort cause, so callers hitting a
+        killed shard hear the structured (often retryable) story instead
+        of a generic 'closed'."""
+        if self._abort_exc is not None:
+            try:
+                return type(self._abort_exc)(*self._abort_exc.args)
+            except Exception:  # exotic exception signature: reuse as-is
+                return self._abort_exc
+        return RuntimeError("batcher is closed")
 
     # -- intake --------------------------------------------------------------
 
@@ -161,7 +179,7 @@ class MicroBatcher:
         debt = await self._gate.acquire(rows)
         if self._closed:  # closed while waiting for admission
             self._gate.release(debt)
-            raise RuntimeError("batcher is closed")
+            raise self._refusal()
         loop = asyncio.get_running_loop()
         entry.future = loop.create_future()
         self._queue.append(entry)
@@ -178,11 +196,12 @@ class MicroBatcher:
     async def submit(self, src: int, dst: int) -> object:
         """Admit one request and await its response.
 
-        Raises :class:`RuntimeError` after :meth:`drain` — a closed
-        batcher admits nothing, it only finishes what it already holds.
+        Raises :class:`RuntimeError` after :meth:`drain` (or the abort
+        cause after :meth:`abort`) — a closed batcher admits nothing, it
+        only finishes what it already holds.
         """
         if self._closed:
-            raise RuntimeError("batcher is closed")
+            raise self._refusal()
         return await self._enqueue(
             PendingRequest(src=int(src), dst=int(dst),
                            enqueued_ns=time.perf_counter_ns()),
@@ -198,7 +217,7 @@ class MicroBatcher:
         block-shaped response covering every row.
         """
         if self._closed:
-            raise RuntimeError("batcher is closed")
+            raise self._refusal()
         srcs = np.ascontiguousarray(np.asarray(srcs, dtype=np.int64).ravel())
         dsts = np.ascontiguousarray(np.asarray(dsts, dtype=np.int64).ravel())
         if len(srcs) != len(dsts):
@@ -290,9 +309,13 @@ class MicroBatcher:
         """Forced teardown: fail every queued entry with ``exc``, admit
         nothing more.  In-flight flushes are left to finish (they hold
         their own futures); this is the kill-shard path, where queued
-        work must fail *loudly* rather than hang or half-route.
+        work must fail *loudly* rather than hang or half-route.  The
+        cause is remembered: later submits are refused with a fresh
+        instance of it, so a request racing a shard kill still hears the
+        structured error, not a generic "closed".
         """
         self._closed = True
+        self._abort_exc = exc
         self._wakeup.set()
         self._gate.wake_all()
         queue, self._queue = self._queue, []

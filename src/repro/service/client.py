@@ -1,0 +1,252 @@
+"""A retrying wire client: shard kills cost latency, not answers.
+
+:class:`~repro.service.wire.WireClient` is deliberately dumb — one
+connection, errors surface raw.  :class:`ResilientClient` wraps it with
+the retry contract the self-healing service tier promises:
+
+* **Structured retryable errors.**  ``E_RETRY`` (failover in flight)
+  and ``E_OVERLOAD`` (admission shed) back off exponentially with
+  deterministic seeded jitter; ``E_MOVED`` (tenant already re-placed)
+  retries immediately — the new shard is live, waiting would be waste.
+  Every other wire error is terminal and propagates unchanged.
+* **Connection loss** tears the wrapped client down, reconnects, and
+  re-binds the tenant before retrying — but only for *idempotent*
+  operations.  Routing is pure per epoch, so a replayed ROUTE/BLOCK/
+  EPOCH cannot change anything; FAULT is an epoch bump, so after a
+  connection drop (reply lost, fault possibly applied) it must **not**
+  be replayed blindly and the error propagates.  A structured error
+  reply, by contrast, proves the server refused *before* applying, so
+  FAULT retries on retryable codes like everything else.
+* **Bounded attempts.**  ``RetryPolicy.max_attempts`` caps the loop;
+  exhaustion re-raises the last error, so a permanently dead tenant
+  still fails loudly rather than spinning.
+
+Jitter is drawn from a client-owned ``random.Random(seed)`` — retry
+schedules are reproducible per seed, which the failover soak leans on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import wire
+from .wire import BlockReply, FaultReply, RouteReply, WireClient, WireError
+
+__all__ = ["RetryPolicy", "ResilientClient"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with proportional jitter.
+
+    Attempt ``k`` (0-based) sleeps ``base_delay_s * multiplier**k``
+    capped at ``max_delay_s``, then scaled by a uniform factor in
+    ``[1 - jitter, 1 + jitter]`` — the usual herd-breaking spread,
+    deterministic here because the rng is seeded per client.
+    """
+
+    max_attempts: int = 8
+    base_delay_s: float = 0.005
+    max_delay_s: float = 0.25
+    multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < self.base_delay_s:
+            raise ValueError("need 0 <= base_delay_s <= max_delay_s")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay_s(self, attempt: int, rng: random.Random) -> float:
+        raw = min(self.max_delay_s,
+                  self.base_delay_s * self.multiplier ** attempt)
+        if self.jitter:
+            raw *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, raw)
+
+
+#: Connection-level failures that mean "the reply is simply gone".
+_CONN_ERRORS = (ConnectionError, ConnectionResetError, BrokenPipeError,
+                OSError, asyncio.IncompleteReadError)
+
+
+class ResilientClient:
+    """Retrying, reconnecting facade over :class:`WireClient`.
+
+    Use it like the raw client::
+
+        async with await ResilientClient.connect(host, port,
+                                                 tenant="blue") as c:
+            reply = await c.route(src, dst)
+
+    A ``kill_shard`` mid-stream (with the router failing over) shows up
+    only in the ``retries``/``reconnects`` counters and the latency of
+    the affected calls.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: Optional[str] = None,
+        policy: Optional[RetryPolicy] = None,
+        seed: int = 0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.policy = policy or RetryPolicy()
+        self._tenant = tenant
+        self._rng = random.Random(seed)
+        self._client: Optional[WireClient] = None
+        self._closed = False
+        #: Lifetime counters: observable cost of transparency.
+        self.attempts = 0
+        self.retries = 0
+        self.reconnects = 0
+        self.moved = 0
+        self.overloads = 0
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        tenant: Optional[str] = None,
+        policy: Optional[RetryPolicy] = None,
+        seed: int = 0,
+    ) -> "ResilientClient":
+        client = cls(host, port, tenant=tenant, policy=policy, seed=seed)
+        await client._ensure_client()
+        return client
+
+    @property
+    def tenant(self) -> Optional[str]:
+        return self._tenant
+
+    # -- connection management -----------------------------------------------
+
+    async def _ensure_client(self) -> WireClient:
+        if self._closed:
+            raise RuntimeError("client is closed")
+        if self._client is None:
+            self._client = await WireClient.connect(self.host, self.port)
+            if self._tenant is not None:
+                # Bind through the retry loop: a tenant mid-failover
+                # answers E_RETRY and the bind must ride it out.
+                await self._retry_call("set_tenant", self._tenant,
+                                       idempotent=True, _bind=False)
+        return self._client
+
+    async def _drop_client(self) -> None:
+        client, self._client = self._client, None
+        if client is not None:
+            try:
+                await client.close()
+            except Exception:
+                pass
+
+    # -- the retry loop ------------------------------------------------------
+
+    async def _retry_call(self, method: str, *args,
+                          idempotent: bool = True,
+                          _bind: bool = True):
+        """Run one wire call under the retry contract.
+
+        ``_bind=False`` marks the call as the tenant bind itself, which
+        must go to the *current* raw client rather than recursing into
+        :meth:`_ensure_client`.
+        """
+        last_exc: Optional[BaseException] = None
+        for attempt in range(self.policy.max_attempts):
+            if _bind:
+                client = await self._ensure_client()
+            else:
+                client = self._client
+                if client is None:  # pragma: no cover - defensive
+                    raise RuntimeError("bind attempted with no connection")
+            self.attempts += 1
+            try:
+                return await getattr(client, method)(*args)
+            except WireError as exc:
+                last_exc = exc
+                if exc.code == wire.E_MOVED:
+                    # The tenant is already live elsewhere; go now.
+                    self.moved += 1
+                    self.retries += 1
+                    continue
+                if exc.code in (wire.E_RETRY, wire.E_OVERLOAD):
+                    if exc.code == wire.E_OVERLOAD:
+                        self.overloads += 1
+                    self.retries += 1
+                    await asyncio.sleep(
+                        self.policy.delay_s(attempt, self._rng))
+                    continue
+                raise
+            except _CONN_ERRORS as exc:
+                last_exc = exc
+                await self._drop_client()
+                self.reconnects += 1
+                if not idempotent or not _bind:
+                    raise
+                self.retries += 1
+                await asyncio.sleep(self.policy.delay_s(attempt, self._rng))
+                continue
+            except RuntimeError as exc:
+                # WireClient surfaces races on a closing connection as
+                # RuntimeError("client is closed"); same story as a drop.
+                if "closed" not in str(exc) or self._closed:
+                    raise
+                last_exc = exc
+                await self._drop_client()
+                self.reconnects += 1
+                if not idempotent or not _bind:
+                    raise
+                self.retries += 1
+                await asyncio.sleep(self.policy.delay_s(attempt, self._rng))
+                continue
+        assert last_exc is not None
+        raise last_exc
+
+    # -- the RPC surface -----------------------------------------------------
+
+    async def set_tenant(self, name: str) -> Tuple[int, int]:
+        """(Re)bind the connection's tenant; returns (epoch, dimension)."""
+        reply = await self._retry_call("set_tenant", name, idempotent=True)
+        self._tenant = name
+        return reply
+
+    async def route(self, src: int, dst: int) -> RouteReply:
+        return await self._retry_call("route", src, dst, idempotent=True)
+
+    async def route_block(self, srcs: np.ndarray,
+                          dsts: np.ndarray) -> BlockReply:
+        return await self._retry_call("route_block", srcs, dsts,
+                                      idempotent=True)
+
+    async def inject_faults(self, add: Sequence[int] = (),
+                            remove: Sequence[int] = ()) -> FaultReply:
+        # Not idempotent: each applied event bumps the epoch, so a lost
+        # reply must not be replayed blindly (structured refusals still
+        # retry inside _retry_call — those are proven not-applied).
+        return await self._retry_call("inject_faults", add, remove,
+                                      idempotent=False)
+
+    async def epoch(self) -> Tuple[int, int]:
+        return await self._retry_call("epoch", idempotent=True)
+
+    async def close(self) -> None:
+        self._closed = True
+        await self._drop_client()
+
+    async def __aenter__(self) -> "ResilientClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()

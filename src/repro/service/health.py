@@ -1,0 +1,188 @@
+"""Shard failure detection: liveness probes and the health state machine.
+
+The paper's safety levels exist because nodes cannot ask an oracle which
+neighbors are dead — they infer it from local information.  The service
+tier gets the same treatment here: a :class:`FailureDetector` probes
+every shard's heartbeat seam (:meth:`ShardRouter.probe_shard`) on an
+interval and runs each shard through a three-state machine::
+
+    ALIVE --miss >= suspect_after--> SUSPECT --miss >= dead_after--> DEAD
+      ^                                 |
+      +------- successful probe --------+
+
+A shard is only *suspected* after ``suspect_after`` consecutive missed
+probes and only *confirmed dead* after ``dead_after`` — one dropped
+heartbeat never triggers a migration, and a suspect that answers again
+recovers to ALIVE with its miss counter cleared.  DEAD is terminal (the
+router has no resurrection path); on the ALIVE/SUSPECT → DEAD edge the
+detector fires its death callback, which by default runs the router's
+:meth:`~repro.service.shard.ShardRouter.fail_over_shard` with
+``detected="inferred"`` — tenants migrate, epochs replay, clients retry.
+
+Two consumption styles:
+
+* **Deterministic** — call :meth:`probe_round` yourself (tests, the
+  bench soak's paced loop): one full probe sweep per call, no clocks.
+* **Background** — ``await detector.start()`` spawns an asyncio task
+  probing every ``interval_s``; ``await detector.stop()`` cancels it.
+  The loop is wall-clock paced but the *verdicts* depend only on probe
+  outcomes, so behavior under test is reproducible.
+
+The detector also notices shards the router already *knows* are dead
+(an injected ``kill_shard``): probes fail the same way, and the death
+callback is still fired so a detector-driven deployment converges no
+matter how the shard died.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Dict, List, Optional
+
+from .shard import ShardRouter
+
+__all__ = ["ShardHealth", "HealthConfig", "FailureDetector"]
+
+
+class ShardHealth(enum.Enum):
+    """One shard's position in the suspicion state machine."""
+
+    ALIVE = "alive"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Probe cadence and suspicion thresholds.
+
+    ``suspect_after``/``dead_after`` are *consecutive missed probes* —
+    the timeout is implicit (``interval_s`` × misses), which keeps the
+    state machine clockless and therefore exactly testable.
+    """
+
+    interval_s: float = 0.05
+    suspect_after: int = 2
+    dead_after: int = 4
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {self.interval_s}")
+        if self.suspect_after < 1:
+            raise ValueError("suspect_after must be >= 1")
+        if self.dead_after < self.suspect_after:
+            raise ValueError(
+                f"dead_after ({self.dead_after}) must be >= "
+                f"suspect_after ({self.suspect_after})")
+
+
+#: Death callback: receives the confirmed-dead shard id.
+DeathCallback = Callable[[int], Awaitable[object]]
+
+
+class FailureDetector:
+    """Probe-driven alive → suspect → dead tracking for a shard router.
+
+    ``on_death`` overrides what happens at confirmation; the default is
+    the router's own failover (``fail_over_shard(sid,
+    detected="inferred")``).  Exceptions from the callback propagate to
+    whoever drove the probe (``probe_round`` caller or the background
+    loop, which logs-by-crashing its task) — a failed failover must not
+    be silently swallowed.
+    """
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        config: Optional[HealthConfig] = None,
+        on_death: Optional[DeathCallback] = None,
+    ) -> None:
+        self.router = router
+        self.config = config or HealthConfig()
+        self._on_death = on_death
+        self._state: Dict[int, ShardHealth] = {
+            sid: ShardHealth.ALIVE for sid in router.shards}
+        self._misses: Dict[int, int] = {sid: 0 for sid in router.shards}
+        self._task: Optional[asyncio.Task] = None
+        #: Lifetime counts (probes sent, misses seen, deaths confirmed).
+        self.probes = 0
+        self.missed = 0
+        self.deaths = 0
+
+    # -- state queries -------------------------------------------------------
+
+    def health(self, shard_id: int) -> ShardHealth:
+        return self._state[shard_id]
+
+    def states(self) -> Dict[int, ShardHealth]:
+        return dict(self._state)
+
+    def misses(self, shard_id: int) -> int:
+        return self._misses[shard_id]
+
+    # -- the probe sweep -----------------------------------------------------
+
+    async def probe_round(self) -> List[int]:
+        """Probe every not-yet-dead shard once; returns newly-dead ids.
+
+        Each confirmed death fires the death callback *before* the
+        sweep returns, so by the time the caller sees the id the
+        router's failover has already run (default callback).
+        """
+        confirmed: List[int] = []
+        for sid in sorted(self._state):
+            if self._state[sid] is ShardHealth.DEAD:
+                continue
+            self.probes += 1
+            beat = self.router.probe_shard(sid)
+            if beat is not None:
+                if self._state[sid] is ShardHealth.SUSPECT:
+                    self._state[sid] = ShardHealth.ALIVE
+                self._misses[sid] = 0
+                continue
+            self.missed += 1
+            self._misses[sid] += 1
+            if self._misses[sid] >= self.config.dead_after:
+                self._state[sid] = ShardHealth.DEAD
+                self.deaths += 1
+                confirmed.append(sid)
+                if self._on_death is not None:
+                    await self._on_death(sid)
+                else:
+                    await self.router.fail_over_shard(sid,
+                                                      detected="inferred")
+            elif self._misses[sid] >= self.config.suspect_after:
+                self._state[sid] = ShardHealth.SUSPECT
+        return confirmed
+
+    # -- background operation ------------------------------------------------
+
+    async def _loop(self) -> None:
+        while True:
+            await self.probe_round()
+            await asyncio.sleep(self.config.interval_s)
+
+    async def start(self) -> "FailureDetector":
+        """Spawn the background probe loop (idempotent)."""
+        if self._task is None or self._task.done():
+            self._task = asyncio.get_running_loop().create_task(self._loop())
+        return self
+
+    async def stop(self) -> None:
+        """Cancel the background loop and surface any crash it died of."""
+        if self._task is None:
+            return
+        task, self._task = self._task, None
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+
+    async def __aenter__(self) -> "FailureDetector":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()

@@ -48,7 +48,8 @@ from . import wire
 from ..obs.instruments import record_wire_frame
 from ..routing.batch import _CONDITION_BY_CODE, _STATUS_BY_CODE
 from .service import REJECTED, REJECTED_CODE, RoutingService
-from .shard import ShardDownError, ShardRouter, UnknownTenantError
+from .shard import OverloadError, ShardDownError, ShardRetryError, \
+    ShardRouter, TenantMovedError, UnknownTenantError
 
 __all__ = ["serve_forever", "handle_connection"]
 
@@ -93,22 +94,32 @@ async def _dispatch_frame(
         view = svc.epochs.current
         return wire.OP_TENANT_R, wire._TENANT_R.pack(view.epoch, view.n)
     svc = _resolve(target, session.get("tenant"))
+    # Sharded targets dispatch through the *router*, not the bare
+    # service: that is where admission control, the retry/moved error
+    # translation, and the fault journal failover replays from all live.
+    tenant = session.get("tenant")
+    router = target if isinstance(target, ShardRouter) else None
     if op == wire.OP_ROUTE:
         src, dst = wire.decode_route(payload)
-        resp = await svc.route(src, dst)
+        resp = await (router.route(tenant, src, dst) if router
+                      else svc.route(src, dst))
         return wire.OP_ROUTE_R, wire.encode_route_reply(
             resp.epoch, _STATUS_CODE[resp.status],
             _CONDITION_CODE[resp.condition], resp.hops, resp.hamming)
     if op == wire.OP_BLOCK:
         srcs, dsts = wire.decode_block(payload)
-        block = await svc.route_block(srcs, dsts)
+        block = await (router.route_block(tenant, srcs, dsts) if router
+                       else svc.route_block(srcs, dsts))
         return wire.OP_BLOCK_R, wire.encode_block_reply(
             block.epoch, block.status, block.condition, block.hops,
             block.hamming)
     if op == wire.OP_FAULT:
         add, remove = wire.decode_fault(payload)
-        swap = await svc.inject_faults(add=[int(v) for v in add],
-                                       remove=[int(v) for v in remove])
+        add_l = [int(v) for v in add]
+        rem_l = [int(v) for v in remove]
+        swap = await (router.inject_faults(tenant, add=add_l, remove=rem_l)
+                      if router else svc.inject_faults(add=add_l,
+                                                       remove=rem_l))
         return wire.OP_FAULT_R, wire.encode_fault_reply(
             swap.epoch, swap.stats.added, swap.stats.removed, swap.spare,
             swap.publish_us, swap.flip_us)
@@ -146,6 +157,18 @@ async def _run_frame(
         error = True
         reply_op, reply = wire.OP_ERROR, wire.encode_error(
             wire.E_UNKNOWN_TENANT, str(exc))
+    except TenantMovedError as exc:
+        error = True
+        reply_op, reply = wire.OP_ERROR, wire.encode_error(
+            wire.E_MOVED, str(exc))
+    except ShardRetryError as exc:
+        error = True
+        reply_op, reply = wire.OP_ERROR, wire.encode_error(
+            wire.E_RETRY, str(exc))
+    except OverloadError as exc:
+        error = True
+        reply_op, reply = wire.OP_ERROR, wire.encode_error(
+            wire.E_OVERLOAD, str(exc))
     except ShardDownError as exc:
         error = True
         reply_op, reply = wire.OP_ERROR, wire.encode_error(
@@ -253,6 +276,8 @@ async def _dispatch_line(
             view = svc.epochs.current
             return {"tenant": name, "epoch": view.epoch, "n": view.n}
         svc = _resolve(target, session.get("tenant"))
+        tenant = session.get("tenant")
+        router = target if isinstance(target, ShardRouter) else None
         if parts[0] == "epoch":
             view = svc.epochs.current
             return {"epoch": view.epoch,
@@ -261,9 +286,12 @@ async def _dispatch_line(
         if parts[0] == "fault":
             nodes = [int(v) for v in parts[2:]]
             if parts[1] == "add":
-                swap = await svc.inject_faults(add=nodes)
+                swap = await (router.inject_faults(tenant, add=nodes)
+                              if router else svc.inject_faults(add=nodes))
             elif parts[1] == "remove":
-                swap = await svc.inject_faults(remove=nodes)
+                swap = await (router.inject_faults(tenant, remove=nodes)
+                              if router
+                              else svc.inject_faults(remove=nodes))
             else:
                 raise ValueError(f"unknown fault action {parts[1]!r}")
             return {"epoch": swap.epoch,
@@ -275,7 +303,8 @@ async def _dispatch_line(
                     "flip_us": swap.flip_us,
                     "spare": swap.spare}
         src, dst = int(parts[0]), int(parts[1])
-        resp = await svc.route(src, dst)
+        resp = await (router.route(tenant, src, dst) if router
+                      else svc.route(src, dst))
         return resp.to_dict()
     except (ConnectionResetError, BrokenPipeError):
         raise
@@ -284,6 +313,12 @@ async def _dispatch_line(
     except UnknownTenantError as exc:
         return {"error": str(exc), "code": wire.E_UNKNOWN_TENANT,
                 "input": text}
+    except TenantMovedError as exc:
+        return {"error": str(exc), "code": wire.E_MOVED, "input": text}
+    except ShardRetryError as exc:
+        return {"error": str(exc), "code": wire.E_RETRY, "input": text}
+    except OverloadError as exc:
+        return {"error": str(exc), "code": wire.E_OVERLOAD, "input": text}
     except ShardDownError as exc:
         return {"error": str(exc), "code": wire.E_SHARD_DOWN, "input": text}
     except Exception as exc:

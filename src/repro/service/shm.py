@@ -162,7 +162,17 @@ class EpochTable:
             self.levels = self.levels.copy()
             self.packed = self.packed.copy() if self.packed is not None \
                 else None
-            self._shm.close()
+            try:
+                self._shm.close()
+            except BufferError:
+                # A borrower (an in-flight kernel call on another thread
+                # that grabbed our views before the copy-swap above) still
+                # exports the buffer.  Segments are immutable while
+                # visible, so the borrower's read stays consistent; the
+                # mapping itself closes when the last view dies.  Dropping
+                # our reference is all close() owes — unlinking is the
+                # publisher's job either way.
+                pass
             self._shm = None
 
 

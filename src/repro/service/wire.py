@@ -57,6 +57,7 @@ __all__ = [
     "OP_ERROR",
     "E_BAD_FRAME", "E_UNKNOWN_OP", "E_BAD_REQUEST", "E_UNKNOWN_TENANT",
     "E_SHARD_DOWN", "E_NO_TENANT", "E_INTERNAL",
+    "E_RETRY", "E_MOVED", "E_OVERLOAD", "RETRYABLE_CODES",
     "WireError", "RouteReply", "BlockReply", "FaultReply",
     "encode_frame", "read_frame",
     "encode_route", "decode_route", "encode_block", "decode_block",
@@ -101,9 +102,18 @@ E_BAD_FRAME = 1       # header/payload failed to parse
 E_UNKNOWN_OP = 2      # op code this server does not speak
 E_BAD_REQUEST = 3     # well-framed but semantically invalid
 E_UNKNOWN_TENANT = 4  # tenant not registered with the shard router
-E_SHARD_DOWN = 5      # tenant's shard was killed
+E_SHARD_DOWN = 5      # tenant's shard was killed (terminal: no failover)
 E_NO_TENANT = 6       # route before OP_TENANT on a multi-tenant server
 E_INTERNAL = 7        # dispatch raised something unexpected
+E_RETRY = 8           # transient (failover in flight): back off and retry
+E_MOVED = 9           # tenant re-placed mid-request: re-resolve, retry now
+E_OVERLOAD = 10       # admission control shed the request: back off, retry
+
+#: Codes a client may safely retry.  Routing is pure per epoch — a
+#: replayed request cannot double-apply anything — so retry semantics
+#: are a property of the *code*, not the op.  ``E_MOVED`` needs no
+#: backoff (the tenant is already live elsewhere); the others do.
+RETRYABLE_CODES = frozenset({E_RETRY, E_MOVED, E_OVERLOAD})
 
 _ROUTE = struct.Struct("!QQ")
 _ROUTE_R = struct.Struct("!QBBHH")

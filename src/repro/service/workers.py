@@ -18,6 +18,7 @@ the coordinator records service telemetry from the demux side).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Tuple
 
@@ -29,27 +30,42 @@ from .shm import EpochTable, attach_epoch_table
 
 __all__ = ["route_task", "clear_table_cache", "cached_tables"]
 
-#: Attached tables kept per process; two suffice in steady state (the
-#: serving epoch plus the one draining), the slack covers churny tests.
-_CACHE_CAPACITY = 4
+#: Attached tables kept per process.  A single service needs two in
+#: steady state (the serving epoch plus the one draining), but the cache
+#: is process-wide: a shard router runs one executor thread per shard
+#: and every tenant contributes its own segment pair, so the capacity
+#: must cover tenants x 2 or a multi-tenant soak thrashes on
+#: attach/evict instead of hitting.  Mappings are cheap (no copies).
+_CACHE_CAPACITY = 16
 
 _TABLES: "OrderedDict[str, EpochTable]" = OrderedDict()
 
+#: route_task runs on per-shard executor threads while shutdown paths
+#: (terminate, clear_table_cache) run on the event loop thread — the
+#: cache is shared mutable state and every touch takes this lock.
+_TABLES_LOCK = threading.Lock()
+
 
 def _attach_cached(segment: str, epoch: int) -> EpochTable:
-    table = _TABLES.get(segment)
-    if table is not None and table.epoch != epoch:
-        # Segments are ring-recycled: the warm-spare publisher reseals a
-        # retired segment under a new epoch, so a name hit with an epoch
-        # miss means our mapping is stale, not torn — re-attach.
-        _TABLES.pop(segment)
-        table.close()
-        table = None
-    if table is None:
-        table = attach_epoch_table(segment, expect_epoch=epoch)
+    with _TABLES_LOCK:
+        table = _TABLES.get(segment)
+        if table is not None and table.epoch == epoch:
+            return table
+        if table is not None:
+            # Segments are ring-recycled: the warm-spare publisher reseals
+            # a retired segment under a new epoch, so a name hit with an
+            # epoch miss means our mapping is stale, not torn — re-attach.
+            _TABLES.pop(segment)
+            table.close()
+    # Attach outside the lock (it may retry/sleep on a mid-seal segment);
+    # a racing attach of the same segment just wastes one mapping.
+    table = attach_epoch_table(segment, expect_epoch=epoch)
+    with _TABLES_LOCK:
         _TABLES[segment] = table
         while len(_TABLES) > _CACHE_CAPACITY:
             _, old = _TABLES.popitem(last=False)
+            # close() tolerates borrowers: a concurrent kernel call on
+            # another shard's thread may still hold this table's views.
             old.close()
     return table
 
@@ -94,11 +110,13 @@ def route_task(
 
 def clear_table_cache() -> None:
     """Close and forget every cached attachment (test/shutdown hygiene)."""
-    while _TABLES:
-        _, table = _TABLES.popitem()
-        table.close()
+    with _TABLES_LOCK:
+        while _TABLES:
+            _, table = _TABLES.popitem()
+            table.close()
 
 
 def cached_tables() -> Dict[str, int]:
     """segment name -> epoch of the current cache (introspection)."""
-    return {name: t.epoch for name, t in _TABLES.items()}
+    with _TABLES_LOCK:
+        return {name: t.epoch for name, t in _TABLES.items()}

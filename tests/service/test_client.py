@@ -1,0 +1,198 @@
+"""ResilientClient: retries make shard kills cost latency, not answers."""
+
+import asyncio
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import FaultSet
+from repro.service import ResilientClient, RetryPolicy, ShardRouter, WireError
+from repro.service import wire
+from repro.service.server import serve_forever
+
+N = 5
+PORT = 7550
+
+#: Fast, deterministic schedule for tests: tight delays, no jitter.
+FAST = RetryPolicy(max_attempts=40, base_delay_s=0.005,
+                   max_delay_s=0.02, jitter=0.0)
+
+
+class TestRetryPolicy:
+    def test_delay_grows_exponentially_then_caps(self):
+        policy = RetryPolicy(base_delay_s=0.01, max_delay_s=0.05,
+                             multiplier=2.0, jitter=0.0)
+        rng = random.Random(0)
+        delays = [policy.delay_s(k, rng) for k in range(6)]
+        assert delays[:3] == [0.01, 0.02, 0.04]
+        assert delays[3:] == [0.05, 0.05, 0.05]
+
+    def test_jitter_is_bounded_and_seed_deterministic(self):
+        policy = RetryPolicy(base_delay_s=0.1, max_delay_s=0.1, jitter=0.5)
+        rng_a, rng_b = random.Random(7), random.Random(7)
+        a = [policy.delay_s(k, rng_a) for k in range(20)]
+        b = [policy.delay_s(k, rng_b) for k in range(20)]
+        assert a == b  # same seed, same schedule
+        assert all(0.05 <= d <= 0.15 for d in a)
+        assert len(set(a)) > 1  # jitter actually spreads
+
+    def test_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=0.5, max_delay_s=0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+def _with_router(port, run, **router_kw):
+    """Serve a two-shard router and run the client-side coroutine."""
+    kw = dict(shards=2, window_us=200, auto_failover=True)
+    kw.update(router_kw)
+
+    async def main():
+        async with ShardRouter(**kw) as router:
+            await router.add_tenant("blue", dimension=N,
+                                    faults=FaultSet(nodes=[0, 7]))
+            ready = asyncio.Event()
+            server = asyncio.ensure_future(
+                serve_forever(router, port=port, ready=ready))
+            await ready.wait()
+            try:
+                return await run(router)
+            finally:
+                server.cancel()
+                try:
+                    await server
+                except asyncio.CancelledError:
+                    pass
+
+    return asyncio.run(main())
+
+
+class TestResilientClient:
+    def test_plain_calls_work_and_count_attempts(self):
+        async def run(router):
+            async with await ResilientClient.connect(
+                    "127.0.0.1", PORT, tenant="blue", policy=FAST) as c:
+                one = await c.route(1, 2)
+                srcs = np.array([1, 2, 3], dtype=np.int64)
+                dsts = np.array([2, 3, 4], dtype=np.int64)
+                block = await c.route_block(srcs, dsts)
+                epoch, faults = await c.epoch()
+                return one, block, epoch, faults, c.attempts, c.retries
+
+        one, block, epoch, faults, attempts, retries = _with_router(PORT, run)
+        assert one.epoch == 1 and epoch == 1 and faults == 2
+        assert len(block.status) == 3
+        assert attempts == 4  # bind + three calls, no retries needed
+        assert retries == 0
+
+    def test_rides_out_a_kill_until_failover_lands(self):
+        async def run(router):
+            sid = router.shard_of("blue")
+            async with await ResilientClient.connect(
+                    "127.0.0.1", PORT + 1, tenant="blue",
+                    policy=FAST) as c:
+                assert (await c.route(1, 2)).epoch == 1
+                # confirm death *without* immediate failover: requests
+                # now answer E_RETRY ("failover pending") and the client
+                # backs off while recovery is still in flight
+                await router.kill_shard(sid, failover=False)
+                call = asyncio.ensure_future(c.route(1, 2))
+                await asyncio.sleep(0.03)
+                assert not call.done()  # still retrying, not failed
+                await router.fail_over_shard(sid)
+                reply = await asyncio.wait_for(call, timeout=5)
+                return reply, c.retries, c.moved
+
+        reply, retries, moved = _with_router(PORT + 1, run)
+        assert reply.epoch == 1  # the answer, not an error
+        assert retries > 0
+
+    def test_backs_off_on_overload_and_succeeds(self):
+        async def run(router):
+            async with await ResilientClient.connect(
+                    "127.0.0.1", PORT + 2, tenant="blue",
+                    policy=FAST) as c:
+                # park one request in the long batch window, pinning the
+                # tenant at its one-row budget
+                parked = asyncio.ensure_future(router.route("blue", 1, 2))
+                await asyncio.sleep(0.01)
+                reply = await asyncio.wait_for(c.route(1, 3), timeout=5)
+                await parked
+                return reply, c.overloads, c.retries
+
+        reply, overloads, retries = _with_router(
+            PORT + 2, run, window_us=60_000, max_batch=4096,
+            max_tenant_inflight=1)
+        assert reply.epoch == 1
+        assert overloads >= 1 and retries >= overloads
+
+    def test_reconnects_and_rebinds_after_connection_loss(self):
+        async def run(router):
+            async with await ResilientClient.connect(
+                    "127.0.0.1", PORT + 3, tenant="blue",
+                    policy=FAST) as c:
+                assert (await c.route(1, 2)).epoch == 1
+                # sever the transport underneath the facade
+                await c._client.close()
+                reply = await c.route(1, 3)
+                # the new connection re-bound the tenant: a tenant-less
+                # session on a router would have answered E_NO_TENANT
+                return reply, c.reconnects
+
+        reply, reconnects = _with_router(PORT + 3, run)
+        assert reply.epoch == 1
+        assert reconnects == 1
+
+    def test_fault_injection_does_not_replay_on_connection_loss(self):
+        async def run(router):
+            async with await ResilientClient.connect(
+                    "127.0.0.1", PORT + 4, tenant="blue",
+                    policy=FAST) as c:
+                swap = await c.inject_faults(add=[9])
+                assert swap.epoch == 2
+                await c._client.close()
+                # a lost reply might mean "applied": FAULT must not be
+                # replayed blindly, so the drop propagates to the caller
+                with pytest.raises(RuntimeError):
+                    await c.inject_faults(add=[10])
+                # ...and the epoch shows exactly one applied event
+                epoch, _ = await c.epoch()
+                return epoch
+
+        assert _with_router(PORT + 4, run) == 2
+
+    def test_terminal_wire_errors_propagate_unchanged(self):
+        async def run(router):
+            async with await ResilientClient.connect(
+                    "127.0.0.1", PORT + 5, policy=FAST) as c:
+                with pytest.raises(WireError) as exc:
+                    await c.set_tenant("ghost")
+                return exc.value.code, c.retries
+
+        code, retries = _with_router(PORT + 5, run)
+        assert code == wire.E_UNKNOWN_TENANT
+        assert retries == 0  # terminal: no retry burned
+
+    def test_exhaustion_raises_the_last_error(self):
+        async def run(router):
+            sid = router.shard_of("blue")
+            await router.kill_shard(sid, failover=False)
+            # nobody ever completes the failover: attempts run out
+            policy = RetryPolicy(max_attempts=3, base_delay_s=0.001,
+                                 max_delay_s=0.002, jitter=0.0)
+            async with await ResilientClient.connect(
+                    "127.0.0.1", PORT + 6, policy=policy) as c:
+                # even the tenant bind answers E_RETRY for a downed
+                # tenant; the retry budget runs out and the last error
+                # surfaces instead of spinning forever
+                with pytest.raises(WireError) as exc:
+                    await c.set_tenant("blue")
+                return exc.value.code, c.attempts
+
+        code, attempts = _with_router(PORT + 6, run)
+        assert code == wire.E_RETRY
+        assert attempts == 3  # exactly max_attempts, then loud failure

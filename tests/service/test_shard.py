@@ -184,18 +184,35 @@ class TestFailureDomains:
 
         asyncio.run(run())
 
-    def test_tenant_placing_on_dead_shard_is_refused(self):
+    def test_dead_shard_leaves_the_ring_so_new_tenants_avoid_it(self):
+        """Regression: kill_shard used to leave the dead shard's vnodes
+        in the hash ring, so add_tenant could still place a new tenant
+        onto a corpse.  Death handling must pull the vnodes."""
         async def run():
             async with ShardRouter(shards=2, window_us=100) as router:
                 sid = await router.add_tenant("blue", dimension=4)
+                assert sid in router._ring
                 await router.kill_shard(sid)
-                k = 0
-                while True:  # find a name that places on the dead shard
+                assert sid not in router._ring
+                survivor = next(s for s in router.shards if s != sid)
+                # every new tenant — including names that used to place
+                # on the dead shard — now lands on the survivor
+                for k in range(25):
                     name = f"probe-{k}"
-                    if router._ring.place(name) == sid:
-                        break
-                    k += 1
-                with pytest.raises(ShardDownError):
-                    await router.add_tenant(name, dimension=4)
+                    assert router._ring.place(name) == survivor
+                placed = await router.add_tenant("probe-0", dimension=4)
+                assert placed == survivor
+                resp = await router.route("probe-0", 0, 1)
+                assert resp.epoch == 1
+
+        asyncio.run(run())
+
+    def test_all_shards_dead_refuses_new_tenants_loudly(self):
+        async def run():
+            async with ShardRouter(shards=1, window_us=100) as router:
+                await router.add_tenant("blue", dimension=4)
+                await router.kill_shard(0)
+                with pytest.raises(ShardDownError, match="no live shards"):
+                    await router.add_tenant("green", dimension=4)
 
         asyncio.run(run())
